@@ -1,0 +1,77 @@
+"""Shared plumbing for the figure-regeneration benchmarks.
+
+Every ``test_figXX`` module computes its figure's series through the
+memoised :func:`repro.harness.cached_run` (so corner points shared by
+several figures simulate once per session), prints the regenerated
+table, saves it under ``benchmarks/results/``, asserts the paper's
+qualitative shape, and registers a representative simulation with
+pytest-benchmark for wall-clock tracking.
+
+``REPRO_BENCH_OPS`` scales the run length (default: the paper's 1,000
+inserts per benchmark).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Optional
+
+from repro.harness.runner import RunResult, cached_run
+from repro.runtime.hints import MANUAL, AnnotationPolicy
+
+#: Operations per run; the paper uses 1,000 inserts.
+BENCH_OPS = int(os.environ.get("REPRO_BENCH_OPS", "1000"))
+
+#: Default value size (Section VI-A: 256-byte values).
+VALUE_BYTES = 256
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Scheme display order for the Figure 8/14 tables.
+FIG8_SCHEMES = ["FG", "FG+LG", "FG+LZ", "SLPMT", "ATOM", "EDE"]
+
+
+def run(
+    workload: str,
+    scheme: str,
+    *,
+    value_bytes: int = VALUE_BYTES,
+    num_ops: int = BENCH_OPS,
+    pm_write_latency_ns: Optional[float] = None,
+    num_tx_ids: Optional[int] = None,
+    wpq_bytes: Optional[int] = None,
+    policy: AnnotationPolicy = MANUAL,
+) -> RunResult:
+    return cached_run(
+        workload,
+        scheme,
+        policy=policy,
+        value_bytes=value_bytes,
+        num_ops=num_ops,
+        pm_write_latency_ns=pm_write_latency_ns,
+        num_tx_ids=num_tx_ids,
+        wpq_bytes=wpq_bytes,
+    )
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def representative(benchmark, workload: str = "hashtable", scheme: str = "SLPMT"):
+    """Register one small fresh simulation as the timed payload."""
+    from repro.core.schemes import scheme_by_name
+    from repro.harness.runner import run_workload
+
+    benchmark.pedantic(
+        lambda: run_workload(
+            workload, scheme_by_name(scheme), num_ops=50, value_bytes=VALUE_BYTES
+        ),
+        rounds=1,
+        iterations=1,
+    )

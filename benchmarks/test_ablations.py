@@ -1,0 +1,141 @@
+"""Ablations of SLPMT's own design choices (DESIGN.md section 5).
+
+Not paper figures — these isolate the contribution of each mechanism the
+paper motivates qualitatively: the buddy-coalescing log buffer, the
+speculative-logging bit-aggregation optimisation, the size of the
+transaction-ID pool, and the WPQ capacity.
+"""
+
+from bench_common import BENCH_OPS, emit, representative, run
+
+from repro.harness.metrics import geomean, speedup, traffic_ratio
+from repro.harness.report import format_table
+from repro.workloads import KERNELS
+
+ABLATION_OPS = max(200, BENCH_OPS // 2)
+
+
+def _run(workload, scheme, **kw):
+    kw.setdefault("num_ops", ABLATION_OPS)
+    return run(workload, scheme, **kw)
+
+
+def test_ablation_log_buffer_coalescing(benchmark):
+    """Removing the tiered buffer (FG-nocoal) must raise log traffic:
+    eight word records cost 8 x 16 B instead of one 72 B record."""
+    rows = []
+    for w in KERNELS:
+        base = _run(w, "FG")
+        nocoal = _run(w, "FG-nocoal")
+        rows.append(
+            [
+                w,
+                base.pm_log_bytes / 1024.0,
+                nocoal.pm_log_bytes / 1024.0,
+                traffic_ratio(base, nocoal),
+                speedup(nocoal, base),
+            ]
+        )
+    emit(
+        "ablation_coalescing",
+        format_table(
+            "Ablation: tiered-buffer coalescing "
+            "(log KiB with/without; total traffic ratio; FG speedup)",
+            ["workload", "log KiB (coal)", "log KiB (none)", "traffic x", "FG speedup"],
+            rows,
+        ),
+    )
+    for row in rows:
+        assert row[2] > row[1]  # more log bytes without coalescing
+        assert row[4] > 1.0  # coalescing pays off end to end
+
+    representative(benchmark)
+
+
+def test_ablation_speculative_logging(benchmark):
+    """The Section III-B1 optimisation trades speculative records for
+    fewer duplicate records after L1->L2 round trips."""
+    rows = []
+    for w in KERNELS:
+        plain = _run(w, "SLPMT")
+        spec = _run(w, "SLPMT+spec")
+        rows.append(
+            [
+                w,
+                plain.stats.duplicate_log_records,
+                spec.stats.duplicate_log_records,
+                spec.stats.speculative_log_records,
+                speedup(plain, spec),
+            ]
+        )
+    emit(
+        "ablation_speculative",
+        format_table(
+            "Ablation: speculative logging for bit aggregation",
+            ["workload", "dupes (off)", "dupes (on)", "speculative recs", "speedup"],
+            rows,
+        ),
+    )
+    for row in rows:
+        assert row[2] <= row[1]  # never more duplicates with the optimisation
+
+    representative(benchmark)
+
+
+def test_ablation_tx_id_pool(benchmark):
+    """More transaction IDs keep lazy data deferred longer (fewer forced
+    reclaims); two IDs is the legal minimum and forces most often."""
+    pools = [2, 4, 8]
+    rows = []
+    for w in KERNELS:
+        reclaims = []
+        cycles = []
+        for n in pools:
+            res = _run(w, "SLPMT", num_tx_ids=n)
+            reclaims.append(res.stats.txid_reclaims)
+            cycles.append(res.cycles)
+        rows.append([w] + reclaims + [cycles[0] / cycles[-1]])
+    emit(
+        "ablation_txids",
+        format_table(
+            "Ablation: transaction-ID pool size (forced reclaims; "
+            "speedup of 8 IDs over 2)",
+            ["workload"] + [f"reclaims@{n}" for n in pools] + ["8-vs-2 speedup"],
+            rows,
+        ),
+    )
+    for row in rows:
+        assert row[1] >= row[3]  # fewer reclaims with a bigger pool
+
+    representative(benchmark)
+
+
+def test_ablation_wpq_capacity(benchmark):
+    """A larger WPQ absorbs commit bursts: stalls drop monotonically."""
+    sizes = [256, 512, 2048]
+    rows = []
+    for w in KERNELS:
+        stalls = []
+        cycles = []
+        for wpq in sizes:
+            res = _run(w, "SLPMT", wpq_bytes=wpq)
+            stalls.append(res.stats.wpq_stall_cycles)
+            cycles.append(res.cycles)
+        rows.append([w] + stalls + [cycles[0] / cycles[-1]])
+    emit(
+        "ablation_wpq",
+        format_table(
+            "Ablation: WPQ capacity (stall cycles; speedup of 2 KiB over 256 B)",
+            ["workload"] + [f"stalls@{s}B" for s in sizes] + ["2048-vs-256 speedup"],
+            rows,
+        ),
+    )
+    for row in rows:
+        assert row[1] >= row[2] >= row[3]
+
+    # One representative timing for the whole ablation module.
+    speedups = [
+        speedup(_run(w, "FG-nocoal"), _run(w, "FG")) for w in KERNELS
+    ]
+    assert geomean(speedups) > 1.0
+    representative(benchmark)

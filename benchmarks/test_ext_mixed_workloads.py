@@ -1,0 +1,76 @@
+"""Extension experiment: YCSB mixed phases (A/B-style read/update).
+
+Not a paper figure — the paper evaluates ycsb-load only — but the
+natural next question for a durable index: how does SLPMT's advantage
+dilute as the mix shifts from updates toward reads?  Reads are not
+transactional (nothing to log or persist), so the speedup should decay
+monotonically toward 1x as the read fraction grows, while staying >1 as
+long as any updates remain.
+"""
+
+import pytest
+
+from bench_common import BENCH_OPS, emit, representative
+
+from repro.core.machine import Machine
+from repro.core.schemes import FG, SLPMT, scheme_by_name
+from repro.harness.report import format_series
+from repro.runtime.hints import MANUAL
+from repro.runtime.ptx import PTx
+from repro.workloads import WORKLOADS
+from repro.workloads.ycsb import generate_mix, replay
+
+READ_FRACTIONS = [0.0, 0.5, 0.95]
+MIX_WORKLOADS = ["hashtable", "rbtree", "kv-ctree"]
+
+
+def run_mix(workload, scheme_name, read_fraction, num_ops):
+    machine = Machine(scheme_by_name(scheme_name))
+    rt = PTx(machine, policy=MANUAL)
+    wl = WORKLOADS[workload](rt, value_bytes=256)
+    load, mix = generate_mix(
+        num_ops,
+        read_fraction=read_fraction,
+        update_fraction=1.0 - read_fraction,
+        preload=max(50, num_ops // 4),
+        value_bytes=256,
+    )
+    replay(wl, load)
+    start = machine.now
+    replay(wl, mix)
+    machine.finalize()
+    wl.verify()
+    return machine.now - start
+
+
+@pytest.fixture(scope="module")
+def mix_series():
+    ops = max(200, BENCH_OPS // 2)
+    series = {}
+    for w in MIX_WORKLOADS:
+        series[w] = []
+        for rf in READ_FRACTIONS:
+            fg = run_mix(w, "FG", rf, ops)
+            slpmt = run_mix(w, "SLPMT", rf, ops)
+            series[w].append(fg / slpmt)
+    return series
+
+
+def test_ext_mixed_workloads(benchmark, mix_series):
+    emit(
+        "ext_mixed_workloads",
+        format_series(
+            "Extension: SLPMT speedup over FG vs YCSB read fraction "
+            "(mixed phase only)",
+            "read frac",
+            READ_FRACTIONS,
+            mix_series,
+        ),
+    )
+    for w, values in mix_series.items():
+        # Update-only shows the full benefit; read-heavy dilutes it...
+        assert values[0] > values[-1]
+        # ...but never below parity while updates remain.
+        assert values[-1] > 0.95
+
+    representative(benchmark)

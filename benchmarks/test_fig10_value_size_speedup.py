@@ -1,0 +1,22 @@
+"""Figure 10: SLPMT speedup sensitivity to the value size.
+
+Paper: SLPMT still accelerates the baseline by 1.22x on average at
+16-byte values, and the gain grows with the value size (more of the
+inserted bytes are log-free).
+"""
+
+from bench_common import BENCH_OPS, emit, representative
+
+from repro.harness.figures import figure10
+
+
+def test_fig10_value_size_speedup(benchmark):
+    result = figure10(num_ops=BENCH_OPS)
+    emit("fig10_value_size_speedup", result.text)
+
+    geo = result.data["speedup"]["geomean"]
+    assert geo[0] > 1.05  # paper: 1.22x at 16 B
+    assert geo[-1] > geo[0]  # grows with value size
+    assert all(b >= a - 0.03 for a, b in zip(geo, geo[1:]))  # ~monotone
+
+    representative(benchmark)

@@ -1,0 +1,28 @@
+"""Figure 11: write-traffic reduction sensitivity to the value size.
+
+Paper: the absolute traffic saved by SLPMT scales roughly linearly with
+the value size (logging the new value dominates), but is mostly flat
+between 16 and 32 bytes where pointer/counter updates dominate.
+"""
+
+from bench_common import BENCH_OPS, emit, representative
+
+from repro.harness.figures import figure11
+from repro.workloads import KERNELS
+
+
+def test_fig11_value_size_traffic(benchmark):
+    result = figure11(num_ops=BENCH_OPS)
+    emit("fig11_value_size_traffic", result.text)
+
+    saved = result.data["saved_kib"]
+    for w in KERNELS:
+        # Absolute savings grow with value size, ending well above the start.
+        assert saved[w][-1] > saved[w][0] > 0
+        assert saved[w][-1] > 1.5 * saved[w][0]
+        # The 16 -> 32 B step is the flattest of the sweep (pointer and
+        # counter updates dominate small values).
+        steps = [b - a for a, b in zip(saved[w], saved[w][1:])]
+        assert steps[0] <= max(steps[1:]) + 1e-9
+
+    representative(benchmark)

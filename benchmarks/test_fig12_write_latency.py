@@ -1,0 +1,27 @@
+"""Figure 12: SLPMT speedup sensitivity to the PM write latency.
+
+Paper: as byte-addressable devices get slower (600..2300 ns writes, e.g.
+flash-backed CXL memory), SLPMT's traffic reduction matters at least as
+much; hashtable is the most sensitive thanks to lazy persistency moving
+persists off the commit critical path.
+"""
+
+from bench_common import BENCH_OPS, emit, representative
+
+from repro.harness.figures import figure12
+from repro.workloads import KERNELS
+
+
+def test_fig12_write_latency(benchmark):
+    result = figure12(num_ops=BENCH_OPS)
+    emit("fig12_write_latency", result.text)
+
+    series = result.data["speedup"]
+    for w in KERNELS:
+        # Longer write latency never erodes the benefit...
+        assert series[w][-1] >= series[w][0] - 0.05
+    # ...and hashtable (lazy-heavy) gains the most from slower media.
+    deltas = {w: series[w][-1] - series[w][0] for w in KERNELS}
+    assert deltas["hashtable"] >= max(deltas.values()) - 0.05
+
+    representative(benchmark)

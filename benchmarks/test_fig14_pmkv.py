@@ -1,0 +1,38 @@
+"""Figure 14: the PMDK key-value application over btree/ctree/rtree.
+
+Paper (256 B values): SLPMT achieves 1.35-1.87x over EDE and 1.4-2x over
+ATOM; it removes 32.6-47.6% of the baseline's write traffic, with the
+biggest traffic cut on kv-rtree but the best speedup on kv-ctree.  With
+16 B values the speedups shrink but SLPMT still wins (1.35x / 1.58x on
+average over EDE / ATOM).
+"""
+
+from bench_common import BENCH_OPS, emit, representative
+
+from repro.harness.figures import figure14
+from repro.harness.metrics import geomean
+from repro.workloads import PMKV
+
+
+def test_fig14_pmkv(benchmark):
+    result = figure14(num_ops=BENCH_OPS)
+    emit("fig14_pmkv", result.text)
+
+    big = result.data["speedup_256"]
+    red = result.data["traffic_reduction_256"]
+    for w in PMKV:
+        assert big[w]["SLPMT"] / big[w]["ATOM"] > 1.3
+        assert big[w]["SLPMT"] / big[w]["EDE"] > 1.2
+        assert 0.25 < red[w] < 0.55  # paper: 32.6-47.6%
+    # ctree gets the best speedup; rtree is at the top on traffic.
+    slpmt = {w: big[w]["SLPMT"] for w in PMKV}
+    assert slpmt["kv-ctree"] >= max(slpmt.values()) - 0.05
+    assert red["kv-rtree"] >= max(red.values()) - 0.05
+
+    small = result.data["speedup_16"]
+    assert geomean(small[w]["SLPMT"] / small[w]["ATOM"] for w in PMKV) > 1.2
+    assert geomean(small[w]["SLPMT"] / small[w]["EDE"] for w in PMKV) > 1.1
+    for w in PMKV:
+        assert small[w]["SLPMT"] < big[w]["SLPMT"]  # gains shrink at 16 B
+
+    representative(benchmark, workload="kv-ctree")

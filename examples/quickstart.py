@@ -1,0 +1,48 @@
+"""Quickstart: run a durable hash table on the SLPMT machine.
+
+Builds the full simulated stack — SLPMT core, caches, the ADR write-
+pending queue — inserts a few key-value pairs through durable
+transactions, and prints what the hardware did: cycles, PM write
+traffic, log records created vs skipped, and lazily deferred lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Machine, PTx, SLPMT, MANUAL
+from repro.workloads import HashTable
+from repro.workloads.base import value_words_for_key
+
+
+def main() -> None:
+    machine = Machine(SLPMT)
+    rt = PTx(machine, policy=MANUAL)
+    table = HashTable(rt, value_bytes=256)
+
+    keys = [101, 202, 303, 404, 505]
+    for key in keys:
+        table.insert(key)  # one durable transaction per insert
+
+    machine.finalize()
+
+    print("=== quickstart: 5 inserts on SLPMT ===")
+    print(f"cycles:                 {machine.now:,}")
+    print(f"PM bytes written:       {machine.stats.pm_bytes_written:,}")
+    print(f"  of which log bytes:   {machine.stats.pm_log_bytes_written:,}")
+    print(f"log records created:    {machine.stats.log_records_created}")
+    print(f"log-free stores:        {machine.stats.logfree_stores}")
+    print(f"lazily deferred lines:  {machine.deferred_line_count()}")
+
+    # Reads come from the simulated structure itself.
+    value = table.lookup(303)
+    assert value == value_words_for_key(303, 32)
+    print(f"lookup(303) first word: {value[0]:#018x}")
+
+    # The paper's idiom: a few empty transactions cycle the transaction-
+    # ID pool and force everything lazily persistent to the media.
+    rt.run_empty_transactions(machine.config.num_tx_ids)
+    table.verify(durable=True)
+    print("durable image verified after flushing lazy data.")
+
+
+if __name__ == "__main__":
+    main()

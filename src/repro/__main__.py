@@ -1,0 +1,57 @@
+"""Command-line front end: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro list                 # available figures
+    python -m repro fig08                # regenerate Figure 8 (1,000 ops)
+    python -m repro fig12 --ops 300      # quicker, smaller run
+    python -m repro all --ops 200        # everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.figures import FIGURES, regenerate
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the SLPMT paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figure",
+        help="figure name (fig08..fig14), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--ops",
+        type=int,
+        default=1000,
+        help="ycsb-load inserts per run (paper: 1000)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.figure == "list":
+        for name in sorted(FIGURES):
+            print(name)
+        return 0
+
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        if name not in FIGURES:
+            parser.error(f"unknown figure {name!r}; try 'list'")
+        start = time.perf_counter()
+        result = regenerate(name, num_ops=args.ops)
+        elapsed = time.perf_counter() - start
+        print(result.text)
+        print(f"[{result.name} regenerated in {elapsed:.1f}s "
+              f"at {args.ops} ops/run]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

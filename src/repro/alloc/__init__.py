@@ -1,0 +1,12 @@
+"""Persistent-heap allocation and object layout."""
+
+from repro.alloc.allocator import Allocation, PersistentAllocator
+from repro.alloc.objects import NULL, StructLayout, layout
+
+__all__ = [
+    "PersistentAllocator",
+    "Allocation",
+    "StructLayout",
+    "layout",
+    "NULL",
+]

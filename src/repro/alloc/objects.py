@@ -1,0 +1,58 @@
+"""Typed field layout for persistent objects.
+
+Workload data structures are built from fixed-layout records of 8-byte
+fields.  A :class:`StructLayout` names the fields once; a field address
+is then ``base + offset(name)``.  Keeping layout explicit (instead of
+pickling Python objects) is what lets every field access become a real
+simulated load/store with correct cache-line behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.common import units
+from repro.common.errors import ReproError
+
+#: Conventional null pointer in the simulated heap.
+NULL = 0
+
+
+@dataclass(frozen=True)
+class StructLayout:
+    """A named sequence of 8-byte fields."""
+
+    name: str
+    fields: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.fields)) != len(self.fields):
+            raise ReproError(f"duplicate field names in struct {self.name}")
+
+    @property
+    def size(self) -> int:
+        """Struct size in bytes."""
+        return len(self.fields) * units.WORD_BYTES
+
+    def offset(self, field: str) -> int:
+        """Byte offset of *field* from the struct base."""
+        try:
+            return self.fields.index(field) * units.WORD_BYTES
+        except ValueError:
+            raise ReproError(
+                f"struct {self.name} has no field {field!r}; has {self.fields}"
+            ) from None
+
+    def addr(self, base: int, field: str) -> int:
+        """Absolute address of *field* in an instance at *base*."""
+        return base + self.offset(field)
+
+    def field_addrs(self, base: int) -> Dict[str, int]:
+        """All field addresses of an instance at *base*."""
+        return {f: self.addr(base, f) for f in self.fields}
+
+
+def layout(name: str, fields: Sequence[str]) -> StructLayout:
+    """Convenience constructor: ``layout("node", ["key", "next"])``."""
+    return StructLayout(name=name, fields=tuple(fields))

@@ -1,0 +1,44 @@
+"""Shared building blocks: units, configuration, statistics, and errors."""
+
+from repro.common.config import (
+    DEFAULT_CONFIG,
+    CacheConfig,
+    DramConfig,
+    LogBufferConfig,
+    PersistentMemoryConfig,
+    SignatureConfig,
+    SystemConfig,
+)
+from repro.common.errors import (
+    AllocationError,
+    AlignmentError,
+    CompilerError,
+    IsaError,
+    RecoveryError,
+    ReproError,
+    SimulationError,
+    TransactionAborted,
+    TransactionError,
+)
+from repro.common.stats import SimStats, StatsScope
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "CacheConfig",
+    "DramConfig",
+    "LogBufferConfig",
+    "PersistentMemoryConfig",
+    "SignatureConfig",
+    "SystemConfig",
+    "SimStats",
+    "StatsScope",
+    "ReproError",
+    "IsaError",
+    "AlignmentError",
+    "SimulationError",
+    "TransactionError",
+    "TransactionAborted",
+    "AllocationError",
+    "RecoveryError",
+    "CompilerError",
+]

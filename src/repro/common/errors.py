@@ -1,0 +1,51 @@
+"""Exception hierarchy for the SLPMT reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+downstream users can catch one type.  The subclasses mirror the distinct
+failure domains of the system: ISA misuse, simulator invariant violations,
+transactional misuse, allocation failures, and recovery failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class IsaError(ReproError):
+    """An instruction was constructed or executed with invalid operands."""
+
+
+class AlignmentError(IsaError):
+    """A memory operand was not aligned to the required granularity."""
+
+
+class SimulationError(ReproError):
+    """An internal simulator invariant was violated (a bug, not user error)."""
+
+
+class TransactionError(ReproError):
+    """Transactional API misuse (nested begin, commit outside txn, ...)."""
+
+
+class TransactionAborted(ReproError):
+    """Raised when a transaction is explicitly aborted (Section V-B)."""
+
+
+class AllocationError(ReproError):
+    """The persistent heap could not satisfy an allocation request."""
+
+
+class PowerFailure(ReproError):
+    """Injected crash signal: raised at a durability point to simulate a
+    power loss; callers let it propagate to the run loop, which freezes
+    the durable state and discards everything volatile."""
+
+
+class RecoveryError(ReproError):
+    """Post-crash recovery could not restore a consistent state."""
+
+
+class CompilerError(ReproError):
+    """The annotation compiler was given malformed IR."""

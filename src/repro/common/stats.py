@@ -1,0 +1,166 @@
+"""Event counters and derived metrics collected during simulation.
+
+A single :class:`SimStats` instance travels with a machine for the lifetime
+of a run.  Counters are plain integers grouped by subsystem; the harness
+reads them to compute the paper's two headline metrics — execution cycles
+(for speedup) and bytes written to persistent memory (for write-traffic
+reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    """Mutable counter bundle for one simulation run."""
+
+    # --- execution ---------------------------------------------------
+    cycles: int = 0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    storeTs: int = 0
+    transactions: int = 0
+    commits: int = 0
+    aborts: int = 0
+
+    # --- cache hierarchy ---------------------------------------------
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    l3_hits: int = 0
+    l3_misses: int = 0
+    l1_evictions: int = 0
+    l2_evictions: int = 0
+    l3_evictions: int = 0
+
+    # --- persistent memory --------------------------------------------
+    pm_reads: int = 0
+    pm_data_lines_written: int = 0
+    pm_log_lines_written: int = 0
+    pm_bytes_written: int = 0
+    pm_log_bytes_written: int = 0
+    pm_data_bytes_written: int = 0
+    wpq_stall_cycles: int = 0
+
+    # --- logging subsystem ---------------------------------------------
+    log_records_created: int = 0
+    log_records_coalesced: int = 0
+    log_records_discarded_lazy: int = 0
+    log_records_persisted: int = 0
+    duplicate_log_records: int = 0
+    speculative_log_records: int = 0
+    log_buffer_drains: int = 0
+    log_words_logged: int = 0
+
+    # --- selective logging / lazy persistency ---------------------------
+    logfree_stores: int = 0
+    lazy_lines_deferred: int = 0
+    lazy_lines_forced: int = 0
+    lazy_lines_never_persisted: int = 0
+    signature_hits: int = 0
+    txid_reclaims: int = 0
+
+    # --- commit breakdown ------------------------------------------------
+    commit_cycles: int = 0
+    commit_lines_persisted: int = 0
+
+    def copy(self) -> "SimStats":
+        """Return an independent snapshot of the current counters."""
+        return SimStats(**self.as_dict())
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return all counters as an ordinary dictionary."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def add(self, other: "SimStats") -> None:
+        """Accumulate *other*'s counters into this instance."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def diff(self, baseline: "SimStats") -> "SimStats":
+        """Return counters accumulated since the *baseline* snapshot."""
+        out = SimStats()
+        for f in fields(self):
+            setattr(out, f.name, getattr(self, f.name) - getattr(baseline, f.name))
+        return out
+
+    # --- derived metrics --------------------------------------------------
+
+    @property
+    def pm_total_lines_written(self) -> int:
+        return self.pm_data_lines_written + self.pm_log_lines_written
+
+    def l1_hit_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        return self.l1_hits / total if total else 0.0
+
+    def __str__(self) -> str:
+        parts = [f"{name}={value}" for name, value in self.as_dict().items() if value]
+        return "SimStats(" + ", ".join(parts) + ")"
+
+    def report(self) -> str:
+        """A grouped, human-readable summary (gem5-style stats dump)."""
+        groups = {
+            "execution": (
+                "cycles", "instructions", "loads", "stores", "storeTs",
+                "transactions", "commits", "aborts",
+            ),
+            "caches": (
+                "l1_hits", "l1_misses", "l2_hits", "l2_misses", "l3_hits",
+                "l3_misses", "l1_evictions", "l2_evictions", "l3_evictions",
+            ),
+            "persistent memory": (
+                "pm_reads", "pm_data_lines_written", "pm_log_lines_written",
+                "pm_bytes_written", "pm_log_bytes_written",
+                "pm_data_bytes_written", "wpq_stall_cycles",
+            ),
+            "logging": (
+                "log_records_created", "log_records_coalesced",
+                "log_records_discarded_lazy", "log_records_persisted",
+                "duplicate_log_records", "speculative_log_records",
+                "log_buffer_drains", "log_words_logged",
+            ),
+            "selective logging / lazy persistency": (
+                "logfree_stores", "lazy_lines_deferred", "lazy_lines_forced",
+                "lazy_lines_never_persisted", "signature_hits", "txid_reclaims",
+            ),
+            "commit": ("commit_cycles", "commit_lines_persisted"),
+        }
+        lines = []
+        values = self.as_dict()
+        for title, names in groups.items():
+            shown = [(n, values[n]) for n in names if values[n]]
+            if not shown:
+                continue
+            lines.append(f"--- {title} ---")
+            for name, value in shown:
+                lines.append(f"  {name:<28} {value:>14,}")
+        return "\n".join(lines) if lines else "(no activity)"
+
+
+@dataclass
+class StatsScope:
+    """Context manager that captures the delta of a stats object.
+
+    Example::
+
+        with StatsScope(machine.stats) as scope:
+            run_transaction(machine)
+        print(scope.delta.pm_bytes_written)
+    """
+
+    stats: SimStats
+    delta: SimStats = field(default_factory=SimStats)
+    _baseline: SimStats = field(default_factory=SimStats)
+
+    def __enter__(self) -> "StatsScope":
+        self._baseline = self.stats.copy()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.delta = self.stats.diff(self._baseline)

@@ -1,0 +1,76 @@
+"""Fundamental size and geometry constants shared across the simulator.
+
+The paper (Table III and Section III) fixes the machine word at eight bytes
+and the cache line at 64 bytes; every log-bit layout, tier size, and address
+split in the repository derives from these two constants, so they live in one
+place.
+"""
+
+from __future__ import annotations
+
+#: Machine word size in bytes (the logging granularity of L1 log bits).
+WORD_BYTES = 8
+
+#: Cache line size in bytes.
+LINE_BYTES = 64
+
+#: Number of machine words per cache line.
+WORDS_PER_LINE = LINE_BYTES // WORD_BYTES  # 8
+
+#: Granularity of one L2 log bit in bytes (Section III-B1).
+L2_LOG_GRAIN_BYTES = 32
+
+#: Number of L1 log bits aggregated into one L2 log bit.
+L1_BITS_PER_L2_BIT = L2_LOG_GRAIN_BYTES // WORD_BYTES  # 4
+
+#: Number of log bits per L2 cache line.
+L2_LOG_BITS = LINE_BYTES // L2_LOG_GRAIN_BYTES  # 2
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+def line_addr(addr: int) -> int:
+    """Return the cache-line-aligned base address containing *addr*."""
+    return addr & ~(LINE_BYTES - 1)
+
+
+def word_addr(addr: int) -> int:
+    """Return the word-aligned base address containing *addr*."""
+    return addr & ~(WORD_BYTES - 1)
+
+
+def word_index(addr: int) -> int:
+    """Return the index (0..7) of the word containing *addr* in its line."""
+    return (addr & (LINE_BYTES - 1)) // WORD_BYTES
+
+
+def line_offset(addr: int) -> int:
+    """Return the byte offset of *addr* within its cache line."""
+    return addr & (LINE_BYTES - 1)
+
+
+def is_word_aligned(addr: int) -> bool:
+    """Return True when *addr* is aligned to the machine word."""
+    return addr % WORD_BYTES == 0
+
+
+def is_line_aligned(addr: int) -> bool:
+    """Return True when *addr* is aligned to the cache line."""
+    return addr % LINE_BYTES == 0
+
+
+def lines_spanned(addr: int, nbytes: int) -> int:
+    """Return how many distinct cache lines the byte range touches."""
+    if nbytes <= 0:
+        return 0
+    first = line_addr(addr)
+    last = line_addr(addr + nbytes - 1)
+    return (last - first) // LINE_BYTES + 1
+
+
+def ns_to_cycles(ns: float, clock_ghz: float) -> int:
+    """Convert nanoseconds to (rounded-up) clock cycles at *clock_ghz*."""
+    cycles = ns * clock_ghz
+    whole = int(cycles)
+    return whole if cycles == whole else whole + 1

@@ -1,0 +1,31 @@
+"""The Section-IV annotation compiler: IR, dataflow passes, policies."""
+
+from repro.compiler.analysis import FunctionAnalysis, SiteDecision, analyse
+from repro.compiler.annotate import (
+    AnnotationReport,
+    SiteReport,
+    annotate_all,
+    annotate_function,
+    derive_policy,
+)
+from repro.compiler.ir import Function, IRBuilder
+from repro.compiler.programs import all_functions, kernel_functions
+from repro.compiler.timing import CompileTiming, lower, measure_compile_time
+
+__all__ = [
+    "analyse",
+    "FunctionAnalysis",
+    "SiteDecision",
+    "annotate_function",
+    "annotate_all",
+    "derive_policy",
+    "AnnotationReport",
+    "SiteReport",
+    "Function",
+    "IRBuilder",
+    "kernel_functions",
+    "all_functions",
+    "CompileTiming",
+    "measure_compile_time",
+    "lower",
+]

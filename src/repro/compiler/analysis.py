@@ -1,0 +1,189 @@
+"""Dataflow analyses behind the two annotation patterns (Section IV-B).
+
+Everything works on *origin sets*: for each SSA value, the set of root
+facts it derives from, computed in one forward pass over the straight-
+line SSA function (the MemorySSA-lite dependence walk the paper's
+implementation performs with LLVM MemorySSA).
+
+Origins:
+
+* ``alloc:<name>``   — the value is (an address into) a fresh allocation;
+* ``param:<name>``   — a function parameter (durable root);
+* ``load:<addr>``    — the value was loaded through that address value;
+* ``const``          — a literal;
+* ``opaque``         — the result of an opaque call: control-dependent or
+  semantically deep, never provable.
+
+**Pattern 1 (log-free)**: a store's *address* derives only from
+allocations made in this transaction, or from regions freed in this
+transaction.  Re-executing the allocating function reproduces the data;
+a leaked region is reclaimed by GC.
+
+**Pattern 2 (lazy persistence)**: the store's *value* and *address* both
+derive only from recoverable facts — parameters, constants, and loads of
+persistent locations that the transaction does not subsequently
+overwrite (so recovery can re-read them).  Anything tainted by an opaque
+call fails, which is exactly how colors, counters and heights escape the
+compiler while parent pointers (pure copies of other pointers) pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.compiler.ir import (
+    Alloc,
+    BinOp,
+    Call,
+    Const,
+    FreeMem,
+    Function,
+    Gep,
+    LoadMem,
+    Param,
+    StoreMem,
+)
+
+OPAQUE = "opaque"
+CONST = "const"
+
+
+def origin_sets(fn: Function) -> Dict[str, Set[str]]:
+    """Forward derivation analysis: SSA name -> set of origin facts."""
+    origins: Dict[str, Set[str]] = {}
+    for instr in fn.instrs:
+        if isinstance(instr, Param):
+            origins[instr.dest] = {f"param:{instr.dest}"}
+        elif isinstance(instr, Const):
+            origins[instr.dest] = {CONST}
+        elif isinstance(instr, Alloc):
+            origins[instr.dest] = {f"alloc:{instr.dest}"}
+        elif isinstance(instr, Gep):
+            origins[instr.dest] = set(origins[instr.base])
+        elif isinstance(instr, BinOp):
+            origins[instr.dest] = origins[instr.a] | origins[instr.b]
+        elif isinstance(instr, LoadMem):
+            origins[instr.dest] = {f"load:{instr.addr}"} | origins[instr.addr]
+        elif isinstance(instr, Call):
+            origins[instr.dest] = {OPAQUE}
+    return origins
+
+
+def freed_values(fn: Function) -> Set[str]:
+    """SSA names freed inside the transaction (dead-region candidates)."""
+    return {i.ptr for i in fn.instrs if isinstance(i, FreeMem)}
+
+
+def overwritten_load_addrs(fn: Function) -> Set[str]:
+    """Address values that the transaction both loads *and* stores through.
+
+    A load from such an address is not safely re-readable by recovery —
+    the transaction may have clobbered it — so Pattern 2 rejects values
+    derived from it.  (Conservative: value-name granularity, like a
+    flow-insensitive MemorySSA clobber check.)
+    """
+    stored = {i.addr for i in fn.instrs if isinstance(i, StoreMem)}
+    loaded = {i.addr for i in fn.instrs if isinstance(i, LoadMem)}
+    return stored & loaded
+
+
+@dataclass
+class SiteDecision:
+    """The compiler's verdict for one store site."""
+
+    site: str
+    log_free: bool = False
+    lazy: bool = False
+    reason: str = ""
+
+    @property
+    def annotated(self) -> bool:
+        return self.log_free or self.lazy
+
+
+@dataclass
+class FunctionAnalysis:
+    """All per-site decisions for one transaction body."""
+
+    function: Function
+    decisions: Dict[str, SiteDecision] = field(default_factory=dict)
+
+    def decision(self, site: str) -> SiteDecision:
+        return self.decisions[site]
+
+
+def analyse(fn: Function) -> FunctionAnalysis:
+    """Run Pattern 1 + Pattern 2 over every store site of *fn*."""
+    origins = origin_sets(fn)
+    freed = freed_values(fn)
+    freed_origins = {
+        origin for name in freed for origin in origins.get(name, set())
+    }
+    clobbered = overwritten_load_addrs(fn)
+    result = FunctionAnalysis(function=fn)
+    for store in fn.stores():
+        result.decisions[store.site] = _decide(
+            store, origins, freed_origins, clobbered
+        )
+    return result
+
+
+def _decide(
+    store: StoreMem,
+    origins: Dict[str, Set[str]],
+    freed_origins: Set[str],
+    clobbered: Set[str],
+) -> SiteDecision:
+    addr_origins = origins[store.addr]
+    value_origins = origins[store.value]
+
+    # Pattern 1: the target is transaction-fresh or transaction-dead.
+    if addr_origins and all(o.startswith("alloc:") for o in addr_origins):
+        lazy = bool(freed_origins) and addr_origins <= freed_origins
+        return SiteDecision(
+            store.site,
+            log_free=True,
+            lazy=lazy,
+            reason="pattern1: address derives only from in-txn allocation"
+            + (" (freed in txn)" if lazy else ""),
+        )
+    if addr_origins and addr_origins <= freed_origins:
+        return SiteDecision(
+            store.site,
+            log_free=True,
+            lazy=True,
+            reason="pattern1: target region freed in this transaction",
+        )
+
+    # Pattern 2: value and address rebuildable from recoverable facts.
+    if _recoverable(value_origins, clobbered) and _recoverable(
+        addr_origins, clobbered
+    ):
+        return SiteDecision(
+            store.site,
+            lazy=True,
+            reason="pattern2: value and address derive from recoverable data",
+        )
+
+    why = "opaque/control-dependent value" if OPAQUE in value_origins else (
+        "depends on data clobbered in the transaction"
+    )
+    return SiteDecision(store.site, reason=f"not annotatable: {why}")
+
+
+def _recoverable(origin_set: Set[str], clobbered: Set[str]) -> bool:
+    if not origin_set or OPAQUE in origin_set:
+        return False
+    for origin in origin_set:
+        if origin == CONST or origin.startswith("param:"):
+            continue
+        if origin.startswith("alloc:"):
+            continue  # fresh memory: address re-derivable via re-execution
+        if origin.startswith("load:"):
+            addr_name = origin.split(":", 1)[1]
+            if addr_name in clobbered:
+                return False
+            continue
+        return False
+    return True

@@ -1,0 +1,236 @@
+"""A small SSA intermediate representation for the annotation compiler.
+
+Section IV-B describes compiler passes that decide, per store site inside
+a durable transaction, whether the store can become a ``storeT`` — either
+log-free (Pattern 1: the target is memory allocated in or before the
+transaction whose re-creation is reproducible) or lazily persistent
+(Pattern 2: the value is rebuildable from other recoverable data).
+
+This IR is deliberately minimal but faithful to what those analyses need:
+
+* SSA values (every ``dest`` assigned once);
+* ``Alloc``/``FreeMem`` to recognise Pattern 1 regions;
+* ``Gep`` for address arithmetic, so derivation chains from allocations
+  to store addresses are explicit;
+* ``LoadMem``/``StoreMem`` with def-use visible through value names
+  (the MemorySSA-lite dependence used by the passes);
+* opaque ``Call`` results, which model control-dependent or semantically
+  deep values (red-black colors, element counts): no dataflow fact can
+  prove them recoverable, which is exactly why the paper's compiler
+  misses them.
+
+Store sites carry a ``site`` label and the ground-truth ``manual_hint``
+the programmer used, so the benchmark can compare compiler output with
+manual annotation (Figure 13, "16 out of 26 variables").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.common.errors import CompilerError
+from repro.runtime.hints import Hint
+
+
+@dataclass(frozen=True)
+class Instr:
+    """Base class of IR instructions."""
+
+
+@dataclass(frozen=True)
+class Const(Instr):
+    """``dest = constant``"""
+
+    dest: str
+    value: int
+
+
+@dataclass(frozen=True)
+class Param(Instr):
+    """``dest = function parameter`` (a durable root or plain argument)."""
+
+    dest: str
+    #: True when the parameter points into the persistent structure.
+    persistent: bool = True
+
+
+@dataclass(frozen=True)
+class Alloc(Instr):
+    """``dest = malloc(size)`` — fresh persistent memory."""
+
+    dest: str
+    size: int
+
+
+@dataclass(frozen=True)
+class FreeMem(Instr):
+    """``free(ptr)`` — the region dies at commit."""
+
+    ptr: str
+
+
+@dataclass(frozen=True)
+class Gep(Instr):
+    """``dest = base + offset`` (address arithmetic)."""
+
+    dest: str
+    base: str
+    offset: int
+
+
+@dataclass(frozen=True)
+class BinOp(Instr):
+    """``dest = a <op> b`` (pure arithmetic)."""
+
+    dest: str
+    op: str
+    a: str
+    b: str
+
+
+@dataclass(frozen=True)
+class LoadMem(Instr):
+    """``dest = *addr``"""
+
+    dest: str
+    addr: str
+
+
+@dataclass(frozen=True)
+class StoreMem(Instr):
+    """``*addr = value`` — an annotatable site inside the transaction."""
+
+    addr: str
+    value: str
+    site: str
+    #: Ground truth: the hint the programmer placed here (NONE = plain).
+    manual_hint: Hint = Hint.NONE
+
+
+@dataclass(frozen=True)
+class Call(Instr):
+    """``dest = fn(args...)`` — opaque: result unprovable by dataflow."""
+
+    dest: str
+    fn: str
+    args: "tuple[str, ...]" = ()
+
+
+@dataclass
+class Function:
+    """A straight-line SSA rendering of one transaction body."""
+
+    name: str
+    instrs: List[Instr] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check SSA form: single assignment, no use before definition."""
+        defined: Set[str] = set()
+        for i, instr in enumerate(self.instrs):
+            for used in _uses(instr):
+                if used not in defined:
+                    raise CompilerError(
+                        f"{self.name}: use of undefined value {used!r} at {i}"
+                    )
+            dest = getattr(instr, "dest", None)
+            if dest is not None:
+                if dest in defined:
+                    raise CompilerError(
+                        f"{self.name}: SSA violation, {dest!r} assigned twice"
+                    )
+                defined.add(dest)
+
+    def stores(self) -> List[StoreMem]:
+        return [i for i in self.instrs if isinstance(i, StoreMem)]
+
+    def defs(self) -> Dict[str, Instr]:
+        """Map each SSA name to its defining instruction."""
+        out: Dict[str, Instr] = {}
+        for instr in self.instrs:
+            dest = getattr(instr, "dest", None)
+            if dest is not None:
+                out[dest] = instr
+        return out
+
+    def annotated_sites(self) -> List[StoreMem]:
+        """Sites the programmer annotated (the denominator of 16/26)."""
+        return [s for s in self.stores() if s.manual_hint is not Hint.NONE]
+
+
+def _uses(instr: Instr) -> List[str]:
+    if isinstance(instr, Gep):
+        return [instr.base]
+    if isinstance(instr, BinOp):
+        return [instr.a, instr.b]
+    if isinstance(instr, LoadMem):
+        return [instr.addr]
+    if isinstance(instr, StoreMem):
+        return [instr.addr, instr.value]
+    if isinstance(instr, FreeMem):
+        return [instr.ptr]
+    if isinstance(instr, Call):
+        return list(instr.args)
+    return []
+
+
+class IRBuilder:
+    """Fluent builder with automatic SSA naming."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._instrs: List[Instr] = []
+        self._counter = 0
+
+    def _fresh(self, stem: str) -> str:
+        self._counter += 1
+        return f"%{stem}{self._counter}"
+
+    def param(self, stem: str, *, persistent: bool = True) -> str:
+        dest = self._fresh(stem)
+        self._instrs.append(Param(dest, persistent=persistent))
+        return dest
+
+    def const(self, value: int, stem: str = "c") -> str:
+        dest = self._fresh(stem)
+        self._instrs.append(Const(dest, value))
+        return dest
+
+    def alloc(self, size: int, stem: str = "obj") -> str:
+        dest = self._fresh(stem)
+        self._instrs.append(Alloc(dest, size))
+        return dest
+
+    def free(self, ptr: str) -> None:
+        self._instrs.append(FreeMem(ptr))
+
+    def gep(self, base: str, offset: int, stem: str = "p") -> str:
+        dest = self._fresh(stem)
+        self._instrs.append(Gep(dest, base, offset))
+        return dest
+
+    def binop(self, op: str, a: str, b: str, stem: str = "t") -> str:
+        dest = self._fresh(stem)
+        self._instrs.append(BinOp(dest, op, a, b))
+        return dest
+
+    def load(self, addr: str, stem: str = "v") -> str:
+        dest = self._fresh(stem)
+        self._instrs.append(LoadMem(dest, addr))
+        return dest
+
+    def store(
+        self, addr: str, value: str, site: str, manual_hint: Hint = Hint.NONE
+    ) -> None:
+        self._instrs.append(StoreMem(addr, value, site, manual_hint))
+
+    def call(self, fn: str, *args: str, stem: str = "r") -> str:
+        dest = self._fresh(stem)
+        self._instrs.append(Call(dest, fn, tuple(args)))
+        return dest
+
+    def build(self) -> Function:
+        return Function(self.name, self._instrs)

@@ -1,0 +1,54 @@
+"""The paper's contribution: the SLPMT machine and its hardware pieces."""
+
+from repro.core.logbuffer import TieredLogBuffer
+from repro.core.machine import Machine
+from repro.core.ordering import CommitPhase, LoggingMode, commit_phases
+from repro.core.overhead import OverheadReport, overhead_report
+from repro.core.records import LogRecord, merge, record_size_bytes
+from repro.core.schemes import (
+    ATOM,
+    EDE,
+    FG,
+    FG_LG,
+    FG_LINE,
+    FG_LZ,
+    SCHEMES,
+    SLPMT,
+    SLPMT_LINE,
+    SLPMT_SPEC,
+    Scheme,
+    scheme_by_name,
+)
+from repro.core.signatures import BloomSignature, SignatureFile
+from repro.core.tracing import TraceEvent, Tracer
+from repro.core.txid import TxIdAllocator
+
+__all__ = [
+    "Machine",
+    "TieredLogBuffer",
+    "LogRecord",
+    "merge",
+    "record_size_bytes",
+    "CommitPhase",
+    "LoggingMode",
+    "commit_phases",
+    "OverheadReport",
+    "overhead_report",
+    "BloomSignature",
+    "SignatureFile",
+    "Tracer",
+    "TraceEvent",
+    "TxIdAllocator",
+    "Scheme",
+    "scheme_by_name",
+    "SCHEMES",
+    "FG",
+    "FG_LG",
+    "FG_LZ",
+    "SLPMT",
+    "SLPMT_SPEC",
+    "SLPMT_LINE",
+    "FG_LINE",
+    "ATOM",
+    "EDE",
+]

@@ -1,0 +1,111 @@
+"""Persist-ordering rules at transaction commit (Figure 4).
+
+A committing transaction persists three kinds of state: log records,
+*logged* cache lines (updated by ``store`` / logged ``storeT``), and
+*log-free* cache lines (updated only by log-free ``storeT``).  The safe
+orders differ between undo and redo logging:
+
+* **Undo**: log records must be durable before any logged line; log-free
+  lines may persist at any time (their recovery does not read the log).
+* **Redo**: log-free lines must be durable before any logged line —
+  otherwise a crash could leave logged lines updated while the log-free
+  data they feed from is lost, making recovery impossible — and the redo
+  records must be durable before the logged lines they describe.
+
+The module expresses each rule as an ordered list of phases so that the
+machine's commit loop and the property tests share one source of truth.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+from repro.common.errors import SimulationError
+
+
+class LoggingMode(enum.Enum):
+    """Which logging discipline the hardware transaction uses."""
+
+    UNDO = "undo"
+    REDO = "redo"
+
+
+class CommitPhase(enum.Enum):
+    """What gets persisted during one phase of commit."""
+
+    LOG_RECORDS = "log_records"
+    LOGFREE_LINES = "logfree_lines"
+    LOGGED_LINES = "logged_lines"
+    #: The durable end-of-transaction marker.  Under undo it must follow
+    #: everything (only then may recovery skip the rollback); under redo
+    #: it must follow the records but precede the in-place data.
+    COMMIT_MARKER = "commit_marker"
+
+
+def commit_phases(mode: LoggingMode) -> List[CommitPhase]:
+    """Return the persist phases in required order for *mode*."""
+    if mode is LoggingMode.UNDO:
+        # Log-free lines have no ordering constraint under undo; we emit
+        # them after the logs purely for determinism.
+        return [
+            CommitPhase.LOG_RECORDS,
+            CommitPhase.LOGFREE_LINES,
+            CommitPhase.LOGGED_LINES,
+        ]
+    if mode is LoggingMode.REDO:
+        return [
+            CommitPhase.LOGFREE_LINES,
+            CommitPhase.LOG_RECORDS,
+            CommitPhase.LOGGED_LINES,
+        ]
+    raise SimulationError(f"unknown logging mode {mode}")
+
+
+def check_order(mode: LoggingMode, observed: "List[CommitPhase]") -> None:
+    """Validate an observed persist sequence against Figure 4.
+
+    *observed* lists the phase of each durability event in the order the
+    events happened.  Raises :class:`SimulationError` when a mandatory
+    before/after relation is violated; used by the property tests that
+    watch a machine's durability trace.
+    """
+    for earlier, later in _required_pairs(mode):
+        last_earlier = _last_index(observed, earlier)
+        first_later = _first_index(observed, later)
+        if last_earlier is None or first_later is None:
+            continue
+        if last_earlier > first_later:
+            raise SimulationError(
+                f"{mode.value}: some {earlier.value} persisted after a "
+                f"{later.value} event"
+            )
+
+
+def _required_pairs(mode: LoggingMode) -> "List[Tuple[CommitPhase, CommitPhase]]":
+    if mode is LoggingMode.UNDO:
+        return [
+            (CommitPhase.LOG_RECORDS, CommitPhase.LOGGED_LINES),
+            (CommitPhase.LOGGED_LINES, CommitPhase.COMMIT_MARKER),
+        ]
+    return [
+        (CommitPhase.LOGFREE_LINES, CommitPhase.LOGGED_LINES),
+        (CommitPhase.LOG_RECORDS, CommitPhase.LOGGED_LINES),
+        (CommitPhase.COMMIT_MARKER, CommitPhase.LOGGED_LINES),
+        (CommitPhase.LOG_RECORDS, CommitPhase.COMMIT_MARKER),
+    ]
+
+
+def _first_index(seq: "List[CommitPhase]", phase: CommitPhase) -> "int | None":
+    for i, p in enumerate(seq):
+        if p is phase:
+            return i
+    return None
+
+
+def _last_index(seq: "List[CommitPhase]", phase: CommitPhase) -> "int | None":
+    idx = None
+    for i, p in enumerate(seq):
+        if p is phase:
+            idx = i
+    return idx

@@ -1,0 +1,98 @@
+"""Log records held by the tiered log buffer (Figure 6).
+
+A record covers ``2**tier`` consecutive words (1, 2, 4 or 8) starting at a
+base address aligned to its own span.  Its on-media size is eight bytes of
+address metadata plus the payload, i.e. 16 / 24 / 40 / 72 bytes.  Records
+carry the *old* word values for undo logging or the *new* values for redo
+logging — the buffer is agnostic; the machine decides which values go in.
+
+Two records are *buddies* when they sit in the same tier and together form
+one naturally aligned record of the next tier, exactly like buddy memory
+allocation; :func:`buddy_addr` computes the partner's base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common import units
+from repro.common.errors import SimulationError
+
+#: Number of tiers (word, 2-word, 4-word, full line).
+NUM_TIERS = 4
+
+#: Metadata bytes per record (the address field).
+RECORD_HEADER_BYTES = 8
+
+
+def tier_span_bytes(tier: int) -> int:
+    """Byte span covered by a record of *tier*: 8, 16, 32, 64."""
+    if not 0 <= tier < NUM_TIERS:
+        raise SimulationError(f"tier {tier} out of range")
+    return units.WORD_BYTES << tier
+
+
+def record_size_bytes(tier: int) -> int:
+    """On-media record size: header + payload (16, 24, 40, 72)."""
+    return RECORD_HEADER_BYTES + tier_span_bytes(tier)
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """An immutable log record covering ``2**tier`` words at ``addr``."""
+
+    addr: int
+    words: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.words)
+        if n not in (1, 2, 4, 8):
+            raise SimulationError(f"record must cover 1/2/4/8 words, got {n}")
+        span = n * units.WORD_BYTES
+        if self.addr % span != 0:
+            raise SimulationError(
+                f"record base {self.addr:#x} not aligned to its {span}-byte span"
+            )
+
+    @property
+    def tier(self) -> int:
+        """Tier index: log2 of the word count."""
+        return len(self.words).bit_length() - 1
+
+    @property
+    def span_bytes(self) -> int:
+        return len(self.words) * units.WORD_BYTES
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes this record occupies when persisted."""
+        return RECORD_HEADER_BYTES + self.span_bytes
+
+    @property
+    def line_addr(self) -> int:
+        return units.line_addr(self.addr)
+
+    def buddy_addr(self) -> int:
+        """Base address of the buddy record in the same tier."""
+        return self.addr ^ self.span_bytes
+
+    def is_low_buddy(self) -> bool:
+        """True when this record is the lower half of its buddy pair."""
+        return self.addr & self.span_bytes == 0
+
+    def covers(self, word_address: int) -> bool:
+        """True when the record's span contains *word_address*."""
+        return self.addr <= word_address < self.addr + self.span_bytes
+
+
+def merge(a: LogRecord, b: LogRecord) -> LogRecord:
+    """Coalesce two buddy records into one record of the next tier."""
+    if a.tier != b.tier:
+        raise SimulationError("cannot merge records from different tiers")
+    if a.buddy_addr() != b.addr:
+        raise SimulationError(
+            f"records {a.addr:#x} and {b.addr:#x} are not buddies"
+        )
+    low, high = (a, b) if a.addr < b.addr else (b, a)
+    return LogRecord(addr=low.addr, words=low.words + high.words)

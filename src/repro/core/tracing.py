@@ -1,0 +1,99 @@
+"""Machine event tracing: what the hardware did, when, and why.
+
+Attach a :class:`Tracer` to a machine to record the interesting
+micro-architectural events — transaction lifecycle, log-buffer drains,
+forced lazy persists, signature hits, crashes — as structured
+:class:`TraceEvent` records with the cycle they happened at.  The trace
+is the debugging story behind the aggregate :class:`SimStats` counters:
+*which* transaction forced *whose* lazy lines, and when.
+
+The tracer keeps a bounded ring buffer (old events fall off) and is
+entirely passive: attaching one never changes simulated behaviour.
+
+    machine = Machine(SLPMT)
+    machine.tracer = Tracer()
+    ...
+    print(machine.tracer.format())
+    commits = machine.tracer.events("commit")
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List, Optional
+
+#: Event kinds a machine emits (documented contract; tests pin these).
+EVENT_KINDS = (
+    "tx_begin",
+    "commit",
+    "abort",
+    "log_drain",
+    "forced_lazy",
+    "signature_hit",
+    "txid_reclaim",
+    "crash",
+    "context_switch",
+    "conflict_abort",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded hardware event."""
+
+    cycle: int
+    core_id: int
+    kind: str
+    fields: "Dict[str, Any]" = field(default_factory=dict)
+
+    def describe(self) -> str:
+        detail = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"[{self.cycle:>10}] core{self.core_id} {self.kind:<14} {detail}"
+
+
+class Tracer:
+    """Bounded, filterable event recorder."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 10_000,
+        kinds: "Optional[Iterable[str]]" = None,
+    ) -> None:
+        self.capacity = capacity
+        self._kinds = frozenset(kinds) if kinds is not None else None
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.total_emitted = 0
+
+    def wants(self, kind: str) -> bool:
+        return self._kinds is None or kind in self._kinds
+
+    def emit(self, cycle: int, core_id: int, kind: str, **fields: Any) -> None:
+        if not self.wants(kind):
+            return
+        self.total_emitted += 1
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(TraceEvent(cycle, core_id, kind, fields))
+
+    # --- queries -----------------------------------------------------------
+
+    def events(self, kind: "Optional[str]" = None) -> List[TraceEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def last(self, kind: "Optional[str]" = None) -> Optional[TraceEvent]:
+        matching = self.events(kind)
+        return matching[-1] if matching else None
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def format(self, kind: "Optional[str]" = None) -> str:
+        return "\n".join(e.describe() for e in self.events(kind))

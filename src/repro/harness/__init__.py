@@ -1,0 +1,28 @@
+"""Experiment harness: runners, metrics, report formatting."""
+
+from repro.harness.figures import FIGURES, FigureResult, regenerate
+from repro.harness.metrics import (
+    geomean,
+    mean,
+    speedup,
+    traffic_ratio,
+    traffic_reduction,
+)
+from repro.harness.report import format_series, format_table
+from repro.harness.runner import RunResult, cached_run, run_workload
+
+__all__ = [
+    "FIGURES",
+    "FigureResult",
+    "regenerate",
+    "RunResult",
+    "run_workload",
+    "cached_run",
+    "speedup",
+    "traffic_reduction",
+    "traffic_ratio",
+    "geomean",
+    "mean",
+    "format_table",
+    "format_series",
+]

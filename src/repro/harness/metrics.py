@@ -1,0 +1,41 @@
+"""Derived metrics: speedups, traffic reductions, geometric means."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.harness.runner import RunResult
+
+
+def speedup(baseline: RunResult, other: RunResult) -> float:
+    """How much faster *other* is than *baseline* (>1 means faster)."""
+    if other.cycles == 0:
+        raise ZeroDivisionError("run with zero cycles")
+    return baseline.cycles / other.cycles
+
+
+def traffic_reduction(baseline: RunResult, other: RunResult) -> float:
+    """Fraction of PM write traffic removed relative to *baseline*."""
+    if baseline.pm_bytes == 0:
+        raise ZeroDivisionError("baseline wrote no PM bytes")
+    return 1.0 - other.pm_bytes / baseline.pm_bytes
+
+
+def traffic_ratio(baseline: RunResult, other: RunResult) -> float:
+    """``other`` traffic as a multiple of ``baseline`` traffic."""
+    return other.pm_bytes / baseline.pm_bytes
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's 'on average' for speedups)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)

@@ -1,0 +1,52 @@
+"""Plain-text tables and series, in the shape the paper reports them.
+
+Every benchmark prints one of these, so the regenerated figure data is
+readable straight out of ``pytest benchmarks/ -s`` and lands verbatim in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Fixed-width table with a title rule."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: "Dict[str, Sequence[float]]",
+) -> str:
+    """A figure rendered as one row per series (x values as columns)."""
+    columns = [x_label] + [_fmt(x) for x in xs]
+    rows: List[List[object]] = []
+    for name, values in series.items():
+        rows.append([name] + [_fmt(v) for v in values])
+    return format_table(title, columns, rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:,.0f}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,141 @@
+"""Experiment runner: one (workload, scheme, knobs) simulation per call.
+
+Every figure in the evaluation is a sweep over this function.  Results
+are memoised per process — several figures share corner points (e.g. the
+256-byte kernel runs appear in Figures 8, 10, 11 and 12), so the bench
+suite does each unique simulation once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from repro.common.config import DEFAULT_CONFIG, SystemConfig
+from repro.common.stats import SimStats
+from repro.core.machine import Machine
+from repro.core.schemes import Scheme, scheme_by_name
+from repro.runtime.hints import MANUAL, AnnotationPolicy
+from repro.runtime.ptx import PTx
+from repro.workloads import WORKLOADS, generate_load, replay
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Headline metrics of one simulated benchmark run."""
+
+    workload: str
+    scheme: str
+    policy: str
+    value_bytes: int
+    num_ops: int
+    cycles: int
+    pm_bytes: int
+    pm_log_bytes: int
+    pm_data_bytes: int
+    stats: SimStats
+
+    @property
+    def cycles_per_op(self) -> float:
+        return self.cycles / self.num_ops
+
+
+def run_workload(
+    workload: str,
+    scheme: Scheme,
+    *,
+    policy: AnnotationPolicy = MANUAL,
+    value_bytes: int = 256,
+    num_ops: int = 1000,
+    config: SystemConfig = DEFAULT_CONFIG,
+    seed: int = 2023,
+    verify: bool = True,
+) -> RunResult:
+    """Simulate a ycsb-load run of *workload* under *scheme*.
+
+    The annotation *policy* decides which storeT hints the program uses;
+    the scheme independently decides which storeT semantics the hardware
+    honours (FG/ATOM/EDE ignore them entirely), mirroring how the same
+    annotated binary runs on every hardware configuration in the paper.
+    """
+    machine = Machine(scheme, config)
+    rt = PTx(machine, policy=policy)
+    wl = WORKLOADS[workload](rt, value_bytes=value_bytes)
+    ops = generate_load(num_ops, value_bytes=value_bytes, seed=seed)
+    replay(wl, ops)
+    machine.finalize()
+    if verify:
+        wl.verify()
+    stats = machine.stats.copy()
+    return RunResult(
+        workload=workload,
+        scheme=scheme.name,
+        policy=policy.name,
+        value_bytes=value_bytes,
+        num_ops=num_ops,
+        cycles=machine.now,
+        pm_bytes=stats.pm_bytes_written,
+        pm_log_bytes=stats.pm_log_bytes_written,
+        pm_data_bytes=stats.pm_data_bytes_written,
+        stats=stats,
+    )
+
+
+@lru_cache(maxsize=None)
+def _cached(
+    workload: str,
+    scheme_name: str,
+    policy_key: "tuple",
+    value_bytes: int,
+    num_ops: int,
+    pm_write_latency_ns: float,
+    num_tx_ids: int,
+    wpq_bytes: int,
+    seed: int,
+) -> RunResult:
+    policy = AnnotationPolicy(name=policy_key[0], honored=frozenset(policy_key[1]))
+    config = DEFAULT_CONFIG.with_pm_write_latency(pm_write_latency_ns)
+    if num_tx_ids != DEFAULT_CONFIG.num_tx_ids:
+        config = config.with_num_tx_ids(num_tx_ids)
+    if wpq_bytes != DEFAULT_CONFIG.pm.wpq_bytes:
+        config = config.with_wpq_bytes(wpq_bytes)
+    return run_workload(
+        workload,
+        scheme_by_name(scheme_name),
+        policy=policy,
+        value_bytes=value_bytes,
+        num_ops=num_ops,
+        config=config,
+        seed=seed,
+    )
+
+
+def cached_run(
+    workload: str,
+    scheme: "Scheme | str",
+    *,
+    policy: AnnotationPolicy = MANUAL,
+    value_bytes: int = 256,
+    num_ops: int = 1000,
+    pm_write_latency_ns: Optional[float] = None,
+    num_tx_ids: Optional[int] = None,
+    wpq_bytes: Optional[int] = None,
+    seed: int = 2023,
+) -> RunResult:
+    """Memoised :func:`run_workload` over the sweepable knobs."""
+    scheme_name = scheme if isinstance(scheme, str) else scheme.name
+    policy_key = (policy.name, tuple(sorted(policy.honored, key=lambda h: h.value)))
+    return _cached(
+        workload,
+        scheme_name,
+        policy_key,
+        value_bytes,
+        num_ops,
+        pm_write_latency_ns
+        if pm_write_latency_ns is not None
+        else DEFAULT_CONFIG.pm.write_latency_ns,
+        num_tx_ids if num_tx_ids is not None else DEFAULT_CONFIG.num_tx_ids,
+        wpq_bytes if wpq_bytes is not None else DEFAULT_CONFIG.pm.wpq_bytes,
+        seed,
+    )

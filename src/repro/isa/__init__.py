@@ -1,0 +1,28 @@
+"""The simulated instruction set, including the paper's new ``storeT``."""
+
+from repro.isa.instructions import (
+    Fence,
+    Instruction,
+    Load,
+    Store,
+    StoreT,
+    TxAbort,
+    TxBegin,
+    TxEnd,
+    table1_bits,
+)
+from repro.isa.program import Program, ProgramBuilder
+
+__all__ = [
+    "Instruction",
+    "Load",
+    "Store",
+    "StoreT",
+    "TxBegin",
+    "TxEnd",
+    "TxAbort",
+    "Fence",
+    "table1_bits",
+    "Program",
+    "ProgramBuilder",
+]

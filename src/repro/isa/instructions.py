@@ -1,0 +1,127 @@
+"""Instruction set for the SLPMT machine.
+
+The simulated ISA is the small subset that matters for persistent-memory
+transactions: word-granularity ``load``/``store``, the paper's new
+``storeT`` (Figure 2), transaction delimiters, and an explicit abort.
+
+All memory operands are word-aligned byte addresses into the persistent
+address space.  Values are arbitrary Python integers treated as opaque
+64-bit word contents (the simulator never does arithmetic on them, so no
+masking is required; workloads store ints and object references).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import units
+from repro.common.errors import AlignmentError, IsaError
+
+
+def _check_word_operand(addr: int) -> None:
+    if addr < 0:
+        raise IsaError(f"negative address {addr:#x}")
+    if not units.is_word_aligned(addr):
+        raise AlignmentError(f"address {addr:#x} is not word-aligned")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Marker base class for everything the machine executes."""
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """Read one word from persistent memory."""
+
+    addr: int
+
+    def __post_init__(self) -> None:
+        _check_word_operand(self.addr)
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """Ordinary transactional store: logged and eagerly persisted.
+
+    Per Table I, a plain ``store`` sets both the persist bit and the log
+    bit of the target cache line (creating an undo record if needed).
+    """
+
+    addr: int
+    value: int
+
+    def __post_init__(self) -> None:
+        _check_word_operand(self.addr)
+
+
+@dataclass(frozen=True)
+class StoreT(Instruction):
+    """The paper's new store (Figure 2): ``storeT %reg, addr, lazy, log-free``.
+
+    Two immediate flags modulate the persist and log bits (Table I):
+
+    ========  ==========  ===========  =========
+    ``lazy``  ``log_free``  persist bit  log bit
+    ========  ==========  ===========  =========
+    0         0           1            1
+    0         1           1            0
+    1         1           0            0
+    1         0           0            1
+    ========  ==========  ===========  =========
+
+    A hardware-level *disable* knob (the paper's second flag use) turns
+    every ``storeT`` back into a plain ``store``; the machine implements
+    that by ignoring the flags when the scheme disables the feature.
+    """
+
+    addr: int
+    value: int
+    lazy: bool = False
+    log_free: bool = False
+
+    def __post_init__(self) -> None:
+        _check_word_operand(self.addr)
+
+    @property
+    def persist_bit(self) -> bool:
+        """Persist-bit effect per Table I (eager persistence unless lazy)."""
+        return not self.lazy
+
+    @property
+    def log_bit(self) -> bool:
+        """Log-bit effect per Table I (log unless log-free)."""
+        return not self.log_free
+
+
+@dataclass(frozen=True)
+class TxBegin(Instruction):
+    """Open a durable transaction."""
+
+
+@dataclass(frozen=True)
+class TxEnd(Instruction):
+    """Commit the current durable transaction."""
+
+
+@dataclass(frozen=True)
+class TxAbort(Instruction):
+    """Abort the current transaction (Section V-B), rolling back updates."""
+
+
+@dataclass(frozen=True)
+class Fence(Instruction):
+    """Drain outstanding persists (used by non-transactional code paths)."""
+
+
+def table1_bits(instruction: Instruction) -> "tuple[bool, bool]":
+    """Return the ``(persist_bit, log_bit)`` effect of a store instruction.
+
+    This is the executable form of Table I.  Raises :class:`IsaError` for
+    non-store instructions.
+    """
+    if isinstance(instruction, StoreT):
+        return instruction.persist_bit, instruction.log_bit
+    if isinstance(instruction, Store):
+        return True, True
+    raise IsaError(f"{type(instruction).__name__} has no Table-I semantics")

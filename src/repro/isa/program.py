@@ -1,0 +1,137 @@
+"""Instruction sequences and a tiny builder for hand-written programs.
+
+Workloads normally emit instructions through :class:`repro.runtime.PTx`,
+but unit tests and the compiler benefit from an explicit program object
+that can be executed, sliced for crash injection, and pretty-printed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List
+
+from repro.common.errors import IsaError
+from repro.isa.instructions import (
+    Fence,
+    Instruction,
+    Load,
+    Store,
+    StoreT,
+    TxAbort,
+    TxBegin,
+    TxEnd,
+)
+
+
+@dataclass
+class Program:
+    """An ordered list of instructions with convenience constructors."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def append(self, instruction: Instruction) -> None:
+        self.instructions.append(instruction)
+
+    def extend(self, instructions: Iterable[Instruction]) -> None:
+        self.instructions.extend(instructions)
+
+    def prefix(self, length: int) -> "Program":
+        """Return the first *length* instructions (for crash injection)."""
+        return Program(list(self.instructions[:length]))
+
+    def transaction_spans(self) -> "List[tuple[int, int]]":
+        """Return ``(begin_index, end_index)`` pairs of each transaction.
+
+        ``end_index`` points at the matching :class:`TxEnd` / :class:`TxAbort`.
+        Raises :class:`IsaError` on unbalanced delimiters.
+        """
+        spans = []
+        open_at = None
+        for i, instr in enumerate(self.instructions):
+            if isinstance(instr, TxBegin):
+                if open_at is not None:
+                    raise IsaError(f"nested TxBegin at index {i}")
+                open_at = i
+            elif isinstance(instr, (TxEnd, TxAbort)):
+                if open_at is None:
+                    raise IsaError(f"TxEnd without TxBegin at index {i}")
+                spans.append((open_at, i))
+                open_at = None
+        if open_at is not None:
+            raise IsaError(f"unterminated transaction opened at index {open_at}")
+        return spans
+
+    def describe(self) -> str:
+        """Return a one-instruction-per-line human-readable listing."""
+        lines = []
+        for i, instr in enumerate(self.instructions):
+            lines.append(f"{i:5d}  {_format(instr)}")
+        return "\n".join(lines)
+
+
+def _format(instr: Instruction) -> str:
+    if isinstance(instr, Load):
+        return f"load   [{instr.addr:#010x}]"
+    if isinstance(instr, StoreT):
+        flags = f"lazy={int(instr.lazy)} log_free={int(instr.log_free)}"
+        return f"storeT [{instr.addr:#010x}] <- {instr.value} ({flags})"
+    if isinstance(instr, Store):
+        return f"store  [{instr.addr:#010x}] <- {instr.value}"
+    if isinstance(instr, TxBegin):
+        return "tx_begin"
+    if isinstance(instr, TxEnd):
+        return "tx_end"
+    if isinstance(instr, TxAbort):
+        return "tx_abort"
+    if isinstance(instr, Fence):
+        return "fence"
+    return repr(instr)
+
+
+class ProgramBuilder:
+    """Fluent helper for composing small programs in tests and examples."""
+
+    def __init__(self) -> None:
+        self._program = Program()
+
+    def load(self, addr: int) -> "ProgramBuilder":
+        self._program.append(Load(addr))
+        return self
+
+    def store(self, addr: int, value: int) -> "ProgramBuilder":
+        self._program.append(Store(addr, value))
+        return self
+
+    def storeT(
+        self, addr: int, value: int, *, lazy: bool = False, log_free: bool = False
+    ) -> "ProgramBuilder":
+        self._program.append(StoreT(addr, value, lazy=lazy, log_free=log_free))
+        return self
+
+    def tx_begin(self) -> "ProgramBuilder":
+        self._program.append(TxBegin())
+        return self
+
+    def tx_end(self) -> "ProgramBuilder":
+        self._program.append(TxEnd())
+        return self
+
+    def tx_abort(self) -> "ProgramBuilder":
+        self._program.append(TxAbort())
+        return self
+
+    def fence(self) -> "ProgramBuilder":
+        self._program.append(Fence())
+        return self
+
+    def build(self) -> Program:
+        return self._program

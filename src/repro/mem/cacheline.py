@@ -1,0 +1,124 @@
+"""Cache-line state, including the SLPMT metadata fields of Figure 5.
+
+Each L1 line carries eight per-word log bits; each L2 line carries two
+log bits (one per 32-byte half); L3 lines carry none.  All transactional
+levels also carry a persist bit and a two-bit transaction ID, and every
+level tracks a MESI coherence state plus a dirty flag.
+
+Word values are stored per line in a fixed-length list indexed by word
+number, filled from the backing memory on fetch, so that undo records can
+capture pre-store values without a second memory access.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common import units
+from repro.common.errors import SimulationError
+
+
+class Mesi(enum.Enum):
+    """MESI coherence states (Table III: MESI protocol)."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class CacheLine:
+    """One resident cache line with SLPMT metadata.
+
+    ``log_bits`` length depends on the level: 8 in L1 (per word), 2 in L2
+    (per 32-byte group), 0 in L3.  ``tx_id`` is ``None`` when the line was
+    not written inside a transaction tracked for lazy persistency.
+    """
+
+    addr: int
+    words: List[int]
+    state: Mesi = Mesi.EXCLUSIVE
+    dirty: bool = False
+    persist: bool = False
+    log_bits: List[bool] = field(default_factory=list)
+    tx_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.addr % units.LINE_BYTES != 0:
+            raise SimulationError(f"line address {self.addr:#x} not aligned")
+        if len(self.words) != units.WORDS_PER_LINE:
+            raise SimulationError(
+                f"line must hold {units.WORDS_PER_LINE} words, got {len(self.words)}"
+            )
+
+    # --- word access ----------------------------------------------------
+
+    def read_word(self, index: int) -> int:
+        return self.words[index]
+
+    def write_word(self, index: int, value: int) -> None:
+        self.words[index] = value
+        self.dirty = True
+        self.state = Mesi.MODIFIED
+
+    # --- SLPMT metadata ---------------------------------------------------
+
+    def any_log_bit(self) -> bool:
+        return any(self.log_bits)
+
+    def all_log_bits(self) -> bool:
+        return bool(self.log_bits) and all(self.log_bits)
+
+    def clear_transactional_state(self) -> None:
+        """Drop persist/log/tx metadata (used when a line leaves the
+        transactional domain, e.g. on fill from L3)."""
+        self.persist = False
+        self.log_bits = [False] * len(self.log_bits)
+        self.tx_id = None
+
+    def is_lazy(self) -> bool:
+        """A committed-lazy line: dirty, not scheduled for eager persist,
+        and tagged with the transaction that produced it."""
+        return self.dirty and not self.persist and self.tx_id is not None
+
+
+def new_l1_line(addr: int, words: List[int]) -> CacheLine:
+    """Create an L1 line with eight per-word log bits (Figure 5, top)."""
+    return CacheLine(addr=addr, words=words, log_bits=[False] * units.WORDS_PER_LINE)
+
+
+def new_l2_line(addr: int, words: List[int]) -> CacheLine:
+    """Create an L2 line with two per-32-byte log bits (Figure 5, bottom)."""
+    return CacheLine(addr=addr, words=words, log_bits=[False] * units.L2_LOG_BITS)
+
+
+def new_l3_line(addr: int, words: List[int]) -> CacheLine:
+    """Create an L3 line without SLPMT metadata."""
+    return CacheLine(addr=addr, words=words, log_bits=[])
+
+
+def aggregate_log_bits_l1_to_l2(l1_bits: List[bool]) -> List[bool]:
+    """Fold eight L1 log bits into two L2 bits by logical conjunction.
+
+    Per Section III-B1, one L2 bit covers four words; it is set only when
+    *all four* corresponding L1 bits are set, so a later fetch never skips
+    a log record that was not actually created (at the price of possible
+    duplicate logging, which the speculative-logging optimisation reduces).
+    """
+    if len(l1_bits) != units.WORDS_PER_LINE:
+        raise SimulationError(f"expected {units.WORDS_PER_LINE} L1 log bits")
+    group = units.L1_BITS_PER_L2_BIT
+    return [all(l1_bits[i * group : (i + 1) * group]) for i in range(units.L2_LOG_BITS)]
+
+
+def replicate_log_bits_l2_to_l1(l2_bits: List[bool]) -> List[bool]:
+    """Expand two L2 log bits back into eight L1 bits (Section III-B1)."""
+    if len(l2_bits) != units.L2_LOG_BITS:
+        raise SimulationError(f"expected {units.L2_LOG_BITS} L2 log bits")
+    out: List[bool] = []
+    for bit in l2_bits:
+        out.extend([bit] * units.L1_BITS_PER_L2_BIT)
+    return out

@@ -1,0 +1,51 @@
+"""Volatile DRAM backing store for the non-persistent address region.
+
+Only a handful of example programs touch volatile simulated memory (the
+workloads keep scratch state as plain Python values), but the device is
+modelled so that the hierarchy has a correct home for every address and
+so crash simulation can demonstrate volatile loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common import units
+from repro.common.errors import SimulationError
+from repro.mem import layout
+
+
+@dataclass
+class Dram:
+    """Word-addressable volatile memory."""
+
+    _words: Dict[int, int] = field(default_factory=dict)
+
+    def read_word(self, addr: int) -> int:
+        if not layout.is_volatile(addr):
+            raise SimulationError(f"DRAM read of persistent address {addr:#x}")
+        return self._words.get(units.word_addr(addr), 0)
+
+    def write_word(self, addr: int, value: int) -> None:
+        if not layout.is_volatile(addr):
+            raise SimulationError(f"DRAM write of persistent address {addr:#x}")
+        self._words[units.word_addr(addr)] = value
+
+    def read_line(self, line_addr: int) -> List[int]:
+        base = units.line_addr(line_addr)
+        return [
+            self._words.get(base + i * units.WORD_BYTES, 0)
+            for i in range(units.WORDS_PER_LINE)
+        ]
+
+    def write_line(self, line_addr: int, words: List[int]) -> None:
+        base = units.line_addr(line_addr)
+        if len(words) != units.WORDS_PER_LINE:
+            raise SimulationError("write_line expects a full line of words")
+        for i, value in enumerate(words):
+            self._words[base + i * units.WORD_BYTES] = value
+
+    def crash(self) -> None:
+        """Power loss: volatile contents vanish."""
+        self._words.clear()

@@ -1,0 +1,32 @@
+"""Physical address-space layout of the simulated machine.
+
+The lower region is volatile (DRAM-backed), the upper region is persistent
+memory.  Workloads allocate durable objects from the persistent region via
+:mod:`repro.alloc`; anything below :data:`PM_BASE` is ordinary volatile
+data and never participates in logging or persist ordering.
+"""
+
+from __future__ import annotations
+
+#: First byte of the persistent region.
+PM_BASE = 0x1000_0000
+
+#: First byte of the persistent *log* area (grows upward, disjoint from
+#: the persistent heap, which starts at :data:`PM_HEAP_BASE`).
+PM_LOG_BASE = PM_BASE
+
+#: Size reserved for the log area.
+PM_LOG_BYTES = 0x0100_0000  # 16 MiB
+
+#: First byte of the persistent heap handed to the allocator.
+PM_HEAP_BASE = PM_LOG_BASE + PM_LOG_BYTES
+
+
+def is_persistent(addr: int) -> bool:
+    """Return True when *addr* lies in the persistent region."""
+    return addr >= PM_BASE
+
+
+def is_volatile(addr: int) -> bool:
+    """Return True when *addr* lies in the volatile (DRAM) region."""
+    return 0 <= addr < PM_BASE

@@ -1,0 +1,102 @@
+"""Byte-accurate encoding of the durable log region.
+
+The simulator keeps the durable log in two equivalent forms: the
+*structural* list on :class:`~repro.mem.pm.PersistentMemory` (fast to
+query, pruned on commit) and a *serialized* stream of words written into
+the PM log region at :data:`~repro.mem.layout.PM_LOG_BASE`.  The
+serialized form is what a real controller would see after a crash: this
+module defines the codec, and recovery can re-derive every entry purely
+from PM words (``repro.recovery.engine.recover(..., from_bytes=True)``),
+proving the byte stream alone carries the recovery protocol.
+
+Entry wire format (64-bit words):
+
+* header word — ``kind`` (4 bits) | ``nwords`` (8 bits, <<4) |
+  ``tx_seq`` (52 bits, <<12);
+* for undo/redo records: one address word, then ``nwords`` payload words;
+* commit/abort markers are a bare header word;
+* a zero word terminates the stream (kind 0 is invalid).
+
+The stream is append-only.  Entries are never erased — markers make
+stale records inert: recovery ignores any record whose transaction has a
+commit *or abort* marker (aborted transactions were already rolled back
+by the kernel-space replay of Section V-B).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.common import units
+from repro.common.errors import SimulationError
+from repro.mem.pm import DurableLogEntry
+
+#: Wire tags (0 is the terminator and therefore invalid).
+KIND_TAGS = {"undo": 1, "redo": 2, "commit": 3, "abort": 4}
+TAG_KINDS = {tag: kind for kind, tag in KIND_TAGS.items()}
+
+#: Entry kinds that carry an address and payload.
+PAYLOAD_KINDS = ("undo", "redo")
+
+_SEQ_LIMIT = 1 << 52
+_WORD_MASK = (1 << 64) - 1
+
+
+def encode_entry(entry: DurableLogEntry) -> List[int]:
+    """Serialize one entry into its wire words."""
+    kind = entry.kind if entry.kind != "commit" else "commit"
+    try:
+        tag = KIND_TAGS[kind]
+    except KeyError:
+        raise SimulationError(f"unencodable log entry kind {entry.kind!r}") from None
+    if not 0 <= entry.tx_seq < _SEQ_LIMIT:
+        raise SimulationError(f"tx_seq {entry.tx_seq} exceeds the 52-bit field")
+    nwords = len(entry.words)
+    if nwords > 8:
+        raise SimulationError("records cover at most a cache line (8 words)")
+    header = tag | (nwords << 4) | (entry.tx_seq << 12)
+    if kind in PAYLOAD_KINDS:
+        return [header, entry.addr] + [w & _WORD_MASK for w in entry.words]
+    return [header]
+
+
+def decode_stream(
+    read_word: Callable[[int], int], base: int, limit: int
+) -> List[DurableLogEntry]:
+    """Parse entries from PM words starting at *base* until a zero
+    header or *limit* is reached."""
+    out: List[DurableLogEntry] = []
+    cursor = base
+    while cursor < limit:
+        header = read_word(cursor)
+        if header == 0:
+            break
+        tag = header & 0xF
+        kind = TAG_KINDS.get(tag)
+        if kind is None:
+            raise SimulationError(
+                f"corrupt log header {header:#x} at {cursor:#x}"
+            )
+        nwords = (header >> 4) & 0xFF
+        tx_seq = header >> 12
+        cursor += units.WORD_BYTES
+        if kind in PAYLOAD_KINDS:
+            addr = read_word(cursor)
+            cursor += units.WORD_BYTES
+            words = []
+            for _ in range(nwords):
+                words.append(read_word(cursor))
+                cursor += units.WORD_BYTES
+            out.append(
+                DurableLogEntry(kind=kind, tx_seq=tx_seq, addr=addr, words=tuple(words))
+            )
+        else:
+            out.append(DurableLogEntry(kind=kind, tx_seq=tx_seq))
+    return out
+
+
+def entry_wire_words(entry: DurableLogEntry) -> int:
+    """Number of words the entry occupies on the wire."""
+    if entry.kind in PAYLOAD_KINDS:
+        return 2 + len(entry.words)
+    return 1

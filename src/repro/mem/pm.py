@@ -1,0 +1,144 @@
+"""Persistent-memory backing store and the durable log region.
+
+The backing store maps word addresses to values; untouched memory reads
+as zero.  Because durability is granted at WPQ insertion (ADR), callers
+apply writes here the moment the WPQ accepts them — the store therefore
+always holds exactly the post-crash contents of the media plus the
+drained queue.
+
+The log region is modelled structurally rather than byte-by-byte: durable
+log entries (undo or redo records, plus transaction framing) are kept as
+an append-only list.  Byte/line accounting for the log's *traffic* is
+done by the log buffer and machine, which know the packed record sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.common import units
+from repro.common.errors import SimulationError
+from repro.mem import layout
+
+
+@dataclass(frozen=True)
+class DurableLogEntry:
+    """One durable record in the PM log region.
+
+    ``kind`` is ``"undo"`` (old words), ``"redo"`` (new words),
+    ``"commit"`` (transaction end marker), or ``"abort"`` (the
+    transaction was rolled back in place by the Section V-B kernel
+    replay — its remaining records are inert).  ``tx_seq`` is the global
+    transaction sequence number that owns the record; ``addr`` is the
+    word-aligned base of the payload.
+    """
+
+    kind: str
+    tx_seq: int
+    addr: int = 0
+    words: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("undo", "redo", "commit", "abort"):
+            raise SimulationError(f"unknown log entry kind {self.kind!r}")
+
+
+@dataclass
+class PersistentMemory:
+    """Durable word store + the log region in two equivalent forms.
+
+    ``log`` is the structural list (pruned after commit/abort); the same
+    entries are also *serialized* as words into the PM log region at
+    :data:`~repro.mem.layout.PM_LOG_BASE` (append-only, markers make
+    stale records inert), so recovery can run from raw bytes — see
+    :mod:`repro.mem.logregion`.
+    """
+
+    _words: Dict[int, int] = field(default_factory=dict)
+    log: List[DurableLogEntry] = field(default_factory=list)
+    _log_cursor: int = layout.PM_LOG_BASE
+
+    # --- data region ------------------------------------------------------
+
+    def read_word(self, addr: int) -> int:
+        if not layout.is_persistent(addr):
+            raise SimulationError(f"PM read of volatile address {addr:#x}")
+        return self._words.get(units.word_addr(addr), 0)
+
+    def write_word(self, addr: int, value: int) -> None:
+        if not layout.is_persistent(addr):
+            raise SimulationError(f"PM write of volatile address {addr:#x}")
+        self._words[units.word_addr(addr)] = value
+
+    def read_line(self, line_addr: int) -> List[int]:
+        base = units.line_addr(line_addr)
+        return [
+            self._words.get(base + i * units.WORD_BYTES, 0)
+            for i in range(units.WORDS_PER_LINE)
+        ]
+
+    def write_line(self, line_addr: int, words: List[int]) -> None:
+        base = units.line_addr(line_addr)
+        if len(words) != units.WORDS_PER_LINE:
+            raise SimulationError("write_line expects a full line of words")
+        for i, value in enumerate(words):
+            self._words[base + i * units.WORD_BYTES] = value
+
+    # --- log region -----------------------------------------------------
+
+    def log_append(self, entry: DurableLogEntry) -> None:
+        self.log.append(entry)
+        self._serialize(entry)
+
+    def _serialize(self, entry: DurableLogEntry) -> None:
+        from repro.mem import logregion  # local import: avoids a cycle
+
+        words = logregion.encode_entry(entry)
+        end = self._log_cursor + len(words) * units.WORD_BYTES
+        if end > layout.PM_LOG_BASE + layout.PM_LOG_BYTES:
+            raise SimulationError("PM log region exhausted")
+        for i, word in enumerate(words):
+            self._words[self._log_cursor + i * units.WORD_BYTES] = word
+        self._log_cursor = end
+
+    def parse_byte_log(self) -> List[DurableLogEntry]:
+        """Re-derive every entry from the serialized PM words (what a
+        controller sees post-crash).  Includes entries the structural
+        list already pruned; markers keep them inert."""
+        from repro.mem import logregion
+
+        return logregion.decode_stream(
+            lambda addr: self._words.get(addr, 0),
+            layout.PM_LOG_BASE,
+            layout.PM_LOG_BASE + layout.PM_LOG_BYTES,
+        )
+
+    def log_discard_tx(self, tx_seq: int) -> None:
+        """Reclaim the (now useless) records of a committed transaction."""
+        self.log = [e for e in self.log if e.tx_seq != tx_seq]
+
+    def log_entries_for(self, tx_seq: int) -> List[DurableLogEntry]:
+        return [e for e in self.log if e.tx_seq == tx_seq]
+
+    def committed_tx_seqs(self) -> "set[int]":
+        return {e.tx_seq for e in self.log if e.kind == "commit"}
+
+    @staticmethod
+    def resolved_tx_seqs(entries: List[DurableLogEntry]) -> "set[int]":
+        """Transactions whose records are inert: committed or already
+        rolled back by an in-place abort (both leave markers)."""
+        return {e.tx_seq for e in entries if e.kind in ("commit", "abort")}
+
+    # --- introspection -------------------------------------------------
+
+    def snapshot(self) -> "PersistentMemory":
+        """Deep copy for before/after comparisons in tests."""
+        return PersistentMemory(
+            _words=dict(self._words),
+            log=list(self.log),
+            _log_cursor=self._log_cursor,
+        )
+
+    def words_equal(self, other: "PersistentMemory", addrs: "List[int]") -> bool:
+        return all(self.read_word(a) == other.read_word(a) for a in addrs)

@@ -1,0 +1,93 @@
+"""Write-pending-queue (WPQ) timing model for Intel-ADR persistent memory.
+
+A write becomes *durable* the moment it is accepted into the WPQ (the ADR
+domain drains the queue on power failure), so the simulator applies the
+data to the persistent backing store at insertion time.  What the WPQ
+models is *timing*: the queue holds eight cache lines (512 bytes) and
+drains serially at the PM write latency, so bursts larger than the queue
+stall the inserting core for one PM write per extra line — the mechanism
+that puts write traffic on the commit critical path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque
+
+from repro.common.config import SystemConfig
+
+
+@dataclass
+class WpqInsertResult:
+    """Outcome of one WPQ insertion."""
+
+    #: Cycle at which the inserting agent may proceed.
+    finish_time: int
+    #: Cycles the agent stalled waiting for a free slot.
+    stall_cycles: int
+
+
+class WritePendingQueue:
+    """Banked-drain queue of cache-line writes to persistent memory.
+
+    ``drain_ways`` lines drain concurrently (PM banking); each drain
+    takes the PM write latency.  A full queue stalls the inserting agent
+    until the earliest in-flight drain completes.
+    """
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.capacity = config.pm.wpq_entries
+        self.insert_latency = config.wpq_insert_cycles()
+        self.drain_latency = config.pm_write_cycles()
+        self.drain_ways = max(1, config.pm.drain_ways)
+        self._completions: Deque[int] = deque()
+        #: Next-free time of each drain way, kept sorted ascending.
+        self._ways = [0] * self.drain_ways
+        self.total_inserts = 0
+        self.total_stall_cycles = 0
+
+    def _expire(self, now: int) -> None:
+        while self._completions and self._completions[0] <= now:
+            self._completions.popleft()
+
+    def occupancy(self, now: int) -> int:
+        """Number of lines still queued at cycle *now*."""
+        self._expire(now)
+        return len(self._completions)
+
+    def insert(self, now: int) -> WpqInsertResult:
+        """Accept one cache line at cycle *now*.
+
+        Returns when the queue accepted the line (insert latency paid)
+        plus any stall spent waiting for a free slot.
+        """
+        self._expire(now)
+        stall = 0
+        if len(self._completions) >= self.capacity:
+            earliest = self._completions[0]
+            stall = earliest - now
+            now = earliest
+            self._expire(now)
+        start = max(now, self._ways[0])
+        completion = start + self.drain_latency
+        self._ways[0] = completion
+        self._ways.sort()
+        # Keep the completion deque sorted: a later insert can never
+        # complete before an earlier one on the same way schedule.
+        if self._completions and completion < self._completions[-1]:
+            completion = self._completions[-1]
+        self._completions.append(completion)
+        self.total_inserts += 1
+        self.total_stall_cycles += stall
+        return WpqInsertResult(finish_time=now + self.insert_latency, stall_cycles=stall)
+
+    def drained_at(self) -> int:
+        """Cycle by which everything currently queued has reached media."""
+        return max(self._ways)
+
+    def reset(self) -> None:
+        """Forget all queued writes (they are already durable; this only
+        resets timing state, e.g. across independent measurement runs)."""
+        self._completions.clear()
+        self._ways = [0] * self.drain_ways

@@ -1,0 +1,6 @@
+"""Multi-core substrate: coherence, conflicts, deterministic interleaving."""
+
+from repro.multicore.scheduler import InterleavedScheduler
+from repro.multicore.system import MultiCoreSystem, run_atomically
+
+__all__ = ["MultiCoreSystem", "InterleavedScheduler", "run_atomically"]

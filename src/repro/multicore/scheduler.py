@@ -1,0 +1,146 @@
+"""Deterministic thread interleaving for multi-core simulations.
+
+Workload threads are real Python threads, but only the *turn holder*
+ever runs: every simulated instruction begins with a
+:meth:`InterleavedScheduler.checkpoint` call that (a) hands the turn to
+a pseudo-randomly chosen runnable thread and (b) blocks until this
+thread is chosen.  Because the next turn is always drawn by the single
+thread that currently holds the turn, the schedule is a pure function of
+the seed — the same seed replays the same interleaving, which makes
+conflict scenarios reproducible and debuggable.
+
+A thread that finishes (or dies) retires from the runnable set; a
+simulated power failure (:meth:`crash_all`) makes every subsequent
+checkpoint raise :class:`~repro.common.errors.PowerFailure`, unwinding
+all workers so the system can take its crash snapshot.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Callable, List, Optional
+
+from repro.common.errors import PowerFailure, SimulationError
+
+
+class InterleavedScheduler:
+    """Seeded, turn-based round-robin over worker threads."""
+
+    def __init__(self, num_threads: int, *, seed: int = 0) -> None:
+        if num_threads < 1:
+            raise SimulationError("need at least one thread")
+        self.num_threads = num_threads
+        self._rng = random.Random(seed)
+        self._cond = threading.Condition()
+        self._runnable = set(range(num_threads))
+        self._current: Optional[int] = None
+        self._crashed = False
+        self._running = False
+        self._failures: List[BaseException] = []
+        self.switches = 0
+
+    # --- turn management (callers hold self._cond) ---------------------
+
+    def _pick_next(self) -> None:
+        if self._runnable:
+            self._current = self._rng.choice(sorted(self._runnable))
+            self.switches += 1
+        else:
+            self._current = None
+        self._cond.notify_all()
+
+    # --- worker-facing API ------------------------------------------------
+
+    def checkpoint(self, tid: int) -> None:
+        """Yield the turn, then block until it is *tid*'s again.
+
+        Raises :class:`PowerFailure` for every thread once
+        :meth:`crash_all` was called.
+        """
+        with self._cond:
+            if self._crashed:
+                raise PowerFailure("system-wide power failure")
+            if not self._running:
+                # Outside a run() (setup, preload, validation from the
+                # driving thread) there is nothing to interleave with.
+                return
+            if self._current == tid:
+                # We finished our previous instruction: draw the next
+                # turn (this is the only place the RNG is consumed, and
+                # only the turn holder reaches it — determinism).
+                self._pick_next()
+            while self._current != tid:
+                if self._crashed:
+                    raise PowerFailure("system-wide power failure")
+                if tid not in self._runnable:
+                    raise SimulationError(f"retired thread {tid} checkpointed")
+                self._cond.wait(timeout=10.0)
+                if self._current is None and self._runnable:
+                    raise SimulationError("scheduler lost the turn")
+
+    def finish(self, tid: int) -> None:
+        """Retire *tid* from scheduling (worker done or dead)."""
+        with self._cond:
+            self._runnable.discard(tid)
+            if self._current == tid or self._current is None:
+                self._pick_next()
+
+    def crash_all(self) -> None:
+        """Simulated power failure: every checkpoint now raises."""
+        with self._cond:
+            self._crashed = True
+            self._cond.notify_all()
+
+    # --- orchestration ----------------------------------------------------
+
+    def run(self, workers: "List[Callable[[], None]]") -> None:
+        """Execute the workers to completion under the interleaving.
+
+        Re-raises the first worker failure (by thread id) after every
+        thread retired, except :class:`PowerFailure`, which is an
+        expected outcome the caller inspects via :attr:`crashed`.
+        """
+        if len(workers) != self.num_threads:
+            raise SimulationError(
+                f"expected {self.num_threads} workers, got {len(workers)}"
+            )
+        failures: List[Optional[BaseException]] = [None] * len(workers)
+
+        def wrap(tid: int, body: Callable[[], None]) -> None:
+            try:
+                # Wait for the first turn before touching shared state.
+                self.checkpoint(tid)
+                body()
+            except PowerFailure:
+                pass  # expected unwinding during a crash
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                failures[tid] = exc
+            finally:
+                self.finish(tid)
+
+        threads = [
+            threading.Thread(target=wrap, args=(tid, body), daemon=True)
+            for tid, body in enumerate(workers)
+        ]
+        with self._cond:
+            self._running = True
+            self._runnable = set(range(self.num_threads))
+            self._pick_next()
+        for t in threads:
+            t.start()
+        try:
+            for t in threads:
+                t.join(timeout=60.0)
+                if t.is_alive():
+                    raise SimulationError("worker thread hung (scheduler deadlock?)")
+        finally:
+            with self._cond:
+                self._running = False
+        for exc in failures:
+            if exc is not None:
+                raise exc
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed

@@ -1,0 +1,14 @@
+"""Crash simulation and post-crash recovery."""
+
+from repro.recovery.crashsim import CrashOutcome, count_durability_points, run_with_crash
+from repro.recovery.engine import PmView, RecoveryHook, RecoveryReport, recover
+
+__all__ = [
+    "recover",
+    "RecoveryReport",
+    "RecoveryHook",
+    "PmView",
+    "run_with_crash",
+    "CrashOutcome",
+    "count_durability_points",
+]

@@ -1,0 +1,69 @@
+"""Crash-injection harness used by tests and property-based checks.
+
+Runs a program on a machine, injecting a power failure either at an
+instruction boundary or at the N-th durability event (which lands inside
+a commit sequence), then performs recovery and hands back the durable
+state for invariant checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.machine import Machine
+from repro.core.ordering import LoggingMode
+from repro.isa.program import Program
+from repro.recovery.engine import RecoveryHook, RecoveryReport, recover
+
+
+@dataclass
+class CrashOutcome:
+    """Result of one crash-inject-and-recover experiment."""
+
+    crashed: bool
+    report: Optional[RecoveryReport]
+    machine: Machine
+
+    @property
+    def pm(self):  # noqa: ANN201 - convenience accessor
+        return self.machine.pm
+
+
+def run_with_crash(
+    machine: Machine,
+    program: Program,
+    *,
+    crash_after_instructions: Optional[int] = None,
+    crash_after_persists: Optional[int] = None,
+    hooks: "List[RecoveryHook] | None" = None,
+) -> CrashOutcome:
+    """Run *program* with the requested crash point, then recover.
+
+    If both crash knobs are None the program runs to completion and no
+    recovery is performed (``crashed=False``).
+    """
+    if crash_after_persists is not None:
+        machine.schedule_crash_after_persists(crash_after_persists)
+    finished = machine.run(
+        program, crash_after_instructions=crash_after_instructions
+    )
+    if finished:
+        machine.cancel_scheduled_crash()
+        return CrashOutcome(crashed=False, report=None, machine=machine)
+    report = recover(
+        machine.pm, mode=machine.scheme.logging_mode, hooks=hooks
+    )
+    return CrashOutcome(crashed=True, report=report, machine=machine)
+
+
+def count_durability_points(machine_factory, program: Program) -> int:
+    """Run *program* on a fresh machine and count its durability events.
+
+    Useful for sweeping ``crash_after_persists`` over every possible
+    mid-commit crash point: build the machine with *machine_factory*,
+    run cleanly, and read the WPQ insert count.
+    """
+    machine: Machine = machine_factory()
+    machine.run(program)
+    return machine.wpq.total_inserts

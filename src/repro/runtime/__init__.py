@@ -1,0 +1,21 @@
+"""Programmer-facing transactional runtime and annotation policies."""
+
+from repro.runtime.hints import (
+    COMPILER_DEFAULT,
+    HINT_FLAGS,
+    MANUAL,
+    NO_ANNOTATIONS,
+    AnnotationPolicy,
+    Hint,
+)
+from repro.runtime.ptx import PTx
+
+__all__ = [
+    "PTx",
+    "Hint",
+    "HINT_FLAGS",
+    "AnnotationPolicy",
+    "NO_ANNOTATIONS",
+    "MANUAL",
+    "COMPILER_DEFAULT",
+]

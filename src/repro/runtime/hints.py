@@ -1,0 +1,127 @@
+"""Selective-logging hints and annotation policies (Section IV).
+
+Workload code does not hard-code ``storeT`` flags.  Instead, every store
+site carries a *semantic hint* describing why the store could be
+log-free or lazily persistent, and an :class:`AnnotationPolicy` decides
+which hints are honoured:
+
+* the **manual** policy honours every hint (the programmer annotated the
+  code by hand, as in the paper's kernel experiments);
+* a **compiler** policy honours only the hint classes the compiler
+  analyses of Section IV-B can discover (Pattern 1 finds
+  :data:`Hint.NEW_ALLOC` and :data:`Hint.DEAD_REGION`; Pattern 2 finds
+  :data:`Hint.RECOVERABLE` and :data:`Hint.MOVED_DATA` when the def-use
+  chain proves recoverability — deeper semantic hints such as
+  :data:`Hint.SEMANTIC` are missed);
+* the **none** policy honours nothing, so every store is a plain logged,
+  eagerly persisted ``store`` (what FG / ATOM / EDE see).
+
+The hint-to-flag mapping follows Table I and Section IV:
+
+=================  =====  ========  ==============================
+Hint               lazy   log-free  rationale
+=================  =====  ========  ==============================
+NEW_ALLOC          0      1         re-allocation is reproducible;
+                                    GC reclaims leaks (Pattern 1)
+DEAD_REGION        1      1         data allocated AND freed in this
+                                    txn; dead on every outcome
+TOMBSTONE          1      0         poisoning freed *pre-existing*
+                                    data: dead once committed, but a
+                                    rollback resurrects it, so the
+                                    pre-image must stay logged
+RECOVERABLE        1      0         value rebuildable from other
+                                    persistent data (Pattern 2)
+MOVED_DATA         1      1         copy of unmodified source data;
+                                    rebuildable and freshly allocated
+REDUNDANT          1      1         algorithmically redundant (Fig. 1
+                                    prev pointers): derivable from
+                                    other durable structure
+SEMANTIC           1      1         needs deep program semantics
+                                    (colors, counters); manual only
+=================  =====  ========  ==============================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+
+class Hint(enum.Enum):
+    """Why a store site may use ``storeT``."""
+
+    NONE = "none"
+    NEW_ALLOC = "new_alloc"
+    DEAD_REGION = "dead_region"
+    #: Poisoning a region the transaction *frees* but that shares cache
+    #: lines with (or simply: existed as) live data: needs no persistence
+    #: once committed (the region is dead), but MUST stay logged — if the
+    #: transaction rolls back, the un-free resurrects the region and the
+    #: pre-image has to come back with it.  The Table-I "lazy but logged"
+    #: combination exists for exactly this kind of site.
+    TOMBSTONE = "tombstone"
+    RECOVERABLE = "recoverable"
+    MOVED_DATA = "moved_data"
+    #: Algorithmically redundant data (the paper's Figure-1 example: the
+    #: ``prev`` pointers of a doubly-linked list are fully derivable from
+    #: the ``next`` chain): neither logging nor eager persistence needed.
+    REDUNDANT = "redundant"
+    SEMANTIC = "semantic"
+
+
+#: ``hint -> (lazy, log_free)`` flag mapping for honoured hints.
+HINT_FLAGS = {
+    Hint.NEW_ALLOC: (False, True),
+    Hint.DEAD_REGION: (True, True),
+    Hint.TOMBSTONE: (True, False),
+    Hint.RECOVERABLE: (True, False),
+    Hint.MOVED_DATA: (True, True),
+    Hint.REDUNDANT: (True, True),
+    Hint.SEMANTIC: (True, True),
+}
+
+
+@dataclass(frozen=True)
+class AnnotationPolicy:
+    """Which hints become real ``storeT`` annotations."""
+
+    name: str
+    honored: FrozenSet[Hint] = frozenset()
+
+    def flags(self, hint: Hint) -> "Tuple[bool, bool]":
+        """Return ``(lazy, log_free)`` for a store with *hint*."""
+        if hint in self.honored and hint in HINT_FLAGS:
+            return HINT_FLAGS[hint]
+        return (False, False)
+
+    def is_plain(self, hint: Hint) -> bool:
+        return self.flags(hint) == (False, False)
+
+
+#: No annotations: every store is logged and eagerly persisted.
+NO_ANNOTATIONS = AnnotationPolicy(name="none")
+
+#: The programmer annotated everything (paper's manual kernels).
+MANUAL = AnnotationPolicy(
+    name="manual",
+    honored=frozenset(
+        {
+            Hint.NEW_ALLOC,
+            Hint.DEAD_REGION,
+            Hint.TOMBSTONE,
+            Hint.RECOVERABLE,
+            Hint.MOVED_DATA,
+            Hint.REDUNDANT,
+            Hint.SEMANTIC,
+        }
+    ),
+)
+
+#: What the Section IV-B compiler passes can prove without deep semantics.
+COMPILER_DEFAULT = AnnotationPolicy(
+    name="compiler",
+    honored=frozenset(
+        {Hint.NEW_ALLOC, Hint.DEAD_REGION, Hint.RECOVERABLE, Hint.MOVED_DATA}
+    ),
+)

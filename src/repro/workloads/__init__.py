@@ -1,0 +1,58 @@
+"""The Table-II workloads: durable data structures on simulated PM."""
+
+from typing import Dict, Type
+
+from repro.workloads.avl import AVLTree
+from repro.workloads.base import MemReader, Workload, value_words_for_key
+from repro.workloads.dlist import DoublyLinkedList
+from repro.workloads.hashtable import HashTable
+from repro.workloads.inplace import InPlaceTable
+from repro.workloads.heap import MaxHeap
+from repro.workloads.kv.btree import BTreeKV
+from repro.workloads.kv.ctree import CritBitKV
+from repro.workloads.kv.engine import KV_BACKENDS, make_kv
+from repro.workloads.kv.rtree import RadixKV
+from repro.workloads.rbtree import RBTree
+from repro.workloads.ycsb import YcsbOp, generate_load, generate_mix, replay
+
+#: All workloads by their Table-II name.
+WORKLOADS: Dict[str, Type[Workload]] = {
+    "hashtable": HashTable,
+    "rbtree": RBTree,
+    "heap": MaxHeap,
+    "avl": AVLTree,
+    "kv-btree": BTreeKV,
+    "kv-ctree": CritBitKV,
+    "kv-rtree": RadixKV,
+    "dlist": DoublyLinkedList,
+}
+
+#: The four STAMP-style kernel benchmarks (Figure 8, 10-13).
+KERNELS = ("hashtable", "rbtree", "heap", "avl")
+
+#: The PMDK application benchmarks (Figure 14).
+PMKV = ("kv-btree", "kv-ctree", "kv-rtree")
+
+__all__ = [
+    "Workload",
+    "MemReader",
+    "value_words_for_key",
+    "HashTable",
+    "DoublyLinkedList",
+    "InPlaceTable",
+    "RBTree",
+    "MaxHeap",
+    "AVLTree",
+    "BTreeKV",
+    "CritBitKV",
+    "RadixKV",
+    "KV_BACKENDS",
+    "make_kv",
+    "YcsbOp",
+    "generate_load",
+    "generate_mix",
+    "replay",
+    "WORKLOADS",
+    "KERNELS",
+    "PMKV",
+]

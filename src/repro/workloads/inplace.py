@@ -1,0 +1,134 @@
+"""Section V-A: in-place update transactions without random commit writes.
+
+Conventional undo-logged in-place updates persist every dirty slot at
+commit — random writes that persistent memory serves slowly.  The paper
+points out that SLPMT's primitives compose into a better protocol:
+
+* each transactional slot update uses a **lazily persistent but logged**
+  ``storeT`` (Table I row lazy=1, log-free=0): the update stays in the
+  cache past commit, protected by an undo record only if it overflows;
+* the transaction also appends ``(address, new value)`` to a sequential
+  record array with **eager log-free** ``storeT``: fresh, append-only
+  memory that coalesces into whole-line sequential writes;
+* commit therefore persists only the sequential records (plus the tiny
+  logged count), never the randomly scattered slots.
+
+Recovery: a crash *during* a transaction is revoked by the undo log (the
+record-count rollback invalidates the partial appends); a crash *after*
+commit replays the sequential records in order as a redo log — no
+address indirection needed, unlike conventional redo logging.
+
+:meth:`InPlaceTable.checkpoint` truncates the record array once the lazy
+slot lines are durable (the empty-transaction idiom forces them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.alloc.objects import layout
+from repro.common import units
+from repro.common.errors import RecoveryError
+from repro.recovery.engine import PmView
+from repro.runtime.hints import Hint
+from repro.runtime.ptx import PTx
+
+HEADER = layout("ip_header", ["slots", "num_slots", "seq", "seq_capacity", "seq_count"])
+
+#: Words per sequential record: target address, new value.
+RECORD_WORDS = 2
+
+
+class InPlaceTable:
+    """A fixed array of persistent slots updated in place."""
+
+    def __init__(self, rt: PTx, num_slots: int, *, seq_capacity: int = 4096) -> None:
+        self.rt = rt
+        self.num_slots = num_slots
+        self.seq_capacity = seq_capacity
+        #: Oracle of committed slot values.
+        self.expected: Dict[int, int] = {}
+        self.header = rt.allocator.alloc(HEADER.size)
+        with rt.transaction():
+            slots = rt.alloc(num_slots * units.WORD_BYTES)
+            seq = rt.alloc(seq_capacity * RECORD_WORDS * units.WORD_BYTES)
+            for i in range(num_slots):
+                rt.store(slots + i * units.WORD_BYTES, 0, Hint.NEW_ALLOC)
+            rt.write_field(HEADER, self.header, "slots", slots)
+            rt.write_field(HEADER, self.header, "num_slots", num_slots)
+            rt.write_field(HEADER, self.header, "seq", seq)
+            rt.write_field(HEADER, self.header, "seq_capacity", seq_capacity)
+            rt.write_field(HEADER, self.header, "seq_count", 0)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def update(self, updates: "Dict[int, int]") -> None:
+        """Atomically apply ``{slot_index: value}`` in one transaction."""
+        rt = self.rt
+        for index in updates:
+            if not 0 <= index < self.num_slots:
+                raise IndexError(f"slot {index} out of range")
+        with rt.transaction():
+            slots = rt.read_field(HEADER, self.header, "slots")
+            seq = rt.read_field(HEADER, self.header, "seq")
+            count = rt.read_field(HEADER, self.header, "seq_count")
+            if count + len(updates) > self.seq_capacity:
+                raise RecoveryError("sequential record array full; checkpoint first")
+            for offset, (index, value) in enumerate(sorted(updates.items())):
+                slot_addr = slots + index * units.WORD_BYTES
+                record = seq + (count + offset) * RECORD_WORDS * units.WORD_BYTES
+                # Eager, log-free, sequential: the commit's only real writes.
+                rt.store(record, slot_addr, Hint.NEW_ALLOC)
+                rt.store(record + units.WORD_BYTES, value, Hint.NEW_ALLOC)
+                # Lazy but logged: the in-place update stays in the cache.
+                rt.store(slot_addr, value, Hint.RECOVERABLE)
+            rt.write_field(HEADER, self.header, "seq_count", count + len(updates))
+        self.expected.update(updates)
+
+    def checkpoint(self) -> None:
+        """Truncate the record array once the lazy slots are durable."""
+        rt = self.rt
+        # Cycling the transaction-ID pool forces every deferred line out.
+        rt.run_empty_transactions(rt.machine.config.num_tx_ids)
+        with rt.transaction():
+            rt.write_field(HEADER, self.header, "seq_count", 0)
+
+    # ------------------------------------------------------------------
+    # reads and validation
+    # ------------------------------------------------------------------
+
+    def read_slot(self, index: int, *, durable: bool = False) -> int:
+        machine = self.rt.machine
+        read = machine.durable_read if durable else machine.raw_read
+        slots = read(HEADER.addr(self.header, "slots"))
+        return read(slots + index * units.WORD_BYTES)
+
+    def verify(self, *, durable: bool = False) -> None:
+        for index, value in self.expected.items():
+            got = self.read_slot(index, durable=durable)
+            if got != value:
+                raise RecoveryError(
+                    f"inplace: slot {index} holds {got}, expected {value}"
+                )
+
+    # ------------------------------------------------------------------
+    # recovery (RecoveryHook protocol)
+    # ------------------------------------------------------------------
+
+    def recover(self, view: PmView) -> None:
+        """Replay the sequential records as a redo log (Section V-A)."""
+        read = view.read
+        seq = read(HEADER.addr(self.header, "seq"))
+        count = read(HEADER.addr(self.header, "seq_count"))
+        for i in range(count):
+            record = seq + i * RECORD_WORDS * units.WORD_BYTES
+            addr = read(record)
+            value = read(record + units.WORD_BYTES)
+            view.write(addr, value)
+
+    def pending_records(self, *, durable: bool = True) -> List[int]:
+        """Record count currently delimiting valid sequential entries."""
+        read = self.rt.machine.durable_read if durable else self.rt.machine.raw_read
+        return list(range(read(HEADER.addr(self.header, "seq_count"))))

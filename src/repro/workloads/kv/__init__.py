@@ -1,0 +1,8 @@
+"""Key-value engine backends (PMDK pmemkv equivalents)."""
+
+from repro.workloads.kv.btree import BTreeKV
+from repro.workloads.kv.ctree import CritBitKV
+from repro.workloads.kv.engine import KV_BACKENDS, make_kv
+from repro.workloads.kv.rtree import RadixKV
+
+__all__ = ["BTreeKV", "CritBitKV", "RadixKV", "KV_BACKENDS", "make_kv"]

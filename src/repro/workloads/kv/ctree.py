@@ -1,0 +1,249 @@
+"""KV store backed by a crit-bit tree (PMDK pmemkv "ctree" equivalent).
+
+A binary trie compressed to the *critical bits*: internal nodes test one
+bit position; bit positions strictly decrease (most significant first)
+along any root-to-leaf path.  An insert allocates exactly one leaf and
+one internal node, and performs a single pointer swing in pre-existing
+memory — the smallest logged footprint of all the workloads, which is
+why the paper sees the largest SLPMT speedup on kv-ctree.
+
+Annotation sites: all fields of the new leaf and new internal node are
+:data:`Hint.NEW_ALLOC`; the one child-pointer (or root) swing is a plain
+logged store.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.alloc.objects import NULL, layout
+from repro.common import units
+from repro.common.errors import RecoveryError
+from repro.runtime.hints import Hint
+from repro.workloads.base import MemReader, Workload
+
+HEADER = layout("ct_header", ["root"])
+
+#: Unified node: kind 0 = leaf {key, value_ptr, value_len},
+#: kind 1 = internal {bit, left, right}.
+NODE = layout("ct_node", ["kind", "f0", "f1", "f2"])
+
+LEAF = 0
+INTERNAL = 1
+
+#: Key width in bits.
+KEY_BITS = 64
+
+
+def _bit(key: int, position: int) -> int:
+    """Bit *position* of the key (63 = most significant)."""
+    return (key >> position) & 1
+
+
+class CritBitKV(Workload):
+    """Key-value store over a crit-bit binary trie."""
+
+    name = "kv-ctree"
+
+    def setup(self) -> None:
+        rt = self.rt
+        self.header = rt.allocator.alloc(HEADER.size)
+        with rt.transaction():
+            rt.write_field(HEADER, self.header, "root", NULL)
+
+    # --- simulated accessors ---------------------------------------------
+
+    def _get(self, node: int, field: str) -> int:
+        return self.rt.read_field(NODE, node, field)
+
+    def _set(self, node: int, field: str, value: int, hint: Hint = Hint.NONE) -> None:
+        self.rt.write_field(NODE, node, field, value, hint)
+
+    def _new_leaf(self, key: int, buf: int, vlen: int) -> int:
+        leaf = self.rt.alloc_struct(NODE)
+        self._set(leaf, "kind", LEAF, Hint.NEW_ALLOC)
+        self._set(leaf, "f0", key, Hint.NEW_ALLOC)
+        self._set(leaf, "f1", buf, Hint.NEW_ALLOC)
+        self._set(leaf, "f2", vlen, Hint.NEW_ALLOC)
+        return leaf
+
+    # ------------------------------------------------------------------
+    # insert
+    # ------------------------------------------------------------------
+
+    def _insert(self, key: int, value: List[int]) -> None:
+        rt = self.rt
+        root = rt.read_field(HEADER, self.header, "root")
+        if root == NULL:
+            buf = self._write_value_buffer(value)
+            leaf = self._new_leaf(key, buf, len(value))
+            rt.write_field(HEADER, self.header, "root", leaf)
+            return
+
+        # Phase 1: descend to the best-matching leaf.
+        node = root
+        while self._get(node, "kind") == INTERNAL:
+            node = self._get(node, "f1" if _bit(key, self._get(node, "f0")) == 0 else "f2")
+        existing_key = self._get(node, "f0")
+        if existing_key == key:
+            old = self._get(node, "f1")
+            self._replace_value(NODE.addr(node, "f1"), old, value)
+            return
+
+        # Phase 2: the critical bit is the highest differing one.
+        crit = (existing_key ^ key).bit_length() - 1
+
+        buf = self._write_value_buffer(value)
+        leaf = self._new_leaf(key, buf, len(value))
+        inner = rt.alloc_struct(NODE)
+        self._set(inner, "kind", INTERNAL, Hint.NEW_ALLOC)
+        self._set(inner, "f0", crit, Hint.NEW_ALLOC)
+
+        # Phase 3: re-descend until the next tested bit is below crit.
+        parent = NULL
+        parent_field = "root"
+        node = root
+        while (
+            self._get(node, "kind") == INTERNAL and self._get(node, "f0") > crit
+        ):
+            parent = node
+            parent_field = "f1" if _bit(key, self._get(node, "f0")) == 0 else "f2"
+            node = self._get(node, parent_field)
+
+        if _bit(key, crit) == 0:
+            self._set(inner, "f1", leaf, Hint.NEW_ALLOC)
+            self._set(inner, "f2", node, Hint.NEW_ALLOC)
+        else:
+            self._set(inner, "f1", node, Hint.NEW_ALLOC)
+            self._set(inner, "f2", leaf, Hint.NEW_ALLOC)
+
+        # The single logged pointer swing into pre-existing memory.
+        if parent == NULL:
+            rt.write_field(HEADER, self.header, "root", inner)
+        else:
+            self._set(parent, parent_field, inner)
+
+    # ------------------------------------------------------------------
+    # remove: collapse the leaf's parent onto the sibling
+    # ------------------------------------------------------------------
+
+    def _remove(self, key: int) -> bool:
+        rt = self.rt
+        root = rt.read_field(HEADER, self.header, "root")
+        if root == NULL:
+            return False
+
+        grand = NULL
+        grand_field = ""
+        parent = NULL
+        parent_field = ""
+        node = root
+        while self._get(node, "kind") == INTERNAL:
+            grand, grand_field = parent, parent_field
+            parent = node
+            parent_field = "f1" if _bit(key, self._get(node, "f0")) == 0 else "f2"
+            node = self._get(node, parent_field)
+        if self._get(node, "f0") != key:
+            return False
+
+        if parent == NULL:
+            rt.write_field(HEADER, self.header, "root", NULL)
+        else:
+            sibling = self._get(
+                parent, "f2" if parent_field == "f1" else "f1"
+            )
+            # One logged swing replaces the parent with the sibling.
+            if grand == NULL:
+                rt.write_field(HEADER, self.header, "root", sibling)
+            else:
+                self._set(grand, grand_field, sibling)
+            self._set(parent, "kind", 0xDEAD, Hint.TOMBSTONE)
+            rt.free(parent)
+
+        buf = self._get(node, "f1")
+        self._set(node, "f0", 0xDEAD, Hint.TOMBSTONE)
+        self._set(node, "f1", NULL, Hint.TOMBSTONE)
+        rt.free(node)
+        if buf != NULL:
+            rt.free(buf)
+        return True
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def _lookup(self, key: int, read: MemReader) -> Optional[int]:
+        node = read(HEADER.addr(self.header, "root"))
+        if node == NULL:
+            return None
+        steps = 0
+        while read(NODE.addr(node, "kind")) == INTERNAL:
+            bit = read(NODE.addr(node, "f0"))
+            node = read(NODE.addr(node, "f1" if _bit(key, bit) == 0 else "f2"))
+            steps += 1
+            if steps > KEY_BITS + 1:
+                raise RecoveryError("ctree: descent too deep (cycle?)")
+        if read(NODE.addr(node, "f0")) == key:
+            return read(NODE.addr(node, "f1"))
+        return None
+
+    def check_integrity(self, read: MemReader) -> None:
+        root = read(HEADER.addr(self.header, "root"))
+        if root == NULL:
+            return
+        seen: Set[int] = set()
+        self._check_subtree(read, root, KEY_BITS, seen)
+
+    def _check_subtree(
+        self, read: MemReader, node: int, max_bit: int, seen: Set[int]
+    ) -> List[int]:
+        """Check structure below *node*; return all leaf keys under it.
+
+        Invariants: bit positions strictly decrease along every path,
+        internal nodes have two children, and every leaf key under a
+        child agrees with the bit the parent tests for that side.
+        """
+        if node in seen:
+            raise RecoveryError("ctree: node reachable twice")
+        seen.add(node)
+        kind = read(NODE.addr(node, "kind"))
+        if kind == LEAF:
+            return [read(NODE.addr(node, "f0"))]
+        if kind != INTERNAL:
+            raise RecoveryError(f"ctree: invalid node kind {kind}")
+        bit = read(NODE.addr(node, "f0"))
+        if not 0 <= bit < max_bit:
+            raise RecoveryError(
+                f"ctree: bit position {bit} not below ancestor's {max_bit}"
+            )
+        left = read(NODE.addr(node, "f1"))
+        right = read(NODE.addr(node, "f2"))
+        if left == NULL or right == NULL:
+            raise RecoveryError("ctree: internal node with missing child")
+        left_keys = self._check_subtree(read, left, bit, seen)
+        right_keys = self._check_subtree(read, right, bit, seen)
+        for key, expect, side in [(k, 0, "left") for k in left_keys] + [
+            (k, 1, "right") for k in right_keys
+        ]:
+            if _bit(key, bit) != expect:
+                raise RecoveryError(
+                    f"ctree: key {key} on the {side} of bit {bit} disagrees"
+                )
+        return left_keys + right_keys
+
+    def reachable(self, read: MemReader) -> List[Tuple[int, int]]:
+        out: List[Tuple[int, int]] = [(self.header, HEADER.size)]
+        root = read(HEADER.addr(self.header, "root"))
+        stack = [root] if root != NULL else []
+        while stack:
+            node = stack.pop()
+            out.append((node, NODE.size))
+            if read(NODE.addr(node, "kind")) == INTERNAL:
+                stack.append(read(NODE.addr(node, "f1")))
+                stack.append(read(NODE.addr(node, "f2")))
+            else:
+                buf = read(NODE.addr(node, "f1"))
+                vlen = read(NODE.addr(node, "f2"))
+                if buf != NULL:
+                    out.append((buf, vlen * units.WORD_BYTES))
+        return out

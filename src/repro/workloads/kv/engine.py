@@ -1,0 +1,36 @@
+"""The PMDK-style key-value engine facade.
+
+The paper's application benchmark is "a key-value store engine that can
+be configured with various indexing data structures" (Table II).  This
+module provides that configuration point: :func:`make_kv` builds the
+engine over the requested backend, and :data:`KV_BACKENDS` lists what is
+available (btree, ctree, rtree — the three the evaluation uses).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.common.errors import ReproError
+from repro.runtime.ptx import PTx
+from repro.workloads.base import Workload
+from repro.workloads.kv.btree import BTreeKV
+from repro.workloads.kv.ctree import CritBitKV
+from repro.workloads.kv.rtree import RadixKV
+
+KV_BACKENDS: Dict[str, Type[Workload]] = {
+    "btree": BTreeKV,
+    "ctree": CritBitKV,
+    "rtree": RadixKV,
+}
+
+
+def make_kv(backend: str, rt: PTx, *, value_bytes: int = 256) -> Workload:
+    """Build a key-value engine over *backend* ("btree"/"ctree"/"rtree")."""
+    try:
+        cls = KV_BACKENDS[backend]
+    except KeyError:
+        raise ReproError(
+            f"unknown kv backend {backend!r}; known: {sorted(KV_BACKENDS)}"
+        ) from None
+    return cls(rt, value_bytes=value_bytes)

@@ -1,0 +1,118 @@
+"""YCSB-load workload generator (Section VI-A).
+
+The paper evaluates every benchmark with the YCSB *load* phase: a
+sequence of insert operations, each carrying an 8-byte key and a value
+of configurable size (256 bytes by default; the sensitivity studies
+sweep 16..256 bytes).  Keys are drawn without repetition from a
+deterministic PRNG so runs are reproducible and schemes see identical
+operation streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from repro.workloads.base import value_words_for_key
+
+#: The paper's operation count per benchmark.
+DEFAULT_OPS = 1000
+
+#: The paper's default value size in bytes.
+DEFAULT_VALUE_BYTES = 256
+
+
+@dataclass(frozen=True)
+class YcsbOp:
+    """One load-phase operation."""
+
+    kind: str  # only "insert" in the load phase
+    key: int
+    value: List[int] = field(default_factory=list)
+
+
+def generate_load(
+    num_ops: int = DEFAULT_OPS,
+    *,
+    value_bytes: int = DEFAULT_VALUE_BYTES,
+    seed: int = 2023,
+    key_bits: int = 48,
+) -> List[YcsbOp]:
+    """Generate the ycsb-load insert stream.
+
+    Keys are unique uniform *key_bits*-bit integers; values derive
+    deterministically from the key (content-checkable).
+    """
+    rng = random.Random(seed)
+    keys: List[int] = []
+    seen = set()
+    while len(keys) < num_ops:
+        key = rng.getrandbits(key_bits)
+        if key in seen:
+            continue
+        seen.add(key)
+        keys.append(key)
+    value_words = value_bytes // 8
+    return [
+        YcsbOp(kind="insert", key=k, value=value_words_for_key(k, value_words))
+        for k in keys
+    ]
+
+
+def replay(workload, ops: "List[YcsbOp]") -> None:
+    """Run an operation stream against a workload."""
+    for op in ops:
+        if op.kind == "insert" or op.kind == "update":
+            workload.insert(op.key, list(op.value))
+        elif op.kind == "read":
+            workload.get(op.key)
+        else:
+            raise ValueError(f"unknown YCSB operation kind {op.kind!r}")
+
+
+def generate_mix(
+    num_ops: int,
+    *,
+    read_fraction: float = 0.5,
+    update_fraction: float = 0.5,
+    preload: int = 200,
+    value_bytes: int = DEFAULT_VALUE_BYTES,
+    seed: int = 2023,
+    key_bits: int = 48,
+) -> "tuple[List[YcsbOp], List[YcsbOp]]":
+    """Generate a YCSB mixed phase over a preloaded key population.
+
+    Returns ``(load_ops, mix_ops)``: run the load phase first, then the
+    mix.  ``read_fraction``/``update_fraction`` follow the classic
+    workload letters (A: 50/50, B: 95/5 reads/updates); they must sum
+    to 1.  Keys are drawn uniformly from the preloaded population.
+    """
+    if abs(read_fraction + update_fraction - 1.0) > 1e-9:
+        raise ValueError("read and update fractions must sum to 1")
+    load = generate_load(
+        preload, value_bytes=value_bytes, seed=seed, key_bits=key_bits
+    )
+    rng = random.Random(seed ^ 0x5DEECE66D)
+    keys = [op.key for op in load]
+    value_words = value_bytes // 8
+    mix: List[YcsbOp] = []
+    for i in range(num_ops):
+        key = rng.choice(keys)
+        if rng.random() < read_fraction:
+            mix.append(YcsbOp(kind="read", key=key))
+        else:
+            mix.append(
+                YcsbOp(
+                    kind="update",
+                    key=key,
+                    value=value_words_for_key(key ^ i, value_words),
+                )
+            )
+    return load, mix
+
+
+def chunked(ops: "List[YcsbOp]", size: int) -> "Iterator[List[YcsbOp]]":
+    """Yield the stream in chunks (for crash-point sweeps)."""
+    for i in range(0, len(ops), size):
+        yield ops[i : i + size]

@@ -1,0 +1,132 @@
+"""Persistent-heap allocator."""
+
+import pytest
+
+from repro.alloc.allocator import PersistentAllocator
+from repro.common.errors import AllocationError
+from repro.mem import layout
+
+BASE = layout.PM_HEAP_BASE
+
+
+def allocator(capacity=1 << 20):
+    return PersistentAllocator(capacity=capacity)
+
+
+class TestAlloc:
+    def test_returns_word_aligned_heap_addresses(self):
+        a = allocator()
+        addr = a.alloc(24)
+        assert addr >= BASE
+        assert addr % 8 == 0
+
+    def test_distinct_allocations_do_not_overlap(self):
+        a = allocator()
+        spans = []
+        for size in (8, 24, 64, 100, 8):
+            addr = a.alloc(size)
+            rounded = (size + 7) & ~7
+            for lo, hi in spans:
+                assert addr + rounded <= lo or addr >= hi
+            spans.append((addr, addr + rounded))
+
+    def test_alignment_honoured(self):
+        a = allocator()
+        a.alloc(8)
+        addr = a.alloc(64, align=64)
+        assert addr % 64 == 0
+
+    def test_size_rounded_to_words(self):
+        a = allocator()
+        addr = a.alloc(5)
+        assert a.live_allocations()[0].size == 8
+        assert a.is_live(addr)
+
+    def test_invalid_requests(self):
+        a = allocator()
+        with pytest.raises(AllocationError):
+            a.alloc(0)
+        with pytest.raises(AllocationError):
+            a.alloc(8, align=4)
+
+    def test_exhaustion(self):
+        a = allocator(capacity=128)
+        a.alloc(64)
+        with pytest.raises(AllocationError):
+            a.alloc(128)
+
+
+class TestFree:
+    def test_free_then_reuse(self):
+        a = allocator()
+        addr = a.alloc(64)
+        a.free(addr)
+        assert not a.is_live(addr)
+        assert a.alloc(64) == addr  # first fit reuses the hole
+
+    def test_double_free_rejected(self):
+        a = allocator()
+        addr = a.alloc(8)
+        a.free(addr)
+        with pytest.raises(AllocationError):
+            a.free(addr)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(AllocationError):
+            allocator().free(BASE + 0x100)
+
+    def test_adjacent_holes_coalesce(self):
+        a = allocator()
+        x = a.alloc(32)
+        y = a.alloc(32)
+        z = a.alloc(32)
+        a.free(x)
+        a.free(z)
+        a.free(y)  # middle free must merge all three
+        big = a.alloc(96)
+        assert big == x
+
+    def test_free_bytes_accounting(self):
+        a = allocator()
+        x = a.alloc(64)
+        a.alloc(64)
+        a.free(x)
+        assert a.free_bytes() == 64
+
+    def test_counters(self):
+        a = allocator()
+        x = a.alloc(8)
+        a.free(x)
+        assert a.total_allocated == 1
+        assert a.total_freed == 1
+
+
+class TestGcRebuild:
+    def test_leaked_allocations_reclaimed(self):
+        a = allocator()
+        keep = a.alloc(64)
+        leak = a.alloc(64)
+        reclaimed = a.rebuild_from_reachable([(keep, 64)])
+        assert reclaimed == 1
+        assert a.is_live(keep)
+        assert not a.is_live(leak)
+
+    def test_reclaimed_space_reusable(self):
+        a = allocator()
+        keep = a.alloc(64)
+        a.alloc(64)  # leaked
+        a.rebuild_from_reachable([(keep, 64)])
+        again = a.alloc(64)
+        assert again != keep
+
+    def test_rebuild_accepts_unknown_ranges(self):
+        # Recovery may report objects the (volatile) allocator forgot.
+        a = allocator()
+        a.rebuild_from_reachable([(BASE + 256, 64)])
+        assert a.is_live(BASE + 256)
+
+    def test_live_bytes(self):
+        a = allocator()
+        x = a.alloc(64)
+        a.rebuild_from_reachable([(x, 64)])
+        assert a.live_bytes() == 64

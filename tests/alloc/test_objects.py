@@ -1,0 +1,35 @@
+"""Struct layout helpers."""
+
+import pytest
+
+from repro.alloc.objects import NULL, layout
+from repro.common.errors import ReproError
+
+
+class TestStructLayout:
+    def test_size(self):
+        assert layout("n", ["a", "b", "c"]).size == 24
+
+    def test_offsets(self):
+        s = layout("n", ["a", "b", "c"])
+        assert s.offset("a") == 0
+        assert s.offset("c") == 16
+
+    def test_addr(self):
+        s = layout("n", ["a", "b"])
+        assert s.addr(0x1000, "b") == 0x1008
+
+    def test_field_addrs(self):
+        s = layout("n", ["a", "b"])
+        assert s.field_addrs(0x1000) == {"a": 0x1000, "b": 0x1008}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ReproError):
+            layout("n", ["a"]).offset("z")
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ReproError):
+            layout("n", ["a", "a"])
+
+    def test_null_constant(self):
+        assert NULL == 0

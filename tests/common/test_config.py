@@ -1,0 +1,123 @@
+"""Table III configuration and derived quantities."""
+
+import pytest
+
+from repro.common import units
+from repro.common.config import (
+    DEFAULT_CONFIG,
+    CacheConfig,
+    LogBufferConfig,
+    SystemConfig,
+)
+from repro.common.errors import ReproError
+
+
+class TestTableIIIDefaults:
+    def test_clock(self):
+        assert DEFAULT_CONFIG.clock_ghz == 2.0
+
+    def test_l1_geometry(self):
+        assert DEFAULT_CONFIG.l1.size_bytes == 32 * 1024
+        assert DEFAULT_CONFIG.l1.ways == 8
+        assert DEFAULT_CONFIG.l1.latency_cycles == 4
+        assert DEFAULT_CONFIG.l1.num_lines == 512
+        assert DEFAULT_CONFIG.l1.num_sets == 64
+
+    def test_l2_geometry(self):
+        assert DEFAULT_CONFIG.l2.size_bytes == 256 * 1024
+        assert DEFAULT_CONFIG.l2.ways == 4
+        assert DEFAULT_CONFIG.l2.latency_cycles == 12
+
+    def test_l3_geometry(self):
+        assert DEFAULT_CONFIG.l3.size_bytes == 2 * 1024 * 1024
+        assert DEFAULT_CONFIG.l3.ways == 16
+        assert DEFAULT_CONFIG.l3.latency_cycles == 40
+
+    def test_pm_parameters(self):
+        pm = DEFAULT_CONFIG.pm
+        assert pm.wpq_bytes == 512
+        assert pm.wpq_entries == 8
+        assert pm.read_latency_ns == 150.0
+        assert pm.write_latency_ns == 500.0
+
+    def test_pm_latency_cycles(self):
+        assert DEFAULT_CONFIG.pm_read_cycles() == 300
+        assert DEFAULT_CONFIG.pm_write_cycles() == 1000
+        assert DEFAULT_CONFIG.wpq_insert_cycles() == 8
+
+    def test_signature_inventory(self):
+        sig = DEFAULT_CONFIG.signature
+        assert sig.num_signatures == 4
+        assert sig.bytes_per_signature == 256
+        assert sig.total_bytes == 1024
+
+    def test_four_tx_ids(self):
+        assert DEFAULT_CONFIG.num_tx_ids == 4
+
+
+class TestLogBufferConfig:
+    """Section III-B2: record and tier sizing."""
+
+    def test_record_sizes(self):
+        cfg = LogBufferConfig()
+        assert [cfg.record_bytes(t) for t in range(4)] == [16, 24, 40, 72]
+
+    def test_payload_words(self):
+        cfg = LogBufferConfig()
+        assert [cfg.record_payload_words(t) for t in range(4)] == [1, 2, 4, 8]
+
+    def test_total_is_1216_bytes(self):
+        # Table III: "Log buffer: 1,216 bytes in total".
+        assert LogBufferConfig().total_bytes() == 1216
+
+    def test_eight_records_per_tier(self):
+        cfg = LogBufferConfig()
+        for t in range(4):
+            assert cfg.tier_bytes(t) == 8 * cfg.record_bytes(t)
+
+    def test_tier_out_of_range(self):
+        with pytest.raises(ReproError):
+            LogBufferConfig().record_bytes(4)
+
+
+class TestDramModel:
+    def test_read_latency_blend(self):
+        dram = DEFAULT_CONFIG.dram
+        assert dram.tcl_ns <= dram.read_latency_ns() <= (
+            dram.trp_ns + dram.trcd_ns + dram.tcl_ns
+        )
+
+    def test_write_slower_than_read(self):
+        dram = DEFAULT_CONFIG.dram
+        assert dram.write_latency_ns() >= dram.read_latency_ns()
+
+
+class TestConfigVariants:
+    def test_with_pm_write_latency(self):
+        cfg = DEFAULT_CONFIG.with_pm_write_latency(2300.0)
+        assert cfg.pm.write_latency_ns == 2300.0
+        assert cfg.pm_write_cycles() == 4600
+        assert DEFAULT_CONFIG.pm.write_latency_ns == 500.0  # original intact
+
+    def test_with_wpq_bytes(self):
+        cfg = DEFAULT_CONFIG.with_wpq_bytes(1024)
+        assert cfg.pm.wpq_entries == 16
+
+    def test_with_num_tx_ids(self):
+        assert DEFAULT_CONFIG.with_num_tx_ids(8).num_tx_ids == 8
+
+    def test_with_num_tx_ids_rejects_one(self):
+        with pytest.raises(ReproError):
+            DEFAULT_CONFIG.with_num_tx_ids(1)
+
+    def test_bad_cache_geometry_rejected(self):
+        with pytest.raises(ReproError):
+            CacheConfig(size_bytes=1000, ways=3, latency_cycles=1)
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.clock_ghz = 3.0  # type: ignore[misc]
+
+    def test_custom_config_composes(self):
+        cfg = SystemConfig(clock_ghz=1.0)
+        assert cfg.pm_write_cycles() == 500

@@ -1,0 +1,72 @@
+"""SimStats bookkeeping."""
+
+from repro.common.stats import SimStats, StatsScope
+
+
+class TestSimStats:
+    def test_starts_zeroed(self):
+        stats = SimStats()
+        assert all(v == 0 for v in stats.as_dict().values())
+
+    def test_copy_is_independent(self):
+        stats = SimStats()
+        snap = stats.copy()
+        stats.cycles += 100
+        assert snap.cycles == 0
+
+    def test_diff(self):
+        stats = SimStats(cycles=100, loads=5)
+        base = SimStats(cycles=40, loads=2)
+        delta = stats.diff(base)
+        assert delta.cycles == 60
+        assert delta.loads == 3
+
+    def test_add(self):
+        a = SimStats(stores=3)
+        a.add(SimStats(stores=4, loads=1))
+        assert a.stores == 7
+        assert a.loads == 1
+
+    def test_total_lines(self):
+        stats = SimStats(pm_data_lines_written=3, pm_log_lines_written=2)
+        assert stats.pm_total_lines_written == 5
+
+    def test_l1_hit_rate(self):
+        stats = SimStats(l1_hits=3, l1_misses=1)
+        assert stats.l1_hit_rate() == 0.75
+
+    def test_l1_hit_rate_empty(self):
+        assert SimStats().l1_hit_rate() == 0.0
+
+    def test_str_omits_zero_counters(self):
+        text = str(SimStats(cycles=7))
+        assert "cycles=7" in text
+        assert "loads" not in text
+
+    def test_report_groups_and_formats(self):
+        stats = SimStats(cycles=1_234_567, pm_bytes_written=640, logfree_stores=3)
+        text = stats.report()
+        assert "--- execution ---" in text
+        assert "1,234,567" in text
+        assert "persistent memory" in text
+        assert "selective logging" in text
+        assert "commit_cycles" not in text  # zero counters omitted
+
+    def test_report_empty(self):
+        assert SimStats().report() == "(no activity)"
+
+
+class TestStatsScope:
+    def test_captures_delta(self):
+        stats = SimStats(cycles=10)
+        with StatsScope(stats) as scope:
+            stats.cycles += 25
+            stats.pm_bytes_written += 64
+        assert scope.delta.cycles == 25
+        assert scope.delta.pm_bytes_written == 64
+
+    def test_outer_counters_unaffected(self):
+        stats = SimStats()
+        with StatsScope(stats):
+            stats.loads += 1
+        assert stats.loads == 1

@@ -1,0 +1,75 @@
+"""Address geometry and unit conversions."""
+
+import pytest
+
+from repro.common import units
+
+
+class TestGeometryConstants:
+    def test_words_per_line(self):
+        assert units.WORDS_PER_LINE == 8
+
+    def test_l2_log_bits(self):
+        assert units.L2_LOG_BITS == 2
+
+    def test_l1_bits_per_l2_bit(self):
+        assert units.L1_BITS_PER_L2_BIT == 4
+
+
+class TestAlignment:
+    def test_line_addr_strips_offset(self):
+        assert units.line_addr(0x1234) == 0x1200
+
+    def test_line_addr_identity_on_aligned(self):
+        assert units.line_addr(0x40) == 0x40
+
+    def test_word_addr(self):
+        assert units.word_addr(0x17) == 0x10
+
+    def test_word_index_covers_line(self):
+        base = 0x1000
+        indexes = [units.word_index(base + i * 8) for i in range(8)]
+        assert indexes == list(range(8))
+
+    def test_word_index_ignores_byte_offset(self):
+        assert units.word_index(0x1000 + 9) == 1
+
+    def test_line_offset(self):
+        assert units.line_offset(0x1234) == 0x34
+
+    def test_is_word_aligned(self):
+        assert units.is_word_aligned(16)
+        assert not units.is_word_aligned(12)
+
+    def test_is_line_aligned(self):
+        assert units.is_line_aligned(128)
+        assert not units.is_line_aligned(96)
+
+
+class TestLinesSpanned:
+    def test_zero_bytes(self):
+        assert units.lines_spanned(0x1000, 0) == 0
+
+    def test_within_one_line(self):
+        assert units.lines_spanned(0x1000, 64) == 1
+
+    def test_straddling(self):
+        assert units.lines_spanned(0x1000 + 32, 64) == 2
+
+    def test_exact_multiple(self):
+        assert units.lines_spanned(0x1000, 256) == 4
+
+    def test_single_byte(self):
+        assert units.lines_spanned(0x103F, 1) == 1
+
+
+class TestNsToCycles:
+    def test_exact(self):
+        assert units.ns_to_cycles(500.0, 2.0) == 1000
+
+    def test_rounds_up(self):
+        assert units.ns_to_cycles(4.2, 2.0) == 9
+
+    @pytest.mark.parametrize("ns,ghz,expected", [(4, 2, 8), (150, 2, 300), (30, 2, 60)])
+    def test_table_iii_values(self, ns, ghz, expected):
+        assert units.ns_to_cycles(ns, ghz) == expected

@@ -1,0 +1,111 @@
+"""Pattern 1 / Pattern 2 dataflow analyses (Section IV-B)."""
+
+from repro.compiler.analysis import analyse, origin_sets
+from repro.compiler.ir import IRBuilder
+from repro.runtime.hints import Hint
+
+
+class TestOriginSets:
+    def test_alloc_origin_propagates_through_gep(self):
+        b = IRBuilder("f")
+        obj = b.alloc(32)
+        addr = b.gep(obj, 8)
+        fn = b.build()
+        origins = origin_sets(fn)
+        assert origins[addr] == {f"alloc:{obj}"}
+
+    def test_binop_unions_origins(self):
+        b = IRBuilder("f")
+        p = b.param("p")
+        c = b.const(8)
+        t = b.binop("+", p, c)
+        origins = origin_sets(b.build())
+        assert f"param:{p}" in origins[t]
+        assert "const" in origins[t]
+
+    def test_call_is_opaque(self):
+        b = IRBuilder("f")
+        p = b.param("p")
+        r = b.call("hash", p)
+        assert origin_sets(b.build())[r] == {"opaque"}
+
+
+class TestPattern1:
+    def test_store_into_fresh_allocation_is_log_free(self):
+        b = IRBuilder("f")
+        v = b.param("v", persistent=False)
+        obj = b.alloc(32)
+        b.store(b.gep(obj, 0), v, "s", Hint.NEW_ALLOC)
+        decision = analyse(b.build()).decision("s")
+        assert decision.log_free
+        assert "pattern1" in decision.reason
+
+    def test_store_into_freed_region_is_lazy_too(self):
+        b = IRBuilder("f")
+        p = b.param("p")
+        region = b.load(b.gep(p, 0))
+        b.free(region)
+        b.store(b.gep(region, 8), p, "s", Hint.DEAD_REGION)
+        decision = analyse(b.build()).decision("s")
+        assert decision.log_free
+        assert decision.lazy
+
+    def test_store_into_existing_memory_not_log_free(self):
+        b = IRBuilder("f")
+        p = b.param("p")
+        v = b.const(1)
+        b.store(b.gep(p, 0), v, "s")
+        decision = analyse(b.build()).decision("s")
+        assert not decision.log_free
+
+    def test_hash_offset_into_allocation_rejected(self):
+        # Address = fresh table + opaque(hash): Pattern 1 cannot prove
+        # containment, Pattern 2 cannot re-derive the address.
+        b = IRBuilder("f")
+        k = b.param("k", persistent=False)
+        table = b.alloc(1024)
+        h = b.call("hash", k)
+        slot = b.binop("+", table, h)
+        b.store(slot, k, "s", Hint.MOVED_DATA)
+        decision = analyse(b.build()).decision("s")
+        assert not decision.annotated
+
+
+class TestPattern2:
+    def test_pointer_copy_is_lazy(self):
+        b = IRBuilder("f")
+        p = b.param("p")
+        q = b.load(b.gep(p, 8))
+        b.store(b.gep(p, 16), q, "s", Hint.RECOVERABLE)
+        decision = analyse(b.build()).decision("s")
+        assert decision.lazy and not decision.log_free
+        assert "pattern2" in decision.reason
+
+    def test_opaque_value_rejected(self):
+        b = IRBuilder("f")
+        p = b.param("p")
+        v = b.call("decide_color", p)
+        b.store(b.gep(p, 48), v, "s", Hint.SEMANTIC)
+        decision = analyse(b.build()).decision("s")
+        assert not decision.annotated
+        assert "opaque" in decision.reason
+
+    def test_clobbered_dependency_rejected(self):
+        # value = load(x) then store through the same address value:
+        # recovery cannot re-read the pre-image.
+        b = IRBuilder("f")
+        p = b.param("p")
+        addr = b.gep(p, 32)
+        old = b.load(addr)
+        new = b.binop("+", old, b.const(1))
+        b.store(addr, new, "s", Hint.SEMANTIC)
+        decision = analyse(b.build()).decision("s")
+        assert not decision.annotated
+        assert "clobbered" in decision.reason
+
+    def test_unclobbered_load_accepted(self):
+        b = IRBuilder("f")
+        p = b.param("p")
+        src = b.load(b.gep(p, 0))
+        b.store(b.gep(p, 64), src, "s", Hint.RECOVERABLE)
+        assert analyse(b.build()).decision("s").lazy

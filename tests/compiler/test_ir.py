@@ -1,0 +1,85 @@
+"""SSA IR construction and validation."""
+
+import pytest
+
+from repro.common.errors import CompilerError
+from repro.compiler.ir import (
+    Alloc,
+    Function,
+    Gep,
+    IRBuilder,
+    LoadMem,
+    Param,
+    StoreMem,
+)
+from repro.runtime.hints import Hint
+
+
+class TestValidation:
+    def test_valid_function(self):
+        b = IRBuilder("f")
+        p = b.param("p")
+        addr = b.gep(p, 8)
+        v = b.load(addr)
+        b.store(addr, v, "site")
+        fn = b.build()
+        assert len(fn.instrs) == 4
+
+    def test_use_before_def_rejected(self):
+        with pytest.raises(CompilerError):
+            Function("f", [Gep("%a", "%missing", 0)])
+
+    def test_double_assignment_rejected(self):
+        with pytest.raises(CompilerError):
+            Function("f", [Param("%x"), Alloc("%x", 8)])
+
+    def test_store_uses_checked(self):
+        with pytest.raises(CompilerError):
+            Function("f", [Param("%a"), StoreMem("%a", "%nope", "s")])
+
+
+class TestAccessors:
+    def _fn(self):
+        b = IRBuilder("f")
+        p = b.param("p")
+        obj = b.alloc(32)
+        b.store(b.gep(obj, 0), p, "a", Hint.NEW_ALLOC)
+        b.store(b.gep(obj, 8), p, "b")
+        return b.build()
+
+    def test_stores(self):
+        assert [s.site for s in self._fn().stores()] == ["a", "b"]
+
+    def test_annotated_sites(self):
+        assert [s.site for s in self._fn().annotated_sites()] == ["a"]
+
+    def test_defs(self):
+        fn = self._fn()
+        defs = fn.defs()
+        allocs = [d for d in defs.values() if isinstance(d, Alloc)]
+        assert len(allocs) == 1
+
+    def test_builder_names_unique(self):
+        b = IRBuilder("f")
+        names = {b.param("x") for _ in range(10)}
+        assert len(names) == 10
+
+
+class TestKernelPrograms:
+    def test_all_programs_validate(self):
+        from repro.compiler.programs import all_functions
+
+        for fns in all_functions().values():
+            for fn in fns:
+                fn.validate()
+
+    def test_kernel_set_matches_table_ii(self):
+        from repro.compiler.programs import kernel_functions
+
+        assert set(kernel_functions()) == {"hashtable", "rbtree", "heap", "avl"}
+
+    def test_every_kernel_has_annotated_sites(self):
+        from repro.compiler.programs import kernel_functions
+
+        for fns in kernel_functions().values():
+            assert any(fn.annotated_sites() for fn in fns)

@@ -1,0 +1,53 @@
+"""Compile-time accounting (Figure 13, right)."""
+
+from repro.compiler.programs import kernel_functions
+from repro.compiler.timing import (
+    assign_registers,
+    baseline_pipeline,
+    liveness,
+    lower,
+    measure_compile_time,
+)
+
+
+def one_fn():
+    return kernel_functions()["hashtable"][0]
+
+
+class TestBaselinePipeline:
+    def test_lower_emits_every_instruction(self):
+        fn = one_fn()
+        listing = lower(fn)
+        assert len(listing) == len(fn.instrs) + 2  # header + footer
+
+    def test_liveness_covers_all_values(self):
+        fn = one_fn()
+        ranges = liveness(fn)
+        assert all(lo <= hi for lo, hi in ranges.values())
+        assert len(ranges) == len(fn.defs())
+
+    def test_register_assignment_respects_overlap(self):
+        fn = one_fn()
+        ranges = liveness(fn)
+        regs = assign_registers(fn, num_regs=4)
+        names = list(ranges)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                if regs[a] != regs[b] or regs[a] >= 4:
+                    continue
+                (alo, ahi), (blo, bhi) = ranges[a], ranges[b]
+                assert ahi < blo or bhi < alo, f"{a} and {b} overlap in r{regs[a]}"
+
+    def test_pipeline_returns_code(self):
+        assert len(baseline_pipeline(one_fn())) > 0
+
+
+class TestMeasurement:
+    def test_overhead_is_positive_and_bounded(self):
+        fns = [f for fs in kernel_functions().values() for f in fs]
+        timing = measure_compile_time("kernels", fns, repeats=20)
+        assert timing.optimized_seconds > timing.baseline_seconds > 0
+        # Paper: marginal relative overhead, tiny absolute time.  Allow a
+        # generous bound (interpreted Python, noisy CI).
+        assert timing.overhead < 2.0
+        assert timing.absolute_extra_seconds < 0.15

@@ -1,0 +1,109 @@
+"""Section V-E: battery-backed caches."""
+
+import pytest
+
+from repro.common.config import DEFAULT_CONFIG
+from repro.core.machine import Machine
+from repro.core.schemes import SLPMT
+from repro.isa.instructions import Store, TxBegin, TxEnd
+from repro.mem import layout
+from repro.recovery.engine import recover
+
+BASE = layout.PM_HEAP_BASE
+BATTERY = DEFAULT_CONFIG.with_battery_backed_cache()
+
+
+def battery_machine():
+    return Machine(SLPMT, BATTERY)
+
+
+class TestCommitCost:
+    def test_commit_writes_no_data_lines(self):
+        m = battery_machine()
+        m.execute(TxBegin())
+        for i in range(8):
+            m.execute(Store(BASE + i * 8, i))
+        m.execute(TxEnd())
+        assert m.stats.pm_data_lines_written == 0
+        assert m.stats.pm_log_lines_written == 0
+
+    def test_commit_much_cheaper_than_adr(self):
+        def commit_cycles(config):
+            m = Machine(SLPMT, config)
+            m.execute(TxBegin())
+            for i in range(32):
+                m.execute(Store(BASE + i * 8, i))
+            m.execute(TxEnd())
+            return m.stats.commit_cycles
+
+        assert commit_cycles(BATTERY) < commit_cycles(DEFAULT_CONFIG) / 3
+
+    def test_overflowed_transaction_gets_marker(self):
+        m = battery_machine()
+        m.execute(TxBegin())
+        lines = (m.l2.config.num_lines + m.l1.config.num_lines) * 2
+        for i in range(lines):
+            m.execute(Store(BASE + i * 64, i))
+        assert m.stats.log_records_persisted > 0  # evictions flushed records
+        m.execute(TxEnd())
+        assert m.stats.pm_log_lines_written >= 1  # the commit marker
+
+
+class TestCrashSemantics:
+    def test_committed_data_survives_crash(self):
+        m = battery_machine()
+        m.execute(TxBegin())
+        m.execute(Store(BASE, 42))
+        m.execute(TxEnd())
+        assert m.durable_read(BASE) == 0  # still only in the (durable) cache
+        m.crash()
+        assert m.durable_read(BASE) == 42  # battery flushed it
+
+    def test_inflight_transaction_rolled_back(self):
+        m = battery_machine()
+        m.raw_write(BASE, 7)
+        m.execute(TxBegin())
+        m.execute(Store(BASE, 8))
+        m.crash()
+        # The flush landed uncommitted data, but its undo record was
+        # drained first; recovery revokes it.
+        recover(m.pm)
+        assert m.durable_read(BASE) == 7
+
+    def test_mixed_commit_and_inflight(self):
+        m = battery_machine()
+        m.execute(TxBegin())
+        m.execute(Store(BASE, 1))
+        m.execute(TxEnd())
+        m.execute(TxBegin())
+        m.execute(Store(BASE + 64, 2))
+        m.crash()
+        recover(m.pm)
+        assert m.durable_read(BASE) == 1
+        assert m.durable_read(BASE + 64) == 0
+
+
+class TestWorkloadUnderBattery:
+    @pytest.mark.parametrize("crash_point", [None, 3, 12])
+    def test_hashtable_runs_and_recovers(self, crash_point):
+        from repro.common.errors import PowerFailure
+        from repro.runtime.hints import MANUAL
+        from repro.runtime.ptx import PTx
+        from repro.workloads.hashtable import HashTable
+
+        m = battery_machine()
+        rt = PTx(m, policy=MANUAL)
+        ht = HashTable(rt, value_bytes=64)
+        keys = list(range(1, 30))
+        if crash_point is not None:
+            m.schedule_crash_after_persists(crash_point)
+        try:
+            for k in keys:
+                ht.insert(k)
+            m.cancel_scheduled_crash()
+            ht.verify()
+            m.crash()  # clean-shutdown flush
+        except PowerFailure:
+            m.crash()
+        recover(m.pm, hooks=[ht])
+        ht.verify(durable=True)

@@ -1,0 +1,58 @@
+"""Section V-C: context switches drain the log buffer."""
+
+from repro.core.machine import Machine
+from repro.core.schemes import SLPMT
+from repro.isa.instructions import Store, StoreT, TxBegin, TxEnd
+from repro.mem import layout
+from repro.recovery.engine import recover
+
+BASE = layout.PM_HEAP_BASE
+
+
+class TestContextSwitch:
+    def test_drains_buffered_records(self):
+        m = Machine(SLPMT)
+        m.execute(TxBegin())
+        m.execute(Store(BASE, 1))
+        assert not m.log_buffer.is_empty()
+        m.context_switch()
+        assert m.log_buffer.is_empty()
+        assert m.stats.log_records_persisted >= 1
+
+    def test_preempted_transaction_still_recoverable(self):
+        m = Machine(SLPMT)
+        m.raw_write(BASE, 100)
+        m.execute(TxBegin())
+        m.execute(Store(BASE, 200))
+        m.context_switch()  # records now durable
+        m.crash()  # power failure while switched out
+        recover(m.pm)
+        assert m.durable_read(BASE) == 100
+
+    def test_transaction_continues_after_switch(self):
+        m = Machine(SLPMT)
+        m.execute(TxBegin())
+        m.execute(Store(BASE, 1))
+        m.context_switch()
+        m.execute(Store(BASE + 8, 2))
+        m.execute(TxEnd())
+        assert m.durable_read(BASE) == 1
+        assert m.durable_read(BASE + 8) == 2
+
+    def test_lazy_state_untouched(self):
+        # "There is no operation on the signatures and the values for
+        # transaction ID allocation" (Section V-C).
+        m = Machine(SLPMT)
+        m.execute(TxBegin())
+        m.execute(StoreT(BASE, 5, lazy=True, log_free=True))
+        m.execute(TxEnd())
+        deferred = m.deferred_line_count()
+        m.context_switch()
+        assert m.deferred_line_count() == deferred
+        assert m.lazy_tx_ids()
+
+    def test_noop_outside_transaction(self):
+        m = Machine(SLPMT)
+        persisted = m.stats.log_records_persisted
+        m.context_switch()
+        assert m.stats.log_records_persisted == persisted

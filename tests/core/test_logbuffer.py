@@ -1,0 +1,160 @@
+"""Four-tier coalescing log buffer (Section III-B2)."""
+
+from repro.common.config import LogBufferConfig
+from repro.core.logbuffer import TieredLogBuffer
+from repro.core.records import LogRecord
+
+
+def buffer(coalescing=True):
+    return TieredLogBuffer(LogBufferConfig(), coalescing=coalescing)
+
+
+def word_record(addr, value=0):
+    return LogRecord(addr, (value,))
+
+
+class TestCoalescing:
+    def test_single_insert_sits_in_tier0(self):
+        buf = buffer()
+        assert buf.insert(word_record(0x1000)) == []
+        assert buf.tier_occupancy() == [1, 0, 0, 0]
+
+    def test_buddy_pair_climbs_to_tier1(self):
+        buf = buffer()
+        buf.insert(word_record(0x1000, 1))
+        buf.insert(word_record(0x1008, 2))
+        assert buf.tier_occupancy() == [0, 1, 0, 0]
+        assert buf.coalesce_count == 1
+
+    def test_cascade_to_full_line(self):
+        buf = buffer()
+        for i in range(8):
+            buf.insert(word_record(0x1000 + i * 8, i))
+        assert buf.tier_occupancy() == [0, 0, 0, 1]
+        # 4 word-pairs + 2 pair-merges + 1 quad-merge = 7 coalesces.
+        assert buf.coalesce_count == 7
+        records = buf.drain_all()
+        assert len(records) == 1
+        assert records[0].words == tuple(range(8))
+
+    def test_non_adjacent_words_do_not_merge(self):
+        buf = buffer()
+        buf.insert(word_record(0x1000))
+        buf.insert(word_record(0x1010))  # not the buddy of 0x1000
+        assert buf.tier_occupancy() == [2, 0, 0, 0]
+
+    def test_unaligned_neighbours_do_not_merge(self):
+        # 0x1008 and 0x1010 are adjacent but belong to different pairs.
+        buf = buffer()
+        buf.insert(word_record(0x1008))
+        buf.insert(word_record(0x1010))
+        assert buf.tier_occupancy() == [2, 0, 0, 0]
+
+    def test_duplicate_span_keeps_first_record(self):
+        buf = buffer()
+        buf.insert(word_record(0x1000, 111))
+        buf.insert(word_record(0x1000, 222))
+        records = buf.drain_all()
+        assert len(records) == 1
+        assert records[0].words == (111,)  # undo keeps the oldest pre-image
+
+
+class TestTierDrain:
+    def test_full_tier_drains_on_ninth_unmergeable_insert(self):
+        buf = buffer()
+        # Eight isolated words in distinct pair slots: no coalescing.
+        for i in range(8):
+            assert buf.insert(word_record(0x1000 + i * 16)) == []
+        drained = buf.insert(word_record(0x2000))
+        assert len(drained) == 8
+        assert buf.tier_occupancy()[0] == 1
+
+    def test_drain_counts(self):
+        buf = buffer()
+        for i in range(9):
+            buf.insert(word_record(0x1000 + i * 16))
+        assert buf.drain_count == 1
+
+
+class TestExtraction:
+    def test_extract_for_line(self):
+        buf = buffer()
+        buf.insert(word_record(0x1000))
+        buf.insert(word_record(0x1040))
+        out = buf.extract_for_line(0x1000)
+        assert [r.addr for r in out] == [0x1000]
+        assert buf.record_count() == 1
+
+    def test_extract_coalesced_record(self):
+        buf = buffer()
+        buf.insert(word_record(0x1000))
+        buf.insert(word_record(0x1008))
+        out = buf.extract_for_line(0x1000)
+        assert len(out) == 1
+        assert out[0].tier == 1
+
+    def test_covers_word(self):
+        buf = buffer()
+        buf.insert(word_record(0x1000))
+        buf.insert(word_record(0x1008))
+        assert buf.covers_word(0x1008)
+        assert not buf.covers_word(0x1010)
+
+    def test_drain_all_empties(self):
+        buf = buffer()
+        for i in range(5):
+            buf.insert(word_record(0x1000 + i * 16))
+        assert len(buf.drain_all()) == 5
+        assert buf.is_empty()
+
+    def test_clear_reports_count(self):
+        buf = buffer()
+        buf.insert(word_record(0x1000))
+        buf.insert(word_record(0x1040))
+        assert buf.clear() == 2
+        assert buf.is_empty()
+
+
+class TestFifoMode:
+    """EDE: no hardware coalescing."""
+
+    def test_no_merging(self):
+        buf = buffer(coalescing=False)
+        buf.insert(word_record(0x1000))
+        buf.insert(word_record(0x1008))
+        assert buf.record_count() == 2
+        assert buf.coalesce_count == 0
+
+    def test_drains_in_batches_of_capacity(self):
+        buf = buffer(coalescing=False)
+        for i in range(8):
+            assert buf.insert(word_record(0x1000 + i * 8)) == []
+        drained = buf.insert(word_record(0x2000))
+        assert len(drained) == 8
+
+    def test_extract_for_line_fifo(self):
+        buf = buffer(coalescing=False)
+        buf.insert(word_record(0x1000))
+        buf.insert(word_record(0x1040))
+        assert len(buf.extract_for_line(0x1040)) == 1
+        assert buf.record_count() == 1
+
+
+class TestInvariants:
+    def test_validate_passes_after_activity(self):
+        buf = buffer()
+        for i in range(20):
+            buf.insert(word_record(0x1000 + i * 8))
+        buf.validate()
+
+    def test_line_records_go_to_top_tier(self):
+        buf = buffer()
+        buf.insert(LogRecord(0x1000, tuple(range(8))))
+        assert buf.tier_occupancy() == [0, 0, 0, 1]
+
+    def test_top_tier_drains_at_capacity(self):
+        buf = buffer()
+        for i in range(8):
+            assert buf.insert(LogRecord(0x1000 + i * 64, tuple(range(8)))) == []
+        drained = buf.insert(LogRecord(0x2000, tuple(range(8))))
+        assert len(drained) == 8

@@ -1,0 +1,98 @@
+"""Machine corner cases: evicted lazy lines, deep eviction chains,
+signature false positives, and bookkeeping edges."""
+
+from repro.common.config import DEFAULT_CONFIG
+from repro.core.machine import Machine
+from repro.core.schemes import SLPMT
+from repro.isa.instructions import Load, Store, StoreT, TxBegin, TxEnd
+from repro.mem import layout
+
+BASE = layout.PM_HEAP_BASE
+
+
+class TestLazyEviction:
+    def _machine_with_deferred_line(self):
+        m = Machine(SLPMT)
+        m.execute(TxBegin())
+        m.execute(StoreT(BASE, 5, lazy=True, log_free=True))
+        m.execute(TxEnd())
+        assert m.deferred_line_count() == 1
+        return m
+
+    def _evict_everything(self, m):
+        # Addresses conflicting in the *L2* set also conflict in L1 (the
+        # L2 set count is a multiple of L1's), so this pushes the target
+        # line out of both private levels.
+        span = m.l2.config.num_sets * 64
+        ways = m.l1.config.ways + m.l2.config.ways + 2
+        for i in range(1, ways + 1):
+            m.execute(Load(BASE + i * span))
+
+    def test_evicted_lazy_line_written_back(self):
+        m = self._machine_with_deferred_line()
+        self._evict_everything(m)
+        # The deferred line left the private caches: its data is now in
+        # PM (written back) and the deferred set no longer tracks it.
+        assert m.durable_read(BASE) == 5
+        assert m.deferred_line_count() == 0
+
+    def test_forcing_after_eviction_is_harmless(self):
+        m = self._machine_with_deferred_line()
+        self._evict_everything(m)
+        m.execute(TxBegin())
+        m.execute(Store(BASE + 8, 1))  # would force, but nothing remains
+        m.execute(TxEnd())
+        assert m.durable_read(BASE) == 5
+
+
+class TestSignatureFalsePositives:
+    def test_false_positive_only_costs_performance(self):
+        # Saturate one committed transaction's signature, then store to
+        # unrelated addresses: any false-positive hit persists the lazy
+        # set early — never incorrectly.
+        m = Machine(SLPMT)
+        m.execute(TxBegin())
+        for i in range(300):  # large read set saturates the Bloom filter
+            m.execute(Load(BASE + 0x100000 + i * 64))
+        m.execute(StoreT(BASE, 5, lazy=True, log_free=True))
+        m.execute(TxEnd())
+        m.execute(TxBegin())
+        for i in range(200):
+            m.execute(Store(BASE + 0x900000 + i * 64, i))
+        m.execute(TxEnd())
+        if m.stats.signature_hits:
+            assert m.durable_read(BASE) == 5  # forced, and correctly so
+        else:
+            assert m.deferred_line_count() == 1
+
+
+class TestBookkeeping:
+    def test_deferred_count_across_many_transactions(self):
+        m = Machine(SLPMT)
+        for i in range(10):
+            m.execute(TxBegin())
+            m.execute(StoreT(BASE + i * 4096, i, lazy=True, log_free=True))
+            m.execute(TxEnd())
+        # The ID pool bounds how many transactions stay deferred.
+        assert len(m.lazy_tx_ids()) <= DEFAULT_CONFIG.num_tx_ids
+        # Everything older was forced out and is durable.
+        for i in range(10 - DEFAULT_CONFIG.num_tx_ids):
+            assert m.durable_read(BASE + i * 4096) == i
+
+    def test_commit_cycles_accumulate(self):
+        m = Machine(SLPMT)
+        m.execute(TxBegin())
+        m.execute(Store(BASE, 1))
+        m.execute(TxEnd())
+        assert m.stats.commit_cycles > 0
+        assert m.stats.commit_cycles < m.now
+
+    def test_current_tx_seq_monotone(self):
+        m = Machine(SLPMT)
+        seqs = []
+        for _ in range(3):
+            m.execute(TxBegin())
+            seqs.append(m.current_tx_seq)
+            m.execute(TxEnd())
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 3

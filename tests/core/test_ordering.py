@@ -1,0 +1,55 @@
+"""Figure-4 persist ordering rules."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.core.ordering import CommitPhase, LoggingMode, check_order, commit_phases
+
+LOGS = CommitPhase.LOG_RECORDS
+FREE = CommitPhase.LOGFREE_LINES
+LOGGED = CommitPhase.LOGGED_LINES
+
+
+class TestPhaseOrder:
+    def test_undo_logs_before_logged_lines(self):
+        phases = commit_phases(LoggingMode.UNDO)
+        assert phases.index(LOGS) < phases.index(LOGGED)
+
+    def test_redo_logfree_before_logged_lines(self):
+        phases = commit_phases(LoggingMode.REDO)
+        assert phases.index(FREE) < phases.index(LOGGED)
+        assert phases.index(LOGS) < phases.index(LOGGED)
+
+    def test_each_mode_has_all_phases(self):
+        for mode in LoggingMode:
+            assert set(commit_phases(mode)) == {LOGS, FREE, LOGGED}
+
+
+class TestCheckOrder:
+    def test_undo_valid_sequence(self):
+        check_order(LoggingMode.UNDO, [LOGS, LOGS, FREE, LOGGED, LOGGED])
+
+    def test_undo_logfree_anywhere(self):
+        # Under undo, log-free lines have no ordering constraint.
+        check_order(LoggingMode.UNDO, [FREE, LOGS, LOGGED, FREE])
+
+    def test_undo_detects_early_logged_line(self):
+        with pytest.raises(SimulationError):
+            check_order(LoggingMode.UNDO, [LOGGED, LOGS])
+
+    def test_undo_detects_interleaved_violation(self):
+        with pytest.raises(SimulationError):
+            check_order(LoggingMode.UNDO, [LOGS, LOGGED, LOGS])
+
+    def test_redo_valid_sequence(self):
+        check_order(LoggingMode.REDO, [FREE, FREE, LOGS, LOGGED])
+
+    def test_redo_detects_late_logfree(self):
+        # The Section III-A failure scenario: a logged line persisted
+        # while some log-free line is still volatile.
+        with pytest.raises(SimulationError):
+            check_order(LoggingMode.REDO, [LOGS, LOGGED, FREE])
+
+    def test_empty_sequences_pass(self):
+        check_order(LoggingMode.UNDO, [])
+        check_order(LoggingMode.REDO, [LOGS, LOGS])

@@ -1,0 +1,82 @@
+"""Log records: tiers, buddies, merging (Figure 6)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.core.records import LogRecord, merge, record_size_bytes, tier_span_bytes
+
+
+class TestRecordGeometry:
+    @pytest.mark.parametrize("n,tier", [(1, 0), (2, 1), (4, 2), (8, 3)])
+    def test_tier_from_word_count(self, n, tier):
+        rec = LogRecord(addr=0x1000, words=tuple(range(n)))
+        assert rec.tier == tier
+
+    @pytest.mark.parametrize("tier,size", [(0, 16), (1, 24), (2, 40), (3, 72)])
+    def test_record_sizes_match_figure_6(self, tier, size):
+        assert record_size_bytes(tier) == size
+
+    def test_size_bytes_property(self):
+        assert LogRecord(0x1000, (1,)).size_bytes == 16
+        assert LogRecord(0x1000, tuple(range(8))).size_bytes == 72
+
+    def test_span_bytes(self):
+        assert tier_span_bytes(0) == 8
+        assert tier_span_bytes(3) == 64
+
+    def test_invalid_word_count(self):
+        with pytest.raises(SimulationError):
+            LogRecord(0x1000, (1, 2, 3))
+
+    def test_misaligned_record_rejected(self):
+        with pytest.raises(SimulationError):
+            LogRecord(0x1008, (1, 2))  # 2-word record must be 16-aligned
+
+    def test_line_addr(self):
+        assert LogRecord(0x1048, (1,)).line_addr == 0x1040
+
+    def test_covers(self):
+        rec = LogRecord(0x1000, (1, 2))
+        assert rec.covers(0x1000)
+        assert rec.covers(0x1008)
+        assert not rec.covers(0x1010)
+
+
+class TestBuddies:
+    def test_buddy_addr_low(self):
+        assert LogRecord(0x1000, (1,)).buddy_addr() == 0x1008
+
+    def test_buddy_addr_high(self):
+        assert LogRecord(0x1008, (1,)).buddy_addr() == 0x1000
+
+    def test_buddy_addr_tier1(self):
+        assert LogRecord(0x1000, (1, 2)).buddy_addr() == 0x1010
+
+    def test_is_low_buddy(self):
+        assert LogRecord(0x1000, (1,)).is_low_buddy()
+        assert not LogRecord(0x1008, (1,)).is_low_buddy()
+
+
+class TestMerge:
+    def test_merge_words_ordered(self):
+        low = LogRecord(0x1000, (1,))
+        high = LogRecord(0x1008, (2,))
+        merged = merge(high, low)  # argument order must not matter
+        assert merged.addr == 0x1000
+        assert merged.words == (1, 2)
+        assert merged.tier == 1
+
+    def test_merge_up_to_full_line(self):
+        a = LogRecord(0x1000, tuple(range(4)))
+        b = LogRecord(0x1020, tuple(range(4, 8)))
+        merged = merge(a, b)
+        assert merged.tier == 3
+        assert merged.words == tuple(range(8))
+
+    def test_non_buddies_rejected(self):
+        with pytest.raises(SimulationError):
+            merge(LogRecord(0x1000, (1,)), LogRecord(0x1010, (2,)))
+
+    def test_different_tiers_rejected(self):
+        with pytest.raises(SimulationError):
+            merge(LogRecord(0x1000, (1,)), LogRecord(0x1010, (2, 3)))

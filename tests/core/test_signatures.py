@@ -1,0 +1,85 @@
+"""Working-set Bloom signatures (Section III-C3)."""
+
+import random
+
+from repro.common.config import SignatureConfig
+from repro.core.signatures import BloomSignature, SignatureFile
+
+
+def signature():
+    return BloomSignature(SignatureConfig())
+
+
+class TestBloomSignature:
+    def test_empty_contains_nothing(self):
+        sig = signature()
+        assert not sig.maybe_contains(0x1000)
+        assert sig.is_empty
+
+    def test_no_false_negatives(self):
+        sig = signature()
+        rng = random.Random(1)
+        addrs = [rng.randrange(0, 1 << 40) & ~63 for _ in range(200)]
+        for a in addrs:
+            sig.insert(a)
+        assert all(sig.maybe_contains(a) for a in addrs)
+
+    def test_mostly_rejects_unrelated(self):
+        sig = signature()
+        rng = random.Random(2)
+        for _ in range(50):
+            sig.insert(rng.randrange(0, 1 << 40) & ~63)
+        false_positives = sum(
+            sig.maybe_contains(rng.randrange(1 << 41, 1 << 42) & ~63)
+            for _ in range(500)
+        )
+        assert false_positives < 50  # << 10% at this load
+
+    def test_clear(self):
+        sig = signature()
+        sig.insert(0x1000)
+        sig.clear()
+        assert not sig.maybe_contains(0x1000)
+        assert sig.inserted_count == 0
+
+    def test_saturation_grows(self):
+        sig = signature()
+        before = sig.saturation()
+        for i in range(100):
+            sig.insert(0x1000 + i * 64)
+        assert sig.saturation() > before
+
+    def test_deterministic(self):
+        a, b = signature(), signature()
+        a.insert(0xABC0)
+        b.insert(0xABC0)
+        assert a._bits == b._bits  # shared hash functions (paper)
+
+
+class TestSignatureFile:
+    def test_holds_four(self):
+        assert len(SignatureFile(SignatureConfig())) == 4
+
+    def test_probe_finds_matching_ids(self):
+        file = SignatureFile(SignatureConfig())
+        file[1].insert(0x2000)
+        file[3].insert(0x2000)
+        assert file.probe(0x2000, [0, 1, 2, 3]) == [1, 3]
+
+    def test_probe_respects_active_list(self):
+        file = SignatureFile(SignatureConfig())
+        file[1].insert(0x2000)
+        assert file.probe(0x2000, [0, 2]) == []
+
+    def test_clear_one(self):
+        file = SignatureFile(SignatureConfig())
+        file[2].insert(0x2000)
+        file.clear(2)
+        assert file.probe(0x2000, [2]) == []
+
+    def test_clear_all(self):
+        file = SignatureFile(SignatureConfig())
+        for i in range(4):
+            file[i].insert(0x2000)
+        file.clear_all()
+        assert file.probe(0x2000, [0, 1, 2, 3]) == []

@@ -1,0 +1,128 @@
+"""Machine event tracing."""
+
+from repro.core.machine import Machine
+from repro.core.schemes import SLPMT
+from repro.core.tracing import Tracer
+from repro.isa.instructions import Store, StoreT, TxAbort, TxBegin, TxEnd
+from repro.mem import layout
+
+BASE = layout.PM_HEAP_BASE
+
+
+def traced_machine(**tracer_kwargs):
+    m = Machine(SLPMT)
+    m.tracer = Tracer(**tracer_kwargs)
+    return m
+
+
+class TestEventCapture:
+    def test_transaction_lifecycle(self):
+        m = traced_machine()
+        m.execute(TxBegin())
+        m.execute(Store(BASE, 1))
+        m.execute(TxEnd())
+        kinds = [e.kind for e in m.tracer.events()]
+        assert kinds[0] == "tx_begin"
+        assert "commit" in kinds
+
+    def test_commit_event_fields(self):
+        m = traced_machine()
+        m.execute(TxBegin())
+        m.execute(Store(BASE, 1))
+        m.execute(TxEnd())
+        commit = m.tracer.last("commit")
+        assert commit.fields["tx_seq"] == 1
+        assert commit.fields["cycles"] > 0
+
+    def test_abort_event(self):
+        m = traced_machine()
+        m.execute(TxBegin())
+        m.execute(Store(BASE, 1))
+        m.execute(TxAbort())
+        assert m.tracer.last("abort") is not None
+
+    def test_forced_lazy_and_signature_hit(self):
+        m = traced_machine()
+        m.execute(TxBegin())
+        m.execute(StoreT(BASE, 5, lazy=True, log_free=True))
+        m.execute(TxEnd())
+        m.execute(TxBegin())
+        m.execute(Store(BASE + 8, 1))
+        m.execute(TxEnd())
+        forced = m.tracer.last("forced_lazy")
+        assert forced is not None
+        assert forced.fields["lines"] == 1
+
+    def test_crash_event(self):
+        m = traced_machine()
+        m.crash()
+        assert m.tracer.last("crash") is not None
+
+    def test_txid_reclaim_event(self):
+        m = traced_machine()
+        m.execute(TxBegin())
+        m.execute(StoreT(BASE, 5, lazy=True, log_free=True))
+        m.execute(TxEnd())
+        for _ in range(m.config.num_tx_ids):
+            m.execute(TxBegin())
+            m.execute(TxEnd())
+        assert m.tracer.last("txid_reclaim") is not None
+
+    def test_context_switch_event(self):
+        m = traced_machine()
+        m.execute(TxBegin())
+        m.execute(Store(BASE, 1))
+        m.context_switch()
+        event = m.tracer.last("context_switch")
+        assert event.fields["drained"] >= 1
+
+
+class TestTracerMechanics:
+    def test_no_tracer_no_overhead_or_error(self):
+        m = Machine(SLPMT)
+        m.execute(TxBegin())
+        m.execute(Store(BASE, 1))
+        m.execute(TxEnd())  # must not raise
+
+    def test_tracing_never_changes_behaviour(self):
+        def run(with_tracer):
+            m = Machine(SLPMT)
+            if with_tracer:
+                m.tracer = Tracer()
+            m.execute(TxBegin())
+            for i in range(16):
+                m.execute(Store(BASE + i * 64, i))
+            m.execute(TxEnd())
+            m.finalize()
+            return m.now, m.stats.pm_bytes_written
+
+        assert run(True) == run(False)
+
+    def test_kind_filter(self):
+        m = traced_machine(kinds=["commit"])
+        m.execute(TxBegin())
+        m.execute(Store(BASE, 1))
+        m.execute(TxEnd())
+        assert {e.kind for e in m.tracer.events()} == {"commit"}
+
+    def test_ring_buffer_bounds(self):
+        tracer = Tracer(capacity=5)
+        for i in range(12):
+            tracer.emit(i, 0, "tx_begin", n=i)
+        assert len(tracer) == 5
+        assert tracer.dropped == 7
+        assert tracer.total_emitted == 12
+        assert tracer.events()[0].fields["n"] == 7  # oldest kept
+
+    def test_format_readable(self):
+        m = traced_machine()
+        m.execute(TxBegin())
+        m.execute(TxEnd())
+        text = m.tracer.format()
+        assert "tx_begin" in text and "core0" in text
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(0, 0, "crash")
+        tracer.clear()
+        assert len(tracer) == 0

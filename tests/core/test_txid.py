@@ -1,0 +1,89 @@
+"""Circular transaction-ID allocation (Section III-C2)."""
+
+import pytest
+
+from repro.common.errors import SimulationError, TransactionError
+from repro.core.txid import TxIdAllocator
+
+
+class TestCircularAllocation:
+    def test_ids_go_around_the_circle(self):
+        alloc = TxIdAllocator(4)
+        ids = []
+        for _ in range(4):
+            tid = alloc.allocate()
+            ids.append(tid)
+            alloc.release(tid)
+        assert ids == [0, 1, 2, 3]
+
+    def test_wraps_after_full_cycle(self):
+        alloc = TxIdAllocator(4)
+        for _ in range(4):
+            alloc.release(alloc.allocate())
+        assert alloc.allocate() == 0
+
+    def test_blocked_when_next_still_active(self):
+        alloc = TxIdAllocator(2)
+        alloc.allocate()  # 0 stays active
+        alloc.release(alloc.allocate())  # 1 released
+        assert alloc.allocate() is None  # circle points at 0, still active
+
+    def test_blocked_id_is_oldest_active(self):
+        alloc = TxIdAllocator(4)
+        first = alloc.allocate()
+        for _ in range(3):
+            alloc.release(alloc.allocate())
+        assert alloc.allocate() is None
+        assert alloc.oldest_active() == first == alloc.next_id()
+
+    def test_release_then_allocate_succeeds(self):
+        alloc = TxIdAllocator(2)
+        a = alloc.allocate()
+        alloc.release(alloc.allocate())
+        assert alloc.allocate() is None
+        alloc.release(a)
+        assert alloc.allocate() == a
+
+
+class TestAgeOrder:
+    def test_active_ids_oldest_first(self):
+        alloc = TxIdAllocator(4)
+        a = alloc.allocate()
+        b = alloc.allocate()
+        assert alloc.active_ids == [a, b]
+
+    def test_ids_through(self):
+        alloc = TxIdAllocator(4)
+        a = alloc.allocate()
+        b = alloc.allocate()
+        c = alloc.allocate()
+        assert alloc.ids_through(b) == [a, b]
+        assert alloc.ids_through(c) == [a, b, c]
+
+    def test_ids_through_inactive_rejected(self):
+        alloc = TxIdAllocator(4)
+        with pytest.raises(SimulationError):
+            alloc.ids_through(2)
+
+
+class TestErrorsAndReset:
+    def test_release_inactive_rejected(self):
+        with pytest.raises(SimulationError):
+            TxIdAllocator(4).release(0)
+
+    def test_too_few_ids_rejected(self):
+        with pytest.raises(TransactionError):
+            TxIdAllocator(1)
+
+    def test_reset(self):
+        alloc = TxIdAllocator(4)
+        alloc.allocate()
+        alloc.reset()
+        assert alloc.free_count == 4
+        assert alloc.allocate() == 0
+
+    def test_free_count(self):
+        alloc = TxIdAllocator(4)
+        alloc.allocate()
+        alloc.allocate()
+        assert alloc.free_count == 2

@@ -1,0 +1,78 @@
+"""Volatile (DRAM) accesses through the same cache hierarchy."""
+
+from repro.core.machine import Machine
+from repro.core.schemes import SLPMT
+from repro.isa.instructions import Load, Store, TxBegin, TxEnd
+from repro.mem import layout
+
+VOL = 0x1000  # below PM_BASE: DRAM-backed
+PM = layout.PM_HEAP_BASE
+
+
+class TestVolatileAccess:
+    def test_store_load_roundtrip(self):
+        m = Machine(SLPMT)
+        m.execute(Store(VOL, 5))
+        assert m.execute(Load(VOL)) == 5
+
+    def test_volatile_store_creates_no_log(self):
+        m = Machine(SLPMT)
+        m.execute(TxBegin())
+        m.execute(Store(VOL, 5))
+        assert m.stats.log_records_created == 0
+        m.execute(TxEnd())
+        assert m.stats.pm_bytes_written == 0
+
+    def test_commit_ignores_volatile_lines(self):
+        m = Machine(SLPMT)
+        m.execute(TxBegin())
+        m.execute(Store(VOL, 5))
+        m.execute(Store(PM, 6))
+        m.execute(TxEnd())
+        assert m.stats.pm_data_lines_written == 1  # only the PM line
+
+    def test_eviction_writes_back_to_dram(self):
+        m = Machine(SLPMT)
+        m.execute(Store(VOL, 7))
+        # Evict through both private levels by walking same-set lines.
+        set_span = m.l1.config.num_sets * 64
+        for i in range(1, 80):
+            m.execute(Load(VOL + i * set_span))
+        assert m.dram.read_word(VOL) == 7 or m.raw_read(VOL) == 7
+
+    def test_crash_loses_volatile_data(self):
+        m = Machine(SLPMT)
+        m.execute(Store(VOL, 7))
+        m.crash()
+        assert m.raw_read(VOL) == 0
+
+    def test_mixed_volatile_and_persistent_transaction(self):
+        m = Machine(SLPMT)
+        m.execute(TxBegin())
+        m.execute(Store(VOL, 1))
+        m.execute(Store(PM, 2))
+        m.execute(TxEnd())
+        m.crash()
+        assert m.durable_read(PM) == 2
+        assert m.raw_read(VOL) == 0
+
+
+class TestRawAccessLevels:
+    def test_raw_read_prefers_cache_copies(self):
+        m = Machine(SLPMT)
+        m.execute(TxBegin())
+        m.execute(Store(PM, 42))
+        # Dirty in L1: PM still has 0, raw_read sees 42.
+        assert m.durable_read(PM) == 0
+        assert m.raw_read(PM) == 42
+
+    def test_raw_write_visible_to_simulated_load(self):
+        m = Machine(SLPMT)
+        m.execute(Load(PM))  # pull the line into L1 first
+        m.raw_write(PM, 9)
+        assert m.execute(Load(PM)) == 9
+
+    def test_raw_read_falls_back_to_dram(self):
+        m = Machine(SLPMT)
+        m.dram.write_word(VOL, 3)
+        assert m.raw_read(VOL) == 3

@@ -1,0 +1,59 @@
+"""Derived metrics."""
+
+import pytest
+
+from repro.common.stats import SimStats
+from repro.harness.metrics import geomean, mean, speedup, traffic_ratio, traffic_reduction
+from repro.harness.runner import RunResult
+
+
+def result(cycles, pm_bytes):
+    return RunResult(
+        workload="w",
+        scheme="s",
+        policy="p",
+        value_bytes=256,
+        num_ops=10,
+        cycles=cycles,
+        pm_bytes=pm_bytes,
+        pm_log_bytes=0,
+        pm_data_bytes=pm_bytes,
+        stats=SimStats(),
+    )
+
+
+class TestSpeedup:
+    def test_faster_gives_above_one(self):
+        assert speedup(result(2000, 1), result(1000, 1)) == 2.0
+
+    def test_cycles_per_op(self):
+        assert result(1000, 1).cycles_per_op == 100.0
+
+
+class TestTraffic:
+    def test_reduction(self):
+        assert traffic_reduction(result(1, 1000), result(1, 650)) == pytest.approx(0.35)
+
+    def test_ratio(self):
+        assert traffic_ratio(result(1, 1000), result(1, 1200)) == pytest.approx(1.2)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            traffic_reduction(result(1, 0), result(1, 10))
+
+
+class TestAverages:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geomean_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_geomean_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_mean(self):
+        assert mean([1.0, 3.0]) == 2.0

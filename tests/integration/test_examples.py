@@ -1,0 +1,40 @@
+"""Every shipped example must run clean (they are deliverables too)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_example_inventory():
+    assert {
+        "quickstart.py",
+        "figure1_linked_list.py",
+        "compare_schemes.py",
+        "crash_recovery_demo.py",
+        "compiler_annotations.py",
+        "inplace_updates.py",
+        "concurrent_transactions.py",
+        "observability.py",
+    } <= set(EXAMPLES)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name):
+    if name == "compare_schemes.py":
+        args = ["60"]  # the op count is a CLI knob; keep the test quick
+    else:
+        args = []
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{name} printed nothing"

@@ -1,0 +1,125 @@
+"""Fast qualitative checks of the paper's headline results.
+
+These run miniature versions of the benchmark sweeps (small op counts)
+and assert the *directions* the evaluation reports: who wins, what
+reduces traffic, which sensitivities point which way.  The full-size
+regenerations live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.harness.metrics import geomean, speedup, traffic_reduction
+from repro.harness.runner import cached_run
+from repro.workloads import KERNELS, PMKV
+
+OPS = 120
+VB = 128
+
+
+def run(workload, scheme, **kw):
+    kw.setdefault("num_ops", OPS)
+    kw.setdefault("value_bytes", VB)
+    return cached_run(workload, scheme, **kw)
+
+
+class TestFigure8Directions:
+    @pytest.mark.parametrize("workload", KERNELS)
+    def test_slpmt_beats_baseline(self, workload):
+        assert speedup(run(workload, "FG"), run(workload, "SLPMT")) > 1.2
+
+    @pytest.mark.parametrize("workload", KERNELS)
+    def test_slpmt_cuts_traffic(self, workload):
+        assert traffic_reduction(run(workload, "FG"), run(workload, "SLPMT")) > 0.2
+
+    @pytest.mark.parametrize("workload", KERNELS)
+    def test_prior_work_generates_more_traffic_than_fg(self, workload):
+        base = run(workload, "FG")
+        assert run(workload, "ATOM").pm_bytes > base.pm_bytes
+        assert run(workload, "EDE").pm_bytes > base.pm_bytes
+
+    def test_feature_breakdown_composes(self):
+        # Log-free and lazy each help; together at least as much.
+        for workload in KERNELS:
+            fg = run(workload, "FG")
+            lg = speedup(fg, run(workload, "FG+LG"))
+            lz = speedup(fg, run(workload, "FG+LZ"))
+            both = speedup(fg, run(workload, "SLPMT"))
+            assert lg > 1.0
+            assert lz >= 0.99
+            assert both >= max(lg, lz) - 0.02
+
+    def test_slpmt_beats_prior_work_on_average(self):
+        assert geomean(
+            speedup(run(w, "ATOM"), run(w, "SLPMT")) for w in KERNELS
+        ) > 1.3
+        assert geomean(
+            speedup(run(w, "EDE"), run(w, "SLPMT")) for w in KERNELS
+        ) > 1.3
+
+
+class TestFigure9Direction:
+    def test_selective_logging_helps_even_at_line_granularity(self):
+        sp = geomean(
+            speedup(run(w, "FG-line"), run(w, "SLPMT-line")) for w in KERNELS
+        )
+        assert sp > 1.15
+
+    def test_line_granularity_costs_traffic(self):
+        for workload in KERNELS:
+            assert run(workload, "FG-line").pm_bytes > run(workload, "FG").pm_bytes
+
+
+class TestFigure10And11Directions:
+    def test_speedup_grows_with_value_size(self):
+        small = geomean(
+            speedup(run(w, "FG", value_bytes=16), run(w, "SLPMT", value_bytes=16))
+            for w in KERNELS
+        )
+        large = geomean(
+            speedup(run(w, "FG", value_bytes=256), run(w, "SLPMT", value_bytes=256))
+            for w in KERNELS
+        )
+        assert large > small > 1.05
+
+    def test_traffic_saving_grows_with_value_size(self):
+        def saved(vb):
+            return sum(
+                run(w, "FG", value_bytes=vb).pm_bytes
+                - run(w, "SLPMT", value_bytes=vb).pm_bytes
+                for w in KERNELS
+            )
+
+        assert saved(256) > saved(64) > saved(16) > 0
+
+
+class TestFigure12Direction:
+    def test_speedup_not_hurt_by_longer_write_latency(self):
+        for workload in KERNELS:
+            fast = speedup(
+                run(workload, "FG", pm_write_latency_ns=500.0),
+                run(workload, "SLPMT", pm_write_latency_ns=500.0),
+            )
+            slow = speedup(
+                run(workload, "FG", pm_write_latency_ns=2300.0),
+                run(workload, "SLPMT", pm_write_latency_ns=2300.0),
+            )
+            assert slow >= fast - 0.05
+
+
+class TestFigure14Directions:
+    @pytest.mark.parametrize("workload", PMKV)
+    def test_slpmt_beats_prior_work_on_kv(self, workload):
+        assert speedup(run(workload, "ATOM"), run(workload, "SLPMT")) > 1.2
+        assert speedup(run(workload, "EDE"), run(workload, "SLPMT")) > 1.1
+
+    def test_small_values_shrink_the_gain(self):
+        for workload in PMKV:
+            large = speedup(
+                run(workload, "FG", value_bytes=256),
+                run(workload, "SLPMT", value_bytes=256),
+            )
+            small = speedup(
+                run(workload, "FG", value_bytes=16),
+                run(workload, "SLPMT", value_bytes=16),
+            )
+            assert large > small

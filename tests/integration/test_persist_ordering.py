@@ -1,0 +1,124 @@
+"""Figure-4 persist ordering, observed on live commit traces."""
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.core.ordering import CommitPhase, LoggingMode, check_order
+from repro.core.schemes import SLPMT, Scheme
+from repro.isa.instructions import Store, StoreT, TxBegin, TxEnd
+from repro.mem import layout
+
+BASE = layout.PM_HEAP_BASE
+
+REDO_SLPMT = Scheme(
+    name="SLPMT-redo",
+    honor_log_free=True,
+    honor_lazy=False,
+    logging_mode=LoggingMode.REDO,
+)
+
+
+def traced_commit(scheme, body):
+    """Run one transaction, tracing only the commit's durability events."""
+    m = Machine(scheme)
+    m.execute(TxBegin())
+    body(m)
+    m.trace_persist_order = True
+    m.execute(TxEnd())
+    return m
+
+
+def mixed_body(m):
+    m.execute(Store(BASE, 1))  # logged line
+    m.execute(StoreT(BASE + 64, 2, log_free=True))  # log-free line
+    m.execute(Store(BASE + 128, 3))  # another logged line
+
+
+class TestUndoOrdering:
+    def test_records_before_logged_lines(self):
+        m = traced_commit(SLPMT, mixed_body)
+        check_order(LoggingMode.UNDO, m.persist_trace)
+
+    def test_marker_is_last(self):
+        m = traced_commit(SLPMT, mixed_body)
+        assert m.persist_trace[-1] is CommitPhase.COMMIT_MARKER
+
+    def test_all_phases_present(self):
+        m = traced_commit(SLPMT, mixed_body)
+        phases = set(m.persist_trace)
+        assert CommitPhase.LOG_RECORDS in phases
+        assert CommitPhase.LOGFREE_LINES in phases
+        assert CommitPhase.LOGGED_LINES in phases
+
+
+class TestRedoOrdering:
+    def test_logfree_lines_before_logged_lines(self):
+        m = traced_commit(REDO_SLPMT, mixed_body)
+        check_order(LoggingMode.REDO, m.persist_trace)
+        trace = m.persist_trace
+        last_free = max(i for i, p in enumerate(trace) if p is CommitPhase.LOGFREE_LINES)
+        first_logged = min(
+            i for i, p in enumerate(trace) if p is CommitPhase.LOGGED_LINES
+        )
+        assert last_free < first_logged
+
+    def test_marker_before_logged_data(self):
+        m = traced_commit(REDO_SLPMT, mixed_body)
+        trace = m.persist_trace
+        marker = trace.index(CommitPhase.COMMIT_MARKER)
+        first_logged = min(
+            i for i, p in enumerate(trace) if p is CommitPhase.LOGGED_LINES
+        )
+        assert marker < first_logged
+
+
+class TestRedoEndToEnd:
+    def test_commit_durability(self):
+        m = Machine(REDO_SLPMT)
+        m.execute(TxBegin())
+        m.execute(Store(BASE, 42))
+        m.execute(Store(BASE, 43))  # final value must win
+        m.execute(TxEnd())
+        assert m.durable_read(BASE) == 43
+
+    def test_uncommitted_data_stays_volatile(self):
+        # No-steal: redo transactions must not leak uncommitted data.
+        m = Machine(REDO_SLPMT)
+        m.execute(TxBegin())
+        m.execute(Store(BASE, 42))
+        assert m.durable_read(BASE) == 0
+
+    def test_crash_mid_commit_recovers_forward(self):
+        from repro.recovery.engine import recover
+
+        m = Machine(REDO_SLPMT)
+        m.execute(TxBegin())
+        m.execute(Store(BASE, 42))
+        # Crash after records + marker are durable but before the data.
+        m.schedule_crash_after_persists(2)
+        with pytest.raises(Exception):
+            m.execute(TxEnd())
+        m.crash()
+        report = recover(m.pm, mode=LoggingMode.REDO)
+        if report.replayed_tx_seqs:
+            assert m.durable_read(BASE) == 42
+        else:
+            assert m.durable_read(BASE) == 0
+
+    def test_crash_sweep_is_atomic(self):
+        from repro.recovery.engine import recover
+
+        for point in range(6):
+            m = Machine(REDO_SLPMT)
+            m.execute(TxBegin())
+            m.execute(Store(BASE, 42))
+            m.execute(Store(BASE + 8, 43))
+            m.schedule_crash_after_persists(point)
+            try:
+                m.execute(TxEnd())
+                m.cancel_scheduled_crash()
+            except Exception:
+                m.crash()
+                recover(m.pm, mode=LoggingMode.REDO)
+            pair = (m.durable_read(BASE), m.durable_read(BASE + 8))
+            assert pair in ((0, 0), (42, 43)), f"torn state {pair} at {point}"

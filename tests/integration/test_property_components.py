@@ -1,0 +1,106 @@
+"""Property-based checks on core components (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.allocator import PersistentAllocator
+from repro.common.config import LogBufferConfig, SignatureConfig
+from repro.core.logbuffer import TieredLogBuffer
+from repro.core.records import LogRecord
+from repro.core.signatures import BloomSignature
+from repro.core.txid import TxIdAllocator
+from repro.mem import layout
+
+word_addrs = st.integers(min_value=0, max_value=1 << 20).map(lambda i: i * 8)
+
+
+class TestLogBufferProperties:
+    @given(addrs=st.lists(word_addrs, min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_coalescing_conserves_word_coverage(self, addrs):
+        """Every logged word is covered exactly once across drained and
+        buffered records, regardless of coalescing/drain interleaving."""
+        buf = TieredLogBuffer(LogBufferConfig())
+        out = []
+        inserted = set()
+        for addr in addrs:
+            if addr in inserted:
+                continue  # the machine's log bits prevent duplicates
+            inserted.add(addr)
+            out.extend(buf.insert(LogRecord(addr, (addr,))))
+        out.extend(buf.drain_all())
+        covered = []
+        for record in out:
+            for i in range(len(record.words)):
+                covered.append(record.addr + i * 8)
+        assert sorted(covered) == sorted(inserted)
+        buf.validate()
+
+    @given(addrs=st.lists(word_addrs, min_size=1, max_size=60, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_payload_values_preserved(self, addrs):
+        buf = TieredLogBuffer(LogBufferConfig())
+        values = {addr: addr ^ 0xABCD for addr in addrs}
+        out = []
+        for addr in addrs:
+            out.extend(buf.insert(LogRecord(addr, (values[addr],))))
+        out.extend(buf.drain_all())
+        for record in out:
+            for i, word in enumerate(record.words):
+                assert word == values[record.addr + i * 8]
+
+
+class TestBloomProperties:
+    @given(members=st.sets(word_addrs, min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_never_false_negative(self, members):
+        sig = BloomSignature(SignatureConfig())
+        for addr in members:
+            sig.insert(addr)
+        assert all(sig.maybe_contains(a) for a in members)
+
+
+class TestTxIdProperties:
+    @given(ops=st.lists(st.booleans(), min_size=1, max_size=200),
+           num_ids=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_allocator_never_double_allocates(self, ops, num_ids):
+        alloc = TxIdAllocator(num_ids)
+        held = []
+        for do_alloc in ops:
+            if do_alloc:
+                tid = alloc.allocate()
+                if tid is None:
+                    oldest = alloc.oldest_active()
+                    assert oldest == alloc.next_id()
+                    alloc.release(oldest)
+                    held.remove(oldest)
+                    tid = alloc.allocate()
+                assert tid is not None
+                assert tid not in held
+                held.append(tid)
+            elif held:
+                alloc.release(held.pop(0))
+            assert len(held) == len(set(held)) <= num_ids
+
+
+class TestAllocatorProperties:
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=512),
+                          min_size=1, max_size=80),
+           frees=st.lists(st.integers(min_value=0, max_value=1000), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_live_allocations_never_overlap(self, sizes, frees):
+        alloc = PersistentAllocator(capacity=1 << 22)
+        live = []
+        for size in sizes:
+            live.append(alloc.alloc(size))
+        for index in frees:
+            if live:
+                alloc.free(live.pop(index % len(live)))
+        spans = sorted(
+            (a.addr, a.end) for a in alloc.live_allocations()
+        )
+        for (_, end1), (start2, _) in zip(spans, spans[1:]):
+            assert end1 <= start2
+        for addr, end in spans:
+            assert layout.PM_HEAP_BASE <= addr < end

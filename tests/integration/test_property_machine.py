@@ -1,0 +1,152 @@
+"""Property tests on the machine itself, against a word-level oracle.
+
+Random programs of transactions over random word addresses, with random
+Table-I flag combinations and random crash points, checked against a
+plain-dict model of what each committed transaction wrote.  This is the
+machine-level generalization of the workload crash tests: no data
+structures, no recovery hooks — just the hardware contract.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import PowerFailure
+from repro.core.machine import Machine
+from repro.core.schemes import FG, SLPMT
+from repro.isa.instructions import Load, Store, StoreT, TxBegin, TxEnd
+from repro.mem import layout
+from repro.recovery.engine import recover
+
+BASE = layout.PM_HEAP_BASE
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Word slots spread over a few cache lines.
+addr_strategy = st.integers(min_value=0, max_value=63).map(
+    lambda i: BASE + i * 8
+)
+
+write_strategy = st.tuples(
+    addr_strategy,
+    st.integers(min_value=1, max_value=1 << 32),
+    st.sampled_from(["store", "logfree", "lazy_logged", "lazy_logfree"]),
+)
+
+txn_strategy = st.lists(write_strategy, min_size=1, max_size=8)
+program_strategy = st.lists(txn_strategy, min_size=1, max_size=8)
+
+
+def build_instr(addr, value, flavor):
+    if flavor == "store":
+        return Store(addr, value)
+    if flavor == "logfree":
+        return StoreT(addr, value, log_free=True)
+    if flavor == "lazy_logged":
+        return StoreT(addr, value, lazy=True)
+    return StoreT(addr, value, lazy=True, log_free=True)
+
+
+def run_program(machine, txns, crash_point=None):
+    """Execute; return (oracle, crashed, committed_txn_count)."""
+    oracle = {}
+    done = 0
+    if crash_point is not None:
+        machine.schedule_crash_after_persists(crash_point)
+    try:
+        for txn in txns:
+            machine.execute(TxBegin())
+            staged = {}
+            for addr, value, flavor in txn:
+                machine.execute(build_instr(addr, value, flavor))
+                staged[addr] = value
+            machine.execute(TxEnd())
+            oracle.update(staged)
+            done += 1
+    except PowerFailure:
+        machine.crash()
+        return oracle, True, done
+    machine.cancel_scheduled_crash()
+    return oracle, False, done
+
+
+def flush_everything(machine):
+    for _ in range(machine.config.num_tx_ids):
+        machine.execute(TxBegin())
+        machine.execute(TxEnd())
+    machine.fence()
+
+
+@SETTINGS
+@given(txns=program_strategy)
+def test_committed_writes_become_durable(txns):
+    machine = Machine(SLPMT)
+    oracle, crashed, _ = run_program(machine, txns)
+    assert not crashed
+    flush_everything(machine)
+    for addr, value in oracle.items():
+        assert machine.durable_read(addr) == value
+
+
+@SETTINGS
+@given(txns=program_strategy)
+def test_architectural_state_always_matches_oracle(txns):
+    machine = Machine(SLPMT)
+    oracle, _, _ = run_program(machine, txns)
+    for addr, value in oracle.items():
+        assert machine.execute(Load(addr)) == value
+
+
+@SETTINGS
+@given(txns=program_strategy, crash_point=st.integers(min_value=0, max_value=60))
+def test_crash_atomicity_word_level(txns, crash_point):
+    """After a crash + undo recovery, every word holds a value that was
+    actually written to it (or zero), and committed eager words survive
+    exactly — *unless* the crashed transaction wrote that word log-free:
+    a log-free store overwrites the pre-image the hardware could have
+    logged, so rollback cannot restore it (the paper's Section IV-A
+    mis-annotation hazard; log-free words are the program's to repair).
+    """
+    machine = Machine(SLPMT)
+    committed, crashed, done = run_program(machine, txns, crash_point)
+    if not crashed:
+        flush_everything(machine)
+        for addr, value in committed.items():
+            assert machine.durable_read(addr) == value
+        return
+    recover(machine.pm)
+
+    # 1. No fabricated values: every durable word was written sometime.
+    all_values = {}
+    for txn in txns:
+        for addr, value, _ in txn:
+            all_values.setdefault(addr, {0}).add(value)
+    for addr, legal in all_values.items():
+        durable = machine.durable_read(addr)
+        assert durable in legal, (
+            f"word {addr:#x} holds {durable}, never written there"
+        )
+
+    # 2. Strict check for committed eager words, excluding words the
+    #    crashed (incomplete) transaction touched with log-free stores —
+    #    those are outside the hardware's recovery contract.
+    crashed_txn = txns[done] if done < len(txns) else []
+    logfree_in_crashed = {
+        addr
+        for addr, _, flavor in crashed_txn
+        if flavor in ("logfree", "lazy_logfree")
+    }
+    final_flavor = {}
+    for txn in txns[:done]:
+        for addr, value, flavor in txn:
+            final_flavor[addr] = (value, flavor)
+    for addr, (value, flavor) in final_flavor.items():
+        if addr in logfree_in_crashed:
+            continue
+        if flavor in ("store", "logfree") and committed.get(addr) == value:
+            # Eagerly persisted at its commit; later (crashed) logged
+            # writes roll back to exactly this value.
+            assert machine.durable_read(addr) == value

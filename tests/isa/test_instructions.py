@@ -1,0 +1,67 @@
+"""Instruction construction and the executable Table I."""
+
+import pytest
+
+from repro.common.errors import AlignmentError, IsaError
+from repro.isa.instructions import Fence, Load, Store, StoreT, TxBegin, table1_bits
+
+
+class TestOperandChecks:
+    def test_load_requires_word_alignment(self):
+        with pytest.raises(AlignmentError):
+            Load(0x1001)
+
+    def test_store_requires_word_alignment(self):
+        with pytest.raises(AlignmentError):
+            Store(0x1004, 1)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(IsaError):
+            Load(-8)
+
+    def test_aligned_ok(self):
+        assert Load(0x1000).addr == 0x1000
+        assert StoreT(0x1008, 5).value == 5
+
+
+class TestTableI:
+    """The five rows of Table I."""
+
+    def test_plain_store(self):
+        assert table1_bits(Store(0, 1)) == (True, True)
+
+    def test_storeT_default_matches_store(self):
+        assert table1_bits(StoreT(0, 1, lazy=False, log_free=False)) == (True, True)
+
+    def test_storeT_log_free_only(self):
+        assert table1_bits(StoreT(0, 1, lazy=False, log_free=True)) == (True, False)
+
+    def test_storeT_lazy_and_log_free(self):
+        assert table1_bits(StoreT(0, 1, lazy=True, log_free=True)) == (False, False)
+
+    def test_storeT_lazy_but_logged(self):
+        # The "interesting combination" of Section III-A: logged, but the
+        # record may be discarded if the line survives to commit.
+        assert table1_bits(StoreT(0, 1, lazy=True, log_free=False)) == (False, True)
+
+    def test_non_store_rejected(self):
+        with pytest.raises(IsaError):
+            table1_bits(TxBegin())
+        with pytest.raises(IsaError):
+            table1_bits(Fence())
+
+    def test_properties_match_table(self):
+        instr = StoreT(0, 1, lazy=True, log_free=False)
+        assert instr.persist_bit is False
+        assert instr.log_bit is True
+
+
+class TestImmutability:
+    def test_instructions_are_frozen(self):
+        instr = Store(0x100, 1)
+        with pytest.raises(Exception):
+            instr.value = 2  # type: ignore[misc]
+
+    def test_equality(self):
+        assert Store(0x100, 1) == Store(0x100, 1)
+        assert StoreT(0x100, 1, lazy=True) != StoreT(0x100, 1)

@@ -1,0 +1,94 @@
+"""Program container and builder."""
+
+import pytest
+
+from repro.common.errors import IsaError
+from repro.isa.instructions import Load, Store, StoreT, TxBegin, TxEnd
+from repro.isa.program import Program, ProgramBuilder
+
+
+def sample_program() -> Program:
+    return (
+        ProgramBuilder()
+        .tx_begin()
+        .store(0x1000, 1)
+        .storeT(0x1008, 2, log_free=True)
+        .load(0x1000)
+        .tx_end()
+        .build()
+    )
+
+
+class TestBuilder:
+    def test_length(self):
+        assert len(sample_program()) == 5
+
+    def test_instruction_kinds(self):
+        p = sample_program()
+        assert isinstance(p[0], TxBegin)
+        assert isinstance(p[1], Store)
+        assert isinstance(p[2], StoreT)
+        assert isinstance(p[3], Load)
+        assert isinstance(p[4], TxEnd)
+
+    def test_storeT_flags_recorded(self):
+        p = sample_program()
+        assert p[2].log_free is True
+        assert p[2].lazy is False
+
+    def test_fence_and_abort(self):
+        p = ProgramBuilder().tx_begin().tx_abort().fence().build()
+        assert len(p) == 3
+
+
+class TestTransactionSpans:
+    def test_single_span(self):
+        assert sample_program().transaction_spans() == [(0, 4)]
+
+    def test_multiple_spans(self):
+        p = (
+            ProgramBuilder()
+            .tx_begin().tx_end()
+            .load(0x1000)
+            .tx_begin().store(0x1000, 1).tx_end()
+            .build()
+        )
+        assert p.transaction_spans() == [(0, 1), (3, 5)]
+
+    def test_nested_rejected(self):
+        p = Program([TxBegin(), TxBegin()])
+        with pytest.raises(IsaError):
+            p.transaction_spans()
+
+    def test_unbalanced_end_rejected(self):
+        p = Program([TxEnd()])
+        with pytest.raises(IsaError):
+            p.transaction_spans()
+
+    def test_unterminated_rejected(self):
+        p = Program([TxBegin(), Store(0x1000, 1)])
+        with pytest.raises(IsaError):
+            p.transaction_spans()
+
+
+class TestSlicing:
+    def test_prefix(self):
+        p = sample_program()
+        assert len(p.prefix(2)) == 2
+        assert isinstance(p.prefix(2)[1], Store)
+
+    def test_prefix_does_not_alias(self):
+        p = sample_program()
+        q = p.prefix(3)
+        q.append(TxEnd())
+        assert len(p) == 5
+
+
+class TestDescribe:
+    def test_listing_mentions_every_instruction(self):
+        text = sample_program().describe()
+        assert "tx_begin" in text
+        assert "store " in text
+        assert "storeT" in text
+        assert "log_free=1" in text
+        assert "tx_end" in text

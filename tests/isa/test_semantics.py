@@ -1,0 +1,108 @@
+"""Table I semantics observed on the machine's cache metadata.
+
+These tests execute each store/storeT flag combination inside a
+transaction and inspect the persist/log bits of the touched L1 line —
+the hardware-visible effect Table I defines.
+"""
+
+import pytest
+
+from repro.common import units
+from repro.core.machine import Machine
+from repro.core.schemes import FG, SLPMT
+from repro.isa.instructions import Store, StoreT, TxBegin, TxEnd
+from repro.mem import layout
+
+ADDR = layout.PM_HEAP_BASE + 0x40
+
+
+def line_bits(machine, addr=ADDR):
+    line = machine.l1.lookup(units.line_addr(addr), touch=False)
+    assert line is not None
+    word = units.word_index(addr)
+    return line.persist, line.log_bits[word]
+
+
+@pytest.fixture
+def machine():
+    m = Machine(SLPMT)
+    m.execute(TxBegin())
+    return m
+
+
+class TestTableIOnHardware:
+    def test_store_sets_both_bits(self, machine):
+        machine.execute(Store(ADDR, 1))
+        assert line_bits(machine) == (True, True)
+
+    def test_storeT_default(self, machine):
+        machine.execute(StoreT(ADDR, 1))
+        assert line_bits(machine) == (True, True)
+
+    def test_storeT_log_free(self, machine):
+        machine.execute(StoreT(ADDR, 1, log_free=True))
+        assert line_bits(machine) == (True, False)
+
+    def test_storeT_lazy_log_free(self, machine):
+        machine.execute(StoreT(ADDR, 1, lazy=True, log_free=True))
+        assert line_bits(machine) == (False, False)
+
+    def test_storeT_lazy_logged(self, machine):
+        machine.execute(StoreT(ADDR, 1, lazy=True))
+        assert line_bits(machine) == (False, True)
+
+    def test_later_store_cancels_lazy(self, machine):
+        # Section III-C1: a subsequent eager store on the lazy line sets
+        # the persist bit, cancelling lazy persistency for the line.
+        machine.execute(StoreT(ADDR, 1, lazy=True, log_free=True))
+        machine.execute(Store(ADDR + 8, 2))
+        persist, _ = line_bits(machine)
+        assert persist is True
+
+    def test_log_bit_suppresses_second_record(self, machine):
+        machine.execute(Store(ADDR, 1))
+        created = machine.stats.log_records_created
+        machine.execute(Store(ADDR, 2))
+        assert machine.stats.log_records_created == created
+
+
+class TestSchemeDisable:
+    """The hardware-disable knob: FG treats storeT as store."""
+
+    def test_fg_ignores_log_free(self):
+        m = Machine(FG)
+        m.execute(TxBegin())
+        m.execute(StoreT(ADDR, 1, log_free=True))
+        assert line_bits(m) == (True, True)
+
+    def test_fg_ignores_lazy(self):
+        m = Machine(FG)
+        m.execute(TxBegin())
+        m.execute(StoreT(ADDR, 1, lazy=True, log_free=True))
+        assert line_bits(m) == (True, True)
+
+    def test_fg_commit_persists_everything(self):
+        m = Machine(FG)
+        m.execute(TxBegin())
+        m.execute(StoreT(ADDR, 77, lazy=True, log_free=True))
+        m.execute(TxEnd())
+        assert m.durable_read(ADDR) == 77
+        assert m.deferred_line_count() == 0
+
+
+class TestDurabilityEffects:
+    def test_lazy_line_not_durable_at_commit(self, machine):
+        machine.execute(StoreT(ADDR, 55, lazy=True, log_free=True))
+        machine.execute(TxEnd())
+        assert machine.durable_read(ADDR) == 0
+        assert machine.deferred_line_count() == 1
+
+    def test_eager_log_free_durable_at_commit(self, machine):
+        machine.execute(StoreT(ADDR, 66, log_free=True))
+        machine.execute(TxEnd())
+        assert machine.durable_read(ADDR) == 66
+
+    def test_log_free_creates_no_records(self, machine):
+        machine.execute(StoreT(ADDR, 1, log_free=True))
+        assert machine.stats.log_records_created == 0
+        assert machine.stats.logfree_stores == 1

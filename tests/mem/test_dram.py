@@ -1,0 +1,31 @@
+"""Volatile DRAM device."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.mem.dram import Dram
+
+
+class TestDram:
+    def test_write_read(self):
+        dram = Dram()
+        dram.write_word(0x100, 5)
+        assert dram.read_word(0x100) == 5
+
+    def test_persistent_address_rejected(self):
+        from repro.mem import layout
+
+        dram = Dram()
+        with pytest.raises(SimulationError):
+            dram.write_word(layout.PM_BASE, 1)
+
+    def test_line_roundtrip(self):
+        dram = Dram()
+        dram.write_line(0x200, list(range(8)))
+        assert dram.read_line(0x200) == list(range(8))
+
+    def test_crash_loses_everything(self):
+        dram = Dram()
+        dram.write_word(0x100, 5)
+        dram.crash()
+        assert dram.read_word(0x100) == 0

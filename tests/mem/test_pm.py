@@ -1,0 +1,85 @@
+"""Persistent-memory backing store and durable log region."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.mem import layout
+from repro.mem.pm import DurableLogEntry, PersistentMemory
+
+BASE = layout.PM_HEAP_BASE
+
+
+class TestDataRegion:
+    def test_uninitialised_reads_zero(self):
+        assert PersistentMemory().read_word(BASE) == 0
+
+    def test_write_then_read(self):
+        pm = PersistentMemory()
+        pm.write_word(BASE + 8, 42)
+        assert pm.read_word(BASE + 8) == 42
+
+    def test_unaligned_access_uses_word_base(self):
+        pm = PersistentMemory()
+        pm.write_word(BASE, 7)
+        assert pm.read_word(BASE + 3) == 7
+
+    def test_volatile_address_rejected(self):
+        pm = PersistentMemory()
+        with pytest.raises(SimulationError):
+            pm.read_word(0x100)
+        with pytest.raises(SimulationError):
+            pm.write_word(0x100, 1)
+
+    def test_line_roundtrip(self):
+        pm = PersistentMemory()
+        words = list(range(10, 18))
+        pm.write_line(BASE, words)
+        assert pm.read_line(BASE) == words
+
+    def test_write_line_requires_full_line(self):
+        with pytest.raises(SimulationError):
+            PersistentMemory().write_line(BASE, [1, 2, 3])
+
+
+class TestLogRegion:
+    def test_append_and_filter(self):
+        pm = PersistentMemory()
+        pm.log_append(DurableLogEntry("undo", tx_seq=1, addr=BASE, words=(5,)))
+        pm.log_append(DurableLogEntry("undo", tx_seq=2, addr=BASE + 8, words=(6,)))
+        assert len(pm.log_entries_for(1)) == 1
+        assert pm.log_entries_for(1)[0].words == (5,)
+
+    def test_commit_markers(self):
+        pm = PersistentMemory()
+        pm.log_append(DurableLogEntry("commit", tx_seq=3))
+        assert pm.committed_tx_seqs() == {3}
+
+    def test_discard_tx(self):
+        pm = PersistentMemory()
+        pm.log_append(DurableLogEntry("undo", tx_seq=1, addr=BASE, words=(5,)))
+        pm.log_append(DurableLogEntry("commit", tx_seq=1))
+        pm.log_discard_tx(1)
+        assert pm.log == []
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            DurableLogEntry("bogus", tx_seq=1)
+
+
+class TestSnapshot:
+    def test_snapshot_is_deep(self):
+        pm = PersistentMemory()
+        pm.write_word(BASE, 1)
+        snap = pm.snapshot()
+        pm.write_word(BASE, 2)
+        pm.log_append(DurableLogEntry("commit", tx_seq=1))
+        assert snap.read_word(BASE) == 1
+        assert snap.log == []
+
+    def test_words_equal(self):
+        pm = PersistentMemory()
+        pm.write_word(BASE, 1)
+        snap = pm.snapshot()
+        assert pm.words_equal(snap, [BASE, BASE + 8])
+        pm.write_word(BASE + 8, 9)
+        assert not pm.words_equal(snap, [BASE + 8])

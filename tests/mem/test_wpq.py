@@ -1,0 +1,103 @@
+"""Write-pending-queue timing model."""
+
+import dataclasses
+
+from repro.common.config import DEFAULT_CONFIG
+from repro.mem.wpq import WritePendingQueue
+
+
+def make_wpq(*, ways=1, wpq_bytes=512, write_ns=500.0):
+    pm = dataclasses.replace(
+        DEFAULT_CONFIG.pm, drain_ways=ways, wpq_bytes=wpq_bytes, write_latency_ns=write_ns
+    )
+    return WritePendingQueue(dataclasses.replace(DEFAULT_CONFIG, pm=pm))
+
+
+class TestBasicInsert:
+    def test_insert_pays_insert_latency(self):
+        wpq = make_wpq()
+        result = wpq.insert(0)
+        assert result.finish_time == wpq.insert_latency
+        assert result.stall_cycles == 0
+
+    def test_occupancy_grows_then_drains(self):
+        wpq = make_wpq()
+        for _ in range(3):
+            wpq.insert(0)
+        assert wpq.occupancy(0) == 3
+        assert wpq.occupancy(10_000) == 0
+
+    def test_counts(self):
+        wpq = make_wpq()
+        for _ in range(5):
+            wpq.insert(0)
+        assert wpq.total_inserts == 5
+
+
+class TestCapacityStalls:
+    def test_no_stall_below_capacity(self):
+        wpq = make_wpq()
+        stalls = [wpq.insert(0).stall_cycles for _ in range(wpq.capacity)]
+        assert all(s == 0 for s in stalls)
+
+    def test_ninth_insert_stalls_with_serial_drain(self):
+        wpq = make_wpq(ways=1)
+        for _ in range(8):
+            wpq.insert(0)
+        result = wpq.insert(0)
+        # Must wait for the first drain: one PM write latency.
+        assert result.stall_cycles == wpq.drain_latency
+
+    def test_stall_accumulates_statistics(self):
+        wpq = make_wpq(ways=1)
+        for _ in range(10):
+            wpq.insert(0)
+        assert wpq.total_stall_cycles > 0
+
+    def test_bigger_queue_stalls_later(self):
+        big = make_wpq(wpq_bytes=1024)
+        for _ in range(16):
+            assert big.insert(0).stall_cycles == 0
+        assert big.insert(0).stall_cycles > 0
+
+
+class TestDrainWays:
+    def test_parallel_ways_drain_faster(self):
+        serial = make_wpq(ways=1)
+        banked = make_wpq(ways=4)
+        for _ in range(8):
+            serial.insert(0)
+            banked.insert(0)
+        assert banked.drained_at() < serial.drained_at()
+
+    def test_serial_drain_is_sequential(self):
+        wpq = make_wpq(ways=1)
+        for _ in range(3):
+            wpq.insert(0)
+        assert wpq.drained_at() == 3 * wpq.drain_latency
+
+    def test_four_ways_overlap_four_drains(self):
+        wpq = make_wpq(ways=4)
+        for _ in range(4):
+            wpq.insert(0)
+        assert wpq.drained_at() == wpq.drain_latency
+
+
+class TestLatencySensitivity:
+    def test_longer_write_latency_slows_drain(self):
+        fast = make_wpq(write_ns=500.0)
+        slow = make_wpq(write_ns=2300.0)
+        for _ in range(8):
+            fast.insert(0)
+            slow.insert(0)
+        assert slow.drained_at() > fast.drained_at()
+
+
+class TestReset:
+    def test_reset_clears_timing(self):
+        wpq = make_wpq()
+        for _ in range(8):
+            wpq.insert(0)
+        wpq.reset()
+        assert wpq.occupancy(0) == 0
+        assert wpq.insert(0).stall_cycles == 0

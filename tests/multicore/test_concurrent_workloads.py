@@ -1,0 +1,102 @@
+"""Two cores operating on one durable data structure."""
+
+import pytest
+
+from repro.multicore.system import MultiCoreSystem
+from repro.recovery.engine import recover
+from repro.workloads.hashtable import HashTable
+from repro.workloads.kv.ctree import CritBitKV
+
+
+def insert_until_committed(wl, key, *, max_retries=200):
+    for _ in range(max_retries):
+        if wl.insert(key):
+            return
+    raise AssertionError(f"insert({key}) aborted {max_retries} times")
+
+
+def remove_until_committed(wl, key, *, max_retries=200):
+    for _ in range(max_retries):
+        with wl.rt.transaction():
+            found = wl._remove(key)
+        if not wl.rt.last_aborted:
+            if found:
+                wl.expected.pop(key, None)
+            return found
+    raise AssertionError(f"remove({key}) aborted {max_retries} times")
+
+
+def build_shared(system, cls, value_bytes=32):
+    """Construct the structure on core 0 and clone handles per core."""
+    wl0 = cls(system.runtimes[0], value_bytes=value_bytes)
+    return [wl0] + [wl0.clone_for(rt) for rt in system.runtimes[1:]]
+
+
+@pytest.mark.parametrize("cls", [HashTable, CritBitKV])
+class TestConcurrentStructure:
+    def test_disjoint_key_ranges(self, cls):
+        system = MultiCoreSystem(2, seed=21)
+        handles = build_shared(system, cls)
+
+        def worker_for(handle, base):
+            def worker(rt):
+                for i in range(15):
+                    insert_until_committed(handle, base + i)
+            return worker
+
+        system.run([worker_for(handles[0], 1_000), worker_for(handles[1], 2_000)])
+        system.fence_all()
+        handles[0].verify(durable=True)
+        assert len(handles[0].expected) == 30
+
+    def test_contended_inserts_all_land(self, cls):
+        system = MultiCoreSystem(2, seed=33)
+        handles = build_shared(system, cls)
+
+        def worker_for(handle, base):
+            def worker(rt):
+                for i in range(12):
+                    insert_until_committed(handle, base + i * 7)
+            return worker
+
+        # Overlapping hot ranges: plenty of conflicts on shared headers.
+        system.run([worker_for(handles[0], 100), worker_for(handles[1], 103)])
+        system.fence_all()
+        handles[0].verify(durable=True)
+
+    def test_crash_after_concurrent_run_recovers(self, cls):
+        system = MultiCoreSystem(2, seed=5)
+        handles = build_shared(system, cls)
+
+        def worker_for(handle, base):
+            def worker(rt):
+                for i in range(10):
+                    insert_until_committed(handle, base + i)
+            return worker
+
+        system.run([worker_for(handles[0], 10), worker_for(handles[1], 50)])
+        system.crash()
+        recover(system.pm, hooks=[handles[0]])
+        handles[0].verify(durable=True)
+
+
+class TestConcurrentInsertRemove:
+    def test_one_core_inserts_one_removes(self):
+        system = MultiCoreSystem(2, seed=77)
+        handles = build_shared(system, HashTable)
+        keys = list(range(500, 540))
+        for k in keys[:20]:  # preload via core 0, outside the run
+            insert_until_committed(handles[0], k)
+
+        def inserter(rt):
+            for k in keys[20:]:
+                insert_until_committed(handles[0], k)
+
+        def remover(rt):
+            for k in keys[:20]:
+                remove_until_committed(handles[1], k)
+
+        system.run([inserter, remover])
+        system.fence_all()
+        handles[0].verify(durable=True)
+        assert set(handles[0].expected) == set(keys[20:])

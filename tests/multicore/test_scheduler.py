@@ -1,0 +1,106 @@
+"""Deterministic interleaving scheduler."""
+
+import pytest
+
+from repro.common.errors import PowerFailure, SimulationError
+from repro.multicore.scheduler import InterleavedScheduler
+
+
+def interleave(num_threads, steps, seed):
+    """Record the order in which threads execute their steps."""
+    scheduler = InterleavedScheduler(num_threads, seed=seed)
+    trace = []
+
+    def worker(tid):
+        def body():
+            for step in range(steps):
+                scheduler.checkpoint(tid)
+                trace.append((tid, step))
+        return body
+
+    scheduler.run([worker(t) for t in range(num_threads)])
+    return trace
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        assert interleave(3, 10, seed=5) == interleave(3, 10, seed=5)
+
+    def test_different_seed_different_schedule(self):
+        a = interleave(3, 10, seed=1)
+        b = interleave(3, 10, seed=2)
+        assert a != b
+
+    def test_every_step_runs_exactly_once(self):
+        trace = interleave(4, 8, seed=3)
+        assert sorted(trace) == [(t, s) for t in range(4) for s in range(8)]
+
+    def test_steps_per_thread_in_order(self):
+        trace = interleave(2, 20, seed=9)
+        for tid in range(2):
+            steps = [s for t, s in trace if t == tid]
+            assert steps == sorted(steps)
+
+    def test_actually_interleaves(self):
+        trace = interleave(2, 20, seed=0)
+        owners = [t for t, _ in trace]
+        assert len(set(owners)) == 2
+        # At least one switch mid-stream (overwhelmingly likely).
+        assert any(a != b for a, b in zip(owners, owners[1:]))
+
+
+class TestLifecycle:
+    def test_unbalanced_worker_lengths(self):
+        scheduler = InterleavedScheduler(2, seed=1)
+        done = []
+
+        def short():
+            scheduler.checkpoint(0)
+            done.append("short")
+
+        def long():
+            for _ in range(30):
+                scheduler.checkpoint(1)
+            done.append("long")
+
+        scheduler.run([short, long])
+        assert sorted(done) == ["long", "short"]
+
+    def test_worker_exception_propagates(self):
+        scheduler = InterleavedScheduler(2, seed=1)
+
+        def bad():
+            scheduler.checkpoint(0)
+            raise ValueError("boom")
+
+        def good():
+            for _ in range(5):
+                scheduler.checkpoint(1)
+
+        with pytest.raises(ValueError):
+            scheduler.run([bad, good])
+
+    def test_wrong_worker_count_rejected(self):
+        with pytest.raises(SimulationError):
+            InterleavedScheduler(2).run([lambda: None])
+
+    def test_crash_all_unwinds_everyone(self):
+        scheduler = InterleavedScheduler(2, seed=1)
+        progress = []
+
+        def crasher():
+            scheduler.checkpoint(0)
+            progress.append(("crasher", 0))
+            scheduler.crash_all()
+            scheduler.checkpoint(0)  # raises
+            progress.append(("crasher", 1))
+
+        def bystander():
+            for i in range(1000):
+                scheduler.checkpoint(1)
+                progress.append(("bystander", i))
+
+        scheduler.run([crasher, bystander])
+        assert scheduler.crashed
+        assert ("crasher", 1) not in progress
+        assert len([p for p in progress if p[0] == "bystander"]) < 1000

@@ -1,0 +1,225 @@
+"""Multi-core SLPMT: conflicts, atomicity, cross-core lazy persistency."""
+
+import pytest
+
+from repro.common.errors import TransactionError
+from repro.mem import layout
+from repro.multicore.system import MultiCoreSystem, run_atomically
+from repro.recovery.engine import recover
+from repro.runtime.hints import Hint
+
+
+def counter_system(seed=7, num_cores=2):
+    system = MultiCoreSystem(num_cores, seed=seed)
+    counter = system.allocator.alloc(8)
+    system.pm.write_word(counter, 0)
+    return system, counter
+
+
+def increment_worker(counter, times):
+    def worker(rt):
+        for _ in range(times):
+            def body():
+                value = rt.load(counter)
+                rt.store(counter, value + 1)
+            run_atomically(rt, body)
+    return worker
+
+
+def flush_all(system):
+    for rt in system.runtimes:
+        rt.run_empty_transactions(rt.machine.config.num_tx_ids)
+        rt.machine.fence()
+
+
+class TestAtomicCounter:
+    def test_no_lost_updates(self):
+        system, counter = counter_system(seed=7)
+        system.run([increment_worker(counter, 25)] * 2)
+        flush_all(system)
+        assert system.durable_read(counter) == 50
+
+    def test_conflicts_detected_and_resolved(self):
+        system, counter = counter_system(seed=7)
+        system.run([increment_worker(counter, 25)] * 2)
+        assert system.conflicts > 0
+        assert system.total_aborts() == system.conflicts
+        assert system.total_commits() >= 50
+
+    def test_three_cores(self):
+        system, counter = counter_system(seed=11, num_cores=3)
+        system.run([increment_worker(counter, 15)] * 3)
+        flush_all(system)
+        assert system.durable_read(counter) == 45
+
+    def test_deterministic_given_seed(self):
+        def run_once(seed):
+            system, counter = counter_system(seed=seed)
+            system.run([increment_worker(counter, 20)] * 2)
+            return system.conflicts, system.total_commits()
+
+        assert run_once(3) == run_once(3)
+
+    def test_disjoint_data_never_conflicts(self):
+        system = MultiCoreSystem(2, seed=5)
+        slots = [system.allocator.alloc(4096) for _ in range(2)]
+
+        def worker_for(base):
+            def worker(rt):
+                for i in range(20):
+                    def body():
+                        rt.store(base + (i % 8) * 512, i)
+                    run_atomically(rt, body)
+            return worker
+
+        system.run([worker_for(slots[0]), worker_for(slots[1])])
+        assert system.conflicts == 0
+
+
+class TestCoherence:
+    def test_peer_sees_committed_value(self):
+        system = MultiCoreSystem(2, seed=1)
+        addr = system.allocator.alloc(8)
+        rt0, rt1 = system.runtimes
+        seen = []
+
+        def writer(rt):
+            def body():
+                rt.store(addr, 1234)
+            run_atomically(rt, body)
+
+        def reader(rt):
+            # Spin (transactionally) until the write is visible.
+            for _ in range(200):
+                value = rt.load(addr)
+                if value == 1234:
+                    seen.append(value)
+                    return
+            raise AssertionError("writer's value never became visible")
+
+        system.run([writer, reader])
+        assert seen == [1234]
+
+    def test_write_write_conflict_aborts_victim(self):
+        # Victim opens a transaction and writes; a peer write to the
+        # same line must abort it; run_atomically retries to success.
+        system = MultiCoreSystem(2, seed=13)
+        addr = system.allocator.alloc(8)
+        order = []
+
+        def t0(rt):
+            def body():
+                value = rt.load(addr)
+                # Long transaction: many instructions between read and
+                # write maximise the conflict window.
+                for _ in range(30):
+                    rt.load(addr)
+                rt.store(addr, value + 1)
+            run_atomically(rt, body)
+            order.append("t0")
+
+        def t1(rt):
+            def body():
+                value = rt.load(addr)
+                for _ in range(30):
+                    rt.load(addr)
+                rt.store(addr, value + 1)
+            run_atomically(rt, body)
+            order.append("t1")
+
+        system.run([t0, t1])
+        flush_all(system)
+        assert system.durable_read(addr) == 2
+        assert system.conflicts >= 1
+
+
+class TestCrossCoreLazyPersistency:
+    def test_peer_write_forces_lazy_set(self):
+        system = MultiCoreSystem(2, seed=2)
+        lazy_addr = system.allocator.alloc(8)
+        dep_addr = system.allocator.alloc(4096)  # distinct lines
+        rt0, rt1 = system.runtimes
+
+        def committer(rt):
+            with rt.transaction():
+                rt.load(dep_addr)  # dependency into the working set
+                rt.store(lazy_addr, 55, Hint.DEAD_REGION)  # lazy + log-free
+            assert rt.machine.deferred_line_count() == 1
+
+        def mutator(rt):
+            # Wait until core 0's lazy line exists, then write into its
+            # working set: the hardware must persist core 0's deferred
+            # data before this update proceeds.
+            for _ in range(300):
+                if rt0.machine.deferred_line_count() == 1:
+                    break
+                rt.load(dep_addr + 2048)
+            with rt.transaction():
+                rt.store(dep_addr, 1)
+
+        system.run([committer, mutator])
+        assert system.durable_read(lazy_addr) == 55
+        assert rt0.machine.deferred_line_count() == 0
+
+    def test_peer_read_of_lazy_line_forces_it(self):
+        system = MultiCoreSystem(2, seed=4)
+        lazy_addr = system.allocator.alloc(8)
+        rt0, rt1 = system.runtimes
+
+        def committer(rt):
+            with rt.transaction():
+                rt.store(lazy_addr, 77, Hint.DEAD_REGION)
+
+        def reader(rt):
+            for _ in range(300):
+                if rt0.machine.deferred_line_count() == 1:
+                    break
+                rt.load(lazy_addr + 4096)
+            value = rt.load(lazy_addr)
+            assert value == 77  # coherence delivers the cached value
+
+        system.run([committer, reader])
+        assert system.durable_read(lazy_addr) == 77
+
+
+class TestCrash:
+    def test_crash_preserves_committed_prefix(self):
+        system, counter = counter_system(seed=9)
+
+        def incrementer(rt):
+            for _ in range(50):
+                def body():
+                    value = rt.load(counter)
+                    rt.store(counter, value + 1)
+                run_atomically(rt, body)
+
+        def saboteur(rt):
+            for _ in range(40):
+                rt.load(counter + 4096)
+            system.scheduler.crash_all()
+
+        system.run([incrementer, saboteur])
+        for core in system.cores:
+            core.crash()
+        recover(system.pm)
+        final = system.durable_read(counter)
+        assert 0 <= final <= 50  # some committed prefix, never torn
+
+
+class TestErrors:
+    def test_retry_budget(self):
+        system = MultiCoreSystem(1, seed=0)
+        rt = system.runtimes[0]
+
+        def always_abort():
+            rt.abort()
+
+        with pytest.raises(TransactionError):
+            system.run(
+                [lambda r: run_atomically(r, always_abort, max_retries=3)]
+            )
+
+    def test_worker_count_checked(self):
+        system = MultiCoreSystem(2)
+        with pytest.raises(TransactionError):
+            system.run([lambda rt: None])

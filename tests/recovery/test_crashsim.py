@@ -1,0 +1,76 @@
+"""Crash-injection harness semantics."""
+
+from repro.core.machine import Machine
+from repro.core.schemes import SLPMT
+from repro.isa.program import ProgramBuilder
+from repro.mem import layout
+from repro.recovery.crashsim import count_durability_points, run_with_crash
+
+BASE = layout.PM_HEAP_BASE
+
+
+def two_txn_program():
+    return (
+        ProgramBuilder()
+        .tx_begin().store(BASE, 1).tx_end()
+        .tx_begin().store(BASE + 64, 2).tx_end()
+        .build()
+    )
+
+
+class TestRunWithCrash:
+    def test_clean_run(self):
+        outcome = run_with_crash(Machine(SLPMT), two_txn_program())
+        assert not outcome.crashed
+        assert outcome.report is None
+        assert outcome.pm.read_word(BASE) == 1
+
+    def test_instruction_boundary_crash(self):
+        outcome = run_with_crash(
+            Machine(SLPMT), two_txn_program(), crash_after_instructions=4
+        )
+        assert outcome.crashed
+        # First transaction committed, second never started.
+        assert outcome.pm.read_word(BASE) == 1
+        assert outcome.pm.read_word(BASE + 64) == 0
+
+    def test_mid_commit_crash_rolls_back(self):
+        # Crash after one durability event of the first commit: the undo
+        # record may be durable but the data/marker are not.
+        outcome = run_with_crash(
+            Machine(SLPMT), two_txn_program(), crash_after_persists=1
+        )
+        assert outcome.crashed
+        assert outcome.pm.read_word(BASE) == 0
+
+    def test_recovery_clears_log(self):
+        outcome = run_with_crash(
+            Machine(SLPMT), two_txn_program(), crash_after_persists=1
+        )
+        assert outcome.pm.log == []
+
+
+class TestDurabilityPointSweep:
+    def test_count_points(self):
+        n = count_durability_points(lambda: Machine(SLPMT), two_txn_program())
+        assert n >= 4  # at least records + data + markers for two txns
+
+    def test_committed_data_survives_every_crash_point(self):
+        """The fundamental atomicity property, swept over every possible
+        durability-event crash point of a two-transaction program."""
+        program = two_txn_program()
+        total = count_durability_points(lambda: Machine(SLPMT), program)
+        for point in range(total):
+            outcome = run_with_crash(
+                Machine(SLPMT), program, crash_after_persists=point
+            )
+            assert outcome.crashed
+            v1 = outcome.pm.read_word(BASE)
+            v2 = outcome.pm.read_word(BASE + 64)
+            # Each value is atomically 0 or its committed value, and
+            # transaction order is respected: tx2 cannot be durable
+            # while tx1 is rolled back.
+            assert v1 in (0, 1)
+            assert v2 in (0, 2)
+            if v2 == 2:
+                assert v1 == 1

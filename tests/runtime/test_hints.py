@@ -1,0 +1,47 @@
+"""Hint-to-flag mapping and annotation policies."""
+
+from repro.runtime.hints import (
+    COMPILER_DEFAULT,
+    HINT_FLAGS,
+    MANUAL,
+    NO_ANNOTATIONS,
+    AnnotationPolicy,
+    Hint,
+)
+
+
+class TestHintFlags:
+    def test_new_alloc_is_eager_log_free(self):
+        assert HINT_FLAGS[Hint.NEW_ALLOC] == (False, True)
+
+    def test_dead_region_skips_everything(self):
+        assert HINT_FLAGS[Hint.DEAD_REGION] == (True, True)
+
+    def test_recoverable_is_lazy_but_logged(self):
+        assert HINT_FLAGS[Hint.RECOVERABLE] == (True, False)
+
+    def test_moved_data(self):
+        assert HINT_FLAGS[Hint.MOVED_DATA] == (True, True)
+
+
+class TestPolicies:
+    def test_no_annotations_always_plain(self):
+        for hint in Hint:
+            assert NO_ANNOTATIONS.flags(hint) == (False, False)
+            assert NO_ANNOTATIONS.is_plain(hint)
+
+    def test_manual_honours_everything(self):
+        for hint, flags in HINT_FLAGS.items():
+            assert MANUAL.flags(hint) == flags
+
+    def test_manual_none_hint_stays_plain(self):
+        assert MANUAL.flags(Hint.NONE) == (False, False)
+
+    def test_compiler_misses_semantic(self):
+        assert COMPILER_DEFAULT.flags(Hint.SEMANTIC) == (False, False)
+        assert COMPILER_DEFAULT.flags(Hint.NEW_ALLOC) == (False, True)
+
+    def test_custom_policy(self):
+        policy = AnnotationPolicy(name="x", honored=frozenset({Hint.NEW_ALLOC}))
+        assert policy.flags(Hint.NEW_ALLOC) == (False, True)
+        assert policy.flags(Hint.MOVED_DATA) == (False, False)

@@ -1,0 +1,125 @@
+"""The PTx transactional runtime."""
+
+import pytest
+
+from repro.common.errors import PowerFailure, TransactionAborted
+from repro.core.machine import Machine
+from repro.core.schemes import SLPMT
+from repro.mem import layout
+from repro.runtime.hints import MANUAL, Hint
+from repro.runtime.ptx import PTx
+
+BASE = layout.PM_HEAP_BASE
+
+
+@pytest.fixture
+def rt():
+    return PTx(Machine(SLPMT), policy=MANUAL)
+
+
+class TestTransactionScope:
+    def test_commit_on_clean_exit(self, rt):
+        with rt.transaction():
+            rt.store(BASE, 1)
+        assert rt.durable_read(BASE) == 1
+
+    def test_abort_via_exception(self, rt):
+        rt.machine.raw_write(BASE, 5)
+        with rt.transaction():
+            rt.store(BASE, 9)
+            rt.abort()
+        assert rt.machine.raw_read(BASE) == 5
+        assert rt.machine.stats.aborts == 1
+
+    def test_unexpected_exception_aborts_and_propagates(self, rt):
+        with pytest.raises(ValueError):
+            with rt.transaction():
+                rt.store(BASE, 9)
+                raise ValueError("boom")
+        assert rt.durable_read(BASE) == 0
+
+    def test_power_failure_propagates_without_abort(self, rt):
+        rt.machine.schedule_crash_after_persists(0)
+        with pytest.raises(PowerFailure):
+            with rt.transaction():
+                rt.store(BASE, 9)
+        assert rt.machine.stats.aborts == 0
+
+
+class TestHintDispatch:
+    def test_plain_store_counts_as_store(self, rt):
+        with rt.transaction():
+            rt.store(BASE, 1)
+        assert rt.machine.stats.stores == 1
+        assert rt.machine.stats.storeTs == 0
+
+    def test_honored_hint_becomes_storeT(self, rt):
+        with rt.transaction():
+            rt.store(BASE, 1, Hint.NEW_ALLOC)
+        assert rt.machine.stats.storeTs == 1
+        assert rt.machine.stats.logfree_stores == 1
+
+    def test_unhonored_hint_stays_plain(self):
+        rt = PTx(Machine(SLPMT))  # NO_ANNOTATIONS default
+        with rt.transaction():
+            rt.store(BASE, 1, Hint.NEW_ALLOC)
+        assert rt.machine.stats.storeTs == 0
+
+    def test_write_read_words(self, rt):
+        with rt.transaction():
+            rt.write_words(BASE, [1, 2, 3], Hint.NEW_ALLOC)
+        assert rt.read_words(BASE, 3) == [1, 2, 3]
+
+
+class TestStructHelpers:
+    def test_field_roundtrip(self, rt):
+        from repro.alloc.objects import layout as mklayout
+
+        node = mklayout("node", ["key", "next"])
+        base = rt.alloc_struct(node)
+        with rt.transaction():
+            rt.write_field(node, base, "key", 7, Hint.NEW_ALLOC)
+        assert rt.read_field(node, base, "key") == 7
+
+
+class TestAllocationSemantics:
+    def test_alloc_tracked_inside_txn(self, rt):
+        with rt.transaction():
+            addr = rt.alloc(64)
+            assert rt.allocated_this_tx(addr)
+            assert rt.allocated_this_tx(addr + 32)
+            assert not rt.allocated_this_tx(addr + 64)
+
+    def test_free_deferred_until_commit(self, rt):
+        addr = rt.alloc(64)
+        with rt.transaction():
+            rt.free(addr)
+            assert rt.allocator.is_live(addr)  # still live mid-txn
+        assert not rt.allocator.is_live(addr)
+
+    def test_aborted_txn_releases_its_allocations(self, rt):
+        with rt.transaction():
+            addr = rt.alloc(64)
+            rt.abort()
+        assert not rt.allocator.is_live(addr)
+
+    def test_aborted_txn_cancels_frees(self, rt):
+        addr = rt.alloc(64)
+        with rt.transaction():
+            rt.free(addr)
+            rt.abort()
+        assert rt.allocator.is_live(addr)
+
+    def test_free_outside_txn_immediate(self, rt):
+        addr = rt.alloc(64)
+        rt.free(addr)
+        assert not rt.allocator.is_live(addr)
+
+
+class TestEmptyTransactionIdiom:
+    def test_forces_lazy_durability(self, rt):
+        with rt.transaction():
+            rt.store(BASE, 5, Hint.DEAD_REGION)  # lazy + log-free
+        assert rt.durable_read(BASE) == 0
+        rt.run_empty_transactions(rt.machine.config.num_tx_ids)
+        assert rt.durable_read(BASE) == 5

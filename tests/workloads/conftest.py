@@ -1,0 +1,80 @@
+"""Shared fixtures for workload testing."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Type
+
+import pytest
+
+from repro.common.errors import PowerFailure
+from repro.core.machine import Machine
+from repro.core.schemes import FG, SLPMT, Scheme
+from repro.recovery.engine import recover
+from repro.runtime.hints import MANUAL, NO_ANNOTATIONS, AnnotationPolicy
+from repro.runtime.ptx import PTx
+from repro.workloads.base import Workload
+
+
+def make_workload(
+    cls: Type[Workload],
+    *,
+    scheme: Scheme = SLPMT,
+    policy: AnnotationPolicy = MANUAL,
+    value_bytes: int = 64,
+) -> Workload:
+    machine = Machine(scheme)
+    rt = PTx(machine, policy=policy)
+    return cls(rt, value_bytes=value_bytes)
+
+
+def keys_for(n: int, seed: int = 11) -> List[int]:
+    rng = random.Random(seed)
+    out: List[int] = []
+    seen = set()
+    while len(out) < n:
+        k = rng.getrandbits(40)
+        if k not in seen:
+            seen.add(k)
+            out.append(k)
+    return out
+
+
+def crash_during_insert(
+    workload: Workload, key: int, crash_after_persists: int
+) -> bool:
+    """Inject a power failure inside one insert; recover; return whether
+    the crash actually fired (False: the insert completed first)."""
+    machine = workload.rt.machine
+    machine.schedule_crash_after_persists(crash_after_persists)
+    try:
+        workload.insert(key)
+    except PowerFailure:
+        machine.crash()
+        recover(machine.pm, mode=machine.scheme.logging_mode, hooks=[workload])
+        return True
+    machine.cancel_scheduled_crash()
+    return False
+
+
+def persists_in_insert(cls: Type[Workload], prefix_keys: List[int], key: int,
+                       *, scheme: Scheme = SLPMT,
+                       policy: Optional[AnnotationPolicy] = None,
+                       value_bytes: int = 64) -> int:
+    """How many durability events one more insert generates (for sweeps)."""
+    wl = make_workload(
+        cls, scheme=scheme, policy=policy or MANUAL, value_bytes=value_bytes
+    )
+    for k in prefix_keys:
+        wl.insert(k)
+    before = wl.rt.machine.wpq.total_inserts
+    wl.insert(key)
+    return wl.rt.machine.wpq.total_inserts - before
+
+
+@pytest.fixture(params=["SLPMT-manual", "FG-plain"])
+def scheme_policy(request):
+    """The two corners every workload must be correct under."""
+    if request.param == "SLPMT-manual":
+        return SLPMT, MANUAL
+    return FG, NO_ANNOTATIONS

@@ -1,0 +1,114 @@
+"""Durable AVL tree: balance, lazy heights, crash recovery."""
+
+import pytest
+
+from repro.common.errors import RecoveryError
+from repro.recovery.engine import PmView, recover
+from repro.workloads.avl import HEADER, NODE, AVLTree
+
+from .conftest import crash_during_insert, keys_for, make_workload, persists_in_insert
+
+
+class TestOperations:
+    def test_insert_and_lookup(self, scheme_policy):
+        scheme, policy = scheme_policy
+        tree = make_workload(AVLTree, scheme=scheme, policy=policy)
+        for k in keys_for(60):
+            tree.insert(k)
+        tree.verify()
+
+    def test_sequential_inserts_trigger_rotations(self):
+        tree = make_workload(AVLTree)
+        for k in range(1, 64):
+            tree.insert(k)
+        tree.verify()  # |balance| <= 1 enforced by check_integrity
+
+    def test_reverse_and_zigzag(self):
+        tree = make_workload(AVLTree)
+        for k in list(range(64, 0, -2)) + list(range(1, 64, 2)):
+            tree.insert(k)
+        tree.verify()
+
+    def test_update_existing(self):
+        tree = make_workload(AVLTree)
+        tree.insert(9, [3] * tree.value_words)
+        tree.insert(9, [4] * tree.value_words)
+        assert tree.lookup(9) == [4] * tree.value_words
+
+    def test_durable_after_flush(self):
+        tree = make_workload(AVLTree)
+        for k in keys_for(25):
+            tree.insert(k)
+        tree.rt.run_empty_transactions(4)
+        tree.verify(durable=True)
+
+
+class TestIntegrityChecker:
+    def test_detects_stale_height(self):
+        tree = make_workload(AVLTree)
+        for k in keys_for(10):
+            tree.insert(k)
+        read = tree.reader()
+        root = read(HEADER.addr(tree.header, "root"))
+        tree.rt.machine.raw_write(NODE.addr(root, "height"), 99)
+        with pytest.raises(RecoveryError):
+            tree.check_integrity(read)
+
+    def test_detects_bst_violation(self):
+        tree = make_workload(AVLTree)
+        for k in keys_for(10):
+            tree.insert(k)
+        read = tree.reader()
+        root = read(HEADER.addr(tree.header, "root"))
+        tree.rt.machine.raw_write(NODE.addr(root, "key"), 0)
+        with pytest.raises(RecoveryError):
+            tree.check_integrity(read)
+
+
+class TestRecoveryRebuild:
+    def test_heights_recomputed(self):
+        tree = make_workload(AVLTree)
+        for k in keys_for(30):
+            tree.insert(k)
+        tree.rt.run_empty_transactions(4)
+        tree.rt.machine.fence()
+        # Scramble durable heights (the lazily persistent data).
+        view = PmView(tree.rt.machine.pm)
+        stack = [view.read(HEADER.addr(tree.header, "root"))]
+        while stack:
+            node = stack.pop()
+            if node == 0:
+                continue
+            view.write(NODE.addr(node, "height"), 77)
+            stack.append(view.read(NODE.addr(node, "left")))
+            stack.append(view.read(NODE.addr(node, "right")))
+        tree.rt.machine.crash()
+        recover(tree.rt.machine.pm, hooks=[tree])
+        tree.verify(durable=True)
+
+
+class TestCrashRecovery:
+    def test_crash_at_every_point_of_one_insert(self):
+        keys = keys_for(8)
+        total = persists_in_insert(AVLTree, keys[:6], keys[6])
+        for point in range(total):
+            tree = make_workload(AVLTree)
+            for k in keys[:6]:
+                tree.insert(k)
+            assert crash_during_insert(tree, keys[6], point)
+            tree.verify(durable=True)
+            assert tree.lookup(keys[6], durable=True) is None
+
+    @pytest.mark.parametrize("prefix", [3, 10, 25])
+    def test_crash_then_continue(self, prefix):
+        keys = keys_for(40)
+        tree = make_workload(AVLTree)
+        for k in keys[:prefix]:
+            tree.insert(k)
+        crashed = crash_during_insert(tree, keys[prefix], 1)
+        if not crashed:
+            pytest.skip("insert finished before the crash point")
+        tree.verify(durable=True)
+        for k in keys[prefix + 1 : prefix + 6]:
+            tree.insert(k)
+        tree.verify()

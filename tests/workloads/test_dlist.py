@@ -1,0 +1,141 @@
+"""Figure-1 doubly-linked list: selective logging's motivating example."""
+
+import pytest
+
+from repro.common.errors import RecoveryError
+from repro.core.machine import Machine
+from repro.core.schemes import SLPMT
+from repro.recovery.engine import recover
+from repro.runtime.hints import MANUAL
+from repro.runtime.ptx import PTx
+from repro.workloads.dlist import NODE, DoublyLinkedList
+
+from .conftest import crash_during_insert, keys_for, make_workload, persists_in_insert
+
+
+class TestOperations:
+    def test_insert_and_lookup(self, scheme_policy):
+        scheme, policy = scheme_policy
+        lst = make_workload(DoublyLinkedList, scheme=scheme, policy=policy)
+        for k in keys_for(25):
+            lst.insert(k)
+        lst.verify()
+
+    def test_sorted_order_maintained(self):
+        lst = make_workload(DoublyLinkedList)
+        for k in [50, 10, 90, 30, 70]:
+            lst.insert(k)
+        read = lst.reader()
+        keys = []
+        node = read(NODE.addr(lst.head, "next"))
+        while node:
+            keys.append(read(NODE.addr(node, "key")))
+            node = read(NODE.addr(node, "next"))
+        assert keys == sorted(keys) == [10, 30, 50, 70, 90]
+
+    def test_update_existing(self):
+        lst = make_workload(DoublyLinkedList)
+        lst.insert(5, [1] * lst.value_words)
+        lst.insert(5, [9] * lst.value_words)
+        assert lst.lookup(5) == [9] * lst.value_words
+
+    def test_one_logged_store_per_insert(self):
+        """The paper's headline: only the first write needs logging."""
+        lst = make_workload(DoublyLinkedList)
+        lst.insert(10)
+        lst.insert(20)
+        machine = lst.rt.machine
+        before = machine.stats.log_records_created
+        lst.insert(15)  # splices between existing nodes: 4 pointer writes
+        assert machine.stats.log_records_created - before == 1
+
+    def test_prev_pointers_lazy(self):
+        lst = make_workload(DoublyLinkedList)
+        lst.insert(10)
+        lst.insert(30)
+        machine = lst.rt.machine
+        before = machine.stats.lazy_lines_deferred
+        lst.insert(20)  # succ(30).prev is the redundant write
+        assert machine.stats.lazy_lines_deferred > before
+
+
+class TestIntegrityChecker:
+    def test_detects_broken_prev(self):
+        lst = make_workload(DoublyLinkedList)
+        for k in keys_for(8):
+            lst.insert(k)
+        read = lst.reader()
+        node = read(NODE.addr(lst.head, "next"))
+        second = read(NODE.addr(node, "next"))
+        lst.rt.machine.raw_write(NODE.addr(second, "prev"), 0xDEAD_BEE8)
+        with pytest.raises(RecoveryError):
+            lst.check_integrity(read)
+
+    def test_detects_disorder(self):
+        lst = make_workload(DoublyLinkedList)
+        for k in keys_for(8):
+            lst.insert(k)
+        read = lst.reader()
+        node = read(NODE.addr(lst.head, "next"))
+        lst.rt.machine.raw_write(NODE.addr(node, "key"), 2**50)
+        with pytest.raises(RecoveryError):
+            lst.check_integrity(read)
+
+
+class TestFigure1Recovery:
+    def test_crash_at_every_point_of_one_insert(self):
+        keys = keys_for(8)
+        total = persists_in_insert(DoublyLinkedList, keys[:6], keys[6])
+        for point in range(total):
+            lst = make_workload(DoublyLinkedList)
+            for k in keys[:6]:
+                lst.insert(k)
+            assert crash_during_insert(lst, keys[6], point)
+            lst.verify(durable=True)
+            assert lst.lookup(keys[6], durable=True) is None
+
+    def test_prev_rebuilt_after_post_commit_crash(self):
+        """The Figure 1(d) walk: prev pointers lost with the caches are
+        re-derived from the durable next chain."""
+        lst = make_workload(DoublyLinkedList)
+        for k in [10, 30, 20, 40, 25]:
+            lst.insert(k)
+        machine = lst.rt.machine
+        machine.crash()  # deferred prev lines vanish
+        recover(machine.pm, hooks=[lst])
+        lst.verify(durable=True)
+
+    def test_continue_after_recovery(self):
+        lst = make_workload(DoublyLinkedList)
+        keys = keys_for(12)
+        for k in keys[:8]:
+            lst.insert(k)
+        crashed = crash_during_insert(lst, keys[8], 1)
+        if not crashed:
+            pytest.skip("insert finished before the crash point")
+        for k in keys[9:]:
+            lst.insert(k)
+        lst.verify()
+
+
+class TestSelectiveLoggingBenefit:
+    def test_fewer_log_bytes_than_all_logging(self):
+        from repro.core.schemes import FG
+        from repro.runtime.hints import NO_ANNOTATIONS
+
+        def run(scheme, policy):
+            machine = Machine(scheme)
+            lst = DoublyLinkedList(PTx(machine, policy=policy), value_bytes=64)
+            for k in keys_for(30):
+                lst.insert(k)
+            machine.finalize()
+            lst.verify()
+            return machine
+
+        selective = run(SLPMT, MANUAL)
+        logged = run(FG, NO_ANNOTATIONS)
+        assert (
+            selective.stats.pm_log_bytes_written
+            < logged.stats.pm_log_bytes_written / 2
+        )
+        assert selective.now < logged.now

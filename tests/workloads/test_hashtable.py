@@ -1,0 +1,166 @@
+"""Durable chained hash table: operations, resize, crash recovery."""
+
+import pytest
+
+from repro.common import units
+from repro.common.errors import RecoveryError
+from repro.workloads.hashtable import HEADER, INITIAL_BUCKETS, HashTable
+
+from .conftest import crash_during_insert, keys_for, make_workload, persists_in_insert
+
+
+class TestOperations:
+    def test_insert_and_lookup(self, scheme_policy):
+        scheme, policy = scheme_policy
+        ht = make_workload(HashTable, scheme=scheme, policy=policy)
+        for k in keys_for(30):
+            ht.insert(k)
+        ht.verify()
+
+    def test_missing_key(self):
+        ht = make_workload(HashTable)
+        ht.insert(1)
+        assert ht.lookup(999) is None
+
+    def test_update_existing_key(self):
+        ht = make_workload(HashTable)
+        ht.insert(7, [1] * ht.value_words)
+        ht.insert(7, [2] * ht.value_words)
+        assert ht.lookup(7) == [2] * ht.value_words
+
+    def test_durable_after_run(self):
+        ht = make_workload(HashTable)
+        for k in keys_for(10):
+            ht.insert(k)
+        ht.rt.run_empty_transactions(4)  # flush lazy stragglers
+        ht.verify(durable=True)
+
+
+class TestResize:
+    def test_resize_triggers_at_load_factor_three(self):
+        ht = make_workload(HashTable)
+        for k in keys_for(3 * INITIAL_BUCKETS + 1):
+            ht.insert(k)
+        read = ht.reader()
+        assert read(HEADER.addr(ht.header, "num_buckets")) == 2 * INITIAL_BUCKETS
+        ht.verify()
+
+    def test_multiple_resizes(self):
+        ht = make_workload(HashTable)
+        for k in keys_for(200):
+            ht.insert(k)
+        # Doublings at counts 49, 97, 193: 16 -> 32 -> 64 -> 128 buckets.
+        read = ht.reader()
+        assert read(HEADER.addr(ht.header, "num_buckets")) == 128
+        ht.verify()
+
+    def test_old_table_retired_on_next_insert(self):
+        n = 3 * INITIAL_BUCKETS + 1
+        keys = keys_for(n + 1)
+        ht = make_workload(HashTable)
+        for k in keys[:n]:
+            ht.insert(k)
+        read = ht.reader()
+        assert read(HEADER.addr(ht.header, "old_table")) != 0
+        ht.insert(keys[n])
+        assert read(HEADER.addr(ht.header, "old_table")) == 0
+        ht.verify()
+
+    def test_value_buffers_shared_across_resize(self):
+        ht = make_workload(HashTable)
+        keys = keys_for(3 * INITIAL_BUCKETS + 2)
+        before = {k: None for k in keys[:5]}
+        for k in keys:
+            ht.insert(k)
+        for k in before:
+            assert ht.lookup(k) == ht.expected[k]
+
+
+class TestIntegrityChecker:
+    """The checker must actually catch corruption (negative tests)."""
+
+    def test_detects_wrong_bucket(self):
+        ht = make_workload(HashTable)
+        for k in keys_for(10):
+            ht.insert(k)
+        read = ht.reader()
+        table = read(HEADER.addr(ht.header, "table"))
+        # Move a chain head to a wrong bucket.
+        src = next(
+            b for b in range(INITIAL_BUCKETS)
+            if read(table + b * units.WORD_BYTES) != 0
+        )
+        dst = next(
+            b for b in range(INITIAL_BUCKETS)
+            if read(table + b * units.WORD_BYTES) == 0
+        )
+        node = read(table + src * units.WORD_BYTES)
+        ht.rt.machine.raw_write(table + dst * units.WORD_BYTES, node)
+        with pytest.raises(RecoveryError):
+            ht.check_integrity(read)
+
+    def test_detects_bad_count(self):
+        ht = make_workload(HashTable)
+        for k in keys_for(5):
+            ht.insert(k)
+        ht.rt.machine.raw_write(HEADER.addr(ht.header, "count"), 99)
+        with pytest.raises(RecoveryError):
+            ht.check_integrity(ht.reader())
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("crash_point", [0, 1, 2, 3, 4])
+    def test_crash_during_plain_insert(self, crash_point):
+        ht = make_workload(HashTable)
+        keys = keys_for(12)
+        for k in keys[:10]:
+            ht.insert(k)
+        crashed = crash_during_insert(ht, keys[10], crash_point)
+        if not crashed:
+            pytest.skip("insert finished before the crash point")
+        ht.verify(durable=True)  # committed contents survive
+        assert ht.lookup(keys[10], durable=True) is None  # rolled back
+        # The structure keeps working after recovery.
+        ht.insert(keys[11])
+        ht.verify()
+
+    def test_crash_at_every_point_of_one_insert(self):
+        keys = keys_for(7)
+        total = persists_in_insert(HashTable, keys[:5], keys[5])
+        for point in range(total):
+            ht = make_workload(HashTable)
+            for k in keys[:5]:
+                ht.insert(k)
+            assert crash_during_insert(ht, keys[5], point)
+            ht.verify(durable=True)
+
+    @pytest.mark.parametrize("crash_point", [0, 2, 4, 6, 8])
+    def test_crash_during_resize(self, crash_point):
+        n = 3 * INITIAL_BUCKETS  # the next insert triggers the resize
+        keys = keys_for(n + 2)
+        ht = make_workload(HashTable)
+        for k in keys[:n]:
+            ht.insert(k)
+        crashed = crash_during_insert(ht, keys[n], crash_point)
+        if not crashed:
+            pytest.skip("insert finished before the crash point")
+        ht.verify(durable=True)
+        ht.insert(keys[n + 1])
+        ht.verify()
+
+    def test_crash_after_resize_committed_remigrates(self):
+        """Post-commit crash: the lazily persistent moved copies are
+        lost with the caches; recovery re-runs the migration."""
+        n = 3 * INITIAL_BUCKETS + 1  # resize happens at insert n
+        keys = keys_for(n + 1)
+        ht = make_workload(HashTable)
+        for k in keys[:n]:
+            ht.insert(k)
+        machine = ht.rt.machine
+        read = ht.reader()
+        assert read(HEADER.addr(ht.header, "old_table")) != 0
+        machine.crash()
+        from repro.recovery.engine import recover
+
+        recover(machine.pm, hooks=[ht])
+        ht.verify(durable=True)

@@ -1,0 +1,126 @@
+"""Section V-A in-place update table."""
+
+import random
+
+import pytest
+
+from repro.common.errors import PowerFailure, RecoveryError
+from repro.core.machine import Machine
+from repro.core.schemes import FG, SLPMT
+from repro.recovery.engine import recover
+from repro.runtime.hints import MANUAL, NO_ANNOTATIONS
+from repro.runtime.ptx import PTx
+from repro.workloads.inplace import InPlaceTable
+
+
+def make_table(scheme=SLPMT, policy=MANUAL, num_slots=64):
+    machine = Machine(scheme)
+    rt = PTx(machine, policy=policy)
+    return InPlaceTable(rt, num_slots)
+
+
+class TestUpdates:
+    def test_single_update(self):
+        table = make_table()
+        table.update({3: 77})
+        assert table.read_slot(3) == 77
+        table.verify()
+
+    def test_batched_updates_atomic(self):
+        table = make_table()
+        table.update({0: 1, 5: 2, 9: 3})
+        table.verify()
+
+    def test_overwrites(self):
+        table = make_table()
+        table.update({4: 10})
+        table.update({4: 20})
+        assert table.read_slot(4) == 20
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            make_table().update({1000: 1})
+
+    def test_capacity_guard(self):
+        machine = Machine(SLPMT)
+        rt = PTx(machine, policy=MANUAL)
+        table = InPlaceTable(rt, 8, seq_capacity=4)
+        table.update({0: 1, 1: 2})
+        with pytest.raises(RecoveryError):
+            table.update({2: 3, 3: 4, 4: 5})
+
+
+class TestSectionVAClaims:
+    def test_cheaper_than_conventional(self):
+        rng = random.Random(3)
+        updates = [
+            {rng.randrange(64): rng.getrandbits(32) for _ in range(6)}
+            for _ in range(30)
+        ]
+
+        def run(scheme, policy):
+            machine = Machine(scheme)
+            table = InPlaceTable(PTx(machine, policy=policy), 64)
+            for u in updates:
+                table.update(dict(u))
+            machine.finalize()
+            table.verify()
+            return machine
+
+        conventional = run(FG, NO_ANNOTATIONS)
+        optimized = run(SLPMT, MANUAL)
+        assert optimized.now < conventional.now
+        assert (
+            optimized.stats.pm_log_bytes_written
+            < conventional.stats.pm_log_bytes_written
+        )
+
+    def test_slots_deferred_at_commit(self):
+        table = make_table()
+        table.update({7: 99})
+        # The in-place slot is lazily persistent: not yet in PM.
+        assert table.read_slot(7, durable=True) == 0
+        assert table.read_slot(7) == 99
+
+
+class TestCrashRecovery:
+    def test_post_commit_crash_replays_records(self):
+        table = make_table()
+        table.update({1: 11, 2: 22})
+        table.update({1: 111})
+        machine = table.rt.machine
+        machine.crash()  # lazy slots lost
+        recover(machine.pm, hooks=[table])
+        table.verify(durable=True)
+        assert table.read_slot(1, durable=True) == 111  # newest record wins
+
+    @pytest.mark.parametrize("crash_point", [0, 1, 2, 3])
+    def test_mid_transaction_crash_atomic(self, crash_point):
+        table = make_table()
+        table.update({1: 11})
+        machine = table.rt.machine
+        machine.schedule_crash_after_persists(crash_point)
+        try:
+            table.update({1: 99, 2: 88})
+        except PowerFailure:
+            machine.crash()
+            recover(machine.pm, hooks=[table])
+            table.verify(durable=True)  # only committed values
+            pair = (
+                table.read_slot(1, durable=True),
+                table.read_slot(2, durable=True),
+            )
+            assert pair in ((11, 0), (99, 88))
+        else:
+            machine.cancel_scheduled_crash()
+            table.verify()
+
+    def test_checkpoint_truncates_after_durability(self):
+        table = make_table()
+        table.update({0: 5, 1: 6})
+        table.checkpoint()
+        assert table.pending_records() == []
+        # Slots are durable now; a crash without records must be fine.
+        table.rt.machine.crash()
+        recover(table.rt.machine.pm, hooks=[table])
+        table.verify(durable=True)

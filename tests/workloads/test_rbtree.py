@@ -1,0 +1,151 @@
+"""Durable red-black tree: invariants, lazy parents/colors, recovery."""
+
+import pytest
+
+from repro.common.errors import RecoveryError
+from repro.recovery.engine import PmView, recover
+from repro.workloads.rbtree import BLACK, HEADER, NODE, RED, RBTree
+
+from .conftest import crash_during_insert, keys_for, make_workload, persists_in_insert
+
+
+class TestOperations:
+    def test_insert_and_lookup(self, scheme_policy):
+        scheme, policy = scheme_policy
+        tree = make_workload(RBTree, scheme=scheme, policy=policy)
+        for k in keys_for(60):
+            tree.insert(k)
+        tree.verify()
+
+    def test_sequential_keys_stay_balanced(self):
+        tree = make_workload(RBTree)
+        for k in range(1, 64):
+            tree.insert(k)
+        tree.verify()  # check_integrity enforces equal black heights
+
+    def test_reverse_sequential(self):
+        tree = make_workload(RBTree)
+        for k in range(64, 0, -1):
+            tree.insert(k)
+        tree.verify()
+
+    def test_update_existing(self):
+        tree = make_workload(RBTree)
+        tree.insert(5, [1] * tree.value_words)
+        tree.insert(5, [2] * tree.value_words)
+        assert tree.lookup(5) == [2] * tree.value_words
+
+    def test_missing_key(self):
+        tree = make_workload(RBTree)
+        tree.insert(5)
+        assert tree.lookup(6) is None
+
+    def test_durable_after_flush(self):
+        tree = make_workload(RBTree)
+        for k in keys_for(25):
+            tree.insert(k)
+        tree.rt.run_empty_transactions(4)
+        tree.verify(durable=True)
+
+
+class TestIntegrityChecker:
+    def _tree_with_keys(self, n=20):
+        tree = make_workload(RBTree)
+        for k in keys_for(n):
+            tree.insert(k)
+        return tree
+
+    def test_detects_red_root(self):
+        tree = self._tree_with_keys()
+        root = tree.reader()(HEADER.addr(tree.header, "root"))
+        tree.rt.machine.raw_write(NODE.addr(root, "color"), RED)
+        with pytest.raises(RecoveryError):
+            tree.check_integrity(tree.reader())
+
+    def test_detects_red_red_violation(self):
+        tree = self._tree_with_keys()
+        read = tree.reader()
+        root = read(HEADER.addr(tree.header, "root"))
+        # Paint everything red below the root: must violate something.
+        stack = [read(NODE.addr(root, "left")), read(NODE.addr(root, "right"))]
+        for node in stack:
+            if node:
+                tree.rt.machine.raw_write(NODE.addr(node, "color"), RED)
+        with pytest.raises(RecoveryError):
+            tree.check_integrity(read)
+
+    def test_detects_broken_parent_pointer(self):
+        tree = self._tree_with_keys()
+        read = tree.reader()
+        root = read(HEADER.addr(tree.header, "root"))
+        child = read(NODE.addr(root, "left")) or read(NODE.addr(root, "right"))
+        tree.rt.machine.raw_write(NODE.addr(child, "parent"), 0xDEADBEE8)
+        with pytest.raises(RecoveryError):
+            tree.check_integrity(read)
+
+
+class TestRecoveryRebuild:
+    def test_parents_rebuilt_from_children(self):
+        tree = make_workload(RBTree)
+        for k in keys_for(20):
+            tree.insert(k)
+        machine = tree.rt.machine
+        # Flush real state, then scramble durable parent pointers.
+        tree.rt.run_empty_transactions(4)
+        machine.fence()
+        read = tree.reader(durable=True)
+        root = read(HEADER.addr(tree.header, "root"))
+        victim = read(NODE.addr(root, "left"))
+        machine.pm.write_word(NODE.addr(victim, "parent"), 0x12345678)
+        machine.crash()
+        recover(machine.pm, hooks=[tree])
+        tree.verify(durable=True)
+
+    def test_recolor_produces_valid_coloring(self):
+        tree = make_workload(RBTree)
+        for k in keys_for(40):
+            tree.insert(k)
+        tree.rt.run_empty_transactions(4)
+        tree.rt.machine.fence()
+        # Scramble every durable color, then recover.
+        view = PmView(tree.rt.machine.pm)
+        stack = [view.read(HEADER.addr(tree.header, "root"))]
+        flip = True
+        while stack:
+            node = stack.pop()
+            if node == 0:
+                continue
+            view.write(NODE.addr(node, "color"), RED if flip else BLACK)
+            flip = not flip
+            stack.append(view.read(NODE.addr(node, "left")))
+            stack.append(view.read(NODE.addr(node, "right")))
+        tree.rt.machine.crash()
+        recover(tree.rt.machine.pm, hooks=[tree])
+        tree.verify(durable=True)
+
+
+class TestCrashRecovery:
+    def test_crash_at_every_point_of_one_insert(self):
+        keys = keys_for(8)
+        total = persists_in_insert(RBTree, keys[:6], keys[6])
+        for point in range(total):
+            tree = make_workload(RBTree)
+            for k in keys[:6]:
+                tree.insert(k)
+            assert crash_during_insert(tree, keys[6], point)
+            tree.verify(durable=True)
+            assert tree.lookup(keys[6], durable=True) is None
+
+    @pytest.mark.parametrize("prefix", [1, 5, 15, 31])
+    def test_crash_mid_run_then_continue(self, prefix):
+        keys = keys_for(40)
+        tree = make_workload(RBTree)
+        for k in keys[:prefix]:
+            tree.insert(k)
+        crashed = crash_during_insert(tree, keys[prefix], 2)
+        if not crashed:
+            pytest.skip("insert finished before the crash point")
+        tree.verify(durable=True)
+        for k in keys[prefix + 1 : prefix + 6]:
+            tree.insert(k)
+        tree.verify()

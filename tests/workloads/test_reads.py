@@ -1,0 +1,43 @@
+"""Simulated read operations across every workload."""
+
+import pytest
+
+from repro.workloads import WORKLOADS
+
+from .conftest import keys_for, make_workload
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestSimulatedGet:
+    def test_get_returns_committed_value(self, name):
+        wl = make_workload(WORKLOADS[name])
+        keys = keys_for(12)
+        for k in keys:
+            wl.insert(k)
+        for k in keys[:5]:
+            assert wl.get(k) == wl.expected[k]
+
+    def test_get_missing_returns_none(self, name):
+        wl = make_workload(WORKLOADS[name])
+        wl.insert(keys_for(1)[0])
+        assert wl.get(0xDEAD_BEEF_0008) is None
+
+    def test_get_costs_simulated_time(self, name):
+        wl = make_workload(WORKLOADS[name])
+        keys = keys_for(8)
+        for k in keys:
+            wl.insert(k)
+        machine = wl.rt.machine
+        before = machine.now
+        wl.get(keys[3])
+        assert machine.now > before
+
+    def test_get_is_not_transactional(self, name):
+        wl = make_workload(WORKLOADS[name])
+        keys = keys_for(5)
+        for k in keys:
+            wl.insert(k)
+        machine = wl.rt.machine
+        txns = machine.stats.transactions
+        wl.get(keys[0])
+        assert machine.stats.transactions == txns

@@ -1,0 +1,271 @@
+"""Removal operations: Pattern 1 on freed regions (DEAD_REGION)."""
+
+import pytest
+
+from repro.common.errors import PowerFailure
+from repro.recovery.engine import recover
+from repro.workloads.dlist import DoublyLinkedList
+from repro.workloads.hashtable import HashTable
+from repro.workloads.heap import MaxHeap
+from repro.workloads.rbtree import RBTree
+
+from .conftest import keys_for, make_workload
+
+from repro.workloads.avl import AVLTree
+from repro.workloads.kv.ctree import CritBitKV
+from repro.workloads.kv.rtree import RadixKV
+
+REMOVABLE = [HashTable, DoublyLinkedList, RBTree, AVLTree, CritBitKV, RadixKV]
+
+
+@pytest.mark.parametrize("cls", REMOVABLE)
+class TestRemove:
+    def test_remove_existing(self, cls):
+        wl = make_workload(cls)
+        keys = keys_for(12)
+        for k in keys:
+            wl.insert(k)
+        assert wl.remove(keys[4])
+        assert wl.lookup(keys[4]) is None
+        wl.verify()
+
+    def test_remove_missing(self, cls):
+        wl = make_workload(cls)
+        wl.insert(10)
+        assert not wl.remove(999)
+        wl.verify()
+
+    def test_remove_everything(self, cls):
+        wl = make_workload(cls)
+        keys = keys_for(10)
+        for k in keys:
+            wl.insert(k)
+        for k in keys:
+            assert wl.remove(k)
+        wl.verify()
+        assert all(wl.lookup(k) is None for k in keys)
+
+    def test_memory_reclaimed(self, cls):
+        wl = make_workload(cls)
+        keys = keys_for(10)
+        for k in keys:
+            wl.insert(k)
+        live_before = wl.rt.allocator.live_bytes()
+        for k in keys[:5]:
+            wl.remove(k)
+        assert wl.rt.allocator.live_bytes() < live_before
+
+    def test_tombstones_never_persist(self, cls):
+        """Tombstones are lazy: their log records are discarded at commit
+        and the poisoned line never reaches PM eagerly."""
+        wl = make_workload(cls)
+        keys = keys_for(6)
+        for k in keys:
+            wl.insert(k)
+        machine = wl.rt.machine
+        before = machine.stats.log_records_discarded_lazy
+        wl.remove(keys[2])
+        assert machine.stats.log_records_discarded_lazy > before
+
+    def test_tombstone_rollback_after_mid_txn_eviction(self, cls):
+        """Regression for the Section IV-A mis-annotation hazard: the
+        poisoned line is evicted mid-transaction (tombstone reaches PM),
+        then the crash rolls the removal back — the node must come back
+        intact, which requires the tombstone to have been *logged*."""
+        wl = make_workload(cls)
+        keys = keys_for(6)
+        for k in keys:
+            wl.insert(k)
+        machine = wl.rt.machine
+        victim = keys[2]
+
+        def thrash_every_set():
+            # Sweep a far, untouched PM region covering every L1 and L2
+            # set often enough to push ALL resident lines out of the
+            # private caches (write-backs included).
+            from repro.isa.instructions import Load
+            from repro.mem import layout as mem_layout
+
+            far = mem_layout.PM_HEAP_BASE + (64 << 20)
+            span = machine.l2.config.num_sets * 64
+            rounds = machine.l1.config.ways + machine.l2.config.ways + 2
+            for i in range(rounds):
+                for s in range(machine.l2.config.num_sets):
+                    machine.execute(Load(far + i * span + s * 64))
+
+        # Crash right at the end of the transaction body, before commit.
+        from repro.common.errors import PowerFailure
+
+        try:
+            with wl.rt.transaction():
+                wl._remove(victim)
+                thrash_every_set()
+                raise PowerFailure("plug pulled before commit")
+        except PowerFailure:
+            machine.crash()
+            recover(machine.pm, hooks=[wl])
+        # The tombstoned line was written back mid-transaction; the undo
+        # log must restore it on rollback.
+        wl.verify(durable=True)
+        assert wl.lookup(victim, durable=True) == wl.expected[victim]
+
+    def test_reinsert_after_remove(self, cls):
+        wl = make_workload(cls)
+        wl.insert(77)
+        wl.remove(77)
+        wl.insert(77)
+        assert wl.lookup(77) == wl.expected[77]
+        wl.verify()
+
+    @pytest.mark.parametrize("crash_point", [0, 1, 2])
+    def test_crash_during_remove_is_atomic(self, cls, crash_point):
+        wl = make_workload(cls)
+        keys = keys_for(8)
+        for k in keys:
+            wl.insert(k)
+        machine = wl.rt.machine
+        machine.schedule_crash_after_persists(crash_point)
+        victim = keys[3]
+        try:
+            wl.remove(victim)
+        except PowerFailure:
+            machine.crash()
+            recover(machine.pm, hooks=[wl])
+            wl.verify(durable=True)  # rollback: the key is still there
+            assert wl.lookup(victim, durable=True) == wl.expected[victim]
+        else:
+            machine.cancel_scheduled_crash()
+            assert wl.lookup(victim) is None
+
+    def test_unsupported_structure_raises(self, cls):
+        heap = make_workload(MaxHeap)  # keyed removal unsupported (use extract_max)
+        heap.insert(1)
+        with pytest.raises(NotImplementedError):
+            heap.remove(1)
+
+
+class TestRBTreeDelete:
+    """The CLRS fix-up cases, exercised shape by shape."""
+
+    def test_delete_preserves_invariants_randomly(self):
+        import random
+
+        rng = random.Random(5)
+        tree = make_workload(RBTree)
+        live = []
+        for i in range(150):
+            if live and rng.random() < 0.45:
+                key = live.pop(rng.randrange(len(live)))
+                assert tree.remove(key)
+            else:
+                key = rng.getrandbits(24)
+                if key in tree.expected:
+                    continue
+                tree.insert(key)
+                live.append(key)
+            tree.check_integrity(tree.reader())
+        tree.verify()
+
+    def test_delete_root(self):
+        tree = make_workload(RBTree)
+        for k in [50, 30, 70]:
+            tree.insert(k)
+        assert tree.remove(50)
+        tree.verify()
+
+    def test_delete_down_to_empty(self):
+        tree = make_workload(RBTree)
+        keys = keys_for(20)
+        for k in keys:
+            tree.insert(k)
+        for k in keys:
+            assert tree.remove(k)
+            tree.check_integrity(tree.reader())
+        assert tree.lookup(keys[0]) is None
+
+    def test_delete_internal_with_two_children(self):
+        tree = make_workload(RBTree)
+        for k in range(1, 32):
+            tree.insert(k)
+        # Keys in the middle have two children with high probability.
+        for k in (16, 8, 24, 12):
+            assert tree.remove(k)
+            tree.verify()
+
+    @pytest.mark.parametrize("crash_point", [0, 1, 2, 3])
+    def test_crash_during_delete_is_atomic(self, crash_point):
+        tree = make_workload(RBTree)
+        keys = keys_for(15)
+        for k in keys:
+            tree.insert(k)
+        machine = tree.rt.machine
+        machine.schedule_crash_after_persists(crash_point)
+        victim = keys[7]
+        try:
+            tree.remove(victim)
+        except PowerFailure:
+            machine.crash()
+            recover(machine.pm, hooks=[tree])
+            tree.verify(durable=True)
+            assert tree.lookup(victim, durable=True) == tree.expected[victim]
+        else:
+            machine.cancel_scheduled_crash()
+            assert tree.lookup(victim) is None
+            tree.verify()
+
+
+class TestHeapExtractMax:
+    def test_pops_in_descending_order(self):
+        heap = make_workload(MaxHeap)
+        keys = keys_for(15)
+        for k in keys:
+            heap.insert(k)
+        popped = [heap.extract_max() for _ in range(len(keys))]
+        assert popped == sorted(keys, reverse=True)
+        assert heap.extract_max() is None
+
+    def test_heap_property_after_each_pop(self):
+        heap = make_workload(MaxHeap)
+        for k in keys_for(20):
+            heap.insert(k)
+        for _ in range(10):
+            heap.extract_max()
+            heap.verify()
+
+    def test_interleaved_inserts_and_pops(self):
+        heap = make_workload(MaxHeap)
+        keys = keys_for(20)
+        for k in keys[:10]:
+            heap.insert(k)
+        top = heap.extract_max()
+        assert top == max(keys[:10])
+        for k in keys[10:]:
+            heap.insert(k)
+        heap.verify()
+
+    def test_value_buffer_freed(self):
+        heap = make_workload(MaxHeap)
+        for k in keys_for(5):
+            heap.insert(k)
+        before = heap.rt.allocator.live_bytes()
+        heap.extract_max()
+        assert heap.rt.allocator.live_bytes() < before
+
+    @pytest.mark.parametrize("crash_point", [0, 1, 2, 3])
+    def test_crash_during_pop_is_atomic(self, crash_point):
+        keys = keys_for(10)
+        heap = make_workload(MaxHeap)
+        for k in keys:
+            heap.insert(k)
+        machine = heap.rt.machine
+        machine.schedule_crash_after_persists(crash_point)
+        try:
+            heap.extract_max()
+        except PowerFailure:
+            machine.crash()
+            recover(machine.pm, hooks=[heap])
+            heap.verify(durable=True)  # max still present
+            assert heap.lookup(max(keys), durable=True) is not None
+        else:
+            machine.cancel_scheduled_crash()
+            heap.verify()

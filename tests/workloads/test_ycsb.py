@@ -1,0 +1,130 @@
+"""YCSB-load generator."""
+
+import pytest
+
+from repro.workloads.base import value_words_for_key
+from repro.workloads.ycsb import chunked, generate_load, replay
+
+from .conftest import make_workload
+from repro.workloads.hashtable import HashTable
+
+
+class TestGenerator:
+    def test_default_shape(self):
+        ops = generate_load(100)
+        assert len(ops) == 100
+        assert all(op.kind == "insert" for op in ops)
+        assert all(len(op.value) == 32 for op in ops)  # 256 B default
+
+    def test_keys_unique(self):
+        ops = generate_load(500)
+        assert len({op.key for op in ops}) == 500
+
+    def test_deterministic(self):
+        a = generate_load(50, seed=9)
+        b = generate_load(50, seed=9)
+        assert [op.key for op in a] == [op.key for op in b]
+
+    def test_seed_changes_stream(self):
+        a = generate_load(50, seed=1)
+        b = generate_load(50, seed=2)
+        assert [op.key for op in a] != [op.key for op in b]
+
+    def test_value_size_knob(self):
+        ops = generate_load(10, value_bytes=16)
+        assert all(len(op.value) == 2 for op in ops)
+
+    def test_values_derive_from_keys(self):
+        op = generate_load(1)[0]
+        assert op.value == value_words_for_key(op.key, 32)
+
+    def test_value_words_differ_by_index(self):
+        words = value_words_for_key(42, 8)
+        assert len(set(words)) == 8
+
+
+class TestReplay:
+    def test_replay_populates_workload(self):
+        wl = make_workload(HashTable)
+        ops = generate_load(20, value_bytes=64)
+        replay(wl, ops)
+        wl.verify()
+        assert len(wl.expected) == 20
+
+    def test_replay_rejects_unknown_kind(self):
+        from repro.workloads.ycsb import YcsbOp
+
+        wl = make_workload(HashTable)
+        with pytest.raises(ValueError):
+            replay(wl, [YcsbOp(kind="scan", key=1)])
+
+    def test_chunked(self):
+        ops = generate_load(10)
+        chunks = list(chunked(ops, 4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+
+
+class TestMixedWorkloads:
+    def test_generate_mix_shape(self):
+        from repro.workloads.ycsb import generate_mix
+
+        load, mix = generate_mix(
+            100, read_fraction=0.95, update_fraction=0.05, preload=50,
+            value_bytes=64,
+        )
+        assert len(load) == 50
+        assert len(mix) == 100
+        kinds = {op.kind for op in mix}
+        assert kinds <= {"read", "update"}
+        reads = sum(op.kind == "read" for op in mix)
+        assert reads > 75  # ~95%
+
+    def test_mix_keys_from_population(self):
+        from repro.workloads.ycsb import generate_mix
+
+        load, mix = generate_mix(40, preload=20, value_bytes=64)
+        population = {op.key for op in load}
+        assert all(op.key in population for op in mix)
+
+    def test_bad_fractions_rejected(self):
+        from repro.workloads.ycsb import generate_mix
+
+        with pytest.raises(ValueError):
+            generate_mix(10, read_fraction=0.9, update_fraction=0.9)
+
+    def test_replay_mix_end_to_end(self):
+        from repro.workloads.ycsb import generate_mix, replay
+
+        wl = make_workload(HashTable)
+        load, mix = generate_mix(
+            60, read_fraction=0.5, update_fraction=0.5, preload=25,
+            value_bytes=64,
+        )
+        replay(wl, load)
+        replay(wl, mix)
+        wl.verify()
+
+    def test_simulated_read_costs_cycles(self):
+        wl = make_workload(HashTable)
+        wl.insert(42)
+        machine = wl.rt.machine
+        before = machine.now
+        loads_before = machine.stats.loads
+        value = wl.get(42)
+        assert value == wl.expected[42]
+        assert machine.now > before
+        assert machine.stats.loads > loads_before
+
+    def test_simulated_read_missing_key(self):
+        wl = make_workload(HashTable)
+        wl.insert(42)
+        assert wl.get(43) is None
+
+    def test_reads_do_not_write_pm(self):
+        wl = make_workload(HashTable)
+        wl.insert(42)
+        wl.rt.machine.fence()
+        before = wl.rt.machine.stats.pm_bytes_written
+        for _ in range(10):
+            wl.get(42)
+        assert wl.rt.machine.stats.pm_bytes_written == before
