@@ -1,4 +1,4 @@
-"""Command-line front end: regenerate the paper's figures.
+"""Command-line front end: figures and the fuzz campaign.
 
 Usage::
 
@@ -6,6 +6,8 @@ Usage::
     python -m repro fig08                # regenerate Figure 8 (1,000 ops)
     python -m repro fig12 --ops 300      # quicker, smaller run
     python -m repro all --ops 200        # everything
+    python -m repro fuzz --budget 200 --seed 7   # crash-consistency fuzz
+    python -m repro fuzz --replay r.json         # replay a reproducer
 """
 
 from __future__ import annotations
@@ -18,6 +20,12 @@ from repro.harness.figures import FIGURES, regenerate
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        from repro.fuzz.cli import fuzz_main
+
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the SLPMT paper's evaluation figures.",

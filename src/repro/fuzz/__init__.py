@@ -1,0 +1,60 @@
+"""Deterministic crash-consistency fuzzing campaign engine.
+
+The modules layer on :mod:`repro.recovery.crashsim`:
+
+* :mod:`repro.fuzz.oplog` — per-transaction outcome capture via the
+  :class:`~repro.runtime.ptx.PTx` ``op_log`` hook;
+* :mod:`repro.fuzz.invariants` — durable-state checkers for every
+  workload (structure, completeness, exactness, canonical state);
+* :mod:`repro.fuzz.campaign` — the crash-point enumerating/sampling
+  campaign driver with differential checking against the FG baseline;
+* :mod:`repro.fuzz.minimize` — violation shrinking and JSON replay;
+* :mod:`repro.fuzz.report` — the deterministic campaign table;
+* :mod:`repro.fuzz.cli` — ``python -m repro fuzz``.
+"""
+
+from repro.fuzz.campaign import (
+    DEFAULT_CELLS,
+    POLICIES,
+    STRESS_CONFIG,
+    CaseResult,
+    CellReport,
+    FuzzCell,
+    Violation,
+    generate_ops,
+    run_campaign,
+    run_case,
+    run_cell,
+)
+from repro.fuzz.invariants import (
+    InvariantViolation,
+    check_subject,
+    durable_state,
+    make_subject,
+)
+from repro.fuzz.minimize import Reproducer, minimize, replay
+from repro.fuzz.oplog import OpLog
+from repro.fuzz.report import format_report
+
+__all__ = [
+    "DEFAULT_CELLS",
+    "POLICIES",
+    "STRESS_CONFIG",
+    "CaseResult",
+    "CellReport",
+    "FuzzCell",
+    "Violation",
+    "InvariantViolation",
+    "OpLog",
+    "Reproducer",
+    "check_subject",
+    "durable_state",
+    "format_report",
+    "generate_ops",
+    "make_subject",
+    "minimize",
+    "replay",
+    "run_campaign",
+    "run_case",
+    "run_cell",
+]

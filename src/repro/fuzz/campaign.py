@@ -1,0 +1,605 @@
+"""The crash-consistency fuzzing campaign driver.
+
+A campaign sweeps a grid of *cells* — (workload × scheme ×
+annotation-policy) — and for each cell crashes the same deterministic
+operation sequence at many points:
+
+* **durability-event points** (``crash_after_persists``): every WPQ
+  insert is a potential crash point *inside* a commit sequence, exactly
+  where the Figure-4 persist ordering matters.  For small op counts the
+  driver enumerates every one of them (exhaustive); past the budget it
+  samples from a seeded RNG.
+* **instruction-boundary points**: sampled crash points between
+  simulated memory instructions (the
+  :class:`~repro.recovery.crashsim.InstructionLimit` checkpoint hook),
+  covering mid-transaction volatile states that never reach the WPQ.
+
+After each crash the machine recovers
+(:func:`repro.recovery.engine.recover` plus the workload's own
+recovery hook) and the durable image is checked three ways:
+
+1. **structure** — the workload's integrity invariants;
+2. **atomicity** — the durable logical state must be *exactly* one of
+   two states: the committed prefix of the op sequence, or that prefix
+   plus the in-flight operation (whose commit marker may have become
+   durable before the crash reached the application);
+3. **differential** — those two reference states come from a clean run
+   of the **FG baseline** (no selective logging, no annotations), so any
+   scheme/policy combination that diverges from FG's durable semantics
+   is caught even if its state is self-consistent.
+
+Everything is seeded and Date-free: the same ``(budget, seed)`` always
+produces the identical campaign, which is what makes replay and
+shrinking byte-for-byte reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import DEFAULT_CONFIG, CacheConfig, SystemConfig
+from repro.common.errors import PowerFailure, RecoveryError, SimulationError
+from repro.core.machine import Machine
+from repro.core.schemes import scheme_by_name
+from repro.fuzz.invariants import (
+    InvariantViolation,
+    State,
+    Subject,
+    durable_state,
+    make_subject,
+)
+from repro.fuzz.oplog import OpLog
+from repro.recovery.crashsim import InstructionLimit
+from repro.recovery.engine import recover
+from repro.runtime.hints import (
+    COMPILER_DEFAULT,
+    MANUAL,
+    NO_ANNOTATIONS,
+    AnnotationPolicy,
+    Hint,
+)
+from repro.runtime.ptx import PTx
+from repro.workloads import WORKLOADS
+
+#: One op: ``[kind, key, value]`` — JSON-serialisable on purpose, so a
+#: minimised reproducer round-trips through a file unchanged.
+Op = List
+
+
+# ----------------------------------------------------------------------
+# annotation policies, including the deliberate §IV-A mis-annotation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _BuggyTombstonePolicy(AnnotationPolicy):
+    """The Section IV-A hazard, on purpose.
+
+    Treats tombstones like Pattern-1 new-allocation stores — log-free —
+    instead of the correct lazy-but-logged combination.  The poisoned
+    pre-existing node then persists in the LOGFREE_LINES commit phase
+    *before* the commit marker, and a crash in that window rolls the
+    transaction back around an already-clobbered node: the undo log has
+    no pre-image to restore, so recovery resurrects a poisoned node.
+    The campaign must catch this deterministically.
+    """
+
+    def flags(self, hint: Hint) -> Tuple[bool, bool]:
+        if hint is Hint.TOMBSTONE:
+            return (False, True)
+        return super().flags(hint)
+
+
+BUGGY_TOMBSTONE = _BuggyTombstonePolicy(
+    name="manual-buggy-tombstone", honored=MANUAL.honored
+)
+
+#: Annotation policies addressable from cells and reproducer files.
+POLICIES: Dict[str, AnnotationPolicy] = {
+    "none": NO_ANNOTATIONS,
+    "manual": MANUAL,
+    "compiler": COMPILER_DEFAULT,
+    "manual-buggy-tombstone": BUGGY_TOMBSTONE,
+}
+
+
+# ----------------------------------------------------------------------
+# stress configuration: tiny caches force evictions, lazy-line drains,
+# signature probes and WPQ pressure even at fuzz-sized op counts
+# ----------------------------------------------------------------------
+
+STRESS_CONFIG: SystemConfig = dataclasses.replace(
+    DEFAULT_CONFIG,
+    l1=CacheConfig(size_bytes=512, ways=2, latency_cycles=4),
+    l2=CacheConfig(size_bytes=1024, ways=2, latency_cycles=12),
+    l3=CacheConfig(size_bytes=8192, ways=4, latency_cycles=40),
+)
+
+
+# ----------------------------------------------------------------------
+# cells and results
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FuzzCell:
+    """One (workload × scheme × annotation-policy) campaign cell."""
+
+    workload: str
+    scheme: str
+    policy: str
+
+    def __str__(self) -> str:
+        return f"{self.workload}/{self.scheme}/{self.policy}"
+
+
+#: All fuzzable subjects: the Table-II workloads plus the in-place table.
+SUBJECTS: Tuple[str, ...] = tuple(WORKLOADS) + ("inplace",)
+
+#: The default campaign grid: every subject under the FG baseline and
+#: the three selective schemes the paper's soundness claim covers.
+DEFAULT_CELLS: Tuple[FuzzCell, ...] = tuple(
+    FuzzCell(workload, scheme, policy)
+    for workload in SUBJECTS
+    for scheme, policy in (
+        ("FG", "none"),
+        ("FG+LG", "manual"),
+        ("FG+LZ", "manual"),
+        ("SLPMT", "manual"),
+    )
+)
+
+
+@dataclass
+class Violation:
+    """One invariant failure, with everything needed to reproduce it."""
+
+    cell: FuzzCell
+    crash_kind: str
+    crash_point: int
+    check: str
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.cell} @{self.crash_kind}:{self.crash_point} "
+            f"[{self.check}] {self.message}"
+        )
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one crash-inject-recover-check case."""
+
+    crashed: bool
+    committed_ops: int
+    tx_commits: int
+    violation: Optional[str] = None
+    check: str = ""
+
+
+@dataclass
+class CellReport:
+    """Coverage and outcome summary for one campaign cell."""
+
+    cell: FuzzCell
+    num_ops: int
+    persist_points_total: int
+    persist_points_run: int
+    exhaustive: bool
+    instr_points_total: int
+    instr_points_run: int
+    tx_commits: int
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def cases_run(self) -> int:
+        return self.persist_points_run + self.instr_points_run
+
+
+@dataclass
+class CampaignResult:
+    """A whole campaign: parameters plus every cell report."""
+
+    budget: int
+    seed: int
+    num_ops: int
+    value_bytes: int
+    cells: List[CellReport] = field(default_factory=list)
+
+    @property
+    def total_cases(self) -> int:
+        return sum(c.cases_run for c in self.cells)
+
+    @property
+    def violations(self) -> List[Violation]:
+        return [v for c in self.cells for v in c.violations]
+
+
+# ----------------------------------------------------------------------
+# deterministic op generation
+# ----------------------------------------------------------------------
+
+
+def generate_ops(workload: str, num_ops: int, seed: int) -> List[Op]:
+    """A deterministic op sequence for *workload*.
+
+    The mix exercises every op kind the structure supports: fresh
+    inserts, value-replacing re-inserts, removes of live keys, heap
+    extracts, in-place slot updates and checkpoints.  Keys are drawn
+    from a wide space so bucket/trie paths vary between seeds.
+    """
+    rng = random.Random(f"ops:{workload}:{seed}:{num_ops}")
+    ops: List[Op] = []
+    if workload == "inplace":
+        for i in range(num_ops):
+            if i > 0 and rng.random() < 0.1:
+                ops.append(["checkpoint", 0, 0])
+            else:
+                ops.append(["update", rng.randrange(32), rng.randrange(1, 1 << 32)])
+        return ops
+
+    kinds = WORKLOADS[workload].fuzz_ops
+    live: List[int] = []
+    used = set()
+    for _ in range(num_ops):
+        r = rng.random()
+        if "extract" in kinds and live and r < 0.35:
+            ops.append(["extract", 0, 0])
+            live.remove(max(live))
+        elif "remove" in kinds and live and r < 0.35:
+            key = rng.choice(live)
+            ops.append(["remove", key, 0])
+            live.remove(key)
+        elif "remove" in kinds and live and r < 0.45:
+            # Value-replacing re-insert of a live key.
+            ops.append(["insert", rng.choice(live), 0])
+        else:
+            key = rng.randrange(1, 1 << 40)
+            while key in used:
+                key = rng.randrange(1, 1 << 40)
+            used.add(key)
+            ops.append(["insert", key, 0])
+            live.append(key)
+    return ops
+
+
+def apply_op(subject: Subject, op: Op) -> None:
+    """Apply one driver op to a live subject (one durable operation)."""
+    kind, key, value = op[0], op[1], op[2]
+    if kind == "insert":
+        subject.insert(key)
+    elif kind == "remove":
+        subject.remove(key)
+    elif kind == "extract":
+        subject.extract_max()
+    elif kind == "update":
+        subject.update({key: value})
+    elif kind == "checkpoint":
+        subject.checkpoint()
+    else:
+        raise ValueError(f"unknown fuzz op kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# case execution
+# ----------------------------------------------------------------------
+
+
+def _build(
+    workload: str,
+    scheme: str,
+    policy: str,
+    *,
+    value_bytes: int,
+    config: SystemConfig,
+) -> Tuple[Machine, PTx, Subject]:
+    machine = Machine(scheme_by_name(scheme), config)
+    rt = PTx(machine, policy=POLICIES[policy])
+    subject = make_subject(workload, rt, value_bytes=value_bytes)
+    return machine, rt, subject
+
+
+def baseline_states(
+    workload: str,
+    ops: Sequence[Op],
+    *,
+    value_bytes: int = 32,
+    config: SystemConfig = STRESS_CONFIG,
+) -> List[State]:
+    """Durable logical state after every committed prefix of *ops*,
+    measured on the FG baseline (every store logged and eagerly
+    persisted), so ``states[k]`` is the reference for "k ops committed".
+    """
+    machine, _rt, subject = _build(
+        workload, "FG", "none", value_bytes=value_bytes, config=config
+    )
+    states: List[State] = [durable_state(subject)]
+    for op in ops:
+        apply_op(subject, op)
+        states.append(durable_state(subject))
+    return states
+
+
+def run_case(
+    workload: str,
+    scheme: str,
+    policy: str,
+    ops: Sequence[Op],
+    crash_kind: str,
+    crash_point: int,
+    *,
+    value_bytes: int = 32,
+    config: SystemConfig = STRESS_CONFIG,
+    baseline: Optional[List[State]] = None,
+) -> CaseResult:
+    """One crash-inject-recover-check experiment.
+
+    ``crash_kind`` is ``"persist"`` (the *crash_point*-th post-setup
+    durability event) or ``"instr"`` (the *crash_point*-th post-setup
+    memory instruction).  *baseline* is the FG reference from
+    :func:`baseline_states`; when omitted it is computed on the fly.
+    """
+    if baseline is None:
+        baseline = baseline_states(
+            workload, ops, value_bytes=value_bytes, config=config
+        )
+    machine, rt, subject = _build(
+        workload, scheme, policy, value_bytes=value_bytes, config=config
+    )
+    oplog = OpLog()
+    rt.op_log = oplog
+    if crash_kind == "persist":
+        machine.schedule_crash_after_persists(crash_point)
+    elif crash_kind == "instr":
+        machine.checkpoint = InstructionLimit(crash_point)
+    else:
+        raise ValueError(f"unknown crash kind {crash_kind!r}")
+
+    committed = 0
+    try:
+        for i, op in enumerate(ops):
+            oplog.begin_op(i)
+            apply_op(subject, op)
+            committed += 1
+    except PowerFailure:
+        machine.checkpoint = None
+        machine.crash()
+        recover(machine.pm, mode=machine.scheme.logging_mode, hooks=[subject])
+        violation, check = _check_recovered(subject, baseline, committed, len(ops))
+        return CaseResult(
+            crashed=True,
+            committed_ops=committed,
+            tx_commits=oplog.total_commits,
+            violation=violation,
+            check=check,
+        )
+
+    machine.cancel_scheduled_crash()
+    machine.checkpoint = None
+    violation = None
+    check = ""
+    try:
+        subject.verify()
+    except RecoveryError as exc:
+        violation, check = str(exc), "structure"
+    return CaseResult(
+        crashed=False,
+        committed_ops=committed,
+        tx_commits=oplog.total_commits,
+        violation=violation,
+        check=check,
+    )
+
+
+def _check_recovered(
+    subject: Subject,
+    baseline: List[State],
+    committed: int,
+    num_ops: int,
+) -> Tuple[Optional[str], str]:
+    """Structure + two-state atomicity/differential check.
+
+    Returns ``(violation message, check name)``; ``(None, "")`` when the
+    durable image is legal.
+    """
+    try:
+        if hasattr(subject, "check_integrity"):
+            subject.check_integrity(subject.reader(durable=True))
+        state = durable_state(subject)
+    except RecoveryError as exc:
+        return str(exc), "structure"
+    except SimulationError as exc:
+        # Traversal followed a corrupt pointer into unmapped PM.
+        return f"durable traversal failed: {exc}", "structure"
+    except InvariantViolation as exc:
+        return exc.message, exc.check
+
+    acceptable = [baseline[committed]]
+    if committed < num_ops:
+        # The in-flight op's commit marker may have become durable just
+        # before the crash reached the application: prefix+1 is legal.
+        acceptable.append(baseline[committed + 1])
+    if state in acceptable:
+        return None, ""
+    return _diagnose(state, baseline[committed])
+
+
+def _diagnose(state: State, want: State) -> Tuple[str, str]:
+    """Classify a state mismatch for the violation report."""
+    got = dict(state)
+    expect = dict(want)
+    missing = sorted(k for k in expect if k not in got)
+    if missing:
+        return (
+            f"committed key(s) {missing[:4]} missing from the durable state",
+            "completeness",
+        )
+    extra = sorted(k for k in got if k not in expect)
+    if extra:
+        return (
+            f"uncommitted/removed key(s) {extra[:4]} present in the durable state",
+            "exactness",
+        )
+    wrong = sorted(k for k in expect if got.get(k) != expect[k])
+    if wrong:
+        return (
+            f"key(s) {wrong[:4]} hold values diverging from the FG baseline",
+            "differential",
+        )
+    return (
+        "durable state diverges from the FG baseline (key multiplicity)",
+        "differential",
+    )
+
+
+# ----------------------------------------------------------------------
+# cell + campaign drivers
+# ----------------------------------------------------------------------
+
+
+def _cell_dry_run(
+    cell: FuzzCell,
+    ops: Sequence[Op],
+    *,
+    value_bytes: int,
+    config: SystemConfig,
+) -> Tuple[int, int, int]:
+    """Clean run of *ops* in this cell: post-setup durability-event and
+    instruction totals, plus committed-transaction count (coverage)."""
+    machine, rt, subject = _build(
+        cell.workload, cell.scheme, cell.policy,
+        value_bytes=value_bytes, config=config,
+    )
+    oplog = OpLog()
+    rt.op_log = oplog
+    events0 = machine.wpq.total_inserts
+    instrs0 = machine.stats.instructions
+    for i, op in enumerate(ops):
+        oplog.begin_op(i)
+        apply_op(subject, op)
+    return (
+        machine.wpq.total_inserts - events0,
+        machine.stats.instructions - instrs0,
+        oplog.total_commits,
+    )
+
+
+def run_cell(
+    cell: FuzzCell,
+    *,
+    budget: int,
+    seed: int,
+    ops: Optional[Sequence[Op]] = None,
+    num_ops: int = 10,
+    value_bytes: int = 32,
+    config: SystemConfig = STRESS_CONFIG,
+    baseline: Optional[List[State]] = None,
+    persist_budget: Optional[int] = None,
+    instr_budget: Optional[int] = None,
+) -> CellReport:
+    """Run one cell's crash-point sweep under a per-cell case budget.
+
+    Three quarters of the budget goes to durability-event points —
+    exhaustively when they fit, sampled otherwise — and the remainder to
+    sampled instruction-boundary points; *persist_budget* /
+    *instr_budget* override the split (tests use this to force a purely
+    exhaustive durability-event sweep).
+    """
+    if ops is None:
+        ops = generate_ops(cell.workload, num_ops, seed)
+    if baseline is None:
+        baseline = baseline_states(
+            cell.workload, ops, value_bytes=value_bytes, config=config
+        )
+    events, instrs, tx_commits = _cell_dry_run(
+        cell, ops, value_bytes=value_bytes, config=config
+    )
+    rng = random.Random(f"cell:{seed}:{cell.workload}:{cell.scheme}:{cell.policy}")
+
+    if persist_budget is None:
+        persist_budget = max(1, (budget * 3) // 4)
+    if events <= persist_budget:
+        persist_points = list(range(events))
+        exhaustive = True
+    else:
+        persist_points = sorted(rng.sample(range(events), persist_budget))
+        exhaustive = False
+    if instr_budget is None:
+        instr_budget = max(0, budget - len(persist_points))
+    instr_points = sorted(rng.sample(range(instrs), min(instr_budget, instrs)))
+
+    report = CellReport(
+        cell=cell,
+        num_ops=len(ops),
+        persist_points_total=events,
+        persist_points_run=len(persist_points),
+        exhaustive=exhaustive,
+        instr_points_total=instrs,
+        instr_points_run=len(instr_points),
+        tx_commits=tx_commits,
+    )
+    for kind, points in (("persist", persist_points), ("instr", instr_points)):
+        for point in points:
+            result = run_case(
+                cell.workload, cell.scheme, cell.policy, ops, kind, point,
+                value_bytes=value_bytes, config=config, baseline=baseline,
+            )
+            if result.violation is not None:
+                report.violations.append(
+                    Violation(
+                        cell=cell,
+                        crash_kind=kind,
+                        crash_point=point,
+                        check=result.check,
+                        message=result.violation,
+                    )
+                )
+    return report
+
+
+def run_campaign(
+    budget: int = 200,
+    seed: int = 7,
+    *,
+    cells: Sequence[FuzzCell] = DEFAULT_CELLS,
+    num_ops: int = 10,
+    value_bytes: int = 32,
+    config: SystemConfig = STRESS_CONFIG,
+) -> CampaignResult:
+    """Run the full campaign grid.
+
+    *budget* is the per-cell case budget.  Ops and FG baselines are
+    computed once per workload and shared by every cell of that
+    workload, so all schemes crash the identical op sequence — that is
+    what makes the differential column meaningful.
+    """
+    result = CampaignResult(
+        budget=budget, seed=seed, num_ops=num_ops, value_bytes=value_bytes
+    )
+    ops_cache: Dict[str, List[Op]] = {}
+    baseline_cache: Dict[str, List[State]] = {}
+    for cell in cells:
+        if cell.workload not in ops_cache:
+            ops_cache[cell.workload] = generate_ops(cell.workload, num_ops, seed)
+            baseline_cache[cell.workload] = baseline_states(
+                cell.workload,
+                ops_cache[cell.workload],
+                value_bytes=value_bytes,
+                config=config,
+            )
+        result.cells.append(
+            run_cell(
+                cell,
+                budget=budget,
+                seed=seed,
+                ops=ops_cache[cell.workload],
+                value_bytes=value_bytes,
+                config=config,
+                baseline=baseline_cache[cell.workload],
+            )
+        )
+    return result

@@ -1,0 +1,167 @@
+"""``python -m repro fuzz`` — the campaign CLI.
+
+Usage::
+
+    python -m repro fuzz --budget 200 --seed 7     # full campaign
+    python -m repro fuzz --workloads hashtable,dlist --schemes SLPMT
+    python -m repro fuzz --replay repro.json       # re-run a reproducer
+    python -m repro fuzz --hazard-demo             # catch the §IV-A bug
+
+A campaign writes its table to ``benchmarks/results/fuzz_campaign.txt``
+(override with ``--out``) and exits non-zero when any invariant
+violation was found.  Every violation is shrunk to a minimal reproducer
+and saved as ``fuzz_repro_<n>.json`` next to the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import List
+
+from repro.fuzz.campaign import (
+    DEFAULT_CELLS,
+    POLICIES,
+    SUBJECTS,
+    FuzzCell,
+    run_campaign,
+)
+from repro.fuzz.minimize import Reproducer, minimize, replay
+from repro.fuzz.report import format_report
+
+DEFAULT_OUT = os.path.join("benchmarks", "results", "fuzz_campaign.txt")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description="Deterministic crash-consistency fuzzing campaign.",
+    )
+    parser.add_argument("--budget", type=int, default=200,
+                        help="crash cases per cell (default 200)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="campaign RNG seed (default 7)")
+    parser.add_argument("--ops", type=int, default=10,
+                        help="operations per cell (default 10)")
+    parser.add_argument("--value-bytes", type=int, default=32,
+                        help="value payload size (default 32)")
+    parser.add_argument("--workloads", type=str, default=None,
+                        help="comma-separated subject filter")
+    parser.add_argument("--schemes", type=str, default=None,
+                        help="comma-separated scheme filter")
+    parser.add_argument("--out", type=str, default=DEFAULT_OUT,
+                        help=f"report path (default {DEFAULT_OUT})")
+    parser.add_argument("--replay", type=str, default=None, metavar="FILE",
+                        help="re-run a JSON reproducer instead of a campaign")
+    parser.add_argument("--hazard-demo", action="store_true",
+                        help="run the deliberately mis-annotated tombstone "
+                             "cell (Section IV-A) and shrink its violation")
+    return parser
+
+
+def _replay_main(path: str) -> int:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            rep = Reproducer.from_json(fh.read())
+    except OSError as exc:
+        raise SystemExit(f"cannot read reproducer: {exc}")
+    except (ValueError, TypeError, KeyError) as exc:
+        raise SystemExit(f"{path} is not a valid reproducer file: {exc}")
+    result = replay(rep)
+    print(f"replaying {path}: {rep.workload}/{rep.scheme}/{rep.policy} "
+          f"@{rep.crash_kind}:{rep.crash_point} ({len(rep.ops)} ops)")
+    if result.violation is None:
+        print("no violation reproduced (expected: "
+              f"[{rep.check}] {rep.violation})")
+        return 1
+    print(f"reproduced [{result.check}] {result.violation}")
+    if result.violation != rep.violation or result.check != rep.check:
+        print(f"MISMATCH: file records [{rep.check}] {rep.violation}")
+        return 1
+    print("violation matches the reproducer byte-for-byte")
+    return 0
+
+
+def _hazard_demo(args: argparse.Namespace) -> int:
+    cells = [FuzzCell("hashtable", "SLPMT", "manual-buggy-tombstone")]
+    result = run_campaign(
+        budget=args.budget, seed=args.seed, cells=cells, num_ops=args.ops,
+        value_bytes=args.value_bytes,
+    )
+    print(format_report(result))
+    if not result.violations:
+        print("hazard NOT caught — the campaign should have found the "
+              "mis-annotated tombstone")
+        return 1
+    first = result.violations[0]
+    from repro.fuzz.campaign import generate_ops
+
+    ops = generate_ops("hashtable", args.ops, args.seed)
+    rep = minimize(
+        Reproducer.from_violation(first, ops, value_bytes=args.value_bytes)
+    )
+    out_dir = os.path.dirname(args.out) or "."
+    os.makedirs(out_dir, exist_ok=True)
+    rep_path = os.path.join(out_dir, "fuzz_repro_hazard.json")
+    with open(rep_path, "w", encoding="utf-8") as fh:
+        fh.write(rep.to_json())
+    print(f"hazard caught: [{rep.check}] {rep.violation}")
+    print(f"minimal reproducer ({len(rep.ops)} ops, "
+          f"{rep.crash_kind} point {rep.crash_point}) -> {rep_path}")
+    replayed = replay(rep)
+    if replayed.violation == rep.violation:
+        print("reproducer replays to the identical violation")
+        return 0
+    print("REPLAY MISMATCH")
+    return 1
+
+
+def fuzz_main(argv: "List[str] | None" = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.replay:
+        return _replay_main(args.replay)
+    if args.hazard_demo:
+        return _hazard_demo(args)
+
+    cells = list(DEFAULT_CELLS)
+    if args.workloads:
+        wanted = {w.strip() for w in args.workloads.split(",")}
+        unknown = wanted - set(SUBJECTS)
+        if unknown:
+            raise SystemExit(f"unknown workload(s): {sorted(unknown)}")
+        cells = [c for c in cells if c.workload in wanted]
+    if args.schemes:
+        wanted = {s.strip() for s in args.schemes.split(",")}
+        cells = [c for c in cells if c.scheme in wanted]
+    if not cells:
+        raise SystemExit("no cells selected")
+
+    result = run_campaign(
+        budget=args.budget, seed=args.seed, cells=cells, num_ops=args.ops,
+        value_bytes=args.value_bytes,
+    )
+    text = format_report(result)
+    print(text, end="")
+
+    out_dir = os.path.dirname(args.out) or "."
+    os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"[report written to {args.out}]")
+
+    if result.violations:
+        from repro.fuzz.campaign import generate_ops
+
+        for n, violation in enumerate(result.violations):
+            ops = generate_ops(violation.cell.workload, args.ops, args.seed)
+            rep = minimize(
+                Reproducer.from_violation(
+                    violation, ops, value_bytes=args.value_bytes
+                )
+            )
+            rep_path = os.path.join(out_dir, f"fuzz_repro_{n}.json")
+            with open(rep_path, "w", encoding="utf-8") as fh:
+                fh.write(rep.to_json())
+            print(f"[reproducer -> {rep_path}]")
+        return 1
+    return 0

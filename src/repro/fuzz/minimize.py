@@ -1,0 +1,184 @@
+"""Violation shrinking and byte-for-byte replay.
+
+A :class:`Reproducer` freezes everything a violation needs to fire
+again: workload, scheme, annotation policy, value size, the exact op
+list and the exact crash point.  Because the whole simulator is
+deterministic (no wall clock, no unseeded RNG anywhere in the stack),
+re-running a reproducer executes the identical instruction stream and
+produces the identical violation message.
+
+Shrinking happens in two phases:
+
+1. **ops** — greedy delta-debugging: repeatedly try dropping chunks of
+   the op sequence (halving chunk sizes down to single ops) and keep any
+   candidate that still violates *somewhere* in its crash-point sweep;
+2. **crash point** — over the shrunk ops, take the smallest crash point
+   of the same kind that still violates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.fuzz.campaign import (
+    STRESS_CONFIG,
+    CaseResult,
+    Op,
+    Violation,
+    baseline_states,
+    run_case,
+)
+
+
+@dataclass
+class Reproducer:
+    """A self-contained, JSON-serialisable violation reproducer."""
+
+    workload: str
+    scheme: str
+    policy: str
+    value_bytes: int
+    ops: List[Op]
+    crash_kind: str
+    crash_point: int
+    violation: str
+    check: str
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Reproducer":
+        data = json.loads(text)
+        data["ops"] = [list(op) for op in data["ops"]]
+        return cls(**data)
+
+    @classmethod
+    def from_violation(
+        cls, violation: Violation, ops: Sequence[Op], *, value_bytes: int
+    ) -> "Reproducer":
+        return cls(
+            workload=violation.cell.workload,
+            scheme=violation.cell.scheme,
+            policy=violation.cell.policy,
+            value_bytes=value_bytes,
+            ops=[list(op) for op in ops],
+            crash_kind=violation.crash_kind,
+            crash_point=violation.crash_point,
+            violation=violation.message,
+            check=violation.check,
+        )
+
+
+def replay(
+    rep: Reproducer, *, config: SystemConfig = STRESS_CONFIG
+) -> CaseResult:
+    """Re-run a reproducer exactly; deterministic by construction."""
+    return run_case(
+        rep.workload,
+        rep.scheme,
+        rep.policy,
+        rep.ops,
+        rep.crash_kind,
+        rep.crash_point,
+        value_bytes=rep.value_bytes,
+        config=config,
+    )
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+
+#: Safety cap on crash points scanned per shrink candidate.
+_SCAN_CAP = 800
+
+
+def _count_points(
+    rep: Reproducer, ops: Sequence[Op], *, config: SystemConfig
+) -> int:
+    """Post-setup crash-point total for *ops* of the reproducer's kind."""
+    from repro.fuzz.campaign import _build, apply_op  # local: avoid cycle
+
+    machine, _rt, subject = _build(
+        rep.workload, rep.scheme, rep.policy,
+        value_bytes=rep.value_bytes, config=config,
+    )
+    events0 = machine.wpq.total_inserts
+    instrs0 = machine.stats.instructions
+    for op in ops:
+        apply_op(subject, op)
+    if rep.crash_kind == "persist":
+        return machine.wpq.total_inserts - events0
+    return machine.stats.instructions - instrs0
+
+
+def _first_violation(
+    rep: Reproducer,
+    ops: Sequence[Op],
+    *,
+    config: SystemConfig,
+    stop_at: Optional[int] = None,
+) -> Optional[Tuple[int, str, str]]:
+    """Scan crash points in ascending order; return the first violating
+    ``(point, message, check)`` or None."""
+    total = _count_points(rep, ops, config=config)
+    if stop_at is not None:
+        total = min(total, stop_at)
+    total = min(total, _SCAN_CAP)
+    baseline = baseline_states(
+        rep.workload, ops, value_bytes=rep.value_bytes, config=config
+    )
+    for point in range(total):
+        result = run_case(
+            rep.workload, rep.scheme, rep.policy, ops, rep.crash_kind, point,
+            value_bytes=rep.value_bytes, config=config, baseline=baseline,
+        )
+        if result.violation is not None:
+            return point, result.violation, result.check
+    return None
+
+
+def minimize(
+    rep: Reproducer, *, config: SystemConfig = STRESS_CONFIG
+) -> Reproducer:
+    """Shrink *rep* to a minimal reproducer (ops first, then the crash
+    point), re-verifying the violation at every step."""
+    ops = [list(op) for op in rep.ops]
+
+    chunk = max(1, len(ops) // 2)
+    while chunk >= 1:
+        start = 0
+        while start < len(ops) and len(ops) > 1:
+            candidate = ops[:start] + ops[start + chunk:]
+            if candidate and _first_violation(rep, candidate, config=config):
+                ops = candidate
+            else:
+                start += chunk
+        chunk //= 2
+
+    found = _first_violation(rep, ops, config=config)
+    if found is None:
+        # Shrinking never removes the original failure: the unshrunk ops
+        # still violate, so fall back to them wholesale.
+        ops = [list(op) for op in rep.ops]
+        found = _first_violation(rep, ops, config=config)
+    if found is None:
+        raise AssertionError(
+            "reproducer no longer violates — non-deterministic subject?"
+        )
+    point, message, check = found
+    return Reproducer(
+        workload=rep.workload,
+        scheme=rep.scheme,
+        policy=rep.policy,
+        value_bytes=rep.value_bytes,
+        ops=ops,
+        crash_kind=rep.crash_kind,
+        crash_point=point,
+        violation=message,
+        check=check,
+    )

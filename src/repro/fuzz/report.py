@@ -1,0 +1,77 @@
+"""Deterministic campaign report formatting.
+
+The table is stable for a given ``(budget, seed)``: no timestamps, no
+machine-dependent fields, rows in fixed cell order — re-running the
+same command must emit the identical file (the determinism acceptance
+check diffs two runs).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.fuzz.campaign import CampaignResult
+
+_COLUMNS = (
+    ("workload", 10),
+    ("scheme", 7),
+    ("policy", 8),
+    ("ops", 4),
+    ("persist-pts", 12),
+    ("instr-pts", 12),
+    ("cases", 6),
+    ("commits", 8),
+    ("violations", 10),
+)
+
+
+def _row(values: List[str]) -> str:
+    return "  ".join(
+        str(v).ljust(width) for (_, width), v in zip(_COLUMNS, values)
+    ).rstrip()
+
+
+def format_report(result: CampaignResult) -> str:
+    """The campaign table plus totals, as written to
+    ``benchmarks/results/fuzz_campaign.txt``."""
+    lines = [
+        "SLPMT crash-consistency fuzz campaign",
+        f"budget={result.budget} per cell, seed={result.seed}, "
+        f"ops/cell={result.num_ops}, value_bytes={result.value_bytes}, "
+        "config=stress (512B/1KB/8KB caches)",
+        "",
+        _row([name for name, _ in _COLUMNS]),
+        _row(["-" * min(w, 10) for _, w in _COLUMNS]),
+    ]
+    for cell in result.cells:
+        persist = f"{cell.persist_points_run}/{cell.persist_points_total}"
+        if cell.exhaustive:
+            persist += " all"
+        instr = f"{cell.instr_points_run}/{cell.instr_points_total}"
+        lines.append(
+            _row(
+                [
+                    cell.cell.workload,
+                    cell.cell.scheme,
+                    cell.cell.policy,
+                    cell.num_ops,
+                    persist,
+                    instr,
+                    cell.cases_run,
+                    cell.tx_commits,
+                    len(cell.violations),
+                ]
+            )
+        )
+    exhaustive_cells = sum(1 for c in result.cells if c.exhaustive)
+    lines += [
+        "",
+        f"cells: {len(result.cells)} "
+        f"({exhaustive_cells} with exhaustive durability-point coverage)",
+        f"cases: {result.total_cases}",
+        f"violations: {len(result.violations)}",
+    ]
+    for violation in result.violations:
+        lines.append(f"  VIOLATION {violation}")
+    lines.append("")
+    return "\n".join(lines)

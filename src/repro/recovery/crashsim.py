@@ -9,8 +9,9 @@ state for invariant checking.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
+from repro.common.errors import PowerFailure
 from repro.core.machine import Machine
 from repro.core.ordering import LoggingMode
 from repro.isa.program import Program
@@ -57,6 +58,39 @@ def run_with_crash(
     return CrashOutcome(crashed=True, report=report, machine=machine)
 
 
+@dataclass
+class DryRunStats:
+    """What a clean (crash-free) execution makes sweepable.
+
+    ``durability_events`` bounds the ``crash_after_persists`` sweep and
+    ``instructions`` bounds the instruction-boundary sweep; the machine
+    is kept so callers can read further statistics off it.
+    """
+
+    machine: Machine
+    durability_events: int
+    instructions: int
+
+
+def dry_run(machine_factory, body: "Callable[[Machine], None]") -> DryRunStats:
+    """Run *body* to completion on a fresh machine, with no crash
+    scheduled, and report the crash-point totals.
+
+    This is the single enumeration pathway shared by
+    :func:`count_durability_points` and the fuzz campaign driver: both
+    the Program-based harness and the eager PTx workloads funnel through
+    it, so their crash-point counts are measured identically (straight
+    off the WPQ insert and instruction counters).
+    """
+    machine: Machine = machine_factory()
+    body(machine)
+    return DryRunStats(
+        machine=machine,
+        durability_events=machine.wpq.total_inserts,
+        instructions=machine.stats.instructions,
+    )
+
+
 def count_durability_points(machine_factory, program: Program) -> int:
     """Run *program* on a fresh machine and count its durability events.
 
@@ -64,6 +98,24 @@ def count_durability_points(machine_factory, program: Program) -> int:
     mid-commit crash point: build the machine with *machine_factory*,
     run cleanly, and read the WPQ insert count.
     """
-    machine: Machine = machine_factory()
-    machine.run(program)
-    return machine.wpq.total_inserts
+    return dry_run(machine_factory, lambda m: m.run(program)).durability_events
+
+
+class InstructionLimit:
+    """Checkpoint callback crashing at the N-th memory instruction.
+
+    The eager-execution counterpart of ``Machine.run(program,
+    crash_after_instructions=N)``: PTx-driven workloads never go through
+    :meth:`Machine.run`, so instruction-boundary crash injection hooks
+    the per-instruction ``machine.checkpoint`` callback instead.
+    Install after setup to count only the instructions under test.
+    """
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.seen = 0
+
+    def __call__(self) -> None:
+        if self.seen >= self.limit:
+            raise PowerFailure("instruction-boundary crash")
+        self.seen += 1

@@ -56,6 +56,11 @@ class PTx:
         #: Whether the most recent transaction scope ended in an abort
         #: (explicit or by a conflicting peer); retry loops read this.
         self.last_aborted = False
+        #: Optional transaction-outcome observer (``committed()`` /
+        #: ``aborted()``, e.g. :class:`repro.fuzz.oplog.OpLog`).  A crash
+        #: reports nothing: the power failure propagates untouched and
+        #: the observer's last committed mark is the recovery oracle.
+        self.op_log = None
 
     # --- transactions --------------------------------------------------------
 
@@ -83,6 +88,8 @@ class PTx:
                 self.machine.tx_abort()
             self._rollback_allocs()
             self.last_aborted = True
+            if self.op_log is not None:
+                self.op_log.aborted()
         except PowerFailure:
             # A crash is not an abort: volatile state simply vanishes.
             # Let the failure propagate to the crash harness untouched.
@@ -95,6 +102,8 @@ class PTx:
             self.machine.tx_end()
             for addr in self._tx_frees:
                 self.allocator.free(addr)
+            if self.op_log is not None:
+                self.op_log.committed()
         finally:
             self._tx_allocs = []
             self._tx_frees = []

@@ -33,6 +33,7 @@ class AVLTree(Workload):
     """AVL tree with path-stack rebalancing."""
 
     name = "avl"
+    fuzz_ops = ("insert", "remove")
 
     def setup(self) -> None:
         rt = self.rt
@@ -262,6 +263,22 @@ class AVLTree(Workload):
         if read(NODE.addr(node, "height")) != h:
             raise RecoveryError(f"avl: stale height at key {key}")
         return h
+
+    def iter_keys(self, read: MemReader) -> List[int]:
+        keys: List[int] = []
+        seen: Set[int] = set()
+        stack = [read(HEADER.addr(self.header, "root"))]
+        while stack:
+            node = stack.pop()
+            if node == NULL:
+                continue
+            if node in seen:
+                raise RecoveryError("avl: node reachable twice")
+            seen.add(node)
+            keys.append(read(NODE.addr(node, "key")))
+            stack.append(read(NODE.addr(node, "left")))
+            stack.append(read(NODE.addr(node, "right")))
+        return keys
 
     def reachable(self, read: MemReader) -> List[Tuple[int, int]]:
         out: List[Tuple[int, int]] = [(self.header, HEADER.size)]

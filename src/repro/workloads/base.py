@@ -56,6 +56,10 @@ class Workload(abc.ABC):
     #: Short name matching Table II (e.g. "hashtable", "rbtree").
     name: str = "base"
 
+    #: Driver-level operation kinds the fuzz campaign may generate
+    #: against this structure ("insert", "remove", "extract").
+    fuzz_ops: Tuple[str, ...] = ("insert",)
+
     def __init__(self, rt: PTx, *, value_bytes: int = 256) -> None:
         if value_bytes % units.WORD_BYTES != 0:
             raise ValueError("value size must be a whole number of words")
@@ -87,6 +91,16 @@ class Workload(abc.ABC):
     @abc.abstractmethod
     def reachable(self, read: MemReader) -> List[Tuple[int, int]]:
         """All reachable allocations ``(addr, size)`` from durable roots."""
+
+    def iter_keys(self, read: MemReader) -> List[int]:
+        """Every key stored in the structure, traversed via *read*.
+
+        The fuzz campaign's *exactness* invariant compares this against
+        the committed-key oracle: an uncommitted insert must never be
+        durably present and a committed remove must never resurrect.
+        Each workload overrides this with its natural full traversal.
+        """
+        raise NotImplementedError(f"{self.name} has no iter_keys adapter")
 
     def rebuild_lazy(self, view: PmView) -> None:
         """Pattern-2 recovery: rebuild lazily persistent data (default:

@@ -43,6 +43,7 @@ class DoublyLinkedList(Workload):
     """Sorted doubly-linked list with redundant prev pointers."""
 
     name = "dlist"
+    fuzz_ops = ("insert", "remove")
 
     def setup(self) -> None:
         rt = self.rt
@@ -153,6 +154,18 @@ class DoublyLinkedList(Workload):
             last_key = key
             prev = node
             node = read(NODE.addr(node, "next"))
+
+    def iter_keys(self, read: MemReader) -> List[int]:
+        keys: List[int] = []
+        seen: Set[int] = set()
+        node = read(NODE.addr(self.head, "next"))
+        while node != NULL:
+            if node in seen:
+                raise RecoveryError("dlist: cycle in next chain")
+            seen.add(node)
+            keys.append(read(NODE.addr(node, "key")))
+            node = read(NODE.addr(node, "next"))
+        return keys
 
     def reachable(self, read: MemReader) -> List[Tuple[int, int]]:
         out: List[Tuple[int, int]] = [(self.header, HEADER.size), (self.head, NODE.size)]

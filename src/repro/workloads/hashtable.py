@@ -51,6 +51,7 @@ class HashTable(Workload):
     """Chained hash table with copy-based resizing."""
 
     name = "hashtable"
+    fuzz_ops = ("insert", "remove")
 
     def setup(self) -> None:
         rt = self.rt
@@ -234,6 +235,22 @@ class HashTable(Workload):
             raise RecoveryError(
                 f"hashtable: count {count} != {total} reachable nodes"
             )
+
+    def iter_keys(self, read: MemReader) -> List[int]:
+        table = read(HEADER.addr(self.header, "table"))
+        num_buckets = read(HEADER.addr(self.header, "num_buckets"))
+        keys: List[int] = []
+        limit = len(self.expected) + 16
+        for b in range(num_buckets):
+            node = read(table + b * units.WORD_BYTES)
+            steps = 0
+            while node != NULL:
+                keys.append(read(NODE.addr(node, "key")))
+                node = read(NODE.addr(node, "next"))
+                steps += 1
+                if steps > limit:
+                    raise RecoveryError("hashtable: cycle in bucket chain")
+        return keys
 
     def reachable(self, read: MemReader) -> List[Tuple[int, int]]:
         out: List[Tuple[int, int]] = [(self.header, HEADER.size)]

@@ -41,6 +41,7 @@ class MaxHeap(Workload):
     """Array max-heap with doubling growth."""
 
     name = "heap"
+    fuzz_ops = ("insert", "extract")
 
     def setup(self) -> None:
         rt = self.rt
@@ -227,6 +228,11 @@ class MaxHeap(Workload):
                 raise RecoveryError(
                     f"heap: property violated at index {i} (parent {parent})"
                 )
+
+    def iter_keys(self, read: MemReader) -> List[int]:
+        array = read(HEADER.addr(self.header, "array"))
+        size = read(HEADER.addr(self.header, "size"))
+        return [read(self._key_addr(array, i)) for i in range(size)]
 
     def reachable(self, read: MemReader) -> List[Tuple[int, int]]:
         out: List[Tuple[int, int]] = [(self.header, HEADER.size)]

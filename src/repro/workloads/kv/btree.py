@@ -240,6 +240,26 @@ class BTreeKV(Workload):
         for i in range(n + 1):
             self._leaf_depths(read, read(NODE.addr(node, f"child{i}")), depth + 1, out)
 
+    def iter_keys(self, read: MemReader) -> List[int]:
+        keys: List[int] = []
+        seen: Set[int] = set()
+        root = read(HEADER.addr(self.header, "root"))
+        stack = [root] if root != NULL else []
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                raise RecoveryError("btree: node reachable twice")
+            seen.add(node)
+            n = read(NODE.addr(node, "n"))
+            for i in range(n):
+                keys.append(read(NODE.addr(node, f"key{i}")))
+            if not read(NODE.addr(node, "leaf")):
+                for i in range(n + 1):
+                    child = read(NODE.addr(node, f"child{i}"))
+                    if child != NULL:
+                        stack.append(child)
+        return keys
+
     def reachable(self, read: MemReader) -> List[Tuple[int, int]]:
         out: List[Tuple[int, int]] = [(self.header, HEADER.size)]
         root = read(HEADER.addr(self.header, "root"))

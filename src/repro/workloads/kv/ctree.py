@@ -44,6 +44,7 @@ class CritBitKV(Workload):
     """Key-value store over a crit-bit binary trie."""
 
     name = "kv-ctree"
+    fuzz_ops = ("insert", "remove")
 
     def setup(self) -> None:
         rt = self.rt
@@ -230,6 +231,23 @@ class CritBitKV(Workload):
                     f"ctree: key {key} on the {side} of bit {bit} disagrees"
                 )
         return left_keys + right_keys
+
+    def iter_keys(self, read: MemReader) -> List[int]:
+        keys: List[int] = []
+        seen: Set[int] = set()
+        root = read(HEADER.addr(self.header, "root"))
+        stack = [root] if root != NULL else []
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                raise RecoveryError("ctree: node reachable twice")
+            seen.add(node)
+            if read(NODE.addr(node, "kind")) == INTERNAL:
+                stack.append(read(NODE.addr(node, "f1")))
+                stack.append(read(NODE.addr(node, "f2")))
+            else:
+                keys.append(read(NODE.addr(node, "f0")))
+        return keys
 
     def reachable(self, read: MemReader) -> List[Tuple[int, int]]:
         out: List[Tuple[int, int]] = [(self.header, HEADER.size)]

@@ -65,6 +65,7 @@ class RadixKV(Workload):
     """Key-value store over a nibble-stride radix tree."""
 
     name = "kv-rtree"
+    fuzz_ops = ("insert", "remove")
 
     def setup(self) -> None:
         rt = self.rt
@@ -232,6 +233,29 @@ class RadixKV(Workload):
                     )
             else:
                 self._check_node(read, ptr, level + 1, child_prefix, seen)
+
+    def iter_keys(self, read: MemReader) -> List[int]:
+        keys: List[int] = []
+        seen: Set[int] = set()
+        root = read(HEADER.addr(self.header, "root"))
+        stack = [(root, False)]
+        while stack:
+            ptr, is_leaf = stack.pop()
+            if ptr in seen:
+                raise RecoveryError("rtree: node reachable twice")
+            seen.add(ptr)
+            if is_leaf:
+                keys.append(read(LEAF.addr(ptr, "key")))
+                continue
+            for i in range(FANOUT):
+                child = read(INNER.addr(ptr, f"slot{i}"))
+                if child == NULL:
+                    continue
+                if _is_leaf(child):
+                    stack.append((_untag(child), True))
+                else:
+                    stack.append((child, False))
+        return keys
 
     def reachable(self, read: MemReader) -> List[Tuple[int, int]]:
         out: List[Tuple[int, int]] = [(self.header, HEADER.size)]

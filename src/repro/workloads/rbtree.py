@@ -40,6 +40,7 @@ class RBTree(Workload):
     """Red-black tree with classic insert fix-up."""
 
     name = "rbtree"
+    fuzz_ops = ("insert", "remove")
 
     def setup(self) -> None:
         rt = self.rt
@@ -386,6 +387,22 @@ class RBTree(Workload):
         if bh_left != bh_right:
             raise RecoveryError("rbtree: unequal black heights")
         return bh_left + (1 if color == BLACK else 0)
+
+    def iter_keys(self, read: MemReader) -> List[int]:
+        keys: List[int] = []
+        seen: Set[int] = set()
+        stack = [read(HEADER.addr(self.header, "root"))]
+        while stack:
+            node = stack.pop()
+            if node == NULL:
+                continue
+            if node in seen:
+                raise RecoveryError("rbtree: node reachable twice")
+            seen.add(node)
+            keys.append(read(NODE.addr(node, "key")))
+            stack.append(read(NODE.addr(node, "left")))
+            stack.append(read(NODE.addr(node, "right")))
+        return keys
 
     def reachable(self, read: MemReader) -> List[Tuple[int, int]]:
         out: List[Tuple[int, int]] = [(self.header, HEADER.size)]

@@ -1,10 +1,18 @@
 """Crash-injection harness semantics."""
 
+import pytest
+
+from repro.common.errors import PowerFailure
 from repro.core.machine import Machine
 from repro.core.schemes import SLPMT
 from repro.isa.program import ProgramBuilder
 from repro.mem import layout
-from repro.recovery.crashsim import count_durability_points, run_with_crash
+from repro.recovery.crashsim import (
+    InstructionLimit,
+    count_durability_points,
+    dry_run,
+    run_with_crash,
+)
 
 BASE = layout.PM_HEAP_BASE
 
@@ -48,6 +56,29 @@ class TestRunWithCrash:
             Machine(SLPMT), two_txn_program(), crash_after_persists=1
         )
         assert outcome.pm.log == []
+
+
+class TestDryRun:
+    def test_pins_count_against_machine_persist_stats(self):
+        """``count_durability_points`` and the fuzz campaign share the
+        ``dry_run`` pathway: both counts are the machine's own WPQ-insert
+        and instruction counters, measured on the same clean execution."""
+        program = two_txn_program()
+        stats = dry_run(lambda: Machine(SLPMT), lambda m: m.run(program))
+        assert stats.durability_events == count_durability_points(
+            lambda: Machine(SLPMT), program
+        )
+        assert stats.durability_events == stats.machine.wpq.total_inserts
+        assert stats.instructions == stats.machine.stats.instructions
+        assert stats.durability_events >= 4
+        assert stats.instructions > 0
+
+    def test_instruction_limit_crashes_at_the_limit(self):
+        limit = InstructionLimit(2)
+        limit()
+        limit()
+        with pytest.raises(PowerFailure):
+            limit()
 
 
 class TestDurabilityPointSweep:
