@@ -25,6 +25,18 @@ class SimulationError(ReproError):
     """An internal simulator invariant was violated (a bug, not user error)."""
 
 
+class LogParseError(SimulationError):
+    """The serialized PM log stream could not be parsed.
+
+    Carries the word-aligned PM address of the offending word so a
+    report (or a debugger) can point at the exact media location.
+    """
+
+    def __init__(self, message: str, *, offset: int) -> None:
+        super().__init__(f"{message} at {offset:#x}")
+        self.offset = offset
+
+
 class TransactionError(ReproError):
     """Transactional API misuse (nested begin, commit outside txn, ...)."""
 
@@ -45,6 +57,40 @@ class PowerFailure(ReproError):
 
 class RecoveryError(ReproError):
     """Post-crash recovery could not restore a consistent state."""
+
+
+class TornLogError(RecoveryError):
+    """Strict recovery found a torn (partially appended) log tail.
+
+    Real PM controllers guarantee only 8-byte write atomicity, so a
+    power failure can leave the final log append cut at any word
+    boundary; strict policy refuses to recover over such a tail.
+    """
+
+    def __init__(self, message: str, *, offset: int) -> None:
+        super().__init__(f"{message} at {offset:#x}")
+        self.offset = offset
+
+
+class LogChecksumError(RecoveryError):
+    """Strict recovery found a log entry whose checksum does not match.
+
+    The entry's payload can not be trusted: replaying (redo) or
+    restoring (undo) from it would propagate media corruption into
+    application data, so strict policy surfaces the damage instead.
+    """
+
+    def __init__(self, message: str, *, offset: int) -> None:
+        super().__init__(f"{message} at {offset:#x}")
+        self.offset = offset
+
+
+class RetryExhausted(TransactionError):
+    """A transaction exhausted its abort-retry budget.
+
+    Raised by the PTx retry helper after the configured number of
+    deterministic backoff-and-retry rounds all ended in an abort.
+    """
 
 
 class CompilerError(ReproError):

@@ -69,6 +69,11 @@ class SimStats:
     commit_cycles: int = 0
     commit_lines_persisted: int = 0
 
+    # --- abort retry / backoff -------------------------------------------
+    tx_retries: int = 0
+    backoff_waits: int = 0
+    backoff_cycles: int = 0
+
     def copy(self) -> "SimStats":
         """Return an independent snapshot of the current counters."""
         return SimStats(**self.as_dict())
@@ -130,6 +135,7 @@ class SimStats:
                 "lazy_lines_never_persisted", "signature_hits", "txid_reclaims",
             ),
             "commit": ("commit_cycles", "commit_lines_persisted"),
+            "retry / backoff": ("tx_retries", "backoff_waits", "backoff_cycles"),
         }
         lines = []
         values = self.as_dict()

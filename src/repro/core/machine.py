@@ -604,6 +604,49 @@ class Machine:
         drained = self.log_buffer.insert(record)
         self._persist_log_records(drained, sync=False)
 
+    def _redo_fill_records(self, lines: "List[CacheLine]") -> List[LogRecord]:
+        """Redo commit safety net: records covering every word of a
+        committing line that no buffered/drained record describes.
+
+        Without them, a log-free word sharing a line with a logged word
+        (the media-fault campaign's mixed-line case), or a line whose
+        log bits were stripped by an L3 park, would have no durable copy
+        of its new value — a crash between the commit marker and the
+        line's post-marker persist would silently revert those words to
+        their pre-image inside a committed transaction.  Values logged
+        here may duplicate buffered records; replay order makes the
+        commit-time copy win, so the duplication is benign.
+        """
+        fills: List[LogRecord] = []
+        for line in lines:
+            i = 0
+            nwords = len(line.words)
+            while i < nwords:
+                if line.log_bits[i]:
+                    i += 1
+                    continue
+                # Largest naturally-aligned buddy span of unlogged words
+                # starting here (the line base is 64-byte aligned, so
+                # alignment reduces to the word index).
+                size = 1
+                for cand in (8, 4, 2):
+                    if i % cand == 0 and i + cand <= nwords and not any(
+                        line.log_bits[i : i + cand]
+                    ):
+                        size = cand
+                        break
+                fills.append(
+                    LogRecord(
+                        line.addr + i * units.WORD_BYTES,
+                        tuple(line.words[i : i + size]),
+                    )
+                )
+                i += size
+        for record in fills:
+            self.stats.log_records_created += 1
+            self.stats.log_words_logged += len(record.words)
+        return fills
+
     def _persist_log_records(self, records: List[LogRecord], *, sync: bool) -> None:
         """Persist *records* to the PM log region, packed into lines.
 
@@ -678,6 +721,10 @@ class Machine:
             self._persist_countdown -= 1
         if self.trace_persist_order:
             self.persist_trace.append(phase)
+        # Close the current PM write-journal group: everything written
+        # since the previous durability event rides this WPQ drain, which
+        # is the granularity at which drop-drain faults revert media.
+        self.pm.note_durability_event()
         result = self.wpq.insert(self.now)
         if sync:
             self.now = result.finish_time + self.config.persist_ack_cycles()
@@ -696,11 +743,24 @@ class Machine:
             return
         # 1. Discard buffered records of lazy lines: their pre-image is
         #    useless because the new data never leaves the cache eagerly.
-        if self.scheme.honor_lazy:
+        #    Undo only — a redo record holds the NEW image and is the
+        #    sole recovery copy of a line that has not persisted yet;
+        #    dropping it makes any post-marker crash unrecoverable for
+        #    that line (committed transaction, unlogged lost data).
+        if self.scheme.honor_lazy and self.scheme.logging_mode is LoggingMode.UNDO:
             self._discard_lazy_records()
         records = self.log_buffer.drain_all()
 
-        # 2. Classify this transaction's surviving dirty lines.
+        # 2. Classify this transaction's surviving dirty lines.  Under
+        #    redo every line commits as a logged line: recovery restores
+        #    committed data *only* from redo records, so a line that
+        #    persists before the marker would expose uncommitted words
+        #    in place, and one that stays behind (lazy) or carries
+        #    unlogged log-free words would silently revert to its
+        #    pre-image after a post-marker crash.  The fill records
+        #    below make every committing line fully replayable; the
+        #    selective-logging benefit under redo is the avoided *eager*
+        #    mid-transaction log traffic, not a thinner commit.
         logged: List[CacheLine] = []
         logfree: List[CacheLine] = []
         lazy: List[CacheLine] = []
@@ -710,12 +770,16 @@ class Machine:
                 line = self.l3.lookup(line_addr, touch=False)
             if line is None or not line.dirty:
                 continue  # already written back via eviction
-            if not line.persist:
+            if self.scheme.logging_mode is LoggingMode.REDO:
+                logged.append(line)
+            elif not line.persist:
                 lazy.append(line)
             elif line.any_log_bit():
                 logged.append(line)
             else:
                 logfree.append(line)
+        if self.scheme.logging_mode is LoggingMode.REDO:
+            records = records + self._redo_fill_records(logged)
 
         # 3. Persist in the Figure-4 order for the logging discipline.
         for phase in commit_phases(self.scheme.logging_mode):

@@ -12,6 +12,14 @@ orders differ between undo and redo logging:
   data they feed from is lost, making recovery impossible — and the redo
   records must be durable before the logged lines they describe.
 
+  In practice the machine's redo commit persists *no* data line before
+  the marker (the LOGFREE_LINES phase is empty): a log-free word can
+  share a cache line with a logged word, and writing that mixed line in
+  place pre-marker would expose uncommitted data.  Instead every
+  committing line gets commit-time fill records covering its unlogged
+  words, making the whole line replayable after the marker — a hole the
+  media-fault campaign found as silently lost log-free data.
+
 The module expresses each rule as an ordered list of phases so that the
 machine's commit loop and the property tests share one source of truth.
 """

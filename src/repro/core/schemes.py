@@ -104,10 +104,25 @@ SCHEMES: Dict[str, Scheme] = {
 
 
 def scheme_by_name(name: str) -> Scheme:
-    """Look up a predefined scheme; raises :class:`ReproError` if unknown."""
+    """Look up a predefined scheme; raises :class:`ReproError` if unknown.
+
+    A ``:undo`` / ``:redo`` suffix selects the logging discipline on top
+    of any named scheme (e.g. ``"SLPMT:redo"``) — the fault campaign
+    uses this to sweep both recovery directions over one grid.
+    """
+    base, _, mode = name.partition(":")
     try:
-        return SCHEMES[name]
+        scheme = SCHEMES[base]
     except KeyError:
         raise ReproError(
-            f"unknown scheme {name!r}; known: {sorted(SCHEMES)}"
+            f"unknown scheme {base!r}; known: {sorted(SCHEMES)}"
+        ) from None
+    if not mode:
+        return scheme
+    try:
+        return scheme.with_logging_mode(LoggingMode[mode.upper()])
+    except KeyError:
+        raise ReproError(
+            f"unknown logging-mode suffix {mode!r} in {name!r}; "
+            "use ':undo' or ':redo'"
         ) from None

@@ -1,0 +1,33 @@
+"""Media fault injection for the durable log region.
+
+Real PM controllers guarantee only 8-byte write atomicity and real media
+loses or corrupts bits; this package injects exactly those hazards into
+the simulator's durable state so the hardened recovery engine
+(:mod:`repro.recovery.engine`) can be exercised against them:
+
+* **torn tail** — the final in-flight log append is cut at an arbitrary
+  word boundary (power failure mid-append);
+* **bit flip** — one bit of a serialized log entry flips (media
+  corruption), caught by the v1 per-entry checksum;
+* **drop drains** — the last N WPQ drains never reach media (ADR energy
+  budget failure), reverting a suffix of durability groups.
+
+All injection runs through :class:`~repro.mem.pm.PersistentMemory`, so
+the structural and serialized views of the log stay consistent.
+"""
+
+from repro.faults.model import (
+    FAULT_KINDS,
+    BitFlip,
+    DropDrains,
+    FaultModel,
+    TornAppend,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "BitFlip",
+    "DropDrains",
+    "FaultModel",
+    "TornAppend",
+]

@@ -6,11 +6,20 @@ Usage::
     python -m repro fuzz --workloads hashtable,dlist --schemes SLPMT
     python -m repro fuzz --replay repro.json       # re-run a reproducer
     python -m repro fuzz --hazard-demo             # catch the §IV-A bug
+    python -m repro fuzz --faults                  # media-fault campaign
+    python -m repro fuzz --faults --fault-kinds torn-tail
 
 A campaign writes its table to ``benchmarks/results/fuzz_campaign.txt``
 (override with ``--out``) and exits non-zero when any invariant
 violation was found.  Every violation is shrunk to a minimal reproducer
 and saved as ``fuzz_repro_<n>.json`` next to the report.
+
+``--faults`` runs the media-fault injection campaign instead (torn log
+tails, log bit flips, dropped WPQ drains; see
+:mod:`repro.fuzz.faultcampaign`), writing its table to
+``benchmarks/results/fault_campaign.txt`` and fault reproducers as
+``fault_repro_<n>.json``.  The torn-tail cells enumerate every
+word-boundary cut of every op-phase log append exhaustively.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from repro.fuzz.minimize import Reproducer, minimize, replay
 from repro.fuzz.report import format_report
 
 DEFAULT_OUT = os.path.join("benchmarks", "results", "fuzz_campaign.txt")
+DEFAULT_FAULT_OUT = os.path.join("benchmarks", "results", "fault_campaign.txt")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -37,8 +47,9 @@ def _parser() -> argparse.ArgumentParser:
         prog="python -m repro fuzz",
         description="Deterministic crash-consistency fuzzing campaign.",
     )
-    parser.add_argument("--budget", type=int, default=200,
-                        help="crash cases per cell (default 200)")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="crash cases per cell (default 200; 24 for "
+                             "the sampled cells of --faults)")
     parser.add_argument("--seed", type=int, default=7,
                         help="campaign RNG seed (default 7)")
     parser.add_argument("--ops", type=int, default=10,
@@ -56,6 +67,12 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--hazard-demo", action="store_true",
                         help="run the deliberately mis-annotated tombstone "
                              "cell (Section IV-A) and shrink its violation")
+    parser.add_argument("--faults", action="store_true",
+                        help="run the media-fault injection campaign "
+                             "(torn tails, bit flips, dropped drains)")
+    parser.add_argument("--fault-kinds", type=str, default=None,
+                        help="comma-separated fault-kind filter for "
+                             "--faults (torn-tail,bit-flip,drop-drains)")
     return parser
 
 
@@ -84,8 +101,9 @@ def _replay_main(path: str) -> int:
 
 def _hazard_demo(args: argparse.Namespace) -> int:
     cells = [FuzzCell("hashtable", "SLPMT", "manual-buggy-tombstone")]
+    budget = args.budget if args.budget is not None else 200
     result = run_campaign(
-        budget=args.budget, seed=args.seed, cells=cells, num_ops=args.ops,
+        budget=budget, seed=args.seed, cells=cells, num_ops=args.ops,
         value_bytes=args.value_bytes,
     )
     print(format_report(result))
@@ -116,12 +134,77 @@ def _hazard_demo(args: argparse.Namespace) -> int:
     return 1
 
 
+def _faults_main(args: argparse.Namespace) -> int:
+    from repro.faults import FAULT_KINDS
+    from repro.fuzz.campaign import generate_ops
+    from repro.fuzz.faultcampaign import (
+        DEFAULT_FAULT_SCHEMES,
+        default_fault_cells,
+        format_fault_report,
+        run_fault_campaign,
+    )
+
+    subjects = list(SUBJECTS)
+    if args.workloads:
+        wanted = {w.strip() for w in args.workloads.split(",")}
+        unknown = wanted - set(SUBJECTS)
+        if unknown:
+            raise SystemExit(f"unknown workload(s): {sorted(unknown)}")
+        subjects = [s for s in subjects if s in wanted]
+    schemes = list(DEFAULT_FAULT_SCHEMES)
+    if args.schemes:
+        schemes = [s.strip() for s in args.schemes.split(",")]
+    kinds = list(FAULT_KINDS)
+    if args.fault_kinds:
+        kinds = [k.strip() for k in args.fault_kinds.split(",")]
+        unknown = set(kinds) - set(FAULT_KINDS)
+        if unknown:
+            raise SystemExit(f"unknown fault kind(s): {sorted(unknown)}")
+    cells = default_fault_cells(subjects=subjects, schemes=schemes, kinds=kinds)
+    if not cells:
+        raise SystemExit("no fault cells selected")
+
+    budget = args.budget if args.budget is not None else 24
+    out = args.out if args.out != DEFAULT_OUT else DEFAULT_FAULT_OUT
+    result = run_fault_campaign(
+        budget=budget, seed=args.seed, cells=cells, num_ops=args.ops,
+        value_bytes=args.value_bytes,
+    )
+    text = format_fault_report(result)
+    print(text, end="")
+
+    out_dir = os.path.dirname(out) or "."
+    os.makedirs(out_dir, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"[report written to {out}]")
+
+    if result.violations:
+        for n, violation in enumerate(result.violations):
+            ops = generate_ops(violation.cell.workload, args.ops, args.seed)
+            rep = minimize(
+                Reproducer.from_fault_violation(
+                    violation, ops, value_bytes=args.value_bytes
+                )
+            )
+            rep_path = os.path.join(out_dir, f"fault_repro_{n}.json")
+            with open(rep_path, "w", encoding="utf-8") as fh:
+                fh.write(rep.to_json())
+            print(f"[reproducer -> {rep_path}]")
+        return 1
+    return 0
+
+
 def fuzz_main(argv: "List[str] | None" = None) -> int:
     args = _parser().parse_args(argv)
     if args.replay:
         return _replay_main(args.replay)
     if args.hazard_demo:
         return _hazard_demo(args)
+    if args.faults:
+        return _faults_main(args)
+    if args.fault_kinds:
+        raise SystemExit("--fault-kinds requires --faults")
 
     cells = list(DEFAULT_CELLS)
     if args.workloads:
@@ -137,7 +220,8 @@ def fuzz_main(argv: "List[str] | None" = None) -> int:
         raise SystemExit("no cells selected")
 
     result = run_campaign(
-        budget=args.budget, seed=args.seed, cells=cells, num_ops=args.ops,
+        budget=args.budget if args.budget is not None else 200,
+        seed=args.seed, cells=cells, num_ops=args.ops,
         value_bytes=args.value_bytes,
     )
     text = format_report(result)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
 from repro.fuzz.campaign import (
@@ -35,7 +35,14 @@ from repro.fuzz.campaign import (
 
 @dataclass
 class Reproducer:
-    """A self-contained, JSON-serialisable violation reproducer."""
+    """A self-contained, JSON-serialisable violation reproducer.
+
+    *fault* is None for plain crash violations.  For media-fault
+    violations it carries the exact injection coordinates (the fault
+    dict of :func:`repro.fuzz.faultcampaign.run_fault_case`) and
+    ``crash_kind`` is ``"fault"``; *crash_point* is then meaningful only
+    for drop-drain plans (it is mirrored inside the fault dict).
+    """
 
     workload: str
     scheme: str
@@ -46,6 +53,7 @@ class Reproducer:
     crash_point: int
     violation: str
     check: str
+    fault: Optional[Dict] = None
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), indent=2, sort_keys=True) + "\n"
@@ -54,6 +62,7 @@ class Reproducer:
     def from_json(cls, text: str) -> "Reproducer":
         data = json.loads(text)
         data["ops"] = [list(op) for op in data["ops"]]
+        data.setdefault("fault", None)  # tolerate pre-fault files
         return cls(**data)
 
     @classmethod
@@ -72,11 +81,43 @@ class Reproducer:
             check=violation.check,
         )
 
+    @classmethod
+    def from_fault_violation(
+        cls, violation, ops: Sequence[Op], *, value_bytes: int
+    ) -> "Reproducer":
+        """Freeze a :class:`repro.fuzz.faultcampaign.FaultViolation`."""
+        from repro.fuzz.faultcampaign import FAULT_POLICY  # local: avoid cycle
+
+        return cls(
+            workload=violation.cell.workload,
+            scheme=violation.cell.scheme,
+            policy=FAULT_POLICY,
+            value_bytes=value_bytes,
+            ops=[list(op) for op in ops],
+            crash_kind="fault",
+            crash_point=int(violation.fault.get("crash_point", 0)),
+            violation=violation.message,
+            check=violation.check,
+            fault=dict(violation.fault),
+        )
+
 
 def replay(
     rep: Reproducer, *, config: SystemConfig = STRESS_CONFIG
 ) -> CaseResult:
     """Re-run a reproducer exactly; deterministic by construction."""
+    if rep.fault is not None:
+        from repro.fuzz.faultcampaign import run_fault_case  # local: avoid cycle
+
+        return run_fault_case(
+            rep.workload,
+            rep.scheme,
+            rep.policy,
+            rep.ops,
+            rep.fault,
+            value_bytes=rep.value_bytes,
+            config=config,
+        )
     return run_case(
         rep.workload,
         rep.scheme,
@@ -142,11 +183,72 @@ def _first_violation(
     return None
 
 
+def _fault_violates(
+    rep: Reproducer, ops: Sequence[Op], *, config: SystemConfig
+) -> Optional[Tuple[str, str]]:
+    """Whether the reproducer's fixed fault plan still violates over
+    *ops*: ``(message, check)`` or None.  Dropping ops shifts the wire
+    layout, so a candidate whose plan no longer fires (append index past
+    the shorter run, drain count past the journal) simply stops
+    violating and is rejected."""
+    from repro.fuzz.faultcampaign import run_fault_case  # local: avoid cycle
+
+    result = run_fault_case(
+        rep.workload, rep.scheme, rep.policy, ops, rep.fault,
+        value_bytes=rep.value_bytes, config=config,
+    )
+    if result.violation is None:
+        return None
+    return result.violation, result.check
+
+
+def _minimize_fault(rep: Reproducer, *, config: SystemConfig) -> Reproducer:
+    """Greedy op shrinking with the fault plan held fixed.  Fault
+    coordinates address the physical wire layout, so unlike crash points
+    they cannot be re-scanned independently of the ops — only the op
+    list shrinks."""
+    ops = [list(op) for op in rep.ops]
+    chunk = max(1, len(ops) // 2)
+    while chunk >= 1:
+        start = 0
+        while start < len(ops) and len(ops) > 1:
+            candidate = ops[:start] + ops[start + chunk:]
+            if candidate and _fault_violates(rep, candidate, config=config):
+                ops = candidate
+            else:
+                start += chunk
+        chunk //= 2
+
+    found = _fault_violates(rep, ops, config=config)
+    if found is None:
+        ops = [list(op) for op in rep.ops]
+        found = _fault_violates(rep, ops, config=config)
+    if found is None:
+        raise AssertionError(
+            "fault reproducer no longer violates — non-deterministic subject?"
+        )
+    message, check = found
+    return Reproducer(
+        workload=rep.workload,
+        scheme=rep.scheme,
+        policy=rep.policy,
+        value_bytes=rep.value_bytes,
+        ops=ops,
+        crash_kind="fault",
+        crash_point=rep.crash_point,
+        violation=message,
+        check=check,
+        fault=dict(rep.fault),
+    )
+
+
 def minimize(
     rep: Reproducer, *, config: SystemConfig = STRESS_CONFIG
 ) -> Reproducer:
     """Shrink *rep* to a minimal reproducer (ops first, then the crash
     point), re-verifying the violation at every step."""
+    if rep.fault is not None:
+        return _minimize_fault(rep, config=config)
     ops = [list(op) for op in rep.ops]
 
     chunk = max(1, len(ops) // 2)

@@ -9,26 +9,44 @@ module defines the codec, and recovery can re-derive every entry purely
 from PM words (``repro.recovery.engine.recover(..., from_bytes=True)``),
 proving the byte stream alone carries the recovery protocol.
 
-Entry wire format (64-bit words):
+Stream wire format, version 1 (64-bit words):
 
-* header word — ``kind`` (4 bits) | ``nwords`` (8 bits, <<4) |
+* stream header — :data:`LOG_MAGIC` word, then a version word; entries
+  follow immediately after;
+* entry header word — ``kind`` (4 bits) | ``nwords`` (8 bits, <<4) |
   ``tx_seq`` (52 bits, <<12);
 * for undo/redo records: one address word, then ``nwords`` payload words;
-* commit/abort markers are a bare header word;
+* every entry ends with a checksum word: CRC-32 of the entry's preceding
+  wire words, folded into 64 bits (low half the CRC, high half its
+  complement — never zero, so a checksum can not mimic the terminator);
 * a zero word terminates the stream (kind 0 is invalid).
+
+The legacy version-0 stream (no header, no checksums) is still decoded:
+a stream whose first word is not :data:`LOG_MAGIC` is parsed as v0, so
+old durable images keep recovering.
 
 The stream is append-only.  Entries are never erased — markers make
 stale records inert: recovery ignores any record whose transaction has a
 commit *or abort* marker (aborted transactions were already rolled back
 by the kernel-space replay of Section V-B).
+
+Because real PM controllers guarantee only 8-byte write atomicity, a
+crash can cut the final append at any word boundary.  The *tolerant*
+decoder (:func:`decode_stream_tolerant`) therefore never raises on
+damaged media: it classifies each entry as valid, corrupt (checksum or
+framing mismatch mid-stream) or torn (an incomplete tail with nothing
+valid after it) and leaves the policy decision — refuse or salvage — to
+:mod:`repro.recovery.engine`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
 
 from repro.common import units
-from repro.common.errors import SimulationError
+from repro.common.errors import LogParseError, SimulationError
 from repro.mem.pm import DurableLogEntry
 
 #: Wire tags (0 is the terminator and therefore invalid).
@@ -38,15 +56,36 @@ TAG_KINDS = {tag: kind for kind, tag in KIND_TAGS.items()}
 #: Entry kinds that carry an address and payload.
 PAYLOAD_KINDS = ("undo", "redo")
 
+#: First word of a versioned stream ("SLPMTLOG", little-endian).  The
+#: low nibble (0x53 & 0xF = 3) is irrelevant: version detection matches
+#: the whole word, never the tag field.
+LOG_MAGIC = int.from_bytes(b"SLPMTLOG", "little")
+
+#: Current stream format version.
+LOG_VERSION = 1
+
+#: Words occupied by the v1 stream header (magic + version).
+HEADER_WORDS = 2
+
 _SEQ_LIMIT = 1 << 52
 _WORD_MASK = (1 << 64) - 1
 
 
-def encode_entry(entry: DurableLogEntry) -> List[int]:
-    """Serialize one entry into its wire words."""
-    kind = entry.kind if entry.kind != "commit" else "commit"
+def entry_checksum(words: List[int]) -> int:
+    """CRC-32 of the wire words, folded into a non-zero 64-bit word.
+
+    The low half carries the CRC, the high half its bitwise complement:
+    the two halves can never both be zero, so a checksum word is always
+    distinguishable from the stream terminator.
+    """
+    crc = zlib.crc32(b"".join(w.to_bytes(8, "little") for w in words))
+    return crc | ((crc ^ 0xFFFF_FFFF) << 32)
+
+
+def encode_entry(entry: DurableLogEntry, *, version: int = LOG_VERSION) -> List[int]:
+    """Serialize one entry into its wire words (checksummed for v1)."""
     try:
-        tag = KIND_TAGS[kind]
+        tag = KIND_TAGS[entry.kind]
     except KeyError:
         raise SimulationError(f"unencodable log entry kind {entry.kind!r}") from None
     if not 0 <= entry.tx_seq < _SEQ_LIMIT:
@@ -55,17 +94,123 @@ def encode_entry(entry: DurableLogEntry) -> List[int]:
     if nwords > 8:
         raise SimulationError("records cover at most a cache line (8 words)")
     header = tag | (nwords << 4) | (entry.tx_seq << 12)
-    if kind in PAYLOAD_KINDS:
-        return [header, entry.addr] + [w & _WORD_MASK for w in entry.words]
-    return [header]
+    if entry.kind in PAYLOAD_KINDS:
+        words = [header, entry.addr] + [w & _WORD_MASK for w in entry.words]
+    else:
+        words = [header]
+    if version >= 1:
+        words.append(entry_checksum(words))
+    return words
+
+
+def entry_wire_words(entry: DurableLogEntry, *, version: int = LOG_VERSION) -> int:
+    """Number of words the entry occupies on the wire."""
+    body = 2 + len(entry.words) if entry.kind in PAYLOAD_KINDS else 1
+    return body + (1 if version >= 1 else 0)
+
+
+def stream_header_words() -> List[int]:
+    """The two words opening a v1 serialized stream."""
+    return [LOG_MAGIC, LOG_VERSION]
+
+
+def detect_version(first_word: int) -> int:
+    """Stream version from the word at the log base (v0 has no header)."""
+    return LOG_VERSION if first_word == LOG_MAGIC else 0
+
+
+# ----------------------------------------------------------------------
+# damage classification (tolerant decoding)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DamagedEntry:
+    """One undecodable or untrustworthy wire entry.
+
+    ``offset`` is the PM word address of the entry's header word;
+    ``reason`` is ``"torn"`` (incomplete tail), ``"checksum"`` (payload
+    words fail their CRC), ``"header"`` (invalid kind tag) or
+    ``"nwords"`` (absurd payload length).  ``kind``/``tx_seq`` are
+    best-effort guesses from the (possibly damaged) header word.
+    """
+
+    offset: int
+    reason: str
+    kind: Optional[str] = None
+    tx_seq: Optional[int] = None
+    words: Tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        who = f" ({self.kind} tx_seq={self.tx_seq})" if self.kind else ""
+        return f"{self.reason} entry at {self.offset:#x}{who}"
+
+
+@dataclass
+class ParsedLog:
+    """Outcome of a tolerant parse of the serialized log region."""
+
+    version: int
+    entries: List[DurableLogEntry] = field(default_factory=list)
+    damaged: List[DamagedEntry] = field(default_factory=list)
+    torn_tail: Optional[DamagedEntry] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.damaged and self.torn_tail is None
+
+
+# ----------------------------------------------------------------------
+# strict decoding
+# ----------------------------------------------------------------------
 
 
 def decode_stream(
-    read_word: Callable[[int], int], base: int, limit: int
+    read_word: Callable[[int], int],
+    base: int,
+    limit: int,
+    *,
+    version: int = LOG_VERSION,
 ) -> List[DurableLogEntry]:
-    """Parse entries from PM words starting at *base* until a zero
-    header or *limit* is reached."""
-    out: List[DurableLogEntry] = []
+    """Parse entries from PM words starting at *base* (which must point
+    at the first entry, past any stream header) until a zero header or
+    *limit* is reached.  Raises :class:`LogParseError` on any framing or
+    checksum damage — the strict, trust-the-media path."""
+    parsed = decode_stream_tolerant(read_word, base, limit, version=version)
+    if parsed.torn_tail is not None:
+        raise LogParseError(
+            f"torn log tail ({parsed.torn_tail.reason})",
+            offset=parsed.torn_tail.offset,
+        )
+    if parsed.damaged:
+        first = parsed.damaged[0]
+        raise LogParseError(
+            f"corrupt log entry ({first.reason})", offset=first.offset
+        )
+    return parsed.entries
+
+
+def decode_stream_tolerant(
+    read_word: Callable[[int], int],
+    base: int,
+    limit: int,
+    *,
+    version: int = LOG_VERSION,
+) -> ParsedLog:
+    """Parse as much of the stream as the media supports, never raising.
+
+    Damage handling:
+
+    * an entry whose header carries an unknown kind tag or an absurd
+      ``nwords`` destroys framing — it is recorded and parsing stops
+      (everything after it is unreachable, exactly like real media);
+    * a v1 entry whose checksum word mismatches is recorded as
+      ``"checksum"`` damage and *skipped* (its claimed extent is known,
+      so framing survives) — unless nothing but zeros follows, in which
+      case it is the torn tail of the final in-flight append;
+    * a header claiming words past *limit* is a torn tail.
+    """
+    out = ParsedLog(version=version)
     cursor = base
     while cursor < limit:
         header = read_word(cursor)
@@ -73,30 +218,66 @@ def decode_stream(
             break
         tag = header & 0xF
         kind = TAG_KINDS.get(tag)
-        if kind is None:
-            raise SimulationError(
-                f"corrupt log header {header:#x} at {cursor:#x}"
-            )
         nwords = (header >> 4) & 0xFF
         tx_seq = header >> 12
-        cursor += units.WORD_BYTES
+        if kind is None:
+            out.damaged.append(
+                DamagedEntry(offset=cursor, reason="header", words=(header,))
+            )
+            break
+        if kind in PAYLOAD_KINDS and not 1 <= nwords <= 8:
+            out.damaged.append(
+                DamagedEntry(
+                    offset=cursor, reason="nwords", kind=kind, tx_seq=tx_seq,
+                    words=(header,),
+                )
+            )
+            break
+        body = 2 + nwords if kind in PAYLOAD_KINDS else 1
+        total = body + (1 if version >= 1 else 0)
+        end = cursor + total * units.WORD_BYTES
+        if end > limit:
+            out.torn_tail = DamagedEntry(
+                offset=cursor, reason="torn", kind=kind, tx_seq=tx_seq,
+                words=(header,),
+            )
+            break
+        wire = [
+            read_word(cursor + i * units.WORD_BYTES) for i in range(total)
+        ]
+        if version >= 1 and wire[-1] != entry_checksum(wire[:-1]):
+            damage = DamagedEntry(
+                offset=cursor,
+                reason="torn" if _only_zeros(read_word, end, limit) else "checksum",
+                kind=kind,
+                tx_seq=tx_seq,
+                words=tuple(wire),
+            )
+            if damage.reason == "torn":
+                out.torn_tail = damage
+                break
+            out.damaged.append(damage)
+            cursor = end
+            continue
         if kind in PAYLOAD_KINDS:
-            addr = read_word(cursor)
-            cursor += units.WORD_BYTES
-            words = []
-            for _ in range(nwords):
-                words.append(read_word(cursor))
-                cursor += units.WORD_BYTES
-            out.append(
-                DurableLogEntry(kind=kind, tx_seq=tx_seq, addr=addr, words=tuple(words))
+            out.entries.append(
+                DurableLogEntry(
+                    kind=kind, tx_seq=tx_seq, addr=wire[1],
+                    words=tuple(wire[2 : 2 + nwords]),
+                )
             )
         else:
-            out.append(DurableLogEntry(kind=kind, tx_seq=tx_seq))
+            out.entries.append(DurableLogEntry(kind=kind, tx_seq=tx_seq))
+        cursor = end
     return out
 
 
-def entry_wire_words(entry: DurableLogEntry) -> int:
-    """Number of words the entry occupies on the wire."""
-    if entry.kind in PAYLOAD_KINDS:
-        return 2 + len(entry.words)
-    return 1
+def _only_zeros(read_word: Callable[[int], int], start: int, limit: int) -> bool:
+    """True when nothing non-zero lies in ``[start, limit)`` — i.e. the
+    damaged entry is the last thing the media ever received."""
+    cursor = start
+    while cursor < limit:
+        if read_word(cursor) != 0:
+            return False
+        cursor += units.WORD_BYTES
+    return True

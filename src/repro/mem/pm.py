@@ -6,16 +6,27 @@ apply writes here the moment the WPQ accepts them — the store therefore
 always holds exactly the post-crash contents of the media plus the
 drained queue.
 
-The log region is modelled structurally rather than byte-by-byte: durable
-log entries (undo or redo records, plus transaction framing) are kept as
-an append-only list.  Byte/line accounting for the log's *traffic* is
-done by the log buffer and machine, which know the packed record sizes.
+The log region is kept in two equivalent forms: the *structural*
+append-only list of :class:`DurableLogEntry` (fast to query, pruned on
+commit) and the *serialized* word stream the codec in
+:mod:`repro.mem.logregion` defines (versioned header, per-entry CRC).
+Byte/line accounting for the log's *traffic* is done by the log buffer
+and machine, which know the packed record sizes.
+
+Media faults are injected *through this class* so both forms stay
+consistent: a :class:`repro.faults.model.FaultModel` attached to
+:attr:`fault_model` can tear the in-flight append at a word boundary,
+flip bits in serialized entries, or (via the write journal armed with
+:meth:`arm_journal`) revert the last N durability groups, modelling WPQ
+drains that never reached media.  Every injection updates the structural
+list and the damage ledger (:attr:`log_damage`) to mirror exactly what
+the serialized stream now carries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common import units
 from repro.common.errors import SimulationError
@@ -45,6 +56,28 @@ class DurableLogEntry:
 
 
 @dataclass
+class LogExtent:
+    """Where one serialized entry lives on the media."""
+
+    start: int
+    nwords: int
+    entry: DurableLogEntry
+
+    @property
+    def end(self) -> int:
+        return self.start + self.nwords * units.WORD_BYTES
+
+
+@dataclass
+class _JournalGroup:
+    """Durable writes between two durability events (one WPQ insert)."""
+
+    cursor0: int
+    writes: List[Tuple[int, Optional[int]]] = field(default_factory=list)
+    appends: int = 0
+
+
+@dataclass
 class PersistentMemory:
     """Durable word store + the log region in two equivalent forms.
 
@@ -58,6 +91,17 @@ class PersistentMemory:
     _words: Dict[int, int] = field(default_factory=dict)
     log: List[DurableLogEntry] = field(default_factory=list)
     _log_cursor: int = layout.PM_LOG_BASE
+    #: Serialized placement of every appended entry, in append order.
+    log_extents: List[LogExtent] = field(default_factory=list)
+    #: Structural ledger of injected media damage, mirroring what the
+    #: serialized stream's checksums would reveal (see module docstring).
+    log_damage: List["object"] = field(default_factory=list)
+    #: Optional media fault injector (:mod:`repro.faults.model`).
+    fault_model: Optional["object"] = None
+    #: Total :meth:`log_append` calls, the fault model's append clock.
+    log_appends: int = 0
+    #: Write journal for drop-drain faults; None when disarmed.
+    _journal: Optional[List[_JournalGroup]] = None
 
     # --- data region ------------------------------------------------------
 
@@ -69,7 +113,7 @@ class PersistentMemory:
     def write_word(self, addr: int, value: int) -> None:
         if not layout.is_persistent(addr):
             raise SimulationError(f"PM write of volatile address {addr:#x}")
-        self._words[units.word_addr(addr)] = value
+        self._raw_store(units.word_addr(addr), value)
 
     def read_line(self, line_addr: int) -> List[int]:
         base = units.line_addr(line_addr)
@@ -83,36 +127,152 @@ class PersistentMemory:
         if len(words) != units.WORDS_PER_LINE:
             raise SimulationError("write_line expects a full line of words")
         for i, value in enumerate(words):
-            self._words[base + i * units.WORD_BYTES] = value
+            self._raw_store(base + i * units.WORD_BYTES, value)
+
+    def _raw_store(self, word_addr: int, value: int) -> None:
+        """Apply one durable word write, journaling the prior value."""
+        if self._journal is not None:
+            self._journal[-1].writes.append(
+                (word_addr, self._words.get(word_addr))
+            )
+        self._words[word_addr] = value
 
     # --- log region -----------------------------------------------------
 
     def log_append(self, entry: DurableLogEntry) -> None:
+        index = self.log_appends
+        self.log_appends = index + 1
+        if self.fault_model is not None and self.fault_model.on_append(
+            self, entry, index
+        ):
+            return
+        self.append_clean(entry)
+
+    def append_clean(self, entry: DurableLogEntry) -> None:
+        """The undamaged append path: structural list + serialization."""
         self.log.append(entry)
         self._serialize(entry)
+        if self._journal is not None:
+            self._journal[-1].appends += 1
 
     def _serialize(self, entry: DurableLogEntry) -> None:
         from repro.mem import logregion  # local import: avoids a cycle
 
         words = logregion.encode_entry(entry)
-        end = self._log_cursor + len(words) * units.WORD_BYTES
+        start = self._next_entry_start()
+        end = start + len(words) * units.WORD_BYTES
         if end > layout.PM_LOG_BASE + layout.PM_LOG_BYTES:
             raise SimulationError("PM log region exhausted")
         for i, word in enumerate(words):
-            self._words[self._log_cursor + i * units.WORD_BYTES] = word
+            self._raw_store(start + i * units.WORD_BYTES, word)
         self._log_cursor = end
+        self.log_extents.append(
+            LogExtent(start=start, nwords=len(words), entry=entry)
+        )
+
+    def _next_entry_start(self) -> int:
+        """Cursor for the next entry, writing the v1 stream header first
+        if this is the very first append into a pristine region."""
+        from repro.mem import logregion
+
+        if self._log_cursor == layout.PM_LOG_BASE:
+            for i, word in enumerate(logregion.stream_header_words()):
+                self._raw_store(
+                    layout.PM_LOG_BASE + i * units.WORD_BYTES, word
+                )
+            self._log_cursor = (
+                layout.PM_LOG_BASE + logregion.HEADER_WORDS * units.WORD_BYTES
+            )
+        return self._log_cursor
+
+    def _log_limit(self) -> int:
+        """Upper parse bound: past everything ever written to the log
+        region (hand-written legacy streams included), so the tolerant
+        decoder's is-anything-after-this scan stays cheap."""
+        end = layout.PM_LOG_BASE + layout.PM_LOG_BYTES
+        top = max(
+            (a for a in self._words if layout.PM_LOG_BASE <= a < end),
+            default=None,
+        )
+        limit = self._log_cursor
+        if top is not None:
+            limit = max(limit, top + units.WORD_BYTES)
+        return limit
+
+    def serialized_log_version(self) -> int:
+        """Stream version of the serialized region (v0 = legacy)."""
+        from repro.mem import logregion
+
+        return logregion.detect_version(
+            self._words.get(layout.PM_LOG_BASE, 0)
+        )
+
+    def _parse_base(self, version: int) -> int:
+        from repro.mem import logregion
+
+        skip = logregion.HEADER_WORDS * units.WORD_BYTES if version >= 1 else 0
+        return layout.PM_LOG_BASE + skip
 
     def parse_byte_log(self) -> List[DurableLogEntry]:
         """Re-derive every entry from the serialized PM words (what a
         controller sees post-crash).  Includes entries the structural
-        list already pruned; markers keep them inert."""
+        list already pruned; markers keep them inert.  Strict: raises
+        :class:`~repro.common.errors.LogParseError` on damaged media."""
         from repro.mem import logregion
 
+        version = self.serialized_log_version()
         return logregion.decode_stream(
             lambda addr: self._words.get(addr, 0),
-            layout.PM_LOG_BASE,
-            layout.PM_LOG_BASE + layout.PM_LOG_BYTES,
+            self._parse_base(version),
+            self._log_limit(),
+            version=version,
         )
+
+    def parse_byte_log_tolerant(self) -> "object":
+        """Tolerant parse of the serialized region: never raises,
+        classifies torn/corrupt entries (see
+        :func:`repro.mem.logregion.decode_stream_tolerant`)."""
+        from repro.mem import logregion
+
+        version = self.serialized_log_version()
+        return logregion.decode_stream_tolerant(
+            lambda addr: self._words.get(addr, 0),
+            self._parse_base(version),
+            self._log_limit(),
+            version=version,
+        )
+
+    def structural_parsed(self) -> "object":
+        """The structural list presented as a parse result, including
+        the damage ledger — the fast-path twin of
+        :meth:`parse_byte_log_tolerant` for pristine-or-injected media."""
+        from repro.mem import logregion
+
+        parsed = logregion.ParsedLog(version=logregion.LOG_VERSION)
+        parsed.entries = list(self.log)
+        for damage in self.log_damage:
+            if damage.reason == "torn" and parsed.torn_tail is None:
+                parsed.torn_tail = damage
+            else:
+                parsed.damaged.append(damage)
+        return parsed
+
+    def log_reset(self) -> None:
+        """Erase the whole log region (structural, serialized, damage).
+
+        Recovery calls this once replay and application hooks succeeded:
+        afterwards a second recovery is a no-op, which is what makes
+        ``recover(); recover()`` ≡ ``recover()``.
+        """
+        end = layout.PM_LOG_BASE + layout.PM_LOG_BYTES
+        for addr in [a for a in self._words if layout.PM_LOG_BASE <= a < end]:
+            del self._words[addr]
+        self.log.clear()
+        self.log_extents.clear()
+        self.log_damage.clear()
+        self._log_cursor = layout.PM_LOG_BASE
+        if self._journal is not None:
+            self._journal = [_JournalGroup(cursor0=self._log_cursor)]
 
     def log_discard_tx(self, tx_seq: int) -> None:
         """Reclaim the (now useless) records of a committed transaction."""
@@ -130,6 +290,113 @@ class PersistentMemory:
         rolled back by an in-place abort (both leave markers)."""
         return {e.tx_seq for e in entries if e.kind in ("commit", "abort")}
 
+    # --- media fault injection (serialized + structural, in lockstep) ---
+
+    def serialize_partial(self, entry: DurableLogEntry, cut_words: int) -> int:
+        """Apply a torn append: only the first *cut_words* wire words of
+        *entry* reach the media (8-byte-atomic controller, power cut
+        mid-append).  The structural list never sees the entry; the
+        damage ledger records the tear.  Returns the header offset."""
+        from repro.mem import logregion
+
+        words = logregion.encode_entry(entry)
+        if not 0 <= cut_words <= len(words):
+            raise SimulationError(
+                f"tear cut {cut_words} outside the entry's {len(words)} words"
+            )
+        start = self._next_entry_start()
+        for i in range(cut_words):
+            self._raw_store(start + i * units.WORD_BYTES, words[i])
+        self._log_cursor = start + cut_words * units.WORD_BYTES
+        if 0 < cut_words < len(words):
+            self.log_damage.append(
+                logregion.DamagedEntry(
+                    offset=start, reason="torn", kind=entry.kind,
+                    tx_seq=entry.tx_seq,
+                )
+            )
+        return start
+
+    def flip_serialized_bit(self, append_index: int, word: int, bit: int) -> int:
+        """Flip one bit of the *append_index*-th serialized entry.
+
+        The structural twin is removed and the damage ledger updated, so
+        both views agree the entry is untrustworthy — exactly what the
+        byte stream's checksum will report.  Returns the flipped word's
+        PM address."""
+        from repro.mem import logregion
+
+        extent = self.log_extents[append_index]
+        if not 0 <= word < extent.nwords:
+            raise SimulationError(
+                f"flip word {word} outside extent of {extent.nwords} words"
+            )
+        addr = extent.start + word * units.WORD_BYTES
+        self._raw_store(addr, self._words.get(addr, 0) ^ (1 << bit))
+        for i in range(len(self.log) - 1, -1, -1):
+            if self.log[i] is extent.entry:
+                del self.log[i]
+                break
+        self.log_damage.append(
+            logregion.DamagedEntry(
+                offset=extent.start,
+                reason="checksum",
+                kind=extent.entry.kind,
+                tx_seq=extent.entry.tx_seq,
+            )
+        )
+        return addr
+
+    # --- write journal (drop-drain faults) -------------------------------
+
+    def arm_journal(self) -> None:
+        """Start journaling durable writes, grouped by durability event,
+        so a suffix of WPQ drains can later be reverted."""
+        self._journal = [_JournalGroup(cursor0=self._log_cursor)]
+
+    def note_durability_event(self) -> None:
+        """Close the current journal group (one WPQ insertion happened)."""
+        if self._journal is not None and (
+            self._journal[-1].writes or self._journal[-1].appends
+        ):
+            self._journal.append(_JournalGroup(cursor0=self._log_cursor))
+
+    def journal_groups(self) -> int:
+        """Non-empty durability groups currently journaled."""
+        if self._journal is None:
+            return 0
+        return sum(1 for g in self._journal if g.writes or g.appends)
+
+    def drop_last_drains(self, count: int) -> int:
+        """Revert the last *count* durability groups: those WPQ drains
+        never reached media (an ADR/battery failure).  Both the word
+        store and the structural log rewind together.  Returns how many
+        groups were actually reverted."""
+        if self._journal is None:
+            raise SimulationError("journal not armed; call arm_journal() first")
+        dropped = 0
+        while dropped < count and self._journal:
+            group = self._journal.pop()
+            if not (group.writes or group.appends):
+                continue
+            for addr, prior in reversed(group.writes):
+                if prior is None:
+                    self._words.pop(addr, None)
+                else:
+                    self._words[addr] = prior
+            for _ in range(group.appends):
+                if self.log_extents:
+                    extent = self.log_extents.pop()
+                    for i in range(len(self.log) - 1, -1, -1):
+                        if self.log[i] is extent.entry:
+                            del self.log[i]
+                            break
+            self._log_cursor = group.cursor0
+            dropped += 1
+        if not self._journal:
+            self._journal = [_JournalGroup(cursor0=self._log_cursor)]
+        return dropped
+
     # --- introspection -------------------------------------------------
 
     def snapshot(self) -> "PersistentMemory":
@@ -138,6 +405,9 @@ class PersistentMemory:
             _words=dict(self._words),
             log=list(self.log),
             _log_cursor=self._log_cursor,
+            log_extents=list(self.log_extents),
+            log_damage=list(self.log_damage),
+            log_appends=self.log_appends,
         )
 
     def words_equal(self, other: "PersistentMemory", addrs: "List[int]") -> bool:

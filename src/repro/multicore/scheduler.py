@@ -79,6 +79,14 @@ class InterleavedScheduler:
                 if self._current is None and self._runnable:
                     raise SimulationError("scheduler lost the turn")
 
+    def backoff(self, tid: int, turns: int) -> None:
+        """Deterministic conflict backoff: yield the turn *turns* times
+        so the transaction this thread lost to can make progress before
+        the retry.  Each yield is an ordinary :meth:`checkpoint`, so the
+        schedule stays a pure function of the seed."""
+        for _ in range(max(0, turns)):
+            self.checkpoint(tid)
+
     def finish(self, tid: int) -> None:
         """Retire *tid* from scheduling (worker done or dead)."""
         with self._cond:

@@ -37,6 +37,12 @@ from repro.alloc.allocator import PersistentAllocator
 from repro.common.config import DEFAULT_CONFIG, SystemConfig
 from repro.common.errors import TransactionAborted, TransactionError
 from repro.core.machine import Machine
+
+#: Cycles of the first conflict-backoff wait (doubles per retry).
+CONFLICT_BACKOFF_BASE = 8
+
+#: Most scheduler turns one backoff wait will yield.
+MAX_BACKOFF_TURNS = 8
 from repro.core.schemes import SLPMT, Scheme
 from repro.mem.pm import PersistentMemory
 from repro.multicore.scheduler import InterleavedScheduler
@@ -77,7 +83,9 @@ class MultiCoreSystem:
             )
             machine.stamp_source = shared_stamps
             self.cores.append(machine)
-            self.runtimes.append(PTx(machine, self.allocator, policy=policy))
+            runtime = PTx(machine, self.allocator, policy=policy)
+            runtime.backoff_sink = self._make_backoff_sink(core_id)
+            self.runtimes.append(runtime)
 
     # ------------------------------------------------------------------
     # scheduling glue
@@ -93,6 +101,19 @@ class MultiCoreSystem:
                 raise TransactionAborted("aborted by a conflicting peer")
 
         return checkpoint
+
+    def _make_backoff_sink(self, core_id: int) -> Callable[[int], None]:
+        """Scheduler half of a retry backoff: a waiting core yields the
+        turn (more turns the longer the wait, capped), so the older
+        transaction it lost to can commit before the retry begins."""
+
+        def sink(cycles: int) -> None:
+            turns = min(
+                MAX_BACKOFF_TURNS, max(1, cycles // CONFLICT_BACKOFF_BASE)
+            )
+            self.scheduler.backoff(core_id, turns)
+
+        return sink
 
     # ------------------------------------------------------------------
     # CoherenceListener
@@ -183,14 +204,14 @@ class MultiCoreSystem:
 def run_atomically(
     rt: PTx, body: Callable[[], None], *, max_retries: int = 256
 ) -> int:
-    """Run *body* in a transaction, retrying on conflict aborts.
+    """Run *body* in a transaction, retrying on conflict aborts with
+    bounded, deterministic, cycle-accounted backoff.
 
     Returns the number of aborted attempts before the commit.  Raises
-    :class:`TransactionError` when the retry budget is exhausted.
+    :class:`~repro.common.errors.RetryExhausted` (a
+    :class:`TransactionError` subtype, so legacy handlers keep working)
+    when the retry budget is exhausted.
     """
-    for attempt in range(max_retries):
-        with rt.transaction():
-            body()
-        if not rt.last_aborted:
-            return attempt
-    raise TransactionError(f"transaction aborted {max_retries} times")
+    return rt.run_with_retries(
+        body, retries=max_retries - 1, backoff_base=CONFLICT_BACKOFF_BASE
+    )

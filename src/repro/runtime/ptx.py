@@ -23,14 +23,23 @@ kernels do.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, List, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence
 
 from repro.alloc.allocator import PersistentAllocator
 from repro.alloc.objects import StructLayout
-from repro.common.errors import PowerFailure, TransactionAborted
+from repro.common.errors import (
+    PowerFailure,
+    RetryExhausted,
+    TransactionAborted,
+)
 from repro.core.machine import Machine
 from repro.isa.instructions import Load, Store, StoreT
 from repro.runtime.hints import NO_ANNOTATIONS, AnnotationPolicy, Hint
+
+#: Cap on the exponential-backoff shift: the n-th wait lasts
+#: ``base << min(n - 1, BACKOFF_SHIFT_CAP)`` cycles, so deep retry loops
+#: grow linearly past the cap instead of overflowing the cycle budget.
+BACKOFF_SHIFT_CAP = 10
 
 
 class PTx:
@@ -61,6 +70,10 @@ class PTx:
         #: reports nothing: the power failure propagates untouched and
         #: the observer's last committed mark is the recovery oracle.
         self.op_log = None
+        #: Optional extra backoff behaviour, called with the wait's cycle
+        #: count after it was accounted (a multi-core system installs a
+        #: scheduler-yielding sink so the conflicting elder can finish).
+        self.backoff_sink: Optional[Callable[[int], None]] = None
 
     # --- transactions --------------------------------------------------------
 
@@ -117,6 +130,54 @@ class PTx:
     def abort(self) -> None:
         """Abort the enclosing transaction."""
         raise TransactionAborted("transaction aborted by workload")
+
+    # --- bounded retry with deterministic backoff ---------------------------
+
+    def backoff(self, wait_index: int, base: int) -> int:
+        """Perform the *wait_index*-th backoff wait (1-based).
+
+        The wait is pure simulated time — ``base << min(index - 1,
+        BACKOFF_SHIFT_CAP)`` cycles added to the machine clock and
+        accounted in the stats — so replays are bit-identical.  Returns
+        the cycles waited.
+        """
+        cycles = base << min(wait_index - 1, BACKOFF_SHIFT_CAP)
+        self.machine.now += cycles
+        self.machine.stats.backoff_waits += 1
+        self.machine.stats.backoff_cycles += cycles
+        if self.backoff_sink is not None:
+            self.backoff_sink(cycles)
+        return cycles
+
+    def run_with_retries(
+        self,
+        body: Callable[[], None],
+        *,
+        retries: int = 8,
+        backoff_base: int = 64,
+    ) -> int:
+        """Run *body* in a transaction, retrying recoverable aborts.
+
+        The budget is ``retries`` re-attempts after the first try; every
+        retry is preceded by exactly one deterministic, cycle-accounted
+        backoff wait (so a budget of N that never succeeds performs
+        exactly N waits).  Returns the number of aborted attempts before
+        the commit; raises :class:`RetryExhausted` once the budget is
+        spent.  Crashes (:class:`PowerFailure`) are not retried — they
+        propagate to the crash harness like everywhere else.
+        """
+        for attempt in range(retries + 1):
+            if attempt:
+                self.machine.stats.tx_retries += 1
+                self.backoff(attempt, backoff_base)
+            with self.transaction():
+                body()
+            if not self.last_aborted:
+                return attempt
+        raise RetryExhausted(
+            f"transaction aborted {retries + 1} times "
+            f"(budget of {retries} retries / backoff waits exhausted)"
+        )
 
     # --- memory access -----------------------------------------------------------
 

@@ -52,15 +52,45 @@ class TestUndoOrdering:
 
 
 class TestRedoOrdering:
-    def test_logfree_lines_before_logged_lines(self):
+    def test_no_in_place_data_before_marker(self):
+        # Hardened redo contract (found by the media-fault campaign):
+        # every committing line is fully replayable and persists after
+        # the marker; nothing — not even a log-free line — is written in
+        # place before it.  A pre-marker in-place write would expose
+        # uncommitted data, and a log-free word sharing a line with a
+        # logged word would otherwise be unrecoverable after a
+        # post-marker crash.
         m = traced_commit(REDO_SLPMT, mixed_body)
         check_order(LoggingMode.REDO, m.persist_trace)
         trace = m.persist_trace
-        last_free = max(i for i, p in enumerate(trace) if p is CommitPhase.LOGFREE_LINES)
-        first_logged = min(
-            i for i, p in enumerate(trace) if p is CommitPhase.LOGGED_LINES
+        assert CommitPhase.LOGFREE_LINES not in trace
+        marker = trace.index(CommitPhase.COMMIT_MARKER)
+        assert all(
+            p is CommitPhase.LOG_RECORDS for p in trace[:marker]
         )
-        assert last_free < first_logged
+
+    def test_logfree_word_replayable_after_marker_crash(self):
+        # The mixed-line hole itself: a log-free store and a logged
+        # store on disjoint lines, crash right after the marker becomes
+        # durable — recovery must restore the log-free data from the
+        # commit-time fill records.
+        from repro.recovery.engine import recover
+
+        probe = traced_commit(REDO_SLPMT, mixed_body)
+        marker = probe.persist_trace.index(CommitPhase.COMMIT_MARKER)
+
+        m = Machine(REDO_SLPMT)
+        m.execute(TxBegin())
+        mixed_body(m)
+        m.schedule_crash_after_persists(marker + 1)
+        with pytest.raises(Exception):
+            m.execute(TxEnd())
+        m.crash()
+        report = recover(m.pm, mode=LoggingMode.REDO)
+        assert report.replayed_tx_seqs
+        assert m.durable_read(BASE) == 1
+        assert m.durable_read(BASE + 64) == 2  # the log-free word
+        assert m.durable_read(BASE + 128) == 3
 
     def test_marker_before_logged_data(self):
         m = traced_commit(REDO_SLPMT, mixed_body)

@@ -1,15 +1,48 @@
 """Byte-accurate log-region codec and parse-from-PM recovery."""
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common.errors import SimulationError
+from repro.common.errors import LogParseError, SimulationError
 from repro.mem import layout
-from repro.mem.logregion import decode_stream, encode_entry, entry_wire_words
+from repro.mem.logregion import (
+    LOG_MAGIC,
+    LOG_VERSION,
+    decode_stream,
+    decode_stream_tolerant,
+    detect_version,
+    encode_entry,
+    entry_checksum,
+    entry_wire_words,
+    stream_header_words,
+)
 from repro.mem.pm import DurableLogEntry, PersistentMemory
 
 BASE = layout.PM_HEAP_BASE
+
+
+def decode_words(words, *, version=LOG_VERSION):
+    """Decode a hand-assembled word list as a log stream."""
+    store = {layout.PM_LOG_BASE + i * 8: w for i, w in enumerate(words)}
+    return decode_stream(
+        lambda a: store.get(a, 0),
+        layout.PM_LOG_BASE,
+        layout.PM_LOG_BASE + (len(words) + 4) * 8,
+        version=version,
+    )
+
+
+def decode_words_tolerant(words, *, version=LOG_VERSION):
+    store = {layout.PM_LOG_BASE + i * 8: w for i, w in enumerate(words)}
+    return decode_stream_tolerant(
+        lambda a: store.get(a, 0),
+        layout.PM_LOG_BASE,
+        layout.PM_LOG_BASE + (len(words) + 4) * 8,
+        version=version,
+    )
 
 
 def entry_strategy():
@@ -46,8 +79,11 @@ class TestCodec:
         assert decoded == entries
 
     def test_wire_sizes(self):
-        assert entry_wire_words(DurableLogEntry("commit", 1)) == 1
-        assert entry_wire_words(DurableLogEntry("undo", 1, BASE, (1, 2))) == 4
+        # v1 adds one checksum word to every entry.
+        assert entry_wire_words(DurableLogEntry("commit", 1)) == 2
+        assert entry_wire_words(DurableLogEntry("undo", 1, BASE, (1, 2))) == 5
+        assert entry_wire_words(DurableLogEntry("commit", 1), version=0) == 1
+        assert entry_wire_words(DurableLogEntry("undo", 1, BASE, (1, 2)), version=0) == 4
 
     def test_oversize_payload_rejected(self):
         with pytest.raises(SimulationError):
@@ -68,6 +104,133 @@ class TestCodec:
             layout.PM_LOG_BASE + len(words) * 8,
         )
         assert [e.tx_seq for e in decoded] == [7]
+
+
+class TestChecksums:
+    """v1 per-entry checksums: every single-word corruption is caught."""
+
+    ENTRIES = [
+        DurableLogEntry("undo", 5, BASE, (11, 22, 33)),
+        DurableLogEntry("redo", 6, BASE + 64, (7,)),
+        DurableLogEntry("commit", 5),
+        DurableLogEntry("abort", 6),
+    ]
+
+    def test_checksum_word_never_zero(self):
+        # 2**32 candidate CRCs; spot-check the fold's structure instead:
+        # low and high halves are complements, so both can't be zero.
+        for words in ([0], [1, 2, 3], [0xFFFF_FFFF_FFFF_FFFF]):
+            c = entry_checksum(words)
+            assert c != 0
+            assert (c & 0xFFFF_FFFF) ^ (c >> 32) == 0xFFFF_FFFF
+
+    @pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.kind)
+    def test_roundtrip_per_kind(self, entry):
+        assert decode_words(encode_entry(entry)) == [entry]
+
+    @pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.kind)
+    def test_corrupt_any_word_detected(self, entry):
+        wire = encode_entry(entry)
+        for word in range(len(wire)):
+            for bit in (0, 13, 63):
+                damaged = list(wire)
+                damaged[word] ^= 1 << bit
+                parsed = decode_words_tolerant(damaged)
+                assert entry not in parsed.entries
+                assert not parsed.clean, (word, bit)
+
+    def test_corrupt_mid_stream_entry_is_skipped_not_fatal(self):
+        a, b, c = self.ENTRIES[:3]
+        words = encode_entry(a) + encode_entry(b) + encode_entry(c)
+        # Flip a payload bit of the middle entry: framing survives, so
+        # the outer entries still decode and the damage is classified.
+        damaged = list(words)
+        damaged[len(encode_entry(a)) + 2] ^= 1 << 17
+        parsed = decode_words_tolerant(damaged)
+        assert parsed.entries == [a, c]
+        assert [d.reason for d in parsed.damaged] == ["checksum"]
+        assert parsed.torn_tail is None
+
+    def test_corrupt_final_entry_is_torn_tail(self):
+        words = encode_entry(self.ENTRIES[0])
+        damaged = list(words)
+        damaged[-1] ^= 1  # break the checksum of the only entry
+        parsed = decode_words_tolerant(damaged)
+        assert parsed.entries == []
+        assert parsed.torn_tail is not None
+        assert parsed.torn_tail.reason == "torn"
+
+    def test_strict_decode_reports_offset(self):
+        a, b = self.ENTRIES[:2]
+        words = encode_entry(a) + encode_entry(b) + encode_entry(a)
+        damaged = list(words)
+        damaged[len(encode_entry(a)) + 1] ^= 1 << 40
+        with pytest.raises(LogParseError) as err:
+            decode_words(damaged)
+        assert err.value.offset == layout.PM_LOG_BASE + len(encode_entry(a)) * 8
+
+
+class TestLegacyV0:
+    """v0 streams (no header, no checksums) keep decoding."""
+
+    # Hand-computed v0 wire image: undo tx_seq=3 addr=BASE payload=(42,)
+    # then commit tx_seq=3.  Pins the legacy format word for word.
+    V0_WORDS = [
+        1 | (1 << 4) | (3 << 12), BASE, 42,  # undo header, addr, payload
+        3 | (3 << 12),  # commit marker
+    ]
+
+    def test_pinned_v0_image_decodes(self):
+        decoded = decode_words(self.V0_WORDS, version=0)
+        assert decoded == [
+            DurableLogEntry("undo", 3, BASE, (42,)),
+            DurableLogEntry("commit", 3),
+        ]
+
+    def test_version_detection(self):
+        assert detect_version(LOG_MAGIC) == LOG_VERSION
+        assert detect_version(self.V0_WORDS[0]) == 0
+        assert detect_version(0) == 0
+
+    def test_pm_accepts_handwritten_v0_stream(self):
+        pm = PersistentMemory()
+        for i, word in enumerate(self.V0_WORDS):
+            pm.write_word(layout.PM_LOG_BASE + i * 8, word)
+        assert pm.serialized_log_version() == 0
+        decoded = pm.parse_byte_log()
+        assert [e.kind for e in decoded] == ["undo", "commit"]
+
+    def test_v1_stream_header_pinned(self):
+        assert stream_header_words() == [
+            int.from_bytes(b"SLPMTLOG", "little"),
+            1,
+        ]
+
+
+class TestWordSoup:
+    """The tolerant decoder must never raise, whatever the media holds."""
+
+    @given(
+        words=st.lists(
+            st.integers(min_value=0, max_value=(1 << 64) - 1), max_size=64
+        ),
+        version=st.sampled_from([0, 1]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_tolerant_never_raises(self, words, version):
+        parsed = decode_words_tolerant(words, version=version)
+        # Whatever decoded must re-encode to legal wire entries.
+        for entry in parsed.entries:
+            assert entry.kind in ("undo", "redo", "commit", "abort")
+
+    def test_seeded_soup_strict_raises_typed_only(self):
+        rng = random.Random("word-soup")
+        for _ in range(300):
+            words = [rng.getrandbits(64) for _ in range(rng.randrange(32))]
+            try:
+                decode_words(words, version=rng.randrange(2))
+            except LogParseError as err:
+                assert err.offset >= layout.PM_LOG_BASE
 
 
 class TestPmIntegration:

@@ -1,0 +1,100 @@
+"""Bounded retry with deterministic, cycle-accounted backoff."""
+
+import pytest
+
+from repro.common.errors import PowerFailure, RetryExhausted
+from repro.core.machine import Machine
+from repro.core.schemes import SLPMT
+from repro.mem import layout
+from repro.runtime.ptx import BACKOFF_SHIFT_CAP, PTx
+
+BASE = layout.PM_HEAP_BASE
+
+
+def make_rt():
+    return PTx(Machine(SLPMT))
+
+
+class TestBackoffWait:
+    def test_exponential_cycle_accounting(self):
+        rt = make_rt()
+        before = rt.machine.now
+        assert rt.backoff(1, 64) == 64
+        assert rt.backoff(2, 64) == 128
+        assert rt.backoff(3, 64) == 256
+        assert rt.machine.now - before == 64 + 128 + 256
+        assert rt.machine.stats.backoff_waits == 3
+        assert rt.machine.stats.backoff_cycles == 448
+
+    def test_shift_cap_bounds_deep_waits(self):
+        rt = make_rt()
+        capped = rt.backoff(BACKOFF_SHIFT_CAP + 10, 1)
+        assert capped == 1 << BACKOFF_SHIFT_CAP
+        assert rt.backoff(200, 2) == 2 << BACKOFF_SHIFT_CAP
+
+    def test_sink_sees_every_wait(self):
+        rt = make_rt()
+        waits = []
+        rt.backoff_sink = waits.append
+        rt.backoff(1, 32)
+        rt.backoff(2, 32)
+        assert waits == [32, 64]
+
+
+class TestRunWithRetries:
+    def test_budget_n_means_exactly_n_waits_then_typed_error(self):
+        rt = make_rt()
+        attempts = []
+
+        def always_abort():
+            attempts.append(1)
+            rt.abort()
+
+        with pytest.raises(RetryExhausted):
+            rt.run_with_retries(always_abort, retries=3, backoff_base=64)
+        # N retries = N+1 attempts, each retry preceded by one wait.
+        assert len(attempts) == 4
+        assert rt.machine.stats.backoff_waits == 3
+        assert rt.machine.stats.backoff_cycles == 64 + 128 + 256
+        assert rt.machine.stats.tx_retries == 3
+        assert not rt.machine.in_transaction
+
+    def test_success_after_aborts_returns_attempt_count(self):
+        rt = make_rt()
+        state = {"n": 0}
+
+        def flaky():
+            state["n"] += 1
+            if state["n"] <= 2:
+                rt.abort()
+            rt.store(BASE, state["n"])
+
+        assert rt.run_with_retries(flaky, retries=8, backoff_base=64) == 2
+        assert rt.machine.stats.backoff_waits == 2
+        assert rt.machine.stats.backoff_cycles == 64 + 128
+        assert rt.durable_read(BASE) == 3
+
+    def test_immediate_success_waits_zero_times(self):
+        rt = make_rt()
+        assert rt.run_with_retries(lambda: rt.store(BASE, 7)) == 0
+        assert rt.machine.stats.backoff_waits == 0
+        assert rt.machine.stats.tx_retries == 0
+
+    def test_crash_is_not_retried(self):
+        rt = make_rt()
+
+        def crash():
+            raise PowerFailure("power lost mid-body")
+
+        with pytest.raises(PowerFailure):
+            rt.run_with_retries(crash, retries=8)
+        assert rt.machine.stats.backoff_waits == 0
+
+    def test_retry_schedule_is_deterministic(self):
+        def exhaust():
+            rt = make_rt()
+            with pytest.raises(RetryExhausted):
+                rt.run_with_retries(rt.abort, retries=5, backoff_base=16)
+            return rt.machine.now, rt.machine.stats.backoff_cycles
+
+        assert exhaust() == exhaust()
