@@ -8,6 +8,9 @@ Usage::
     python -m repro all --ops 200        # everything
     python -m repro fuzz --budget 200 --seed 7   # crash-consistency fuzz
     python -m repro fuzz --replay r.json         # replay a reproducer
+    python -m repro obs stats --scheme SLPMT     # cycle attribution dump
+    python -m repro obs trace --out trace.json   # Perfetto trace export
+    python -m repro bench --check                # perf-regression gate
 """
 
 from __future__ import annotations
@@ -26,6 +29,14 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.fuzz.cli import fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import obs_main
+
+        return obs_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.obs.cli import bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the SLPMT paper's evaluation figures.",

@@ -9,6 +9,7 @@ reduction).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, fields
 from typing import Dict
 
@@ -94,6 +95,29 @@ class SimStats:
             setattr(out, f.name, getattr(self, f.name) - getattr(baseline, f.name))
         return out
 
+    # --- serialisation ----------------------------------------------------
+
+    def to_json(self) -> str:
+        """All counters as a stable, sorted JSON object (bench artifacts)."""
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimStats":
+        """Inverse of :meth:`to_json`.
+
+        Counters absent from the input default to zero (an old artifact
+        stays loadable after new counters are added); unknown keys are
+        rejected so schema drift is caught, not silently dropped.
+        """
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("SimStats JSON must be an object")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown SimStats counters: {', '.join(unknown)}")
+        return cls(**{k: int(v) for k, v in data.items()})
+
     # --- derived metrics --------------------------------------------------
 
     @property
@@ -108,8 +132,14 @@ class SimStats:
         parts = [f"{name}={value}" for name, value in self.as_dict().items() if value]
         return "SimStats(" + ", ".join(parts) + ")"
 
-    def report(self) -> str:
-        """A grouped, human-readable summary (gem5-style stats dump)."""
+    def report(self, *, show_zero: bool = False) -> str:
+        """A grouped, human-readable summary (gem5-style stats dump).
+
+        By default zero-valued counters are hidden for brevity; pass
+        ``show_zero=True`` when the dump feeds a diff — two runs then
+        print the identical set of lines, so a counter dropping *to*
+        zero shows up instead of silently vanishing from the report.
+        """
         groups = {
             "execution": (
                 "cycles", "instructions", "loads", "stores", "storeTs",
@@ -140,7 +170,9 @@ class SimStats:
         lines = []
         values = self.as_dict()
         for title, names in groups.items():
-            shown = [(n, values[n]) for n in names if values[n]]
+            shown = [
+                (n, values[n]) for n in names if show_zero or values[n]
+            ]
             if not shown:
                 continue
             lines.append(f"--- {title} ---")

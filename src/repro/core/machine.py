@@ -38,7 +38,19 @@ from __future__ import annotations
 
 import itertools
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Protocol, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from repro.obs.profiler import CycleProfiler
 
 from repro.common import units
 from repro.common.config import DEFAULT_CONFIG, SystemConfig
@@ -176,10 +188,26 @@ class Machine:
         #: Optional event tracer (see :mod:`repro.core.tracing`); purely
         #: observational — attaching one never changes behaviour.
         self.tracer: "Optional[Tracer]" = None
+        #: Optional cycle-attribution profiler (:mod:`repro.obs`); like
+        #: the tracer it only ever *reads* the clock — the CI passivity
+        #: gate proves counters are bit-identical with one attached.
+        self.profiler: "Optional[CycleProfiler]" = None
+        from repro.obs import attach, obs_env_enabled
+
+        if obs_env_enabled():
+            attach(self)
 
     def _trace(self, kind: str, **fields: object) -> None:
         if self.tracer is not None:
             self.tracer.emit(self.now, self.core_id, kind, **fields)
+
+    def _prof_begin(self, phase: str) -> None:
+        if self.profiler is not None:
+            self.profiler.begin(phase, self.now)
+
+    def _prof_end(self) -> None:
+        if self.profiler is not None:
+            self.profiler.end(self.now)
 
     # ------------------------------------------------------------------
     # public execution API
@@ -333,6 +361,8 @@ class Machine:
     def tx_begin(self) -> None:
         if self._in_tx:
             raise TransactionError("nested transactions are not supported")
+        if self.profiler is not None:
+            self.profiler.note_tx_begin(self.now)
         self._in_tx = True
         self._tx_seq = self._next_tx_seq
         self._next_tx_seq += 1
@@ -349,11 +379,16 @@ class Machine:
         if not self._in_tx:
             raise TransactionError("tx_end outside a transaction")
         commit_start = self.now
+        self._prof_begin("commit-persist")
         try:
             self._commit()
         finally:
+            self._prof_end()
             self.stats.commit_cycles += self.now - commit_start
         self.stats.commits += 1
+        if self.profiler is not None:
+            self.profiler.record("commit_cycles", self.now - commit_start)
+            self.profiler.note_tx_end(self.now)
         self.conflict_losses = 0
         self._trace(
             "commit",
@@ -368,8 +403,14 @@ class Machine:
         """Abort the running transaction (Section V-B)."""
         if not self._in_tx:
             raise TransactionError("tx_abort outside a transaction")
-        self._abort()
+        self._prof_begin("abort")
+        try:
+            self._abort()
+        finally:
+            self._prof_end()
         self.stats.aborts += 1
+        if self.profiler is not None:
+            self.profiler.note_tx_end(self.now)
         self._trace("abort", tx_seq=self._tx_seq)
         self._in_tx = False
         self._cur_txid = None
@@ -583,9 +624,11 @@ class Machine:
             self._tx_logged_words.add(word_address)
         self.stats.log_records_created += 1
         self.stats.log_words_logged += len(record.words)
+        self._prof_begin("log-append")
         self.now += LOG_INSERT_CYCLES
         drained = self.log_buffer.insert(record)
         self._persist_log_records(drained, sync=False)
+        self._prof_end()
 
     def _update_redo_record(self, line: CacheLine, word: int) -> None:
         """Redo logging must capture the *final* value of a word.
@@ -655,6 +698,10 @@ class Machine:
         """
         if not records:
             return
+        self._prof_begin("log-drain")
+        if self.profiler is not None:
+            for record in records:
+                self.profiler.record("log_record_bytes", record.size_bytes)
         total_bytes = sum(r.size_bytes for r in records)
         lines = (total_bytes + units.LINE_BYTES - 1) // units.LINE_BYTES
         # Make the entries visible to recovery before paying for the line
@@ -676,6 +723,7 @@ class Machine:
         self.stats.pm_log_bytes_written += total_bytes
         self.stats.pm_bytes_written += total_bytes
         self.stats.log_records_persisted += len(records)
+        self._prof_end()
 
     def _current_words(self, record: LogRecord) -> Tuple[int, ...]:
         """For redo records, read the line's current (newest) values."""
@@ -731,6 +779,13 @@ class Machine:
         else:
             self.now += result.stall_cycles
         self.stats.wpq_stall_cycles += result.stall_cycles
+        if self.profiler is not None:
+            self.profiler.reattribute(
+                "wpq-stall", result.stall_cycles, self.now
+            )
+            self.profiler.record(
+                "wpq_occupancy", self.wpq.pending_at(self.now)
+            )
 
     # ------------------------------------------------------------------
     # commit / abort
@@ -878,14 +933,20 @@ class Machine:
         for line_addr in self._tx_written_lines:
             for cache in (self.l1, self.l2, self.l3):
                 cache.remove(line_addr)
-        # Kernel-space undo replay of records that already reached PM.
+        # Kernel-space undo replay of records that already reached PM;
+        # the replay is the in-run form of recovery, so its cycles are
+        # attributed to the "recovery" phase.
         entries = self.pm.log_entries_for(self._tx_seq)
+        self._prof_begin("recovery")
         for entry in reversed(entries):
             if entry.kind != "undo":
                 continue
+            if self.profiler is not None:
+                self.profiler.count("recovery.abort_words_restored", len(entry.words))
             for i, word in enumerate(entry.words):
                 self.pm.write_word(entry.addr + i * units.WORD_BYTES, word)
             self.now += self.config.pm_write_cycles()
+        self._prof_end()
         if entries:
             # An abort marker makes the serialized copies of the replayed
             # records inert for any future crash recovery.
@@ -929,6 +990,7 @@ class Machine:
             to_flush.append(candidate)
             if candidate == tx_id:
                 break
+        self._prof_begin("forced-lazy")
         for tid in to_flush:
             line_addrs = self._lazy.pop(tid)
             self._trace("forced_lazy", tx_id=tid, lines=len(line_addrs))
@@ -946,6 +1008,7 @@ class Machine:
                 line.tx_id = None
             self.signatures.clear(tid)
             self.txids.release(tid)
+        self._prof_end()
 
     def _find_private(self, line_addr: int) -> Optional[CacheLine]:
         return self.l1.lookup(line_addr, touch=False) or self.l2.lookup(
@@ -980,7 +1043,13 @@ class Machine:
         """
         if not self._in_tx:
             raise SimulationError("conflict abort of an idle core")
-        self._abort()
+        self._prof_begin("abort")
+        try:
+            self._abort()
+        finally:
+            self._prof_end()
+        if self.profiler is not None:
+            self.profiler.note_tx_end(self.now)
         self.stats.aborts += 1
         self.conflict_losses += 1
         self._trace("conflict_abort", tx_seq=self._tx_seq)
@@ -1082,6 +1151,10 @@ class Machine:
         drained undo records.
         """
         self._trace("crash", in_tx=self._in_tx, tx_seq=self._tx_seq)
+        if self.profiler is not None:
+            # The failure may have landed mid-span; close everything so
+            # attribution stays an exact partition of the clock.
+            self.profiler.unwind(self.now)
         if self.config.battery_backed_cache:
             self._battery_flush()
         self.l1.clear()
@@ -1127,6 +1200,8 @@ class Machine:
         reported cycles cover everything the run made durable."""
         self.now = max(self.now, self.wpq.drained_at())
         self.stats.cycles = self.now
+        if self.profiler is not None:
+            self.profiler.finalize(self.now)
 
     @property
     def in_transaction(self) -> bool:

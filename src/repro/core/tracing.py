@@ -51,9 +51,26 @@ class TraceEvent:
         detail = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
         return f"[{self.cycle:>10}] core{self.core_id} {self.kind:<14} {detail}"
 
+    def to_dict(self) -> "Dict[str, Any]":
+        """JSON-serialisable form (the JSONL export schema)."""
+        return {
+            "cycle": self.cycle,
+            "core": self.core_id,
+            "kind": self.kind,
+            "fields": dict(self.fields),
+        }
+
 
 class Tracer:
-    """Bounded, filterable event recorder."""
+    """Bounded, filterable event recorder.
+
+    Accounting contract: ``total_emitted`` counts every event that
+    passed the kind filter (filtered-out events are neither emitted nor
+    dropped); the ring keeps the newest ``capacity`` of those, so
+    ``dropped`` is *derived* as ``total_emitted - len(events)`` — the
+    deque's silent eviction can never let the two counters drift apart,
+    including the ``capacity=0`` ring that keeps nothing.
+    """
 
     def __init__(
         self,
@@ -61,11 +78,17 @@ class Tracer:
         capacity: int = 10_000,
         kinds: "Optional[Iterable[str]]" = None,
     ) -> None:
+        if capacity < 0:
+            raise ValueError(f"negative tracer capacity {capacity}")
         self.capacity = capacity
         self._kinds = frozenset(kinds) if kinds is not None else None
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
-        self.dropped = 0
         self.total_emitted = 0
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring since the last :meth:`clear`."""
+        return self.total_emitted - len(self._events)
 
     def wants(self, kind: str) -> bool:
         return self._kinds is None or kind in self._kinds
@@ -74,8 +97,6 @@ class Tracer:
         if not self.wants(kind):
             return
         self.total_emitted += 1
-        if len(self._events) == self.capacity:
-            self.dropped += 1
         self._events.append(TraceEvent(cycle, core_id, kind, fields))
 
     # --- queries -----------------------------------------------------------
@@ -93,7 +114,10 @@ class Tracer:
         return matching[-1] if matching else None
 
     def clear(self) -> None:
+        """Forget everything recorded; accounting restarts from zero
+        (``dropped`` stays consistent with the now-empty ring)."""
         self._events.clear()
+        self.total_emitted = 0
 
     def format(self, kind: "Optional[str]" = None) -> str:
         return "\n".join(e.describe() for e in self.events(kind))

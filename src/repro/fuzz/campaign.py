@@ -193,6 +193,11 @@ class CellReport:
     instr_points_total: int
     instr_points_run: int
     tx_commits: int
+    #: Clean-run perf of the cell's op sequence (post-setup deltas from
+    #: the dry run) — ties each cell's crash coverage to the cost of the
+    #: execution it swept.
+    cycles: int = 0
+    pm_bytes: int = 0
     violations: List[Violation] = field(default_factory=list)
 
     @property
@@ -467,9 +472,10 @@ def _cell_dry_run(
     *,
     value_bytes: int,
     config: SystemConfig,
-) -> Tuple[int, int, int]:
+) -> Tuple[int, int, int, int, int]:
     """Clean run of *ops* in this cell: post-setup durability-event and
-    instruction totals, plus committed-transaction count (coverage)."""
+    instruction totals, committed-transaction count (coverage), and the
+    sequence's cycle / PM-byte cost (perf context for the report)."""
     machine, rt, subject = _build(
         cell.workload, cell.scheme, cell.policy,
         value_bytes=value_bytes, config=config,
@@ -478,6 +484,8 @@ def _cell_dry_run(
     rt.op_log = oplog
     events0 = machine.wpq.total_inserts
     instrs0 = machine.stats.instructions
+    cycles0 = machine.now
+    pm_bytes0 = machine.stats.pm_bytes_written
     for i, op in enumerate(ops):
         oplog.begin_op(i)
         apply_op(subject, op)
@@ -485,6 +493,8 @@ def _cell_dry_run(
         machine.wpq.total_inserts - events0,
         machine.stats.instructions - instrs0,
         oplog.total_commits,
+        machine.now - cycles0,
+        machine.stats.pm_bytes_written - pm_bytes0,
     )
 
 
@@ -515,7 +525,7 @@ def run_cell(
         baseline = baseline_states(
             cell.workload, ops, value_bytes=value_bytes, config=config
         )
-    events, instrs, tx_commits = _cell_dry_run(
+    events, instrs, tx_commits, cell_cycles, cell_pm_bytes = _cell_dry_run(
         cell, ops, value_bytes=value_bytes, config=config
     )
     rng = random.Random(f"cell:{seed}:{cell.workload}:{cell.scheme}:{cell.policy}")
@@ -541,6 +551,8 @@ def run_cell(
         instr_points_total=instrs,
         instr_points_run=len(instr_points),
         tx_commits=tx_commits,
+        cycles=cell_cycles,
+        pm_bytes=cell_pm_bytes,
     )
     for kind, points in (("persist", persist_points), ("instr", instr_points)):
         for point in points:

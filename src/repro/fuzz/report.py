@@ -21,6 +21,8 @@ _COLUMNS = (
     ("instr-pts", 12),
     ("cases", 6),
     ("commits", 8),
+    ("cycles", 9),
+    ("pm-bytes", 9),
     ("violations", 10),
 )
 
@@ -59,6 +61,8 @@ def format_report(result: CampaignResult) -> str:
                     instr,
                     cell.cases_run,
                     cell.tx_commits,
+                    cell.cycles,
+                    cell.pm_bytes,
                     len(cell.violations),
                 ]
             )

@@ -51,6 +51,8 @@ def run_workload(
     config: SystemConfig = DEFAULT_CONFIG,
     seed: int = 2023,
     verify: bool = True,
+    tracer=None,
+    profiler=None,
 ) -> RunResult:
     """Simulate a ycsb-load run of *workload* under *scheme*.
 
@@ -58,8 +60,17 @@ def run_workload(
     the scheme independently decides which storeT semantics the hardware
     honours (FG/ATOM/EDE ignore them entirely), mirroring how the same
     annotated binary runs on every hardware configuration in the paper.
+
+    *tracer* / *profiler* attach observability to the machine for this
+    run; both are passive, so the returned metrics are identical with
+    or without them (the caller keeps the references for reporting).
     """
     machine = Machine(scheme, config)
+    if tracer is not None:
+        machine.tracer = tracer
+    if profiler is not None:
+        profiler.bind(machine.now)
+        machine.profiler = profiler
     rt = PTx(machine, policy=policy)
     wl = WORKLOADS[workload](rt, value_bytes=value_bytes)
     ops = generate_load(num_ops, value_bytes=value_bytes, seed=seed)

@@ -56,6 +56,15 @@ class WritePendingQueue:
         self._expire(now)
         return len(self._completions)
 
+    def pending_at(self, now: int) -> int:
+        """Lines still queued at cycle *now*, without mutating state.
+
+        The observability layer samples occupancy on every insert; a
+        pure read keeps the instrumented run's internal state (not just
+        its outcome) identical to the uninstrumented one.
+        """
+        return sum(1 for c in self._completions if c > now)
+
     def insert(self, now: int) -> WpqInsertResult:
         """Accept one cache line at cycle *now*.
 

@@ -188,6 +188,51 @@ class MultiCoreSystem:
             core.crash()
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def attach_observability(self, *, capacity: int = 50_000) -> None:
+        """Give every core a tracer and a profiler (passive; idempotent).
+
+        Each core records into its own ring and attribution buckets so
+        nothing is shared across the interleaving;
+        :meth:`merged_profiler` and :meth:`tracers` fold them back
+        together for reporting and trace export.
+        """
+        from repro.obs import attach
+
+        for core in self.cores:
+            attach(core, capacity=capacity)
+
+    def tracers(self) -> "List":
+        """Per-core tracers in core order (for trace export)."""
+        return [core.tracer for core in self.cores if core.tracer is not None]
+
+    def merged_profiler(self):
+        """One system-wide profiler: summed phases, merged histograms."""
+        from repro.obs.profiler import CycleProfiler
+
+        merged = CycleProfiler()
+        for core in self.cores:
+            if core.profiler is not None:
+                merged.merge(core.profiler)
+        return merged
+
+    def finalize_all(self) -> None:
+        """Run every core's end-of-run accounting (stats + profiler)."""
+        for core in self.cores:
+            core.finalize()
+
+    def merged_stats(self):
+        """Sum of every core's counters (one system-wide SimStats)."""
+        from repro.common.stats import SimStats
+
+        total = SimStats()
+        for core in self.cores:
+            total.add(core.stats)
+        return total
+
+    # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
 

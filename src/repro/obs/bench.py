@@ -1,0 +1,206 @@
+"""Machine-readable perf artifacts and the bench regression gate.
+
+``python -m repro bench`` sweeps the paper's scheme grid over the YCSB
+kernel workloads and writes a ``BENCH_<name>.json`` artifact: one cell
+per (workload × scheme) with cycles, PM bytes and the full
+:class:`~repro.common.stats.SimStats` dump, plus per-scheme geomeans —
+the checked-in artifact is the perf trajectory's baseline.
+
+``bench --check`` re-runs the identical sweep and fails when any
+geomean (cycles or PM bytes) drifted *up* beyond the threshold: a perf
+regression gate the CI runs on every push.  Improvements pass but are
+reported, so the baseline can be re-pinned with ``--update``.
+
+The simulator is deterministic, so the threshold only absorbs
+*intentional* model changes; anything above it must either be fixed or
+explicitly re-baselined in the same PR that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.harness.metrics import geomean
+from repro.harness.runner import cached_run
+from repro.workloads import KERNELS
+
+#: Scheme grid of the headline evaluation (Figure 8 order).
+BENCH_SCHEMES = ("FG", "FG+LG", "FG+LZ", "SLPMT", "ATOM", "EDE")
+
+#: Default artifact parameters: large enough to exercise drains, lazy
+#: forcing and WPQ pressure, small enough for a per-push CI gate.
+DEFAULT_NUM_OPS = 300
+DEFAULT_VALUE_BYTES = 256
+DEFAULT_SEED = 2023
+DEFAULT_THRESHOLD = 0.02
+
+SCHEMA_VERSION = 1
+
+#: The checked-in baseline for the default bench.
+DEFAULT_BASELINE = "BENCH_slpmt_ycsb.json"
+
+
+def bench_name(name: str) -> str:
+    return f"BENCH_{name}.json"
+
+
+def run_bench(
+    *,
+    name: str = "slpmt_ycsb",
+    workloads: "Sequence[str]" = KERNELS,
+    schemes: "Sequence[str]" = BENCH_SCHEMES,
+    num_ops: int = DEFAULT_NUM_OPS,
+    value_bytes: int = DEFAULT_VALUE_BYTES,
+    seed: int = DEFAULT_SEED,
+) -> Dict[str, Any]:
+    """Run the sweep and build the artifact document."""
+    cells: Dict[str, Any] = {}
+    for workload in workloads:
+        for scheme in schemes:
+            res = cached_run(
+                workload,
+                scheme,
+                num_ops=num_ops,
+                value_bytes=value_bytes,
+                seed=seed,
+            )
+            cells[f"{workload}/{scheme}"] = {
+                "cycles": res.cycles,
+                "pm_bytes": res.pm_bytes,
+                "pm_log_bytes": res.pm_log_bytes,
+                "pm_data_bytes": res.pm_data_bytes,
+                "cycles_per_op": round(res.cycles_per_op, 3),
+                "stats": json.loads(res.stats.to_json()),
+            }
+    geomeans: Dict[str, Any] = {}
+    for scheme in schemes:
+        geomeans[scheme] = {
+            "cycles": round(
+                geomean(cells[f"{w}/{scheme}"]["cycles"] for w in workloads), 1
+            ),
+            "pm_bytes": round(
+                geomean(cells[f"{w}/{scheme}"]["pm_bytes"] for w in workloads), 1
+            ),
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "params": {
+            "workloads": list(workloads),
+            "schemes": list(schemes),
+            "num_ops": num_ops,
+            "value_bytes": value_bytes,
+            "seed": seed,
+        },
+        "cells": cells,
+        "geomean": geomeans,
+    }
+
+
+def write_bench(path: str, doc: Dict[str, Any]) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: bench schema {doc.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    return doc
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One metric's movement against the baseline."""
+
+    where: str  # "geomean/SLPMT" or "cells/hashtable/SLPMT"
+    metric: str  # "cycles" | "pm_bytes"
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.where} {self.metric}: {self.baseline:,.0f} -> "
+            f"{self.current:,.0f} ({(self.ratio - 1.0) * 100.0:+.2f}%)"
+        )
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one ``bench --check`` comparison."""
+
+    regressions: List[Drift]
+    improvements: List[Drift]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def check_bench(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> CheckResult:
+    """Compare *current* against *baseline*.
+
+    A **regression** is a geomean or per-cell metric that grew beyond
+    ``baseline * (1 + threshold)``; a metric that *shrank* past the
+    same margin is reported as an improvement (gate still passes — but
+    re-pin the baseline so the win is locked in).
+    """
+    if current["params"] != baseline["params"]:
+        raise ValueError(
+            "bench parameters differ from the baseline "
+            f"({current['params']} vs {baseline['params']}); "
+            "regenerate with matching parameters or --update the baseline"
+        )
+    regressions: List[Drift] = []
+    improvements: List[Drift] = []
+
+    def compare(where: str, metric: str, base_val: float, cur_val: float) -> None:
+        drift = Drift(where, metric, base_val, cur_val)
+        if cur_val > base_val * (1.0 + threshold):
+            regressions.append(drift)
+        elif cur_val < base_val * (1.0 - threshold):
+            improvements.append(drift)
+
+    for scheme, base_geo in baseline["geomean"].items():
+        cur_geo = current["geomean"].get(scheme)
+        if cur_geo is None:
+            continue
+        for metric in ("cycles", "pm_bytes"):
+            compare(f"geomean/{scheme}", metric, base_geo[metric], cur_geo[metric])
+    for cell, base_cell in baseline["cells"].items():
+        cur_cell = current["cells"].get(cell)
+        if cur_cell is None:
+            continue
+        for metric in ("cycles", "pm_bytes"):
+            compare(f"cells/{cell}", metric, base_cell[metric], cur_cell[metric])
+    return CheckResult(regressions=regressions, improvements=improvements)
+
+
+def format_check(result: CheckResult, *, threshold: float) -> str:
+    lines = [
+        f"bench check (threshold ±{threshold * 100.0:.1f}%): "
+        + ("PASS" if result.ok else "FAIL"),
+    ]
+    for drift in result.regressions:
+        lines.append(f"  REGRESSION {drift}")
+    for drift in result.improvements:
+        lines.append(f"  improvement {drift} (consider --update)")
+    if not result.regressions and not result.improvements:
+        lines.append("  all metrics within threshold")
+    return "\n".join(lines)

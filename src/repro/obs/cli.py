@@ -1,0 +1,318 @@
+"""The ``python -m repro obs`` and ``python -m repro bench`` front ends.
+
+Observability subcommands::
+
+    python -m repro obs stats --workload hashtable --scheme SLPMT
+    python -m repro obs stats ... --json run.json     # diffable snapshot
+    python -m repro obs hist  --workload rbtree --scheme FG+LG
+    python -m repro obs trace --cores 4 --ops 50 --out trace.json
+    python -m repro obs trace ... --jsonl events.jsonl
+    python -m repro obs diff a.json b.json            # two-run diff
+    python -m repro obs passivity                     # CI gate, exit 1 on drift
+
+Bench artifacts and the perf-regression gate::
+
+    python -m repro bench                    # run + print the sweep
+    python -m repro bench --update           # re-pin BENCH_slpmt_ycsb.json
+    python -m repro bench --check            # fail on drift vs the baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List
+
+from repro.obs import bench as bench_mod
+from repro.obs.run import observed_multicore_ycsb, observed_run
+from repro.obs.trace import (
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="hashtable")
+    parser.add_argument("--scheme", default="SLPMT")
+    parser.add_argument("--ops", type=int, default=1000)
+    parser.add_argument("--value-bytes", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=2023)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    run = observed_run(
+        args.workload,
+        args.scheme,
+        num_ops=args.ops,
+        value_bytes=args.value_bytes,
+        seed=args.seed,
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(run.to_doc(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+        return 0
+    print(
+        f"{args.workload}/{args.scheme}: {run.result.cycles:,} cycles, "
+        f"{run.result.pm_bytes:,} PM bytes over {args.ops} ops"
+    )
+    print(run.result.stats.report(show_zero=args.show_zero))
+    print(run.profiler.format())
+    return 0
+
+
+def _cmd_hist(args: argparse.Namespace) -> int:
+    run = observed_run(
+        args.workload,
+        args.scheme,
+        num_ops=args.ops,
+        value_bytes=args.value_bytes,
+        seed=args.seed,
+    )
+    print(f"{args.workload}/{args.scheme} distributions ({args.ops} ops)")
+    header = f"{'histogram':<18} {'n':>8} {'mean':>12} {'p50':>10} {'p95':>10} {'p99':>10} {'max':>10}"
+    print(header)
+    print("-" * len(header))
+    for name, hist in sorted(run.profiler.histograms.items()):
+        if hist.count == 0:
+            continue
+        s = hist.summary()
+        print(
+            f"{name:<18} {s['count']:>8} {s['mean']:>12} {s['p50']:>10} "
+            f"{s['p95']:>10} {s['p99']:>10} {s['max']:>10}"
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    system = observed_multicore_ycsb(
+        num_cores=args.cores,
+        scheme=args.scheme,
+        ops_per_core=args.ops,
+        value_bytes=args.value_bytes,
+        seed=args.seed,
+    )
+    doc = write_chrome_trace(
+        args.out,
+        system.tracers(),
+        metadata={
+            "scheme": args.scheme,
+            "cores": args.cores,
+            "ops_per_core": args.ops,
+            "seed": args.seed,
+        },
+    )
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    merged = system.merged_profiler()
+    print(
+        f"wrote {args.out}: {len(doc['traceEvents'])} events from "
+        f"{args.cores} cores ({system.total_commits()} commits, "
+        f"{system.total_aborts()} aborts) — open in ui.perfetto.dev"
+    )
+    print(merged.format())
+    if args.jsonl:
+        write_jsonl(args.jsonl, system.tracers())
+        print(f"wrote {args.jsonl}")
+    return 0
+
+
+def _flatten(doc: Dict[str, Any], prefix: str = "") -> Dict[str, Any]:
+    flat: Dict[str, Any] = {}
+    for key, value in doc.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            flat.update(_flatten(value, path))
+        else:
+            flat[path] = value
+    return flat
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    with open(args.a) as fh:
+        a = _flatten(json.load(fh))
+    with open(args.b) as fh:
+        b = _flatten(json.load(fh))
+    keys = sorted(set(a) | set(b))
+    changed = 0
+    for key in keys:
+        va, vb = a.get(key), b.get(key)
+        if va == vb:
+            continue
+        changed += 1
+        if (
+            isinstance(va, (int, float))
+            and isinstance(vb, (int, float))
+            and va
+        ):
+            delta = f" ({(vb - va) / va * 100.0:+.2f}%)"
+        else:
+            delta = ""
+        print(f"{key}: {va} -> {vb}{delta}")
+    if changed == 0:
+        print("identical")
+    return 0
+
+
+def _cmd_passivity(args: argparse.Namespace) -> int:
+    """The CI gate: observability on vs off must be bit-identical."""
+    from repro.harness.runner import run_workload
+    from repro.obs.profiler import CycleProfiler
+    from repro.core.tracing import Tracer
+
+    failures: List[str] = []
+    for workload, scheme in (
+        (args.workload, args.scheme),
+        ("rbtree", "FG+LG"),
+        ("heap", "EDE"),
+    ):
+        bare = run_workload(
+            workload, _scheme(scheme), num_ops=args.ops,
+            value_bytes=args.value_bytes, seed=args.seed,
+        )
+        profiler = CycleProfiler()
+        observed = run_workload(
+            workload, _scheme(scheme), num_ops=args.ops,
+            value_bytes=args.value_bytes, seed=args.seed,
+            tracer=Tracer(), profiler=profiler,
+        )
+        if bare.stats.as_dict() != observed.stats.as_dict():
+            diffs = {
+                k: (v, observed.stats.as_dict()[k])
+                for k, v in bare.stats.as_dict().items()
+                if observed.stats.as_dict()[k] != v
+            }
+            failures.append(f"{workload}/{scheme}: counters drifted {diffs}")
+        elif bare.cycles != observed.cycles:
+            failures.append(
+                f"{workload}/{scheme}: cycles {bare.cycles} != {observed.cycles}"
+            )
+        elif profiler.total_cycles() != observed.cycles:
+            failures.append(
+                f"{workload}/{scheme}: phase buckets sum to "
+                f"{profiler.total_cycles()}, cycles are {observed.cycles}"
+            )
+        else:
+            print(
+                f"passive: {workload}/{scheme} "
+                f"({observed.cycles:,} cycles bit-identical, "
+                f"buckets sum exactly)"
+            )
+    for failure in failures:
+        print(f"PASSIVITY VIOLATION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _scheme(name: str):
+    from repro.core.schemes import scheme_by_name
+
+    return scheme_by_name(name)
+
+
+def obs_main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs",
+        description="Observability: stats dumps, histograms, traces, diffs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="run once, dump stats + attribution")
+    _add_run_args(p_stats)
+    p_stats.add_argument("--json", help="write a diffable JSON snapshot here")
+    p_stats.add_argument(
+        "--show-zero", action="store_true",
+        help="include zero-valued counters (stable line set for diffing)",
+    )
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_hist = sub.add_parser("hist", help="run once, print histogram summary")
+    _add_run_args(p_hist)
+    p_hist.set_defaults(func=_cmd_hist)
+
+    p_trace = sub.add_parser(
+        "trace", help="multicore YCSB run -> Perfetto trace JSON"
+    )
+    p_trace.add_argument("--cores", type=int, default=4)
+    p_trace.add_argument("--scheme", default="SLPMT")
+    p_trace.add_argument("--ops", type=int, default=50, help="inserts per core")
+    p_trace.add_argument("--value-bytes", type=int, default=64)
+    p_trace.add_argument("--seed", type=int, default=2023)
+    p_trace.add_argument("--out", default="trace.json")
+    p_trace.add_argument("--jsonl", help="also write a JSONL event stream")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_diff = sub.add_parser("diff", help="diff two obs stats JSON snapshots")
+    p_diff.add_argument("a")
+    p_diff.add_argument("b")
+    p_diff.set_defaults(func=_cmd_diff)
+
+    p_pass = sub.add_parser(
+        "passivity",
+        help="prove obs changes nothing (exit 1 on any counter drift)",
+    )
+    _add_run_args(p_pass)
+    p_pass.set_defaults(func=_cmd_passivity)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+def bench_main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="BENCH_*.json perf artifacts and the regression gate.",
+    )
+    parser.add_argument("--name", default="slpmt_ycsb")
+    parser.add_argument("--ops", type=int, default=bench_mod.DEFAULT_NUM_OPS)
+    parser.add_argument(
+        "--value-bytes", type=int, default=bench_mod.DEFAULT_VALUE_BYTES
+    )
+    parser.add_argument("--seed", type=int, default=bench_mod.DEFAULT_SEED)
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline artifact path (default BENCH_<name>.json)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=bench_mod.DEFAULT_THRESHOLD,
+        help="allowed relative drift before --check fails (default 0.02)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the baseline; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="write the fresh sweep over the baseline file",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = args.baseline or bench_mod.bench_name(args.name)
+    doc = bench_mod.run_bench(
+        name=args.name,
+        num_ops=args.ops,
+        value_bytes=args.value_bytes,
+        seed=args.seed,
+    )
+    if args.update:
+        bench_mod.write_bench(baseline_path, doc)
+        print(f"wrote {baseline_path}")
+        return 0
+    if args.check:
+        baseline = bench_mod.load_bench(baseline_path)
+        result = bench_mod.check_bench(
+            doc, baseline, threshold=args.threshold
+        )
+        print(bench_mod.format_check(result, threshold=args.threshold))
+        return 0 if result.ok else 1
+    for scheme, geo in doc["geomean"].items():
+        print(
+            f"{scheme:<8} geomean cycles={geo['cycles']:>14,.0f}  "
+            f"pm_bytes={geo['pm_bytes']:>12,.0f}"
+        )
+    return 0

@@ -1,0 +1,195 @@
+"""Log-scaled streaming histograms: fixed memory, mergeable, quantiled.
+
+The distributions the observability layer cares about — transaction
+latency, commit cost, log-record size, WPQ occupancy — are heavy-tailed
+and arrive one sample at a time from millions of events, so storing raw
+samples is out.  :class:`LogHistogram` is an HDR-style bucketed counter:
+
+* buckets are geometric — each power of two is split into
+  ``sub_buckets`` linear slices — so relative error is bounded by
+  ``1/sub_buckets`` at every magnitude;
+* bucket indices are computed with *integer* arithmetic
+  (``bit_length``), so the same samples always land in the same bucket
+  on every platform (no ``log2`` float rounding at bucket edges);
+* memory is fixed: a 64-bit value space needs at most
+  ``64 * sub_buckets + 1`` buckets regardless of sample count;
+* histograms merge by adding counts, so per-core histograms fold into
+  a system-wide one without losing quantile accuracy.
+
+Quantiles return the geometric midpoint of the containing bucket,
+clamped to the observed min/max, which keeps p50/p95/p99 honest at the
+distribution edges.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Tuple
+
+
+class LogHistogram:
+    """Streaming histogram over non-negative integer samples."""
+
+    def __init__(self, sub_buckets: int = 8) -> None:
+        if sub_buckets < 1:
+            raise ValueError("sub_buckets must be >= 1")
+        self.sub_buckets = sub_buckets
+        #: Sparse bucket counts: index -> count.  Index 0 holds zeros;
+        #: index ``1 + e*sub + slice`` holds values with exponent *e*.
+        self._counts: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.min = 0
+        self.max = 0
+
+    # --- recording -----------------------------------------------------
+
+    def _index(self, value: int) -> int:
+        if value <= 0:
+            return 0
+        e = value.bit_length() - 1
+        base = 1 << e
+        # Linear slice inside the [2^e, 2^(e+1)) octave, integer math.
+        slice_ = ((value - base) * self.sub_buckets) // base
+        return 1 + e * self.sub_buckets + slice_
+
+    def record(self, value: int, count: int = 1) -> None:
+        """Add *count* samples of *value* (negatives clamp to zero)."""
+        value = int(value)
+        if value < 0:
+            value = 0
+        idx = self._index(value)
+        self._counts[idx] = self._counts.get(idx, 0) + count
+        if self.count == 0:
+            self.min = value
+            self.max = value
+        else:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+        self.count += count
+        self.total += value * count
+
+    # --- bucket geometry ----------------------------------------------
+
+    def _bounds(self, idx: int) -> Tuple[int, int]:
+        """Inclusive-lower / exclusive-upper value bounds of a bucket."""
+        if idx == 0:
+            return (0, 1)
+        e, slice_ = divmod(idx - 1, self.sub_buckets)
+        base = 1 << e
+        lo = base + (slice_ * base) // self.sub_buckets
+        hi = base + ((slice_ + 1) * base) // self.sub_buckets
+        return (lo, max(hi, lo + 1))
+
+    # --- queries -------------------------------------------------------
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> int:
+        """Value at quantile *q* in [0, 1] (bucket midpoint, clamped)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0
+        rank = q * self.count
+        seen = 0
+        for idx in sorted(self._counts):
+            seen += self._counts[idx]
+            if seen >= rank:
+                lo, hi = self._bounds(idx)
+                mid = math.isqrt(lo * (hi - 1)) if lo > 0 else 0
+                return max(self.min, min(self.max, mid))
+        return self.max
+
+    @property
+    def p50(self) -> int:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> int:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> int:
+        return self.quantile(0.99)
+
+    def buckets(self) -> List[Tuple[int, int, int]]:
+        """Non-empty ``(lower, upper, count)`` rows, ascending."""
+        rows = []
+        for idx in sorted(self._counts):
+            lo, hi = self._bounds(idx)
+            rows.append((lo, hi, self._counts[idx]))
+        return rows
+
+    # --- merge / serialisation ----------------------------------------
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold *other*'s samples into this histogram (same geometry)."""
+        if other.sub_buckets != self.sub_buckets:
+            raise ValueError(
+                f"cannot merge histograms with sub_buckets "
+                f"{other.sub_buckets} into {self.sub_buckets}"
+            )
+        if other.count == 0:
+            return
+        for idx, count in other._counts.items():
+            self._counts[idx] = self._counts.get(idx, 0) + count
+        if self.count == 0:
+            self.min, self.max = other.min, other.max
+        else:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        self.count += other.count
+        self.total += other.total
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sub_buckets": self.sub_buckets,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "counts": {str(k): v for k, v in sorted(self._counts.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LogHistogram":
+        hist = cls(sub_buckets=int(data["sub_buckets"]))
+        hist.count = int(data["count"])
+        hist.total = int(data["total"])
+        hist.min = int(data["min"])
+        hist.max = int(data["max"])
+        hist._counts = {int(k): int(v) for k, v in data["counts"].items()}
+        return hist
+
+    def summary(self) -> Dict[str, float]:
+        """The row every report prints for one distribution."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean(), 2),
+            "min": self.min,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        return (
+            f"LogHistogram(count={self.count}, min={self.min}, "
+            f"p50={self.p50}, p99={self.p99}, max={self.max})"
+        )
+
+
+def merge_all(histograms: "Iterable[LogHistogram]") -> LogHistogram:
+    """Merge any number of same-geometry histograms into a fresh one."""
+    out: "LogHistogram | None" = None
+    for hist in histograms:
+        if out is None:
+            out = LogHistogram(sub_buckets=hist.sub_buckets)
+        out.merge(hist)
+    return out if out is not None else LogHistogram()

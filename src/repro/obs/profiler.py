@@ -1,0 +1,234 @@
+"""Cycle attribution: every simulated cycle lands in one named phase.
+
+The machine wires lightweight scoped spans around its interesting
+regions (logging, draining, committing, forcing lazy lines, aborting);
+between spans the clock belongs to the residual ``execute`` phase.  The
+profiler keeps a phase stack and, at every span boundary, attributes
+``now - last_mark`` to whichever phase was on top — so the buckets
+partition the run exactly: ``sum(phase_cycles.values()) == cycles``
+from :meth:`bind` to :meth:`finalize` (the property the tests pin).
+
+Two kinds of cost do not arrive as a wall-clock region:
+
+* **reattributed** cycles (WPQ stalls, backoff waits) are *inside* an
+  enclosing region but deserve their own bucket;
+  :meth:`reattribute` moves them from the enclosing phase without
+  changing the total;
+* **event counts** (recovery replay work, which runs with no machine
+  clock) are recorded via :meth:`count`.
+
+Attachment is passive by construction: the profiler only ever *reads*
+the machine clock, so simulated cycles and PM bytes are bit-identical
+with or without one (the CI passivity gate re-proves this on every
+push).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.histogram import LogHistogram
+
+#: The phase taxonomy (DESIGN.md §7).  ``execute`` is the residual:
+#: instruction issue, cache traversal, and anything not inside a span.
+PHASES = (
+    "execute",
+    "log-append",
+    "log-drain",
+    "commit-persist",
+    "wpq-stall",
+    "backoff",
+    "forced-lazy",
+    "abort",
+    "recovery",
+)
+
+#: Distributions every profiler carries (DESIGN.md §7).
+HISTOGRAMS = (
+    "tx_latency",
+    "commit_cycles",
+    "log_record_bytes",
+    "wpq_occupancy",
+)
+
+
+class CycleProfiler:
+    """Scoped-span cycle attribution plus streaming histograms."""
+
+    def __init__(self) -> None:
+        self.phase_cycles: Dict[str, int] = {p: 0 for p in PHASES}
+        self.span_counts: Dict[str, int] = {}
+        self.events: Dict[str, int] = {}
+        self.histograms: Dict[str, LogHistogram] = {
+            name: LogHistogram() for name in HISTOGRAMS
+        }
+        self._stack: List[str] = []
+        self._mark = 0
+        self._bound = False
+        #: Clock at the start of the running transaction (latency hist).
+        self._tx_start: Optional[int] = None
+
+    # --- span machinery -----------------------------------------------
+
+    def bind(self, now: int) -> None:
+        """Start attributing at clock value *now*."""
+        self._mark = now
+        self._bound = True
+
+    def _flush(self, now: int) -> None:
+        delta = now - self._mark
+        if delta:
+            top = self._stack[-1] if self._stack else "execute"
+            self.phase_cycles[top] = self.phase_cycles.get(top, 0) + delta
+            self._mark = now
+
+    def begin(self, phase: str, now: int) -> None:
+        """Enter a scoped span: cycles now accrue to *phase*."""
+        if phase not in self.phase_cycles:
+            raise ValueError(f"unknown phase {phase!r} (see PHASES)")
+        if not self._bound:
+            self.bind(now)
+        self._flush(now)
+        self._stack.append(phase)
+        self.span_counts[phase] = self.span_counts.get(phase, 0) + 1
+
+    def end(self, now: int) -> None:
+        """Leave the innermost span."""
+        if not self._stack:
+            raise RuntimeError("span end() without a matching begin()")
+        self._flush(now)
+        self._stack.pop()
+
+    def reattribute(self, phase: str, cycles: int, now: int) -> None:
+        """Move *cycles* of the enclosing phase into *phase*.
+
+        Used for costs that happen inside another span but deserve
+        their own bucket (WPQ stalls, backoff waits).  The clock must
+        already have advanced past them, so the total is unchanged.
+        """
+        if phase not in self.phase_cycles:
+            raise ValueError(f"unknown phase {phase!r} (see PHASES)")
+        if cycles <= 0:
+            return
+        if not self._bound:
+            self.bind(now)
+        self._flush(now)
+        top = self._stack[-1] if self._stack else "execute"
+        self.phase_cycles[top] = self.phase_cycles.get(top, 0) - cycles
+        self.phase_cycles[phase] = self.phase_cycles.get(phase, 0) + cycles
+
+    def unwind(self, now: int) -> None:
+        """Flush and drop every open span (crash landed mid-region)."""
+        self._flush(now)
+        self._stack.clear()
+        self._tx_start = None
+
+    def finalize(self, now: int) -> None:
+        """Account the tail of the run (e.g. the final WPQ drain)."""
+        self.unwind(now)
+
+    # --- events and distributions -------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a named event counter (clock-free observability)."""
+        self.events[name] = self.events.get(name, 0) + n
+
+    def record(self, histogram: str, value: int) -> None:
+        """Add one sample to a named distribution."""
+        hist = self.histograms.get(histogram)
+        if hist is None:
+            hist = LogHistogram()
+            self.histograms[histogram] = hist
+        hist.record(value)
+
+    def note_tx_begin(self, now: int) -> None:
+        self._tx_start = now
+
+    def note_tx_end(self, now: int) -> None:
+        """Transaction left the machine (commit or abort)."""
+        if self._tx_start is not None:
+            self.record("tx_latency", now - self._tx_start)
+            self._tx_start = None
+
+    # --- queries -------------------------------------------------------
+
+    def total_cycles(self) -> int:
+        """Cycles attributed so far; equals the clock span covered."""
+        return sum(self.phase_cycles.values())
+
+    def nonzero_phases(self) -> Dict[str, int]:
+        return {p: c for p, c in self.phase_cycles.items() if c}
+
+    # --- merge / serialisation ----------------------------------------
+
+    def merge(self, other: "CycleProfiler") -> None:
+        """Fold a peer core's attribution into this profiler."""
+        for phase, cycles in other.phase_cycles.items():
+            self.phase_cycles[phase] = self.phase_cycles.get(phase, 0) + cycles
+        for phase, n in other.span_counts.items():
+            self.span_counts[phase] = self.span_counts.get(phase, 0) + n
+        for name, n in other.events.items():
+            self.events[name] = self.events.get(name, 0) + n
+        for name, hist in other.histograms.items():
+            if name in self.histograms:
+                self.histograms[name].merge(hist)
+            else:
+                merged = LogHistogram(sub_buckets=hist.sub_buckets)
+                merged.merge(hist)
+                self.histograms[name] = merged
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "phase_cycles": dict(self.phase_cycles),
+            "span_counts": dict(sorted(self.span_counts.items())),
+            "events": dict(sorted(self.events.items())),
+            "histograms": {
+                name: hist.to_dict()
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CycleProfiler":
+        prof = cls()
+        prof.phase_cycles.update(
+            {str(k): int(v) for k, v in data.get("phase_cycles", {}).items()}
+        )
+        prof.span_counts = {
+            str(k): int(v) for k, v in data.get("span_counts", {}).items()
+        }
+        prof.events = {str(k): int(v) for k, v in data.get("events", {}).items()}
+        for name, hist in data.get("histograms", {}).items():
+            prof.histograms[str(name)] = LogHistogram.from_dict(hist)
+        return prof
+
+    def format(self) -> str:
+        """Human-readable attribution + distribution summary."""
+        total = self.total_cycles()
+        lines = ["--- cycle attribution ---"]
+        for phase in PHASES:
+            cycles = self.phase_cycles.get(phase, 0)
+            if not cycles:
+                continue
+            share = 100.0 * cycles / total if total else 0.0
+            lines.append(f"  {phase:<16} {cycles:>14,}  {share:5.1f}%")
+        extra = [p for p in self.phase_cycles if p not in PHASES]
+        for phase in sorted(extra):
+            cycles = self.phase_cycles[phase]
+            share = 100.0 * cycles / total if total else 0.0
+            lines.append(f"  {phase:<16} {cycles:>14,}  {share:5.1f}%")
+        lines.append(f"  {'total':<16} {total:>14,}")
+        lines.append("--- distributions (p50/p95/p99) ---")
+        for name, hist in sorted(self.histograms.items()):
+            if hist.count == 0:
+                continue
+            s = hist.summary()
+            lines.append(
+                f"  {name:<16} n={s['count']:<8} mean={s['mean']:<12} "
+                f"p50={s['p50']} p95={s['p95']} p99={s['p99']} max={s['max']}"
+            )
+        if self.events:
+            lines.append("--- events ---")
+            for name, n in sorted(self.events.items()):
+                lines.append(f"  {name:<32} {n:>10,}")
+        return "\n".join(lines)

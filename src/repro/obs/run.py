@@ -1,0 +1,124 @@
+"""Observed runs: single-core and multicore drivers with obs attached.
+
+Thin orchestration used by ``python -m repro obs`` and the obs tests:
+run a workload with a tracer + profiler attached, hand back everything
+a report or export needs.  The simulations themselves are the same
+harness/multicore code paths every benchmark uses — observability is
+attached, never special-cased.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.core.tracing import Tracer
+from repro.harness.runner import RunResult, run_workload
+from repro.multicore.system import CONFLICT_BACKOFF_BASE, MultiCoreSystem
+from repro.workloads.base import value_words_for_key
+from repro.obs.profiler import CycleProfiler
+from repro.runtime.hints import MANUAL
+from repro.workloads.hashtable import HashTable
+
+
+@dataclass
+class ObservedRun:
+    """One single-core run plus its observability artifacts."""
+
+    result: RunResult
+    tracer: Tracer
+    profiler: CycleProfiler
+
+    def to_doc(self) -> Dict[str, Any]:
+        """The ``obs stats --json`` document (diffable run snapshot)."""
+        return {
+            "workload": self.result.workload,
+            "scheme": self.result.scheme,
+            "policy": self.result.policy,
+            "num_ops": self.result.num_ops,
+            "value_bytes": self.result.value_bytes,
+            "cycles": self.result.cycles,
+            "pm_bytes": self.result.pm_bytes,
+            "stats": json.loads(self.result.stats.to_json()),
+            "profile": self.profiler.to_dict(),
+        }
+
+
+def observed_run(
+    workload: str,
+    scheme,
+    *,
+    num_ops: int = 1000,
+    value_bytes: int = 256,
+    seed: int = 2023,
+    policy=MANUAL,
+    capacity: int = 100_000,
+) -> ObservedRun:
+    """Run one (workload, scheme) simulation with obs attached."""
+    from repro.core.schemes import scheme_by_name
+
+    if isinstance(scheme, str):
+        scheme = scheme_by_name(scheme)
+    tracer = Tracer(capacity=capacity)
+    profiler = CycleProfiler()
+    result = run_workload(
+        workload,
+        scheme,
+        policy=policy,
+        num_ops=num_ops,
+        value_bytes=value_bytes,
+        seed=seed,
+        tracer=tracer,
+        profiler=profiler,
+    )
+    return ObservedRun(result=result, tracer=tracer, profiler=profiler)
+
+
+def observed_multicore_ycsb(
+    *,
+    num_cores: int = 4,
+    scheme: str = "SLPMT",
+    ops_per_core: int = 50,
+    value_bytes: int = 64,
+    seed: int = 2023,
+    capacity: int = 50_000,
+) -> MultiCoreSystem:
+    """A multicore YCSB-load run with full observability attached.
+
+    Every core inserts its own key range into one shared durable hash
+    table under the deterministic interleaving — conflicts on shared
+    headers, lazy forcing across cores and per-core commit cadence all
+    show up in the exported trace.  Returns the finalized system.
+    """
+    from repro.core.schemes import scheme_by_name
+
+    system = MultiCoreSystem(num_cores, scheme_by_name(scheme), seed=seed)
+    system.attach_observability(capacity=capacity)
+    table = HashTable(system.runtimes[0], value_bytes=value_bytes)
+    handles = [table] + [
+        table.clone_for(rt) for rt in system.runtimes[1:]
+    ]
+
+    def worker_for(handle, base: int):
+        def worker(rt) -> None:
+            for i in range(ops_per_core):
+                key = base + i
+                value = value_words_for_key(key, handle.value_words)
+                handle.before_transaction(key)
+                rt.run_with_retries(
+                    lambda: handle._insert(key, value),
+                    retries=255,
+                    backoff_base=CONFLICT_BACKOFF_BASE,
+                )
+                handle.expected[key] = value
+
+        return worker
+
+    workers = [
+        worker_for(handle, 1_000_000 * (core_id + 1))
+        for core_id, handle in enumerate(handles)
+    ]
+    system.run(workers)
+    system.finalize_all()
+    return system

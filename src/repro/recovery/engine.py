@@ -115,8 +115,15 @@ def recover(
     hooks: "List[RecoveryHook] | None" = None,
     from_bytes: bool = False,
     policy: str = "strict",
+    profiler: "Optional[object]" = None,
 ) -> RecoveryReport:
     """Run full recovery on the durable state in *pm*.
+
+    *profiler* (a :class:`repro.obs.profiler.CycleProfiler`) receives
+    clock-free ``recovery.*`` event counts — post-crash recovery runs
+    outside any machine clock, so its work is counted, not timed (the
+    in-run abort replay *is* timed, in the machine's ``recovery``
+    phase).  Passing one never changes what recovery does.
 
     Mutates *pm* in place (applying log records, then — only after every
     hook succeeded — clearing the whole log region, serialized stream
@@ -155,6 +162,18 @@ def recover(
     # clearing earlier would leave a half-recovered image behind a hook
     # failure, and a re-run would have nothing left to replay.
     pm.log_reset()
+    if profiler is not None:
+        profiler.count("recovery.passes")
+        profiler.count("recovery.log_entries_scanned", len(parsed.entries))
+        profiler.count("recovery.words_restored", report.words_restored)
+        profiler.count("recovery.hooks_run", report.hooks_run)
+        profiler.count(
+            "recovery.rolled_back_txs", len(report.rolled_back_tx_seqs)
+        )
+        profiler.count("recovery.replayed_txs", len(report.replayed_tx_seqs))
+        if report.damaged:
+            profiler.count("recovery.torn_entries", report.torn_entries)
+            profiler.count("recovery.corrupt_entries", report.corrupt_entries)
     return report
 
 

@@ -145,6 +145,10 @@ class PTx:
         self.machine.now += cycles
         self.machine.stats.backoff_waits += 1
         self.machine.stats.backoff_cycles += cycles
+        if self.machine.profiler is not None:
+            self.machine.profiler.reattribute(
+                "backoff", cycles, self.machine.now
+            )
         if self.backoff_sink is not None:
             self.backoff_sink(cycles)
         return cycles

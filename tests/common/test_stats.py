@@ -55,6 +55,37 @@ class TestSimStats:
     def test_report_empty(self):
         assert SimStats().report() == "(no activity)"
 
+    def test_report_show_zero_lists_every_counter(self):
+        stats = SimStats(cycles=7)
+        text = stats.report(show_zero=True)
+        # Every counter appears, so two reports are line-diffable.
+        for name in stats.as_dict():
+            assert name in text
+        assert SimStats().report(show_zero=True) != "(no activity)"
+
+    def test_json_round_trip(self):
+        stats = SimStats(cycles=123, pm_bytes_written=456, logfree_stores=7)
+        back = SimStats.from_json(stats.to_json())
+        assert back.as_dict() == stats.as_dict()
+
+    def test_from_json_missing_counters_default_zero(self):
+        back = SimStats.from_json('{"cycles": 5}')
+        assert back.cycles == 5
+        assert back.loads == 0
+
+    def test_from_json_rejects_unknown_counter(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown"):
+            SimStats.from_json('{"cycles": 5, "no_such_counter": 1}')
+
+    def test_to_json_is_sorted_and_stable(self):
+        import json
+
+        text = SimStats(cycles=1).to_json()
+        keys = list(json.loads(text))
+        assert keys == sorted(keys)
+
 
 class TestStatsScope:
     def test_captures_delta(self):
@@ -70,3 +101,26 @@ class TestStatsScope:
         with StatsScope(stats):
             stats.loads += 1
         assert stats.loads == 1
+
+    def test_nested_scopes_attribute_correctly(self):
+        stats = SimStats()
+        with StatsScope(stats) as outer:
+            stats.cycles += 10
+            with StatsScope(stats) as inner:
+                stats.cycles += 5
+                stats.loads += 2
+            stats.cycles += 1
+        assert inner.delta.cycles == 5
+        assert inner.delta.loads == 2
+        # The outer scope sees its own work plus the nested scope's.
+        assert outer.delta.cycles == 16
+        assert outer.delta.loads == 2
+
+    def test_sibling_scopes_independent(self):
+        stats = SimStats(cycles=100)
+        with StatsScope(stats) as first:
+            stats.cycles += 3
+        with StatsScope(stats) as second:
+            stats.cycles += 4
+        assert first.delta.cycles == 3
+        assert second.delta.cycles == 4

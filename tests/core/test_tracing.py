@@ -114,6 +114,63 @@ class TestTracerMechanics:
         assert tracer.total_emitted == 12
         assert tracer.events()[0].fields["n"] == 7  # oldest kept
 
+    def test_dropped_is_derived_from_emitted(self):
+        # The accounting contract: dropped can never drift from the
+        # ring's actual eviction, because it is computed, not counted.
+        tracer = Tracer(capacity=3)
+        assert tracer.dropped == 0
+        for i in range(3):
+            tracer.emit(i, 0, "commit")
+        assert tracer.dropped == 0
+        tracer.emit(3, 0, "commit")
+        assert tracer.dropped == 1
+        assert tracer.total_emitted == len(tracer) + tracer.dropped
+
+    def test_capacity_zero_keeps_nothing_counts_everything(self):
+        tracer = Tracer(capacity=0)
+        for i in range(4):
+            tracer.emit(i, 0, "commit")
+        assert len(tracer) == 0
+        assert tracer.total_emitted == 4
+        assert tracer.dropped == 4
+
+    def test_negative_capacity_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Tracer(capacity=-1)
+
+    def test_filtered_kinds_neither_emitted_nor_dropped(self):
+        tracer = Tracer(capacity=2, kinds=["commit"])
+        for i in range(5):
+            tracer.emit(i, 0, "tx_begin")  # filtered out
+        tracer.emit(5, 0, "commit")
+        assert tracer.total_emitted == 1
+        assert tracer.dropped == 0
+        assert len(tracer) == 1
+
+    def test_clear_resets_accounting(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.emit(i, 0, "commit")
+        assert tracer.dropped == 3
+        tracer.clear()
+        assert tracer.dropped == 0
+        assert tracer.total_emitted == 0
+        tracer.emit(9, 0, "commit")
+        assert tracer.dropped == 0
+
+    def test_event_to_dict(self):
+        tracer = Tracer()
+        tracer.emit(7, 2, "commit", tx_seq=3)
+        event = tracer.last("commit").to_dict()
+        assert event == {
+            "cycle": 7,
+            "core": 2,
+            "kind": "commit",
+            "fields": {"tx_seq": 3},
+        }
+
     def test_format_readable(self):
         m = traced_machine()
         m.execute(TxBegin())

@@ -42,6 +42,31 @@ class TestTraffic:
             traffic_reduction(result(1, 0), result(1, 10))
 
 
+class TestSpeedupEdges:
+    def test_zero_cycle_run_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            speedup(result(1000, 1), result(0, 1))
+
+    def test_identical_runs_give_exactly_one(self):
+        assert speedup(result(777, 1), result(777, 1)) == 1.0
+
+    def test_slower_gives_below_one(self):
+        assert speedup(result(1000, 1), result(4000, 1)) == 0.25
+
+
+class TestTrafficEdges:
+    def test_ratio_zero_baseline_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            traffic_ratio(result(1, 0), result(1, 10))
+
+    def test_reduction_can_be_negative(self):
+        # "Other" writing more than the baseline is a negative reduction.
+        assert traffic_reduction(result(1, 100), result(1, 150)) == pytest.approx(-0.5)
+
+    def test_zero_other_is_full_reduction(self):
+        assert traffic_reduction(result(1, 100), result(1, 0)) == pytest.approx(1.0)
+
+
 class TestAverages:
     def test_geomean(self):
         assert geomean([2.0, 8.0]) == pytest.approx(4.0)
@@ -54,6 +79,23 @@ class TestAverages:
             geomean([])
         with pytest.raises(ValueError):
             geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([2.0, -1.0])
+
+    def test_geomean_accepts_generator(self):
+        assert geomean(v for v in (2.0, 8.0)) == pytest.approx(4.0)
+
+    def test_geomean_large_values_no_overflow(self):
+        # log-domain accumulation: a naive product would overflow floats.
+        vals = [1e300, 1e300, 1e300]
+        assert geomean(vals) == pytest.approx(1e300, rel=1e-9)
+
+    def test_geomean_dominated_by_ratios_not_outliers(self):
+        assert geomean([1.0, 10_000.0]) == pytest.approx(100.0)
 
     def test_mean(self):
         assert mean([1.0, 3.0]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            mean([])

@@ -1,0 +1,108 @@
+"""LogHistogram: bucketing, quantiles, merging, round-trip."""
+
+import pytest
+
+from repro.obs.histogram import LogHistogram, merge_all
+
+
+class TestBucketing:
+    def test_empty(self):
+        h = LogHistogram()
+        assert h.count == 0
+        assert h.p50 == 0
+        assert h.mean() == 0.0
+
+    def test_single_value_quantiles_exact_range(self):
+        h = LogHistogram()
+        h.record(100)
+        # All quantiles clamp into the observed [min, max] range.
+        assert h.min == h.max == 100
+        assert h.p50 == 100
+        assert h.p99 == 100
+
+    def test_zero_and_negative_share_bucket_zero(self):
+        h = LogHistogram()
+        h.record(0)
+        h.record(-5)
+        assert h.count == 2
+        assert h._index(0) == 0
+        assert h._index(-5) == 0
+
+    def test_small_values_fine_grained(self):
+        # With sub-bucketing, small distinct values stay distinguishable.
+        h = LogHistogram(sub_buckets=8)
+        indices = {h._index(v) for v in (1, 2, 3, 4)}
+        assert len(indices) == 4
+
+    def test_relative_error_bounded(self):
+        # Log-scaled buckets: quantile error is bounded relative to the
+        # value, not absolute.  1/sub_buckets per octave => ~12.5% + the
+        # geometric-midpoint placement.
+        h = LogHistogram(sub_buckets=8)
+        for v in range(1, 100_000, 7):
+            h.record(v)
+        for q, expect in ((0.5, 50_000), (0.95, 95_000)):
+            got = h.quantile(q)
+            assert abs(got - expect) / expect < 0.15, (q, got)
+
+    def test_mean_is_exact(self):
+        h = LogHistogram()
+        for v in (10, 20, 30):
+            h.record(v)
+        assert h.mean() == pytest.approx(20.0)
+
+    def test_monotone_quantiles(self):
+        h = LogHistogram()
+        for v in range(1, 5000, 3):
+            h.record(v)
+        assert h.p50 <= h.p95 <= h.p99 <= h.max
+
+
+class TestMergeAndSerialise:
+    def test_merge_equals_combined_recording(self):
+        a, b, c = LogHistogram(), LogHistogram(), LogHistogram()
+        for v in range(1, 100):
+            a.record(v)
+            c.record(v)
+        for v in range(100, 500, 3):
+            b.record(v)
+            c.record(v)
+        a.merge(b)
+        assert a.count == c.count
+        assert a.total == c.total
+        assert a.min == c.min and a.max == c.max
+        assert a._counts == c._counts
+        assert a.p99 == c.p99
+
+    def test_merge_rejects_mismatched_resolution(self):
+        with pytest.raises(ValueError):
+            LogHistogram(sub_buckets=8).merge(LogHistogram(sub_buckets=4))
+
+    def test_round_trip(self):
+        h = LogHistogram()
+        for v in (1, 7, 7, 300, 40_000):
+            h.record(v)
+        back = LogHistogram.from_dict(h.to_dict())
+        assert back._counts == h._counts
+        assert back.count == h.count
+        assert back.total == h.total
+        assert back.min == h.min and back.max == h.max
+        assert back.summary() == h.summary()
+
+    def test_merge_all(self):
+        parts = []
+        for base in (1, 100, 10_000):
+            h = LogHistogram()
+            for i in range(10):
+                h.record(base + i)
+            parts.append(h)
+        merged = merge_all(parts)
+        assert merged.count == 30
+        assert merged.min == 1
+        assert merged.max == 10_009
+
+    def test_summary_keys(self):
+        h = LogHistogram()
+        h.record(42)
+        s = h.summary()
+        assert set(s) == {"count", "mean", "p50", "p95", "p99", "min", "max"}

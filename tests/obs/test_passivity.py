@@ -1,0 +1,110 @@
+"""Observability must be provably passive: bit-identical runs.
+
+The acceptance bar for the whole obs layer — attaching a tracer and a
+profiler must not move a single counter or cycle, single-core or
+multicore.
+"""
+
+import pytest
+
+from repro.core.schemes import SCHEMES, scheme_by_name
+from repro.core.tracing import Tracer
+from repro.harness.runner import run_workload
+from repro.obs.profiler import CycleProfiler
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_single_core_bit_identical(scheme):
+    kwargs = dict(num_ops=120, value_bytes=64, seed=17)
+    bare = run_workload("hashtable", scheme_by_name(scheme), **kwargs)
+    observed = run_workload(
+        "hashtable",
+        scheme_by_name(scheme),
+        tracer=Tracer(),
+        profiler=CycleProfiler(),
+        **kwargs,
+    )
+    assert bare.cycles == observed.cycles
+    assert bare.stats.as_dict() == observed.stats.as_dict()
+
+
+@pytest.mark.parametrize("workload", ["rbtree", "heap"])
+def test_other_workloads_bit_identical(workload):
+    kwargs = dict(num_ops=80, value_bytes=32, seed=5)
+    bare = run_workload(workload, scheme_by_name("SLPMT"), **kwargs)
+    observed = run_workload(
+        workload,
+        scheme_by_name("SLPMT"),
+        tracer=Tracer(),
+        profiler=CycleProfiler(),
+        **kwargs,
+    )
+    assert bare.cycles == observed.cycles
+    assert bare.stats.as_dict() == observed.stats.as_dict()
+
+
+def test_multicore_bit_identical():
+    from repro.multicore.system import MultiCoreSystem
+    from repro.workloads.hashtable import HashTable
+
+    def run(attach):
+        system = MultiCoreSystem(3, scheme_by_name("SLPMT"), seed=29)
+        if attach:
+            system.attach_observability()
+        table = HashTable(system.runtimes[0], value_bytes=32)
+        handles = [table] + [
+            table.clone_for(rt) for rt in system.runtimes[1:]
+        ]
+
+        def worker_for(handle, base):
+            def worker(rt):
+                for i in range(8):
+                    rt.run_with_retries(
+                        lambda k=base + i: handle._insert(
+                            k, [k & 0xFFFF] * (32 // 8)
+                        ),
+                        retries=255,
+                        backoff_base=8,
+                    )
+
+            return worker
+
+        system.run(
+            [worker_for(h, 1000 * (i + 1)) for i, h in enumerate(handles)]
+        )
+        system.finalize_all()
+        return system
+
+    bare = run(False)
+    observed = run(True)
+    assert [c.now for c in bare.cores] == [c.now for c in observed.cores]
+    assert bare.merged_stats().as_dict() == observed.merged_stats().as_dict()
+    assert bare.conflicts == observed.conflicts
+    # And the observed run's buckets partition each core's cycles exactly.
+    for core in observed.cores:
+        assert core.profiler.total_cycles() == core.now
+
+
+def test_env_var_attaches_observability(monkeypatch):
+    from repro.common.config import DEFAULT_CONFIG
+    from repro.core.machine import Machine
+
+    monkeypatch.setenv("REPRO_OBS", "1")
+    machine = Machine(scheme_by_name("SLPMT"), DEFAULT_CONFIG)
+    assert machine.tracer is not None
+    assert machine.profiler is not None
+
+    monkeypatch.setenv("REPRO_OBS", "0")
+    machine = Machine(scheme_by_name("SLPMT"), DEFAULT_CONFIG)
+    assert machine.tracer is None
+    assert machine.profiler is None
+
+
+def test_env_var_run_still_bit_identical(monkeypatch):
+    kwargs = dict(num_ops=60, value_bytes=64, seed=9)
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    bare = run_workload("hashtable", scheme_by_name("SLPMT"), **kwargs)
+    monkeypatch.setenv("REPRO_OBS", "1")
+    observed = run_workload("hashtable", scheme_by_name("SLPMT"), **kwargs)
+    assert bare.cycles == observed.cycles
+    assert bare.stats.as_dict() == observed.stats.as_dict()

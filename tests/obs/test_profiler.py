@@ -1,0 +1,152 @@
+"""CycleProfiler: exact-partition invariant, spans, reattribution."""
+
+import pytest
+
+from repro.core.schemes import SCHEMES, scheme_by_name
+from repro.harness.runner import run_workload
+from repro.obs.profiler import HISTOGRAMS, PHASES, CycleProfiler
+
+
+class TestSpans:
+    def test_fresh_profiler_is_empty(self):
+        p = CycleProfiler()
+        assert p.total_cycles() == 0
+        assert set(p.phase_cycles) == set(PHASES)
+        assert set(p.histograms) == set(HISTOGRAMS)
+
+    def test_unattributed_time_is_execute(self):
+        p = CycleProfiler()
+        p.bind(0)
+        p.finalize(100)
+        assert p.phase_cycles["execute"] == 100
+        assert p.total_cycles() == 100
+
+    def test_simple_span(self):
+        p = CycleProfiler()
+        p.bind(0)
+        p.begin("log-append", 10)
+        p.end(25)
+        p.finalize(40)
+        assert p.phase_cycles["log-append"] == 15
+        assert p.phase_cycles["execute"] == 25
+        assert p.total_cycles() == 40
+
+    def test_nested_span_inner_wins(self):
+        p = CycleProfiler()
+        p.bind(0)
+        p.begin("commit-persist", 0)
+        p.begin("log-drain", 10)
+        p.end(30)  # log-drain: 20
+        p.end(50)  # commit-persist: 10 + 20
+        p.finalize(50)
+        assert p.phase_cycles["log-drain"] == 20
+        assert p.phase_cycles["commit-persist"] == 30
+        assert p.total_cycles() == 50
+
+    def test_reattribute_moves_without_changing_total(self):
+        p = CycleProfiler()
+        p.bind(0)
+        p.begin("commit-persist", 0)
+        p.reattribute("wpq-stall", 12, 40)
+        p.end(60)
+        p.finalize(60)
+        assert p.phase_cycles["wpq-stall"] == 12
+        assert p.phase_cycles["commit-persist"] == 48
+        assert p.total_cycles() == 60
+
+    def test_unwind_closes_open_spans(self):
+        p = CycleProfiler()
+        p.bind(0)
+        p.begin("commit-persist", 0)
+        p.begin("log-drain", 5)
+        p.unwind(20)
+        p.finalize(30)
+        assert p.total_cycles() == 30
+
+    def test_unknown_phase_rejected(self):
+        p = CycleProfiler()
+        p.bind(0)
+        with pytest.raises(ValueError):
+            p.begin("no-such-phase", 0)
+        with pytest.raises(ValueError):
+            p.reattribute("no-such-phase", 1, 10)
+
+    def test_end_without_begin_rejected(self):
+        p = CycleProfiler()
+        p.bind(0)
+        with pytest.raises(RuntimeError):
+            p.end(10)
+
+    def test_merge_sums_everything(self):
+        a, b = CycleProfiler(), CycleProfiler()
+        a.bind(0)
+        a.begin("abort", 0)
+        a.end(7)
+        a.finalize(10)
+        b.bind(0)
+        b.record("tx_latency", 99)
+        b.finalize(5)
+        a.merge(b)
+        assert a.total_cycles() == 15
+        assert a.phase_cycles["abort"] == 7
+        assert a.histograms["tx_latency"].count == 1
+
+    def test_round_trip(self):
+        p = CycleProfiler()
+        p.bind(0)
+        p.begin("recovery", 2)
+        p.end(9)
+        p.count("recovery.abort_words_restored", 3)
+        p.record("commit_cycles", 123)
+        p.finalize(20)
+        back = CycleProfiler.from_dict(p.to_dict())
+        assert back.phase_cycles == p.phase_cycles
+        assert back.span_counts == p.span_counts
+        assert back.events == p.events
+        assert back.total_cycles() == p.total_cycles()
+
+
+class TestPartitionInvariant:
+    """Phase buckets must sum to exactly the machine's total cycles."""
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    def test_buckets_sum_to_total_cycles(self, scheme):
+        from repro.core.tracing import Tracer
+
+        profiler = CycleProfiler()
+        result = run_workload(
+            "hashtable",
+            scheme_by_name(scheme),
+            num_ops=120,
+            value_bytes=64,
+            seed=11,
+            tracer=Tracer(),
+            profiler=profiler,
+        )
+        assert profiler.total_cycles() == result.cycles
+        assert sum(profiler.phase_cycles.values()) == result.cycles
+
+    def test_logging_schemes_attribute_log_phases(self):
+        profiler = CycleProfiler()
+        run_workload(
+            "hashtable",
+            scheme_by_name("SLPMT"),
+            num_ops=150,
+            seed=3,
+            profiler=profiler,
+        )
+        nz = profiler.nonzero_phases()
+        assert nz["log-append"] > 0
+        assert nz["log-drain"] > 0
+        assert nz["commit-persist"] > 0
+        assert profiler.histograms["tx_latency"].count == 151  # setup + ops
+
+    def test_format_lists_phases_and_histograms(self):
+        profiler = CycleProfiler()
+        run_workload(
+            "hashtable", scheme_by_name("SLPMT"), num_ops=50, profiler=profiler
+        )
+        text = profiler.format()
+        assert "cycle attribution" in text
+        assert "execute" in text
+        assert "p50" in text
