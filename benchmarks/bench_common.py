@@ -17,7 +17,7 @@ import os
 import pathlib
 from typing import Optional
 
-from repro.harness.runner import RunResult, cached_run
+from repro.harness.runner import RunResult, cache_key, cached_run, _cached
 from repro.runtime.hints import MANUAL, AnnotationPolicy
 
 #: Operations per run; the paper uses 1,000 inserts.
@@ -31,6 +31,43 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: Scheme display order for the Figure 8/14 tables.
 FIG8_SCHEMES = ["FG", "FG+LG", "FG+LZ", "SLPMT", "ATOM", "EDE"]
 
+_warmed = False
+
+
+def _maybe_warm_grid() -> None:
+    """Pre-warm the runner memo in parallel when ``REPRO_JOBS`` > 1.
+
+    The figure modules share the (kernel × scheme) corner points at the
+    default knobs; computing them in worker processes up front and
+    seeding the memo turns the serial figure sweeps into lookups.
+    Results are identical either way — the simulations are
+    deterministic — so this is purely a wall-clock lever.
+    """
+    global _warmed
+    if _warmed:
+        return
+    _warmed = True
+    from repro.parallel.engine import resolve_jobs, run_tasks
+    from repro.parallel.tasks import runner_cell
+    from repro.workloads import KERNELS
+
+    jobs = resolve_jobs(None)
+    if jobs <= 1:
+        return
+    keys = [
+        cache_key(w, s, value_bytes=VALUE_BYTES, num_ops=BENCH_OPS)
+        for w in KERNELS
+        for s in FIG8_SCHEMES
+    ]
+    results = run_tasks(
+        runner_cell,
+        [{"key": key} for key in keys],
+        jobs=jobs,
+        labels=[f"{key[0]}/{key[1]}" for key in keys],
+    )
+    for key, result in zip(keys, results):
+        _cached.seed(key, result)
+
 
 def run(
     workload: str,
@@ -43,6 +80,7 @@ def run(
     wpq_bytes: Optional[int] = None,
     policy: AnnotationPolicy = MANUAL,
 ) -> RunResult:
+    _maybe_warm_grid()
     return cached_run(
         workload,
         scheme,

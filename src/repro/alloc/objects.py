@@ -29,6 +29,14 @@ class StructLayout:
     def __post_init__(self) -> None:
         if len(set(self.fields)) != len(self.fields):
             raise ReproError(f"duplicate field names in struct {self.name}")
+        # Per-field byte offsets, precomputed: field lookups happen on
+        # every simulated struct access (not a dataclass field — equality
+        # and hashing stay derived from name/fields).
+        object.__setattr__(
+            self,
+            "_offsets",
+            {f: i * units.WORD_BYTES for i, f in enumerate(self.fields)},
+        )
 
     @property
     def size(self) -> int:
@@ -38,15 +46,20 @@ class StructLayout:
     def offset(self, field: str) -> int:
         """Byte offset of *field* from the struct base."""
         try:
-            return self.fields.index(field) * units.WORD_BYTES
-        except ValueError:
+            return self._offsets[field]
+        except KeyError:
             raise ReproError(
                 f"struct {self.name} has no field {field!r}; has {self.fields}"
             ) from None
 
     def addr(self, base: int, field: str) -> int:
         """Absolute address of *field* in an instance at *base*."""
-        return base + self.offset(field)
+        try:
+            return base + self._offsets[field]
+        except KeyError:
+            raise ReproError(
+                f"struct {self.name} has no field {field!r}; has {self.fields}"
+            ) from None
 
     def field_addrs(self, base: int) -> Dict[str, int]:
         """All field addresses of an instance at *base*."""

@@ -78,7 +78,8 @@ class TieredLogBuffer:
         top_tier = self.config.num_tiers - 1
         while record.tier < top_tier:
             tier = self._tiers[record.tier]
-            buddy = tier.get(record.buddy_addr())
+            # Inline of record.buddy_addr(): the partner record's base.
+            buddy = tier.get(record.addr ^ record.span_bytes)
             if buddy is None:
                 break
             del tier[buddy.addr]

@@ -76,18 +76,20 @@ from repro.isa.instructions import (
     TxAbort,
     TxBegin,
     TxEnd,
+    _check_word_operand,
 )
 from repro.isa.program import Program
 from repro.mem import layout
 from repro.mem.cache import SetAssocCache
 from repro.mem.cacheline import (
+    AGGREGATE_MASK,
+    POPCOUNT,
+    REPLICATE_MASK,
     CacheLine,
     Mesi,
-    aggregate_log_bits_l1_to_l2,
     new_l1_line,
     new_l2_line,
     new_l3_line,
-    replicate_log_bits_l2_to_l1,
 )
 from repro.mem.dram import Dram
 from repro.mem.pm import DurableLogEntry, PersistentMemory
@@ -98,6 +100,16 @@ LOG_INSERT_CYCLES = 1
 
 #: Issue cost of one instruction outside its memory latency.
 ISSUE_CYCLES = 1
+
+# Address arithmetic, inlined from repro.common.units for the store/load
+# inner loops (a line is 64 bytes of eight 8-byte words).
+_LINE_MASK = ~(units.LINE_BYTES - 1)
+_LINE_SHIFT = units.LINE_BYTES.bit_length() - 1
+_OFFSET_MASK = units.LINE_BYTES - 1
+_WORD_SHIFT = units.WORD_BYTES.bit_length() - 1
+_GROUP = units.L1_BITS_PER_L2_BIT
+_GROUP_MASK = (1 << _GROUP) - 1
+_PM_BASE = layout.PM_BASE
 
 
 class CoherenceListener(Protocol):
@@ -236,6 +248,18 @@ class Machine:
             self.checkpoint()
         self.stats.instructions += 1
         self.now += ISSUE_CYCLES
+        # Monomorphic dispatch: the concrete classes cover every
+        # instruction the generators emit; isinstance below is the
+        # fallback for subclasses.
+        cls = instr.__class__
+        if cls is Load:
+            return self._exec_load(instr.addr)
+        if cls is StoreT:
+            self._exec_storeT(instr)
+            return None
+        if cls is Store:
+            self._exec_store(instr.addr, instr.value)
+            return None
         if isinstance(instr, Load):
             return self._exec_load(instr.addr)
         if isinstance(instr, StoreT):
@@ -258,6 +282,47 @@ class Machine:
             return None
         raise SimulationError(f"unknown instruction {instr!r}")
 
+    # --- allocation-free execution fast paths -------------------------
+    #
+    # Semantically identical to execute(Load(...)) / execute(Store(...))
+    # / execute(StoreT(...)) — same operand validation, same issue
+    # accounting — minus the per-operation instruction object.  The
+    # runtime's load/store API uses these; programs built as explicit
+    # instruction lists still go through execute().
+
+    def exec_load(self, addr: int) -> int:
+        """Fast path of ``execute(Load(addr))``."""
+        _check_word_operand(addr)
+        if self.checkpoint is not None:
+            self.checkpoint()
+        self.stats.instructions += 1
+        self.now += ISSUE_CYCLES
+        return self._exec_load(addr)
+
+    def exec_store(self, addr: int, value: int) -> None:
+        """Fast path of ``execute(Store(addr, value))``."""
+        _check_word_operand(addr)
+        if self.checkpoint is not None:
+            self.checkpoint()
+        self.stats.instructions += 1
+        self.now += ISSUE_CYCLES
+        self.stats.stores += 1
+        self._do_store(addr, value, persist_flag=True, log_flag=True)
+
+    def exec_storeT(self, addr: int, value: int, lazy: bool, log_free: bool) -> None:
+        """Fast path of ``execute(StoreT(addr, value, lazy=, log_free=))``."""
+        _check_word_operand(addr)
+        if self.checkpoint is not None:
+            self.checkpoint()
+        self.stats.instructions += 1
+        self.now += ISSUE_CYCLES
+        self.stats.storeTs += 1
+        lazy = lazy and self.scheme.honor_lazy
+        log_free = log_free and self.scheme.honor_log_free
+        if log_free:
+            self.stats.logfree_stores += 1
+        self._do_store(addr, value, persist_flag=not lazy, log_flag=not log_free)
+
     # --- direct (non-simulated) access for setup and validation ---------
 
     def raw_write(self, addr: int, value: int) -> None:
@@ -266,20 +331,25 @@ class Machine:
         For workload setup and test fixtures only; invalidates any cached
         copy so subsequent simulated accesses see the value.
         """
-        line_addr = units.line_addr(addr)
+        line_addr = addr & _LINE_MASK
+        word = (addr & _OFFSET_MASK) >> _WORD_SHIFT
         for cache in (self.l1, self.l2, self.l3):
             line = cache.lookup(line_addr, touch=False)
             if line is not None:
-                line.words[units.word_index(addr)] = value
+                line.words[word] = value
         self.pm.write_word(addr, value)
 
     def raw_read(self, addr: int) -> int:
         """Read the current architectural value, preferring cached copies."""
-        line_addr = units.line_addr(addr)
-        for cache in (self.l1, self.l2, self.l3):
-            line = cache.lookup(line_addr, touch=False)
-            if line is not None:
-                return line.words[units.word_index(addr)]
+        line_addr = addr & _LINE_MASK
+        word = (addr & _OFFSET_MASK) >> _WORD_SHIFT
+        line = self.l1.lookup(line_addr, touch=False)
+        if line is None:
+            line = self.l2.lookup(line_addr, touch=False)
+        if line is None:
+            line = self.l3.lookup(line_addr, touch=False)
+        if line is not None:
+            return line.words[word]
         if layout.is_persistent(addr):
             return self.pm.read_word(addr)
         return self.dram.read_word(addr)
@@ -294,16 +364,17 @@ class Machine:
 
     def _exec_load(self, addr: int) -> int:
         self.stats.loads += 1
-        if self.coherence is not None and layout.is_persistent(addr):
-            self.coherence.before_read(self.core_id, units.line_addr(addr))
+        persistent = addr >= _PM_BASE
+        if self.coherence is not None and persistent:
+            self.coherence.before_read(self.core_id, addr & _LINE_MASK)
         line = self._access(addr, for_write=False)
-        if layout.is_persistent(addr):
+        if persistent:
             self._check_line_txid(line)
             if self._in_tx:
                 self._tx_read_lines.add(line.addr)
                 if self.scheme.honor_lazy:
                     self.signatures[self._cur_txid].insert(line.addr)
-        return line.read_word(units.word_index(addr))
+        return line.words[(addr & _OFFSET_MASK) >> _WORD_SHIFT]
 
     def _exec_store(self, addr: int, value: int) -> None:
         self.stats.stores += 1
@@ -323,15 +394,15 @@ class Machine:
         )
 
     def _do_store(self, addr: int, value: int, *, persist_flag: bool, log_flag: bool) -> None:
-        if not layout.is_persistent(addr):
+        if addr < _PM_BASE:
             line = self._access(addr, for_write=True)
-            line.write_word(units.word_index(addr), value)
+            line.write_word((addr & _OFFSET_MASK) >> _WORD_SHIFT, value)
             return
 
         # Working-set signature probe (Section III-C3): a write that may
         # touch data a committed transaction's lazy lines depend on forces
         # those lines (and all older deferred lines) to PM first.
-        line_addr = units.line_addr(addr)
+        line_addr = addr & _LINE_MASK
         if self.coherence is not None:
             self.coherence.before_write(self.core_id, line_addr)
         if self._lazy:
@@ -343,7 +414,7 @@ class Machine:
 
         line = self._access(addr, for_write=True)
         self._check_line_txid(line)
-        word = units.word_index(addr)
+        word = (addr & _OFFSET_MASK) >> _WORD_SHIFT
 
         if self._in_tx:
             self._tx_written_lines.add(line_addr)
@@ -356,7 +427,9 @@ class Machine:
             line.tx_id = self._cur_txid
         # Non-transactional stores are plain cached writes: durable when
         # the line is evicted or a fence persists it.
-        line.write_word(word, value)
+        line.words[word] = value
+        line.dirty = True
+        line.state = Mesi.MODIFIED
 
     def tx_begin(self) -> None:
         if self._in_tx:
@@ -419,14 +492,16 @@ class Machine:
         """Persist everything outstanding (non-transactional durability)."""
         records = self.log_buffer.drain_all()
         self._persist_log_records(records, sync=True)
-        for line in list(self.l1.lines_matching(self._dirty_persistent)) + list(
-            self.l2.lines_matching(self._dirty_persistent)
-        ):
+        # Persisting a line only mutates its fields (never the cache
+        # structure), so the non-allocating scan is safe here.
+        for line in self.l1.iter_matching(self._dirty_persistent):
+            self._persist_data_line(line, sync=True)
+        for line in self.l2.iter_matching(self._dirty_persistent):
             self._persist_data_line(line, sync=True)
 
     @staticmethod
     def _dirty_persistent(line: CacheLine) -> bool:
-        return line.dirty and layout.is_persistent(line.addr)
+        return line.dirty and line.addr >= _PM_BASE
 
     # ------------------------------------------------------------------
     # cache hierarchy (exclusive L1/L2, metadata propagation per Fig. 5)
@@ -434,14 +509,27 @@ class Machine:
 
     def _access(self, addr: int, *, for_write: bool) -> CacheLine:
         """Bring the line containing *addr* into L1 and return it."""
-        line_addr = units.line_addr(addr)
-        line = self.l1.lookup(line_addr)
-        if line is not None:
-            self.stats.l1_hits += 1
-            self.now += self.l1.latency
-            return line
+        line_addr = addr & _LINE_MASK
+        # Inlined L1 hit probe (the single hottest path in the machine):
+        # same dict get + MRU promotion SetAssocCache.lookup performs.
+        l1 = self.l1
+        mask = l1._index_mask
+        if mask is not None:
+            cache_set = l1._sets[(line_addr >> _LINE_SHIFT) & mask]
+            line = cache_set.get(line_addr)
+            if line is not None:
+                cache_set.move_to_end(line_addr)
+                self.stats.l1_hits += 1
+                self.now += l1.latency
+                return line
+        else:
+            line = l1.lookup(line_addr)
+            if line is not None:
+                self.stats.l1_hits += 1
+                self.now += l1.latency
+                return line
         self.stats.l1_misses += 1
-        self.now += self.l1.latency
+        self.now += l1.latency
 
         l2_line = self.l2.remove(line_addr)
         if l2_line is not None:
@@ -489,7 +577,7 @@ class Machine:
         l1_line.state = l2_line.state
         l1_line.persist = l2_line.persist
         l1_line.tx_id = l2_line.tx_id
-        l1_line.log_bits = replicate_log_bits_l2_to_l1(l2_line.log_bits)
+        l1_line.log_mask = REPLICATE_MASK[l2_line.log_mask]
         return l1_line
 
     def _evict_l1(self, line: CacheLine) -> None:
@@ -507,7 +595,7 @@ class Machine:
         l2_line.state = line.state
         l2_line.persist = line.persist
         l2_line.tx_id = line.tx_id
-        l2_line.log_bits = aggregate_log_bits_l1_to_l2(line.log_bits)
+        l2_line.log_mask = AGGREGATE_MASK[line.log_mask]
         victim = self.l2.insert(l2_line)
         if victim is not None:
             self._evict_l2(victim)
@@ -520,18 +608,20 @@ class Machine:
         *is* its transaction-start value.  A group qualifies when most of
         it is already logged (here: all but one word).
         """
-        group = units.L1_BITS_PER_L2_BIT
         for g in range(units.L2_LOG_BITS):
-            bits = line.log_bits[g * group : (g + 1) * group]
-            if sum(bits) == group - 1:
-                missing = g * group + bits.index(False)
+            bits = (line.log_mask >> (g * _GROUP)) & _GROUP_MASK
+            if POPCOUNT[bits] == _GROUP - 1:
+                # The lowest clear bit of the group is the missing word
+                # (matches list.index(False) on the bool view).
+                inv = ~bits & _GROUP_MASK
+                missing = g * _GROUP + (inv & -inv).bit_length() - 1
                 word_address = line.addr + missing * units.WORD_BYTES
                 record = LogRecord(word_address, (line.words[missing],))
                 self.stats.speculative_log_records += 1
                 self.stats.log_records_created += 1
                 drained = self.log_buffer.insert(record)
                 self._persist_log_records(drained, sync=False)
-                line.log_bits[missing] = True
+                line.log_mask |= 1 << missing
 
     def _evict_l2(self, line: CacheLine) -> None:
         """L2 -> L3: flush this line's log records, write back dirty
@@ -604,21 +694,20 @@ class Machine:
         """Create an undo/redo record for the word about to be stored,
         unless its log bit says one already exists (Section II)."""
         if self.scheme.log_granularity == "line":
-            if line.any_log_bit():
-                if self.scheme.logging_mode is LoggingMode.REDO:
-                    return  # record updated after the store, below
-                return
+            if line.log_mask:
+                return  # a line record exists (redo updates at commit)
             payload = tuple(line.words)
             record = LogRecord(line.addr, payload)
-            line.log_bits = [True] * len(line.log_bits)
+            line.log_mask = (1 << line.log_width) - 1
         else:
-            if line.log_bits[word]:
+            bit = 1 << word
+            if line.log_mask & bit:
                 if self.scheme.logging_mode is LoggingMode.REDO:
                     self._update_redo_record(line, word)
                 return
             word_address = line.addr + word * units.WORD_BYTES
             record = LogRecord(word_address, (line.words[word],))
-            line.log_bits[word] = True
+            line.log_mask |= bit
             if word_address in self._tx_logged_words:
                 self.stats.duplicate_log_records += 1
             self._tx_logged_words.add(word_address)
@@ -663,9 +752,10 @@ class Machine:
         fills: List[LogRecord] = []
         for line in lines:
             i = 0
+            mask = line.log_mask
             nwords = len(line.words)
             while i < nwords:
-                if line.log_bits[i]:
+                if mask & (1 << i):
                     i += 1
                     continue
                 # Largest naturally-aligned buddy span of unlogged words
@@ -673,8 +763,8 @@ class Machine:
                 # alignment reduces to the word index).
                 size = 1
                 for cand in (8, 4, 2):
-                    if i % cand == 0 and i + cand <= nwords and not any(
-                        line.log_bits[i : i + cand]
+                    if i % cand == 0 and i + cand <= nwords and not (
+                        mask & (((1 << cand) - 1) << i)
                     ):
                         size = cand
                         break
@@ -870,14 +960,14 @@ class Machine:
             self.signatures.clear(self._cur_txid)
             self.txids.release(self._cur_txid)
         for line in logged + logfree:
-            line.log_bits = [False] * len(line.log_bits)
+            line.log_mask = 0
             line.tx_id = None
         for line in lazy:
             # The records of lazy lines were discarded above, so their
             # log bits are stale the moment the transaction ends; a later
             # transaction's store must create a fresh record.  The tx_id
             # stays: it is what triggers the forced persist on access.
-            line.log_bits = [False] * len(line.log_bits)
+            line.log_mask = 0
 
     def _commit_battery_backed(self) -> None:
         """Section V-E commit: the cache hierarchy is durable, so data
@@ -895,7 +985,7 @@ class Machine:
             line = self._find_private(line_addr)
             if line is None:
                 continue
-            line.log_bits = [False] * len(line.log_bits)
+            line.log_mask = 0
             line.persist = False
             line.tx_id = None
         self.signatures.clear(self._cur_txid)
@@ -1187,7 +1277,7 @@ class Machine:
             )
             self.stats.log_records_persisted += 1
         for cache in (self.l1, self.l2, self.l3):
-            for line in cache.lines_matching(self._dirty_persistent):
+            for line in cache.iter_matching(self._dirty_persistent):
                 self.pm.write_line(line.addr, line.words)
                 line.dirty = False
 

@@ -13,7 +13,6 @@ allocation; :func:`buddy_addr` computes the partner's base.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Tuple
 
 from repro.common import units
@@ -38,40 +37,47 @@ def record_size_bytes(tier: int) -> int:
     return RECORD_HEADER_BYTES + tier_span_bytes(tier)
 
 
-@dataclass(frozen=True)
 class LogRecord:
-    """An immutable log record covering ``2**tier`` words at ``addr``."""
+    """An immutable-by-convention record covering ``2**tier`` words.
 
-    addr: int
-    words: Tuple[int, ...]
+    Hand-written ``__slots__`` class (records are created on every logged
+    store): equality and hashing follow the two defining fields
+    ``(addr, words)``, while ``tier`` / ``span_bytes`` / ``size_bytes`` /
+    ``line_addr`` are precomputed at construction — they are read far
+    more often than records are created.  Nothing may mutate a record
+    after construction (the log buffer keys tiers by ``addr``).
+    """
 
-    def __post_init__(self) -> None:
-        n = len(self.words)
+    __slots__ = ("addr", "words", "tier", "span_bytes", "size_bytes", "line_addr")
+
+    def __init__(self, addr: int, words: Tuple[int, ...]) -> None:
+        n = len(words)
         if n not in (1, 2, 4, 8):
             raise SimulationError(f"record must cover 1/2/4/8 words, got {n}")
         span = n * units.WORD_BYTES
-        if self.addr % span != 0:
+        if addr % span != 0:
             raise SimulationError(
-                f"record base {self.addr:#x} not aligned to its {span}-byte span"
+                f"record base {addr:#x} not aligned to its {span}-byte span"
             )
+        self.addr = addr
+        self.words = words
+        self.tier = n.bit_length() - 1
+        self.span_bytes = span
+        self.size_bytes = RECORD_HEADER_BYTES + span
+        self.line_addr = units.line_addr(addr)
 
-    @property
-    def tier(self) -> int:
-        """Tier index: log2 of the word count."""
-        return len(self.words).bit_length() - 1
+    def __repr__(self) -> str:
+        return f"LogRecord(addr={self.addr:#x}, words={self.words!r})"
 
-    @property
-    def span_bytes(self) -> int:
-        return len(self.words) * units.WORD_BYTES
+    def __eq__(self, other: object) -> bool:
+        return (
+            other.__class__ is LogRecord
+            and self.addr == other.addr
+            and self.words == other.words
+        )
 
-    @property
-    def size_bytes(self) -> int:
-        """Bytes this record occupies when persisted."""
-        return RECORD_HEADER_BYTES + self.span_bytes
-
-    @property
-    def line_addr(self) -> int:
-        return units.line_addr(self.addr)
+    def __hash__(self) -> int:
+        return hash((self.addr, self.words))
 
     def buddy_addr(self) -> int:
         """Base address of the buddy record in the same tier."""

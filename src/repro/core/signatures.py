@@ -31,6 +31,14 @@ def _mix(value: int, seed: int) -> int:
     return x
 
 
+#: Memo of the per-address hash masks: ``(line_addr, bits, hashes) ->``
+#: OR of ``1 << position`` over every hash function.  The mask is a pure
+#: deterministic function of its key, all signatures share the same hash
+#: functions, and workloads revisit the same lines constantly — so the
+#: mixer runs once per distinct address instead of once per probe.
+_MASK_CACHE: "dict[tuple[int, int, int], int]" = {}
+
+
 class BloomSignature:
     """One fixed-size Bloom filter over cache-line addresses."""
 
@@ -45,13 +53,23 @@ class BloomSignature:
             for seed in range(self.config.num_hashes)
         ]
 
+    def _mask(self, line_addr: int) -> int:
+        key = (line_addr, self.config.bits_per_signature, self.config.num_hashes)
+        mask = _MASK_CACHE.get(key)
+        if mask is None:
+            mask = 0
+            for pos in self._positions(line_addr):
+                mask |= 1 << pos
+            _MASK_CACHE[key] = mask
+        return mask
+
     def insert(self, line_addr: int) -> None:
-        for pos in self._positions(line_addr):
-            self._bits |= 1 << pos
+        self._bits |= self._mask(line_addr)
         self._count += 1
 
     def maybe_contains(self, line_addr: int) -> bool:
-        return all(self._bits >> pos & 1 for pos in self._positions(line_addr))
+        mask = self._mask(line_addr)
+        return self._bits & mask == mask
 
     def clear(self) -> None:
         self._bits = 0

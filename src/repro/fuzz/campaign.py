@@ -581,6 +581,8 @@ def run_campaign(
     num_ops: int = 10,
     value_bytes: int = 32,
     config: SystemConfig = STRESS_CONFIG,
+    jobs: int = 1,
+    progress=None,
 ) -> CampaignResult:
     """Run the full campaign grid.
 
@@ -588,7 +590,15 @@ def run_campaign(
     computed once per workload and shared by every cell of that
     workload, so all schemes crash the identical op sequence — that is
     what makes the differential column meaningful.
+
+    *jobs* > 1 fans the cells out over worker processes through the
+    parallel engine; each cell's RNG is derived from the cell identity
+    alone, and the ordered merge keeps the report byte-identical to a
+    serial campaign.
     """
+    from repro.parallel import engine
+    from repro.parallel.tasks import fuzz_cell
+
     result = CampaignResult(
         budget=budget, seed=seed, num_ops=num_ops, value_bytes=value_bytes
     )
@@ -603,15 +613,23 @@ def run_campaign(
                 value_bytes=value_bytes,
                 config=config,
             )
-        result.cells.append(
-            run_cell(
-                cell,
-                budget=budget,
-                seed=seed,
-                ops=ops_cache[cell.workload],
-                value_bytes=value_bytes,
-                config=config,
-                baseline=baseline_cache[cell.workload],
-            )
-        )
+    descriptors = [
+        {
+            "cell": cell,
+            "budget": budget,
+            "seed": seed,
+            "ops": ops_cache[cell.workload],
+            "value_bytes": value_bytes,
+            "config": config,
+            "baseline": baseline_cache[cell.workload],
+        }
+        for cell in cells
+    ]
+    result.cells = engine.run_tasks(
+        fuzz_cell,
+        descriptors,
+        jobs=jobs,
+        labels=[str(cell) for cell in cells],
+        progress=progress,
+    )
     return result

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import sys
 from typing import List
 
 from repro.fuzz.campaign import (
@@ -37,6 +38,11 @@ from repro.fuzz.campaign import (
 )
 from repro.fuzz.minimize import Reproducer, minimize, replay
 from repro.fuzz.report import format_report
+from repro.parallel.engine import WorkerCrash, resolve_jobs
+
+
+def _progress(done: int, total: int, label: str) -> None:
+    print(f"[{done}/{total}] {label}", file=sys.stderr)
 
 DEFAULT_OUT = os.path.join("benchmarks", "results", "fuzz_campaign.txt")
 DEFAULT_FAULT_OUT = os.path.join("benchmarks", "results", "fault_campaign.txt")
@@ -73,6 +79,10 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--fault-kinds", type=str, default=None,
                         help="comma-separated fault-kind filter for "
                              "--faults (torn-tail,bit-flip,drop-drains)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the cell sweep "
+                             "(default REPRO_JOBS or 1); the report is "
+                             "byte-identical to a serial campaign")
     return parser
 
 
@@ -166,10 +176,16 @@ def _faults_main(args: argparse.Namespace) -> int:
 
     budget = args.budget if args.budget is not None else 24
     out = args.out if args.out != DEFAULT_OUT else DEFAULT_FAULT_OUT
-    result = run_fault_campaign(
-        budget=budget, seed=args.seed, cells=cells, num_ops=args.ops,
-        value_bytes=args.value_bytes,
-    )
+    jobs = resolve_jobs(args.jobs)
+    try:
+        result = run_fault_campaign(
+            budget=budget, seed=args.seed, cells=cells, num_ops=args.ops,
+            value_bytes=args.value_bytes, jobs=jobs,
+            progress=_progress if jobs > 1 else None,
+        )
+    except WorkerCrash as exc:
+        print(f"fault campaign failed: {exc}", file=sys.stderr)
+        return 2
     text = format_fault_report(result)
     print(text, end="")
 
@@ -219,11 +235,17 @@ def fuzz_main(argv: "List[str] | None" = None) -> int:
     if not cells:
         raise SystemExit("no cells selected")
 
-    result = run_campaign(
-        budget=args.budget if args.budget is not None else 200,
-        seed=args.seed, cells=cells, num_ops=args.ops,
-        value_bytes=args.value_bytes,
-    )
+    jobs = resolve_jobs(args.jobs)
+    try:
+        result = run_campaign(
+            budget=args.budget if args.budget is not None else 200,
+            seed=args.seed, cells=cells, num_ops=args.ops,
+            value_bytes=args.value_bytes, jobs=jobs,
+            progress=_progress if jobs > 1 else None,
+        )
+    except WorkerCrash as exc:
+        print(f"fuzz campaign failed: {exc}", file=sys.stderr)
+        return 2
     text = format_report(result)
     print(text, end="")
 

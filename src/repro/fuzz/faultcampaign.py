@@ -498,10 +498,16 @@ def run_fault_campaign(
     num_ops: int = 10,
     value_bytes: int = 32,
     config: SystemConfig = STRESS_CONFIG,
+    jobs: int = 1,
+    progress=None,
 ) -> FaultCampaignResult:
     """Run the fault-cell grid; ops and FG baselines are shared per
     workload so every scheme/fault combination attacks the identical
-    deterministic op sequence."""
+    deterministic op sequence.  *jobs* > 1 fans cells out over worker
+    processes with an order-preserving merge (byte-identical report)."""
+    from repro.parallel import engine
+    from repro.parallel.tasks import fault_cell
+
     if cells is None:
         cells = default_fault_cells()
     result = FaultCampaignResult(
@@ -518,17 +524,25 @@ def run_fault_campaign(
                 value_bytes=value_bytes,
                 config=config,
             )
-        result.cells.append(
-            run_fault_cell(
-                cell,
-                budget=budget,
-                seed=seed,
-                ops=ops_cache[cell.workload],
-                value_bytes=value_bytes,
-                config=config,
-                baseline=baseline_cache[cell.workload],
-            )
-        )
+    descriptors = [
+        {
+            "cell": cell,
+            "budget": budget,
+            "seed": seed,
+            "ops": ops_cache[cell.workload],
+            "value_bytes": value_bytes,
+            "config": config,
+            "baseline": baseline_cache[cell.workload],
+        }
+        for cell in cells
+    ]
+    result.cells = engine.run_tasks(
+        fault_cell,
+        descriptors,
+        jobs=jobs,
+        labels=[str(cell) for cell in cells],
+        progress=progress,
+    )
     return result
 
 

@@ -9,8 +9,7 @@ suite does each unique simulation once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.common.config import DEFAULT_CONFIG, SystemConfig
 from repro.common.stats import SimStats
@@ -93,8 +92,7 @@ def run_workload(
     )
 
 
-@lru_cache(maxsize=None)
-def _cached(
+def _compute(
     workload: str,
     scheme_name: str,
     policy_key: "tuple",
@@ -122,6 +120,73 @@ def _cached(
     )
 
 
+class _RunMemo:
+    """``lru_cache``-compatible memo with a seeding hook.
+
+    The parallel grid warmer (:mod:`repro.parallel`) computes
+    :class:`RunResult` values in worker processes and injects them into
+    the parent's memo via :meth:`seed`; ``functools.lru_cache`` has no
+    insertion API, hence this hand-rolled equivalent.  ``cache_clear``
+    keeps the surface tests rely on.
+    """
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+        self._cache: dict = {}
+
+    def __call__(self, *key) -> RunResult:
+        try:
+            return self._cache[key]
+        except KeyError:
+            result = self._fn(*key)
+            self._cache[key] = result
+            return result
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+
+    def seed(self, key: "Tuple", result: RunResult) -> None:
+        """Insert a precomputed result (first writer wins)."""
+        self._cache.setdefault(tuple(key), result)
+
+
+_cached = _RunMemo(_compute)
+
+
+def cache_key(
+    workload: str,
+    scheme: "Scheme | str",
+    *,
+    policy: AnnotationPolicy = MANUAL,
+    value_bytes: int = 256,
+    num_ops: int = 1000,
+    pm_write_latency_ns: Optional[float] = None,
+    num_tx_ids: Optional[int] = None,
+    wpq_bytes: Optional[int] = None,
+    seed: int = 2023,
+) -> "Tuple":
+    """The memo key :func:`cached_run` files a run under.
+
+    Exposed so the parallel warmer can ship the same scalars to worker
+    processes and seed the parent memo with their results.
+    """
+    scheme_name = scheme if isinstance(scheme, str) else scheme.name
+    policy_key = (policy.name, tuple(sorted(policy.honored, key=lambda h: h.value)))
+    return (
+        workload,
+        scheme_name,
+        policy_key,
+        value_bytes,
+        num_ops,
+        pm_write_latency_ns
+        if pm_write_latency_ns is not None
+        else DEFAULT_CONFIG.pm.write_latency_ns,
+        num_tx_ids if num_tx_ids is not None else DEFAULT_CONFIG.num_tx_ids,
+        wpq_bytes if wpq_bytes is not None else DEFAULT_CONFIG.pm.wpq_bytes,
+        seed,
+    )
+
+
 def cached_run(
     workload: str,
     scheme: "Scheme | str",
@@ -135,18 +200,16 @@ def cached_run(
     seed: int = 2023,
 ) -> RunResult:
     """Memoised :func:`run_workload` over the sweepable knobs."""
-    scheme_name = scheme if isinstance(scheme, str) else scheme.name
-    policy_key = (policy.name, tuple(sorted(policy.honored, key=lambda h: h.value)))
     return _cached(
-        workload,
-        scheme_name,
-        policy_key,
-        value_bytes,
-        num_ops,
-        pm_write_latency_ns
-        if pm_write_latency_ns is not None
-        else DEFAULT_CONFIG.pm.write_latency_ns,
-        num_tx_ids if num_tx_ids is not None else DEFAULT_CONFIG.num_tx_ids,
-        wpq_bytes if wpq_bytes is not None else DEFAULT_CONFIG.pm.wpq_bytes,
-        seed,
+        *cache_key(
+            workload,
+            scheme,
+            policy=policy,
+            value_bytes=value_bytes,
+            num_ops=num_ops,
+            pm_write_latency_ns=pm_write_latency_ns,
+            num_tx_ids=num_tx_ids,
+            wpq_bytes=wpq_bytes,
+            seed=seed,
+        )
     )

@@ -19,9 +19,11 @@ from repro.common.errors import AlignmentError, IsaError
 
 
 def _check_word_operand(addr: int) -> None:
-    if addr < 0:
-        raise IsaError(f"negative address {addr:#x}")
-    if not units.is_word_aligned(addr):
+    # One inlined test on the fast path (8-byte words); the branches
+    # re-derive which rule failed only when raising.
+    if addr < 0 or addr & (units.WORD_BYTES - 1):
+        if addr < 0:
+            raise IsaError(f"negative address {addr:#x}")
         raise AlignmentError(f"address {addr:#x} is not word-aligned")
 
 

@@ -9,6 +9,13 @@ returned from :meth:`SetAssocCache.insert`.
 Each set is an ``OrderedDict`` from line address to line; the MRU entry
 sits at the end.  Lookups re-order; fills evict the LRU entry when the set
 is full.
+
+Perf note: the geometry (latency, ways, set count/mask) is precomputed at
+construction instead of re-deriving it from the config on every access,
+and set selection is a shift-and-mask when the set count is a power of
+two.  :meth:`iter_matching` / :meth:`iter_lines` are the non-allocating
+scan paths used by fence/drain loops; :meth:`lines_matching` keeps the
+historical list-returning contract.
 """
 
 from __future__ import annotations
@@ -21,25 +28,42 @@ from repro.common.config import CacheConfig
 from repro.common.errors import SimulationError
 from repro.mem.cacheline import CacheLine
 
+_LINE_SHIFT = units.LINE_BYTES.bit_length() - 1  # 64 -> 6
+
 
 class SetAssocCache:
     """A single cache level."""
 
+    __slots__ = (
+        "name",
+        "config",
+        "latency",
+        "ways",
+        "num_sets",
+        "_index_mask",
+        "_sets",
+    )
+
     def __init__(self, name: str, config: CacheConfig) -> None:
         self.name = name
         self.config = config
+        self.latency = config.latency_cycles
+        self.ways = config.ways
+        num_sets = config.num_sets
+        self.num_sets = num_sets
+        # Power-of-two set counts (every shipped config) take the mask
+        # fast path; anything else falls back to modulo.
+        self._index_mask = num_sets - 1 if num_sets & (num_sets - 1) == 0 else None
         self._sets: List["OrderedDict[int, CacheLine]"] = [
-            OrderedDict() for _ in range(config.num_sets)
+            OrderedDict() for _ in range(num_sets)
         ]
 
     # --- geometry -----------------------------------------------------
 
-    @property
-    def latency(self) -> int:
-        return self.config.latency_cycles
-
     def set_index(self, line_addr: int) -> int:
-        return (line_addr // units.LINE_BYTES) % self.config.num_sets
+        if self._index_mask is not None:
+            return (line_addr >> _LINE_SHIFT) & self._index_mask
+        return (line_addr >> _LINE_SHIFT) % self.num_sets
 
     def _set_for(self, line_addr: int) -> "OrderedDict[int, CacheLine]":
         return self._sets[self.set_index(line_addr)]
@@ -52,7 +76,11 @@ class SetAssocCache:
         ``touch=True`` promotes the line to MRU (the normal access path);
         metadata-only scans pass ``touch=False`` to avoid perturbing LRU.
         """
-        cache_set = self._set_for(line_addr)
+        mask = self._index_mask
+        if mask is not None:
+            cache_set = self._sets[(line_addr >> _LINE_SHIFT) & mask]
+        else:
+            cache_set = self._sets[(line_addr >> _LINE_SHIFT) % self.num_sets]
         line = cache_set.get(line_addr)
         if line is not None and touch:
             cache_set.move_to_end(line_addr)
@@ -76,7 +104,7 @@ class SetAssocCache:
                 f"{self.name}: double insert of line {line.addr:#x}"
             )
         victim: Optional[CacheLine] = None
-        if len(cache_set) >= self.config.ways:
+        if len(cache_set) >= self.ways:
             _, victim = cache_set.popitem(last=False)
         cache_set[line.addr] = line
         return victim
@@ -89,7 +117,7 @@ class SetAssocCache:
         """Return (without removing) the line that :meth:`insert` would
         evict when filling the set of *line_addr*; None if there is room."""
         cache_set = self._set_for(line_addr)
-        if len(cache_set) < self.config.ways:
+        if len(cache_set) < self.ways:
             return None
         return next(iter(cache_set.values()))
 
@@ -99,9 +127,30 @@ class SetAssocCache:
         for cache_set in self._sets:
             yield from cache_set.values()
 
+    def iter_lines(self) -> Iterator[CacheLine]:
+        """Non-allocating scan of every resident line (no LRU effect).
+
+        Callers must not insert/remove lines while iterating; mutating a
+        *line's* fields is fine.
+        """
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    def iter_matching(
+        self, predicate: Callable[[CacheLine], bool]
+    ) -> Iterator[CacheLine]:
+        """Lazily yield resident lines satisfying *predicate* (no LRU
+        effect, no intermediate list).  Same no-structural-mutation rule
+        as :meth:`iter_lines`; use :meth:`lines_matching` when the loop
+        body inserts or evicts."""
+        for cache_set in self._sets:
+            for line in cache_set.values():
+                if predicate(line):
+                    yield line
+
     def lines_matching(self, predicate: Callable[[CacheLine], bool]) -> List[CacheLine]:
         """Return all resident lines satisfying *predicate* (no LRU effect)."""
-        return [line for line in self if predicate(line)]
+        return [line for line in self.iter_lines() if predicate(line)]
 
     def resident_count(self) -> int:
         return sum(len(s) for s in self._sets)

@@ -8,51 +8,143 @@ level tracks a MESI coherence state plus a dirty flag.
 Word values are stored per line in a fixed-length list indexed by word
 number, filled from the backing memory on fetch, so that undo records can
 capture pre-store values without a second memory access.
+
+Perf note: the line is a ``__slots__`` class and the log bits live in a
+single int bitmask (``log_mask``, bit *i* = word/group *i* logged) with a
+recorded ``log_width`` — the hardware layout, and allocation-free on the
+store path.  The ``log_bits`` property presents the historical
+list-of-bool view for tests and tools; hot code uses the mask directly
+via the precomputed :data:`AGGREGATE_MASK` / :data:`REPLICATE_MASK`
+tables below.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.common import units
 from repro.common.errors import SimulationError
 
 
-class Mesi(enum.Enum):
-    """MESI coherence states (Table III: MESI protocol)."""
+class Mesi(enum.IntEnum):
+    """MESI coherence states (Table III: MESI protocol).
 
-    MODIFIED = "M"
-    EXCLUSIVE = "E"
-    SHARED = "S"
-    INVALID = "I"
+    Interned small ints: members compare by identity on the hot path and
+    hash at C speed (``object.__hash__``), unlike the default Enum hash.
+    """
+
+    MODIFIED = 0
+    EXCLUSIVE = 1
+    SHARED = 2
+    INVALID = 3
+
+    __hash__ = object.__hash__
 
 
-@dataclass
+#: Figure-5 aggregation, precomputed: ``AGGREGATE_MASK[l1_mask]`` is the
+#: 2-bit L2 mask whose bit *g* is set iff *all four* L1 bits of group *g*
+#: are set (logical conjunction per Section III-B1).
+AGGREGATE_MASK = tuple(
+    sum(
+        1 << g
+        for g in range(units.L2_LOG_BITS)
+        if (m >> (g * units.L1_BITS_PER_L2_BIT)) & _GROUP == _GROUP
+    )
+    for _GROUP in ((1 << units.L1_BITS_PER_L2_BIT) - 1,)
+    for m in range(1 << units.WORDS_PER_LINE)
+)
+
+#: Figure-5 replication, precomputed: ``REPLICATE_MASK[l2_mask]`` expands
+#: each L2 bit into its four covered L1 bits.
+REPLICATE_MASK = tuple(
+    sum(
+        ((1 << units.L1_BITS_PER_L2_BIT) - 1) << (g * units.L1_BITS_PER_L2_BIT)
+        for g in range(units.L2_LOG_BITS)
+        if m & (1 << g)
+    )
+    for m in range(1 << units.L2_LOG_BITS)
+)
+
+#: Popcount per possible L1 mask value (``int.bit_count`` needs 3.10+).
+POPCOUNT = tuple(bin(m).count("1") for m in range(1 << units.WORDS_PER_LINE))
+
+
 class CacheLine:
     """One resident cache line with SLPMT metadata.
 
-    ``log_bits`` length depends on the level: 8 in L1 (per word), 2 in L2
-    (per 32-byte group), 0 in L3.  ``tx_id`` is ``None`` when the line was
-    not written inside a transaction tracked for lazy persistency.
+    ``log_width`` depends on the level: 8 in L1 (per word), 2 in L2 (per
+    32-byte group), 0 in L3.  ``tx_id`` is ``None`` when the line was not
+    written inside a transaction tracked for lazy persistency.
     """
 
-    addr: int
-    words: List[int]
-    state: Mesi = Mesi.EXCLUSIVE
-    dirty: bool = False
-    persist: bool = False
-    log_bits: List[bool] = field(default_factory=list)
-    tx_id: Optional[int] = None
+    __slots__ = (
+        "addr",
+        "words",
+        "state",
+        "dirty",
+        "persist",
+        "log_mask",
+        "log_width",
+        "tx_id",
+    )
 
-    def __post_init__(self) -> None:
-        if self.addr % units.LINE_BYTES != 0:
-            raise SimulationError(f"line address {self.addr:#x} not aligned")
-        if len(self.words) != units.WORDS_PER_LINE:
+    def __init__(
+        self,
+        addr: int,
+        words: List[int],
+        state: Mesi = Mesi.EXCLUSIVE,
+        dirty: bool = False,
+        persist: bool = False,
+        log_bits: Optional[List[bool]] = None,
+        tx_id: Optional[int] = None,
+    ) -> None:
+        if addr % units.LINE_BYTES != 0:
+            raise SimulationError(f"line address {addr:#x} not aligned")
+        if len(words) != units.WORDS_PER_LINE:
             raise SimulationError(
-                f"line must hold {units.WORDS_PER_LINE} words, got {len(self.words)}"
+                f"line must hold {units.WORDS_PER_LINE} words, got {len(words)}"
             )
+        self.addr = addr
+        self.words = words
+        self.state = state
+        self.dirty = dirty
+        self.persist = persist
+        self.tx_id = tx_id
+        if log_bits is None:
+            self.log_mask = 0
+            self.log_width = 0
+        else:
+            self.log_width = len(log_bits)
+            mask = 0
+            for i, bit in enumerate(log_bits):
+                if bit:
+                    mask |= 1 << i
+            self.log_mask = mask
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheLine(addr={self.addr:#x}, state={self.state.name}, "
+            f"dirty={self.dirty}, persist={self.persist}, "
+            f"log_mask={self.log_mask:#x}/{self.log_width}, tx_id={self.tx_id})"
+        )
+
+    # --- log-bit views ----------------------------------------------------
+
+    @property
+    def log_bits(self) -> List[bool]:
+        """List-of-bool view of the log bitmask (LSB = word/group 0)."""
+        mask = self.log_mask
+        return [bool(mask & (1 << i)) for i in range(self.log_width)]
+
+    @log_bits.setter
+    def log_bits(self, bits: List[bool]) -> None:
+        self.log_width = len(bits)
+        mask = 0
+        for i, bit in enumerate(bits):
+            if bit:
+                mask |= 1 << i
+        self.log_mask = mask
 
     # --- word access ----------------------------------------------------
 
@@ -67,16 +159,17 @@ class CacheLine:
     # --- SLPMT metadata ---------------------------------------------------
 
     def any_log_bit(self) -> bool:
-        return any(self.log_bits)
+        return self.log_mask != 0
 
     def all_log_bits(self) -> bool:
-        return bool(self.log_bits) and all(self.log_bits)
+        width = self.log_width
+        return width != 0 and self.log_mask == (1 << width) - 1
 
     def clear_transactional_state(self) -> None:
         """Drop persist/log/tx metadata (used when a line leaves the
         transactional domain, e.g. on fill from L3)."""
         self.persist = False
-        self.log_bits = [False] * len(self.log_bits)
+        self.log_mask = 0
         self.tx_id = None
 
     def is_lazy(self) -> bool:
@@ -87,17 +180,21 @@ class CacheLine:
 
 def new_l1_line(addr: int, words: List[int]) -> CacheLine:
     """Create an L1 line with eight per-word log bits (Figure 5, top)."""
-    return CacheLine(addr=addr, words=words, log_bits=[False] * units.WORDS_PER_LINE)
+    line = CacheLine(addr=addr, words=words)
+    line.log_width = units.WORDS_PER_LINE
+    return line
 
 
 def new_l2_line(addr: int, words: List[int]) -> CacheLine:
     """Create an L2 line with two per-32-byte log bits (Figure 5, bottom)."""
-    return CacheLine(addr=addr, words=words, log_bits=[False] * units.L2_LOG_BITS)
+    line = CacheLine(addr=addr, words=words)
+    line.log_width = units.L2_LOG_BITS
+    return line
 
 
 def new_l3_line(addr: int, words: List[int]) -> CacheLine:
     """Create an L3 line without SLPMT metadata."""
-    return CacheLine(addr=addr, words=words, log_bits=[])
+    return CacheLine(addr=addr, words=words)
 
 
 def aggregate_log_bits_l1_to_l2(l1_bits: List[bool]) -> List[bool]:

@@ -32,6 +32,19 @@ from repro.common import units
 from repro.common.errors import SimulationError
 from repro.mem import layout
 
+_logregion = None
+
+
+def _logregion_module():
+    """Cached :mod:`repro.mem.logregion` (imported lazily: the codec
+    module imports :class:`DurableLogEntry` from here)."""
+    global _logregion
+    if _logregion is None:
+        from repro.mem import logregion
+
+        _logregion = logregion
+    return _logregion
+
 
 @dataclass(frozen=True)
 class DurableLogEntry:
@@ -126,6 +139,11 @@ class PersistentMemory:
         base = units.line_addr(line_addr)
         if len(words) != units.WORDS_PER_LINE:
             raise SimulationError("write_line expects a full line of words")
+        if self._journal is None:
+            store = self._words
+            for i, value in enumerate(words):
+                store[base + i * units.WORD_BYTES] = value
+            return
         for i, value in enumerate(words):
             self._raw_store(base + i * units.WORD_BYTES, value)
 
@@ -156,15 +174,20 @@ class PersistentMemory:
             self._journal[-1].appends += 1
 
     def _serialize(self, entry: DurableLogEntry) -> None:
-        from repro.mem import logregion  # local import: avoids a cycle
+        logregion = _logregion_module()
 
         words = logregion.encode_entry(entry)
         start = self._next_entry_start()
         end = start + len(words) * units.WORD_BYTES
         if end > layout.PM_LOG_BASE + layout.PM_LOG_BYTES:
             raise SimulationError("PM log region exhausted")
-        for i, word in enumerate(words):
-            self._raw_store(start + i * units.WORD_BYTES, word)
+        if self._journal is None:
+            store = self._words
+            for i, word in enumerate(words):
+                store[start + i * units.WORD_BYTES] = word
+        else:
+            for i, word in enumerate(words):
+                self._raw_store(start + i * units.WORD_BYTES, word)
         self._log_cursor = end
         self.log_extents.append(
             LogExtent(start=start, nwords=len(words), entry=entry)

@@ -18,12 +18,15 @@ explicitly re-baselined in the same PR that caused it.
 
 from __future__ import annotations
 
+import copy
 import json
+import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.harness.metrics import geomean
-from repro.harness.runner import cached_run
+from repro.parallel import engine
+from repro.parallel import tasks as partasks
 from repro.workloads import KERNELS
 
 #: Scheme grid of the headline evaluation (Figure 8 order).
@@ -54,26 +57,40 @@ def run_bench(
     num_ops: int = DEFAULT_NUM_OPS,
     value_bytes: int = DEFAULT_VALUE_BYTES,
     seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+    progress: "Optional[engine.ProgressFn]" = None,
 ) -> Dict[str, Any]:
-    """Run the sweep and build the artifact document."""
-    cells: Dict[str, Any] = {}
-    for workload in workloads:
-        for scheme in schemes:
-            res = cached_run(
-                workload,
-                scheme,
-                num_ops=num_ops,
-                value_bytes=value_bytes,
-                seed=seed,
-            )
-            cells[f"{workload}/{scheme}"] = {
-                "cycles": res.cycles,
-                "pm_bytes": res.pm_bytes,
-                "pm_log_bytes": res.pm_log_bytes,
-                "pm_data_bytes": res.pm_data_bytes,
-                "cycles_per_op": round(res.cycles_per_op, 3),
-                "stats": json.loads(res.stats.to_json()),
-            }
+    """Run the sweep and build the artifact document.
+
+    *jobs* > 1 fans the (workload × scheme) cells out over worker
+    processes; the simulated numbers are byte-identical to a serial run
+    because every cell is a self-contained deterministic simulation and
+    the merge preserves cell order.  Host timing (per-cell ``host_ms``
+    and the top-level ``host`` block) is wall-clock and explicitly
+    outside the ``--check`` gate.
+    """
+    keys = [f"{w}/{s}" for w in workloads for s in schemes]
+    descriptors = [
+        {
+            "workload": w,
+            "scheme": s,
+            "num_ops": num_ops,
+            "value_bytes": value_bytes,
+            "seed": seed,
+        }
+        for w in workloads
+        for s in schemes
+    ]
+    t0 = time.perf_counter()
+    results = engine.run_tasks(
+        partasks.bench_cell,
+        descriptors,
+        jobs=jobs,
+        labels=keys,
+        progress=progress,
+    )
+    host_seconds = time.perf_counter() - t0
+    cells: Dict[str, Any] = dict(zip(keys, results))
     geomeans: Dict[str, Any] = {}
     for scheme in schemes:
         geomeans[scheme] = {
@@ -96,7 +113,32 @@ def run_bench(
         },
         "cells": cells,
         "geomean": geomeans,
+        # Wall-clock context, never gated: check_bench compares only
+        # simulated cycles / pm_bytes, and strip_host() removes these
+        # before any byte-identity comparison.
+        "host": {
+            "seconds": round(host_seconds, 3),
+            "cells_per_sec": round(len(keys) / host_seconds, 3)
+            if host_seconds > 0
+            else 0.0,
+            "jobs": jobs,
+        },
     }
+
+
+def strip_host(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """A deep copy of *doc* without any host-timing field.
+
+    This is the comparison form for every determinism / equivalence
+    check: two runs of the same sweep must be byte-identical *modulo*
+    wall-clock, which lives only in ``host`` and per-cell ``host_ms``.
+    """
+    out = copy.deepcopy(doc)
+    out.pop("host", None)
+    for cell in out.get("cells", {}).values():
+        if isinstance(cell, dict):
+            cell.pop("host_ms", None)
+    return out
 
 
 def write_bench(path: str, doc: Dict[str, Any]) -> None:

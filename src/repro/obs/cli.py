@@ -31,6 +31,11 @@ from repro.obs.trace import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.parallel.engine import WorkerCrash, resolve_jobs
+
+
+def _progress(done: int, total: int, label: str) -> None:
+    print(f"[{done}/{total}] {label}", file=sys.stderr)
 
 
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
@@ -215,6 +220,61 @@ def _scheme(name: str):
     return scheme_by_name(name)
 
 
+def _diff_keys(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
+    fa, fb = _flatten(a), _flatten(b)
+    return [k for k in sorted(set(fa) | set(fb)) if fa.get(k) != fb.get(k)]
+
+
+def _cmd_equivalence(args: argparse.Namespace) -> int:
+    """The parallel==serial gate: a ``--jobs N`` sweep must be
+    byte-identical to the serial sweep (modulo host timing), and both
+    must be bit-identical to the checked-in baseline's simulated
+    numbers."""
+    jobs = max(2, resolve_jobs(args.jobs))
+    baseline_path = args.baseline or bench_mod.DEFAULT_BASELINE
+    baseline = bench_mod.load_bench(baseline_path)
+    params = baseline["params"]
+    kwargs = dict(
+        name=baseline["name"],
+        workloads=tuple(params["workloads"]),
+        schemes=tuple(params["schemes"]),
+        num_ops=params["num_ops"],
+        value_bytes=params["value_bytes"],
+        seed=params["seed"],
+    )
+    serial = bench_mod.run_bench(jobs=1, **kwargs)
+    parallel = bench_mod.run_bench(jobs=jobs, progress=_progress, **kwargs)
+
+    failures = 0
+    a = bench_mod.strip_host(serial)
+    b = bench_mod.strip_host(parallel)
+    if a != b:
+        for key in _diff_keys(a, b)[:20]:
+            print(
+                f"EQUIVALENCE VIOLATION serial vs --jobs {jobs}: {key}",
+                file=sys.stderr,
+            )
+        failures += 1
+    else:
+        print(
+            f"equivalence: --jobs {jobs} byte-identical to serial "
+            f"({len(a['cells'])} cells, modulo host timing)"
+        )
+    base_sim = bench_mod.strip_host(baseline)
+    if a != base_sim:
+        for key in _diff_keys(a, base_sim)[:20]:
+            print(
+                f"EQUIVALENCE VIOLATION vs {baseline_path}: {key}",
+                file=sys.stderr,
+            )
+        failures += 1
+    else:
+        print(
+            f"equivalence: simulated numbers bit-identical to {baseline_path}"
+        )
+    return 1 if failures else 0
+
+
 def obs_main(argv: "List[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro obs",
@@ -259,6 +319,22 @@ def obs_main(argv: "List[str] | None" = None) -> int:
     _add_run_args(p_pass)
     p_pass.set_defaults(func=_cmd_passivity)
 
+    p_equiv = sub.add_parser(
+        "equivalence",
+        help="prove a parallel bench sweep is byte-identical to serial "
+        "and to the checked-in baseline (exit 1 on any diff)",
+    )
+    p_equiv.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel worker count to compare against serial "
+        "(default REPRO_JOBS, at least 2)",
+    )
+    p_equiv.add_argument(
+        "--baseline", default=None,
+        help=f"baseline artifact path (default {bench_mod.DEFAULT_BASELINE})",
+    )
+    p_equiv.set_defaults(func=_cmd_equivalence)
+
     args = parser.parse_args(argv)
     return args.func(args)
 
@@ -290,15 +366,34 @@ def bench_main(argv: "List[str] | None" = None) -> int:
         "--update", action="store_true",
         help="write the fresh sweep over the baseline file",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the sweep (default REPRO_JOBS or 1); "
+        "output is byte-identical to serial modulo host timing",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="also write the fresh sweep document to this path",
+    )
     args = parser.parse_args(argv)
 
+    jobs = resolve_jobs(args.jobs)
     baseline_path = args.baseline or bench_mod.bench_name(args.name)
-    doc = bench_mod.run_bench(
-        name=args.name,
-        num_ops=args.ops,
-        value_bytes=args.value_bytes,
-        seed=args.seed,
-    )
+    try:
+        doc = bench_mod.run_bench(
+            name=args.name,
+            num_ops=args.ops,
+            value_bytes=args.value_bytes,
+            seed=args.seed,
+            jobs=jobs,
+            progress=_progress if jobs > 1 else None,
+        )
+    except WorkerCrash as exc:
+        print(f"bench sweep failed: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        bench_mod.write_bench(args.out, doc)
+        print(f"wrote {args.out}")
     if args.update:
         bench_mod.write_bench(baseline_path, doc)
         print(f"wrote {baseline_path}")

@@ -1,0 +1,37 @@
+"""Deterministic merges for parallel sweep results.
+
+Workers return plain picklable payloads; these helpers turn them back
+into the exact objects the serial exporters consume, preserving order
+and accounting, so every downstream artifact (Perfetto trace, JSONL
+stream, bench JSON) is byte-identical to its serial twin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.core.tracing import Tracer
+
+
+def rewrap_tracers(payloads: "Sequence[Dict[str, Any]]") -> List[Tracer]:
+    """Rebuild per-cell :class:`Tracer` objects from worker payloads.
+
+    Payload order is submission order (the engine guarantees it), which
+    maps to track order in the Chrome trace — identical to passing the
+    original tracers in the same sequence.  ``total_emitted`` is
+    restored so the JSONL header's dropped-event accounting survives
+    the process boundary.
+    """
+    tracers: List[Tracer] = []
+    for payload in payloads:
+        tracer = Tracer(capacity=payload["capacity"])
+        for event in payload["events"]:
+            tracer.emit(
+                event["cycle"], event["core"], event["kind"], **event["fields"]
+            )
+        # Ring eviction already happened in the worker: the shipped
+        # events are exactly the survivors, so restore the true emitted
+        # total (emit() above counted only the survivors).
+        tracer.total_emitted = payload["total_emitted"]
+        tracers.append(tracer)
+    return tracers

@@ -1,0 +1,140 @@
+"""Top-level, spawn-safe task functions for the parallel engine.
+
+Each function is one sweep cell: it receives plain picklable scalars,
+rebuilds whatever simulator state it needs inside the worker process,
+and returns a picklable result for the ordered merge.  The heavy
+imports happen lazily inside the functions so a freshly spawned worker
+pays the import cost once, on its first cell.
+
+Every task honours the ``REPRO_POISON_CELL`` environment variable: when
+it names the cell's label, the task raises.  Spawned workers inherit
+the parent's environment, so the crash-propagation regression tests can
+poison exactly one cell of a parallel sweep and assert that the CLI
+exits non-zero instead of writing a partial artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Poison hook: a cell label that must crash (tests only).
+POISON_ENV = "REPRO_POISON_CELL"
+
+
+def _poison_check(label: str) -> None:
+    if os.environ.get(POISON_ENV) == label:
+        raise RuntimeError(f"cell {label!r} poisoned via {POISON_ENV}")
+
+
+# ----------------------------------------------------------------------
+# bench sweep
+# ----------------------------------------------------------------------
+
+
+def bench_cell(
+    *,
+    workload: str,
+    scheme: str,
+    num_ops: int,
+    value_bytes: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """One ``BENCH_*.json`` cell: simulate and return the cell dict.
+
+    ``host_ms`` is wall-clock and therefore non-deterministic by
+    design; it is excluded from every gated comparison (see
+    :func:`repro.obs.bench.strip_host`).
+    """
+    _poison_check(f"{workload}/{scheme}")
+    from repro.harness.runner import cached_run
+
+    t0 = time.perf_counter()
+    res = cached_run(
+        workload, scheme, num_ops=num_ops, value_bytes=value_bytes, seed=seed
+    )
+    host_ms = (time.perf_counter() - t0) * 1000.0
+    return {
+        "cycles": res.cycles,
+        "pm_bytes": res.pm_bytes,
+        "pm_log_bytes": res.pm_log_bytes,
+        "pm_data_bytes": res.pm_data_bytes,
+        "cycles_per_op": round(res.cycles_per_op, 3),
+        "stats": json.loads(res.stats.to_json()),
+        "host_ms": round(host_ms, 3),
+    }
+
+
+def runner_cell(*, key: "Tuple") -> Any:
+    """Warm one :func:`repro.harness.runner.cached_run` memo entry.
+
+    *key* is a :func:`repro.harness.runner.cache_key` tuple; the
+    returned :class:`~repro.harness.runner.RunResult` is seeded into
+    the parent's memo so the figure-regeneration benchmarks reuse it.
+    """
+    _poison_check(f"{key[0]}/{key[1]}")
+    from repro.harness.runner import _cached
+
+    return _cached(*key)
+
+
+# ----------------------------------------------------------------------
+# crash-consistency and media-fault campaigns
+# ----------------------------------------------------------------------
+
+
+def fuzz_cell(*, cell, **kwargs) -> Any:
+    """One crash-campaign cell: runs the full crash-point sweep."""
+    _poison_check(str(cell))
+    from repro.fuzz.campaign import run_cell
+
+    return run_cell(cell, **kwargs)
+
+
+def fault_cell(*, cell, **kwargs) -> Any:
+    """One media-fault-campaign cell: runs the full injection sweep."""
+    _poison_check(str(cell))
+    from repro.fuzz.faultcampaign import run_fault_cell
+
+    return run_fault_cell(cell, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# observed runs (trace export)
+# ----------------------------------------------------------------------
+
+
+def trace_cell(
+    *,
+    workload: str,
+    scheme: str,
+    num_ops: int,
+    value_bytes: int,
+    seed: int,
+    capacity: int = 100_000,
+) -> Dict[str, Any]:
+    """One observed run; returns the tracer ring as picklable dicts.
+
+    :func:`repro.parallel.merge.rewrap_tracers` rebuilds real
+    :class:`~repro.core.tracing.Tracer` objects from these payloads in
+    submission order, so the merged Perfetto document is byte-identical
+    to one exported from the same runs done serially.
+    """
+    _poison_check(f"{workload}/{scheme}")
+    from repro.obs.run import observed_run
+
+    run = observed_run(
+        workload,
+        scheme,
+        num_ops=num_ops,
+        value_bytes=value_bytes,
+        seed=seed,
+        capacity=capacity,
+    )
+    return {
+        "events": [e.to_dict() for e in run.tracer.events()],
+        "total_emitted": run.tracer.total_emitted,
+        "capacity": run.tracer.capacity,
+    }

@@ -69,6 +69,10 @@ class Hint(enum.Enum):
     REDUNDANT = "redundant"
     SEMANTIC = "semantic"
 
+    # Members are singletons, so identity hashing is equivalent to the
+    # default Enum hash — and C-speed on the per-store flag lookup.
+    __hash__ = object.__hash__
+
 
 #: ``hint -> (lazy, log_free)`` flag mapping for honoured hints.
 HINT_FLAGS = {
@@ -82,6 +86,9 @@ HINT_FLAGS = {
 }
 
 
+_PLAIN = (False, False)
+
+
 @dataclass(frozen=True)
 class AnnotationPolicy:
     """Which hints become real ``storeT`` annotations."""
@@ -89,14 +96,21 @@ class AnnotationPolicy:
     name: str
     honored: FrozenSet[Hint] = frozenset()
 
+    def __post_init__(self) -> None:
+        # Per-store lookups resolve through one precomputed dict instead
+        # of two set/dict membership tests (not a field: equality and
+        # hashing stay derived from name/honored alone).
+        flag_map = {
+            hint: HINT_FLAGS[hint] for hint in self.honored if hint in HINT_FLAGS
+        }
+        object.__setattr__(self, "_flag_map", flag_map)
+
     def flags(self, hint: Hint) -> "Tuple[bool, bool]":
         """Return ``(lazy, log_free)`` for a store with *hint*."""
-        if hint in self.honored and hint in HINT_FLAGS:
-            return HINT_FLAGS[hint]
-        return (False, False)
+        return self._flag_map.get(hint, _PLAIN)
 
     def is_plain(self, hint: Hint) -> bool:
-        return self.flags(hint) == (False, False)
+        return self.flags(hint) == _PLAIN
 
 
 #: No annotations: every store is logged and eagerly persisted.

@@ -33,7 +33,6 @@ from repro.common.errors import (
     TransactionAborted,
 )
 from repro.core.machine import Machine
-from repro.isa.instructions import Load, Store, StoreT
 from repro.runtime.hints import NO_ANNOTATIONS, AnnotationPolicy, Hint
 
 #: Cap on the exponential-backoff shift: the n-th wait lasts
@@ -186,14 +185,14 @@ class PTx:
     # --- memory access -----------------------------------------------------------
 
     def load(self, addr: int) -> int:
-        return self.machine.execute(Load(addr))
+        return self.machine.exec_load(addr)
 
     def store(self, addr: int, value: int, hint: Hint = Hint.NONE) -> None:
         lazy, log_free = self.policy.flags(hint)
         if lazy or log_free:
-            self.machine.execute(StoreT(addr, value, lazy=lazy, log_free=log_free))
+            self.machine.exec_storeT(addr, value, lazy, log_free)
         else:
-            self.machine.execute(Store(addr, value))
+            self.machine.exec_store(addr, value)
 
     def write_words(
         self, addr: int, values: Sequence[int], hint: Hint = Hint.NONE

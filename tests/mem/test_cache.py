@@ -130,3 +130,40 @@ class TestRemoveAndScan:
         for i in range(4):
             cache.insert(line_at(i * 64))
         assert {ln.addr for ln in cache} == {0, 64, 128, 192}
+
+    def test_iter_lines_is_lazy(self):
+        # The commit/drain hot paths iterate residents on every fence;
+        # pin that the iteration surface is a generator (no per-call
+        # list materialisation) and yields every resident.
+        import types
+
+        cache = tiny_cache()
+        for i in range(4):
+            cache.insert(line_at(i * 64))
+        it = cache.iter_lines()
+        assert isinstance(it, types.GeneratorType)
+        assert {ln.addr for ln in it} == {0, 64, 128, 192}
+
+    def test_iter_matching_is_lazy_and_filters(self):
+        import types
+
+        cache = tiny_cache()
+        l1, l2 = line_at(0x00), line_at(0x40)
+        l1.dirty = True
+        cache.insert(l1)
+        cache.insert(l2)
+        it = cache.iter_matching(lambda ln: ln.dirty)
+        assert isinstance(it, types.GeneratorType)
+        assert [ln.addr for ln in it] == [0x00]
+
+    def test_iter_matching_allows_field_mutation(self):
+        # The fence path clears dirty bits while iterating; line-field
+        # mutation (not structural mutation) must be safe mid-iteration.
+        cache = tiny_cache()
+        for i in range(4):
+            ln = line_at(i * 64)
+            ln.dirty = True
+            cache.insert(ln)
+        for ln in cache.iter_matching(lambda l: l.dirty):
+            ln.dirty = False
+        assert cache.lines_matching(lambda l: l.dirty) == []

@@ -70,7 +70,9 @@ class TestCheck:
 
     def test_determinism_fresh_run_matches(self, doc):
         # The simulator is deterministic: an identical sweep must be
-        # bitwise equal, so the gate passes with zero drift.
+        # bitwise equal modulo wall-clock (host timing is the one
+        # explicitly non-deterministic part of the artifact), so the
+        # gate passes with zero drift.
         from repro.harness.runner import _cached
 
         _cached.cache_clear()
@@ -82,7 +84,20 @@ class TestCheck:
             value_bytes=64,
             seed=6,
         )
-        assert again == doc
+        assert bench.strip_host(again) == bench.strip_host(doc)
+
+    def test_strip_host_removes_only_host_fields(self, doc):
+        stripped = bench.strip_host(doc)
+        assert "host" not in stripped
+        assert all(
+            "host_ms" not in cell for cell in stripped["cells"].values()
+        )
+        # Everything else survives untouched, and the original document
+        # still carries its host fields (strip copies, never mutates).
+        assert stripped["cells"].keys() == doc["cells"].keys()
+        assert stripped["geomean"] == doc["geomean"]
+        assert "host" in doc and doc["host"]["jobs"] == 1
+        assert all("host_ms" in cell for cell in doc["cells"].values())
 
     def test_inflated_cycles_fail_the_gate(self, doc):
         # The acceptance demo: a perf regression must trip the gate.
