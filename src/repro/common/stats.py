@@ -75,6 +75,14 @@ class SimStats:
     backoff_waits: int = 0
     backoff_cycles: int = 0
 
+    # --- multi-core contention -------------------------------------------
+    # All four fire only through the coherence/scheduler glue in
+    # repro.multicore, so single-core runs keep them at zero (passivity).
+    conflicts: int = 0
+    wound_wait_aborts: int = 0
+    backoff_turns: int = 0
+    forced_lazy_by_peer: int = 0
+
     def copy(self) -> "SimStats":
         """Return an independent snapshot of the current counters."""
         return SimStats(**self.as_dict())
@@ -166,6 +174,10 @@ class SimStats:
             ),
             "commit": ("commit_cycles", "commit_lines_persisted"),
             "retry / backoff": ("tx_retries", "backoff_waits", "backoff_cycles"),
+            "contention (multi-core)": (
+                "conflicts", "wound_wait_aborts", "backoff_turns",
+                "forced_lazy_by_peer",
+            ),
         }
         lines = []
         values = self.as_dict()

@@ -1141,6 +1141,7 @@ class Machine:
         if self.profiler is not None:
             self.profiler.note_tx_end(self.now)
         self.stats.aborts += 1
+        self.stats.wound_wait_aborts += 1
         self.conflict_losses += 1
         self._trace("conflict_abort", tx_seq=self._tx_seq)
         self._in_tx = False
@@ -1183,6 +1184,7 @@ class Machine:
         forced persist happened."""
         for tid, lines in self._lazy.items():
             if line_addr in lines:
+                self.stats.forced_lazy_by_peer += 1
                 self._force_persist_through(tid)
                 return True
         return False
@@ -1196,6 +1198,7 @@ class Machine:
             hits = self.signatures.probe(line_addr, list(self._lazy.keys()))
             if hits:
                 self.stats.signature_hits += len(hits)
+                self.stats.forced_lazy_by_peer += 1
                 self._force_persist_through(hits[-1])
         self.invalidate_line(line_addr)
 

@@ -633,3 +633,366 @@ def run_campaign(
         progress=progress,
     )
     return result
+
+
+# ----------------------------------------------------------------------
+# multi-core contention campaign
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MultiCoreCell:
+    """One (workload × scheme × cores × θ) contention-campaign cell."""
+
+    workload: str
+    scheme: str
+    cores: int
+    theta: float
+
+    def __str__(self) -> str:
+        return f"{self.workload}/{self.scheme}/c{self.cores}/t{self.theta:g}"
+
+
+#: Schemes the contention campaign sweeps by default: the FG baseline,
+#: lazy persistency (whose cross-core forcing is the paper's §III-C3
+#: hazard surface) and the full SLPMT design.
+MULTICORE_SCHEMES: Tuple[str, ...] = ("FG", "FG+LZ", "SLPMT")
+
+#: Default contention grid: shared hashtable, N ∈ {1, 2, 4}, uniform
+#: and hot-key skew.  N=1 keeps a no-contention control in every sweep.
+DEFAULT_MULTICORE_CELLS: Tuple[MultiCoreCell, ...] = tuple(
+    MultiCoreCell("hashtable", scheme, cores, theta)
+    for scheme in MULTICORE_SCHEMES
+    for cores in (1, 2, 4)
+    for theta in (0.0, 0.9)
+)
+
+
+@dataclass
+class MultiCoreCellReport:
+    """Coverage and outcome summary for one contention cell."""
+
+    cell: MultiCoreCell
+    ops_per_core: int
+    #: Turn switches in the clean run = the cell's interleaving points.
+    switch_points_total: int
+    switch_points_run: int
+    exhaustive: bool
+    #: Clean-run contention profile (determinism witnesses: byte-equal
+    #: between serial and --jobs N sweeps, and across reruns).
+    conflicts: int
+    aborts: int
+    commits: int
+    cycles: int = 0
+    pm_bytes: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def cases_run(self) -> int:
+        return self.switch_points_run
+
+
+@dataclass
+class MultiCoreCampaignResult:
+    """A whole contention campaign: parameters plus cell reports."""
+
+    budget: int
+    seed: int
+    ops_per_core: int
+    num_keys: int
+    value_bytes: int
+    cells: List[MultiCoreCellReport] = field(default_factory=list)
+
+    @property
+    def total_cases(self) -> int:
+        return sum(c.cases_run for c in self.cells)
+
+    @property
+    def violations(self) -> List[Violation]:
+        return [v for c in self.cells for v in c.violations]
+
+
+def _build_contention(
+    cell: MultiCoreCell,
+    *,
+    ops_per_core: int,
+    num_keys: int,
+    value_bytes: int,
+    seed: int,
+    config: SystemConfig,
+):
+    """A fresh system + subject + streams for one contention case."""
+    from repro.multicore.system import MultiCoreSystem
+    from repro.workloads.shared import generate_streams
+
+    system = MultiCoreSystem(
+        cell.cores, scheme_by_name(cell.scheme), config, seed=seed
+    )
+    subject = WORKLOADS[cell.workload](
+        system.runtimes[0], value_bytes=value_bytes
+    )
+    streams = generate_streams(
+        cell.cores,
+        ops_per_core,
+        theta=cell.theta,
+        num_keys=num_keys,
+        value_words=subject.value_words,
+        seed=seed,
+    )
+    return system, subject, streams
+
+
+def _check_multicore_recovered(
+    subject: Subject,
+    in_flight: "List",
+) -> Tuple[Optional[str], str]:
+    """Post-crash acceptance check for an N-core contention run.
+
+    With N cores there can be up to N transactions in flight at the
+    crash, so the single-core two-state check generalises to a state
+    *family*: the durable image must equal the committed oracle plus
+    **any subset** of the in-flight operations.  Concretely:
+
+    * ``structure`` — the workload's own integrity invariants hold;
+    * ``completeness`` — every committed key is durable, holding either
+      its committed value or the value of an in-flight op on that key
+      (whose commit marker may have become durable just before the
+      crash unwound the worker);
+    * ``exactness`` — every durable key is committed or in flight, and
+      no key appears twice (a torn or resurrected node can never hide
+      behind contention).
+
+    The oracle is exact because it is updated inside the committing
+    worker's scheduler turn, after ``run_atomically`` returns — commit
+    order and oracle order coincide by construction.
+    """
+    try:
+        if hasattr(subject, "check_integrity"):
+            subject.check_integrity(subject.reader(durable=True))
+        state = durable_state(subject)
+    except RecoveryError as exc:
+        return str(exc), "structure"
+    except SimulationError as exc:
+        return f"durable traversal failed: {exc}", "structure"
+    except InvariantViolation as exc:
+        return exc.message, exc.check
+
+    committed = {k: tuple(v) for k, v in subject.expected.items()}
+    pending: Dict[int, set] = {}
+    for op in in_flight:
+        if op is not None:
+            pending.setdefault(op.key, set()).add(tuple(op.value))
+
+    seen = set()
+    for key, value in state:
+        if key in seen:
+            return f"key {key} appears twice in the durable structure", "exactness"
+        seen.add(key)
+        allowed = set()
+        if key in committed:
+            allowed.add(committed[key])
+        allowed |= pending.get(key, set())
+        if not allowed:
+            return (
+                f"uncommitted key {key} present in the durable state",
+                "exactness",
+            )
+        if value not in allowed:
+            return (
+                f"key {key} holds a value that is neither its committed "
+                f"nor any in-flight value",
+                "completeness",
+            )
+    missing = sorted(k for k in committed if k not in seen)
+    if missing:
+        return (
+            f"committed key(s) {missing[:4]} missing from the durable state",
+            "completeness",
+        )
+    return None, ""
+
+
+def run_multicore_case(
+    cell: MultiCoreCell,
+    crash_switch: int,
+    *,
+    ops_per_core: int,
+    num_keys: int,
+    value_bytes: int,
+    seed: int,
+    config: SystemConfig,
+) -> CaseResult:
+    """One contention crash case: run the cell's streams with a power
+    failure armed at the *crash_switch*-th turn switch, recover the
+    shared PM, and judge the durable image."""
+    from repro.workloads.shared import replay_contention
+
+    system, subject, streams = _build_contention(
+        cell,
+        ops_per_core=ops_per_core,
+        num_keys=num_keys,
+        value_bytes=value_bytes,
+        seed=seed,
+        config=config,
+    )
+    system.scheduler.crash_at_switch = crash_switch
+    in_flight = replay_contention(system, subject, streams)
+    crashed = system.scheduler.crashed
+    if crashed:
+        system.crash()
+        recover(
+            system.pm,
+            mode=system.cores[0].scheme.logging_mode,
+            hooks=[subject],
+        )
+        violation, check = _check_multicore_recovered(subject, in_flight)
+    else:
+        # The armed point lay beyond this run's switch count (can only
+        # happen for caller-chosen points): a clean completion, judged
+        # like one.
+        system.fence_all()
+        violation, check = None, ""
+        try:
+            subject.verify(durable=True)
+        except RecoveryError as exc:
+            violation, check = str(exc), "structure"
+    return CaseResult(
+        crashed=crashed,
+        committed_ops=len(subject.expected),
+        tx_commits=system.total_commits(),
+        violation=violation,
+        check=check,
+    )
+
+
+def run_multicore_cell(
+    cell: MultiCoreCell,
+    *,
+    budget: int,
+    seed: int,
+    ops_per_core: int = 12,
+    num_keys: int = 16,
+    value_bytes: int = 32,
+    config: SystemConfig = STRESS_CONFIG,
+) -> MultiCoreCellReport:
+    """Run one contention cell's crash-point sweep.
+
+    A clean dry run measures the cell's interleaving-point count (the
+    scheduler's ``switches`` total) and its contention profile; the
+    sweep then crashes a fresh, identically seeded system at every
+    switch when they fit the *budget*, or at a seeded sample otherwise.
+    Everything derives from ``(cell, seed)``, so the report is
+    byte-identical between serial and parallel campaigns.
+    """
+    from repro.workloads.shared import replay_contention
+
+    system, subject, streams = _build_contention(
+        cell,
+        ops_per_core=ops_per_core,
+        num_keys=num_keys,
+        value_bytes=value_bytes,
+        seed=seed,
+        config=config,
+    )
+    cycles0 = sum(core.now for core in system.cores)
+    pm0 = system.merged_stats().pm_bytes_written
+    replay_contention(system, subject, streams)
+    system.fence_all()
+    subject.verify(durable=True)
+    stats = system.merged_stats()
+    switches = system.scheduler.switches
+
+    rng = random.Random(f"mc:{seed}:{cell}")
+    # Switch 1 is the pre-run turn draw; crashing there still exercises
+    # the all-volatile-lost path, so the range starts at 1.
+    if switches <= budget:
+        points = list(range(1, switches + 1))
+        exhaustive = True
+    else:
+        points = sorted(rng.sample(range(1, switches + 1), budget))
+        exhaustive = False
+
+    report = MultiCoreCellReport(
+        cell=cell,
+        ops_per_core=ops_per_core,
+        switch_points_total=switches,
+        switch_points_run=len(points),
+        exhaustive=exhaustive,
+        conflicts=system.conflicts,
+        aborts=stats.aborts,
+        commits=stats.commits,
+        cycles=sum(core.now for core in system.cores) - cycles0,
+        pm_bytes=stats.pm_bytes_written - pm0,
+    )
+    for point in points:
+        result = run_multicore_case(
+            cell,
+            point,
+            ops_per_core=ops_per_core,
+            num_keys=num_keys,
+            value_bytes=value_bytes,
+            seed=seed,
+            config=config,
+        )
+        if result.violation is not None:
+            report.violations.append(
+                Violation(
+                    cell=cell,
+                    crash_kind="switch",
+                    crash_point=point,
+                    check=result.check,
+                    message=result.violation,
+                )
+            )
+    return report
+
+
+def run_multicore_campaign(
+    budget: int = 60,
+    seed: int = 7,
+    *,
+    cells: Sequence[MultiCoreCell] = DEFAULT_MULTICORE_CELLS,
+    ops_per_core: int = 12,
+    num_keys: int = 16,
+    value_bytes: int = 32,
+    config: SystemConfig = STRESS_CONFIG,
+    jobs: int = 1,
+    progress=None,
+) -> MultiCoreCampaignResult:
+    """Run the contention campaign grid.
+
+    *budget* is the per-cell crash-point budget.  Cells are keyed by
+    ``(workload, scheme, cores, θ, seed)`` alone — each worker process
+    rebuilds its whole scenario from those scalars, and the ordered
+    merge keeps the campaign byte-identical to a serial run.
+    """
+    from repro.parallel import engine
+    from repro.parallel.tasks import multicore_fuzz_cell
+
+    result = MultiCoreCampaignResult(
+        budget=budget,
+        seed=seed,
+        ops_per_core=ops_per_core,
+        num_keys=num_keys,
+        value_bytes=value_bytes,
+    )
+    descriptors = [
+        {
+            "cell": cell,
+            "budget": budget,
+            "seed": seed,
+            "ops_per_core": ops_per_core,
+            "num_keys": num_keys,
+            "value_bytes": value_bytes,
+            "config": config,
+        }
+        for cell in cells
+    ]
+    result.cells = engine.run_tasks(
+        multicore_fuzz_cell,
+        descriptors,
+        jobs=jobs,
+        labels=[str(cell) for cell in cells],
+        progress=progress,
+    )
+    return result

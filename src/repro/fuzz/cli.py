@@ -8,6 +8,8 @@ Usage::
     python -m repro fuzz --hazard-demo             # catch the §IV-A bug
     python -m repro fuzz --faults                  # media-fault campaign
     python -m repro fuzz --faults --fault-kinds torn-tail
+    python -m repro fuzz --multicore               # contention campaign
+    python -m repro fuzz --multicore --cores 2,4 --thetas 0,0.9
 
 A campaign writes its table to ``benchmarks/results/fuzz_campaign.txt``
 (override with ``--out``) and exits non-zero when any invariant
@@ -46,6 +48,9 @@ def _progress(done: int, total: int, label: str) -> None:
 
 DEFAULT_OUT = os.path.join("benchmarks", "results", "fuzz_campaign.txt")
 DEFAULT_FAULT_OUT = os.path.join("benchmarks", "results", "fault_campaign.txt")
+DEFAULT_MULTICORE_OUT = os.path.join(
+    "benchmarks", "results", "multicore_campaign.txt"
+)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -79,6 +84,19 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--fault-kinds", type=str, default=None,
                         help="comma-separated fault-kind filter for "
                              "--faults (torn-tail,bit-flip,drop-drains)")
+    parser.add_argument("--multicore", action="store_true",
+                        help="run the multi-core contention crash campaign "
+                             "(shared-key zipfian streams, crash at sampled "
+                             "turn-switch points)")
+    parser.add_argument("--cores", type=str, default="1,2,4",
+                        help="comma-separated core counts for --multicore "
+                             "(default 1,2,4)")
+    parser.add_argument("--thetas", type=str, default="0,0.9",
+                        help="comma-separated zipfian skews for --multicore "
+                             "(default 0,0.9)")
+    parser.add_argument("--num-keys", type=int, default=16,
+                        help="shared key-population size for --multicore "
+                             "(default 16)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for the cell sweep "
                              "(default REPRO_JOBS or 1); the report is "
@@ -211,6 +229,67 @@ def _faults_main(args: argparse.Namespace) -> int:
     return 0
 
 
+def _multicore_main(args: argparse.Namespace) -> int:
+    from repro.fuzz.campaign import (
+        MULTICORE_SCHEMES,
+        MultiCoreCell,
+        run_multicore_campaign,
+    )
+    from repro.fuzz.report import format_multicore_report
+
+    try:
+        cores = [int(c) for c in args.cores.split(",") if c.strip()]
+        thetas = [float(t) for t in args.thetas.split(",") if t.strip()]
+    except ValueError as exc:
+        raise SystemExit(f"bad --cores/--thetas value: {exc}")
+    if not cores or any(c < 1 for c in cores):
+        raise SystemExit("--cores needs positive core counts")
+    if any(t < 0 for t in thetas):
+        raise SystemExit("--thetas needs non-negative skews")
+    workloads = ["hashtable"]
+    if args.workloads:
+        wanted = [w.strip() for w in args.workloads.split(",")]
+        unknown = set(wanted) - set(SUBJECTS)
+        if unknown:
+            raise SystemExit(f"unknown workload(s): {sorted(unknown)}")
+        workloads = wanted
+    schemes = list(MULTICORE_SCHEMES)
+    if args.schemes:
+        schemes = [s.strip() for s in args.schemes.split(",")]
+    cells = [
+        MultiCoreCell(w, s, c, t)
+        for w in workloads
+        for s in schemes
+        for c in cores
+        for t in thetas
+    ]
+    if not cells:
+        raise SystemExit("no cells selected")
+
+    budget = args.budget if args.budget is not None else 60
+    out = args.out if args.out != DEFAULT_OUT else DEFAULT_MULTICORE_OUT
+    jobs = resolve_jobs(args.jobs)
+    try:
+        result = run_multicore_campaign(
+            budget=budget, seed=args.seed, cells=cells,
+            ops_per_core=args.ops, num_keys=args.num_keys,
+            value_bytes=args.value_bytes, jobs=jobs,
+            progress=_progress if jobs > 1 else None,
+        )
+    except WorkerCrash as exc:
+        print(f"contention campaign failed: {exc}", file=sys.stderr)
+        return 2
+    text = format_multicore_report(result)
+    print(text, end="")
+
+    out_dir = os.path.dirname(out) or "."
+    os.makedirs(out_dir, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"[report written to {out}]")
+    return 1 if result.violations else 0
+
+
 def fuzz_main(argv: "List[str] | None" = None) -> int:
     args = _parser().parse_args(argv)
     if args.replay:
@@ -221,6 +300,8 @@ def fuzz_main(argv: "List[str] | None" = None) -> int:
         return _faults_main(args)
     if args.fault_kinds:
         raise SystemExit("--fault-kinds requires --faults")
+    if args.multicore:
+        return _multicore_main(args)
 
     cells = list(DEFAULT_CELLS)
     if args.workloads:

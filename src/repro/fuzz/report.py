@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.fuzz.campaign import CampaignResult
+from repro.fuzz.campaign import CampaignResult, MultiCoreCampaignResult
 
 _COLUMNS = (
     ("workload", 10),
@@ -72,6 +72,77 @@ def format_report(result: CampaignResult) -> str:
         "",
         f"cells: {len(result.cells)} "
         f"({exhaustive_cells} with exhaustive durability-point coverage)",
+        f"cases: {result.total_cases}",
+        f"violations: {len(result.violations)}",
+    ]
+    for violation in result.violations:
+        lines.append(f"  VIOLATION {violation}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+_MC_COLUMNS = (
+    ("workload", 10),
+    ("scheme", 7),
+    ("cores", 5),
+    ("theta", 5),
+    ("switch-pts", 12),
+    ("cases", 6),
+    ("conflicts", 9),
+    ("aborts", 7),
+    ("commits", 8),
+    ("cycles", 9),
+    ("pm-bytes", 9),
+    ("violations", 10),
+)
+
+
+def _mc_row(values: List[str]) -> str:
+    return "  ".join(
+        str(v).ljust(width) for (_, width), v in zip(_MC_COLUMNS, values)
+    ).rstrip()
+
+
+def format_multicore_report(result: MultiCoreCampaignResult) -> str:
+    """The contention-campaign table plus totals, as written to
+    ``benchmarks/results/multicore_campaign.txt``."""
+    lines = [
+        "SLPMT multi-core contention crash campaign",
+        f"budget={result.budget} crash points per cell, seed={result.seed}, "
+        f"ops/core={result.ops_per_core}, keys={result.num_keys}, "
+        f"value_bytes={result.value_bytes}, "
+        "config=stress (512B/1KB/8KB caches)",
+        "",
+        _mc_row([name for name, _ in _MC_COLUMNS]),
+        _mc_row(["-" * min(w, 10) for _, w in _MC_COLUMNS]),
+    ]
+    for cell in result.cells:
+        switch = f"{cell.switch_points_run}/{cell.switch_points_total}"
+        if cell.exhaustive:
+            switch += " all"
+        lines.append(
+            _mc_row(
+                [
+                    cell.cell.workload,
+                    cell.cell.scheme,
+                    cell.cell.cores,
+                    f"{cell.cell.theta:g}",
+                    switch,
+                    cell.cases_run,
+                    cell.conflicts,
+                    cell.aborts,
+                    cell.commits,
+                    cell.cycles,
+                    cell.pm_bytes,
+                    len(cell.violations),
+                ]
+            )
+        )
+    exhaustive_cells = sum(1 for c in result.cells if c.exhaustive)
+    lines += [
+        "",
+        f"cells: {len(result.cells)} "
+        f"({exhaustive_cells} with exhaustive switch-point coverage)",
         f"cases: {result.total_cases}",
         f"violations: {len(result.violations)}",
     ]

@@ -17,7 +17,8 @@ from repro.core.machine import Machine
 from repro.core.schemes import Scheme, scheme_by_name
 from repro.runtime.hints import MANUAL, AnnotationPolicy
 from repro.runtime.ptx import PTx
-from repro.workloads import WORKLOADS, generate_load, replay
+from repro.workloads import WORKLOADS, generate_load, generate_streams, replay
+from repro.workloads.shared import replay_contention
 
 
 @dataclass(frozen=True)
@@ -88,6 +89,92 @@ def run_workload(
         pm_bytes=stats.pm_bytes_written,
         pm_log_bytes=stats.pm_log_bytes_written,
         pm_data_bytes=stats.pm_data_bytes_written,
+        stats=stats,
+    )
+
+
+@dataclass(frozen=True)
+class ContentionResult:
+    """Headline metrics of one shared-key contention run (N cores)."""
+
+    workload: str
+    scheme: str
+    cores: int
+    theta: float
+    value_bytes: int
+    ops_per_core: int
+    num_keys: int
+    cycles: int
+    pm_bytes: int
+    conflicts: int
+    aborts: int
+    commits: int
+    stats: SimStats
+
+    @property
+    def cycles_per_op(self) -> float:
+        return self.cycles / (self.ops_per_core * self.cores)
+
+
+def run_contention(
+    workload: str,
+    scheme: "Scheme | str",
+    *,
+    cores: int = 2,
+    theta: float = 0.0,
+    ops_per_core: int = 100,
+    num_keys: int = 32,
+    value_bytes: int = 256,
+    config: SystemConfig = DEFAULT_CONFIG,
+    seed: int = 2023,
+    verify: bool = True,
+) -> ContentionResult:
+    """Simulate a shared-key contention run: *cores* workers hammer one
+    durable *workload* instance with zipfian(θ) key skew.
+
+    The whole run — streams, interleaving, conflicts, aborts, backoff —
+    is a pure function of ``(workload, scheme, cores, theta, seed)``
+    plus the size knobs, so cells computed in different processes (or on
+    different days) agree bit-for-bit; the bench grid and the fuzz
+    campaign both lean on that.
+
+    ``cycles`` is the *sum* of per-core cycle counters (the interleaving
+    is functional, not a timing model — see
+    :mod:`repro.multicore.system`), which still moves the right way
+    under contention: aborted work and backoff waits inflate it.
+    """
+    from repro.multicore.system import MultiCoreSystem
+
+    scheme = scheme_by_name(scheme) if isinstance(scheme, str) else scheme
+    system = MultiCoreSystem(cores, scheme, config, seed=seed)
+    subject = WORKLOADS[workload](system.runtimes[0], value_bytes=value_bytes)
+    streams = generate_streams(
+        cores,
+        ops_per_core,
+        theta=theta,
+        num_keys=num_keys,
+        value_words=subject.value_words,
+        seed=seed,
+    )
+    replay_contention(system, subject, streams)
+    system.fence_all()
+    system.finalize_all()
+    if verify:
+        subject.verify(durable=True)
+    stats = system.merged_stats()
+    return ContentionResult(
+        workload=workload,
+        scheme=scheme.name,
+        cores=cores,
+        theta=theta,
+        value_bytes=value_bytes,
+        ops_per_core=ops_per_core,
+        num_keys=num_keys,
+        cycles=sum(core.now for core in system.cores),
+        pm_bytes=stats.pm_bytes_written,
+        conflicts=system.conflicts,
+        aborts=stats.aborts,
+        commits=stats.commits,
         stats=stats,
     )
 

@@ -64,10 +64,17 @@ class MultiCoreSystem:
         *,
         policy: AnnotationPolicy = MANUAL,
         seed: int = 0,
+        wait_timeout: "float | None" = None,
+        hang_timeout: "float | None" = None,
     ) -> None:
         self.pm = PersistentMemory()
         self.allocator = PersistentAllocator()
-        self.scheduler = InterleavedScheduler(num_cores, seed=seed)
+        sched_kwargs = {}
+        if wait_timeout is not None:
+            sched_kwargs["wait_timeout"] = wait_timeout
+        if hang_timeout is not None:
+            sched_kwargs["hang_timeout"] = hang_timeout
+        self.scheduler = InterleavedScheduler(num_cores, seed=seed, **sched_kwargs)
         self.conflicts = 0
         self.cores: List[Machine] = []
         self.runtimes: List[PTx] = []
@@ -111,6 +118,7 @@ class MultiCoreSystem:
             turns = min(
                 MAX_BACKOFF_TURNS, max(1, cycles // CONFLICT_BACKOFF_BASE)
             )
+            self.cores[core_id].stats.backoff_turns += turns
             self.scheduler.backoff(core_id, turns)
 
         return sink
@@ -150,6 +158,7 @@ class MultiCoreSystem:
         non-transactional requester always wins (nothing to abort).
         """
         self.conflicts += 1
+        requester.stats.conflicts += 1
         if requester.in_transaction and requester.tx_stamp > victim.tx_stamp:
             requester.abort_by_conflict()
             raise TransactionAborted("wound-wait: yielded to an older transaction")
@@ -247,16 +256,40 @@ class MultiCoreSystem:
 
 
 def run_atomically(
-    rt: PTx, body: Callable[[], None], *, max_retries: int = 256
+    rt: PTx,
+    body: Callable[[], None],
+    *,
+    max_attempts: "int | None" = None,
+    max_retries: "int | None" = None,
 ) -> int:
     """Run *body* in a transaction, retrying on conflict aborts with
     bounded, deterministic, cycle-accounted backoff.
 
+    *max_attempts* is the total number of times the body may run, the
+    first try included: the budget is ``max_attempts - 1`` retries (and
+    therefore exactly that many backoff waits), and the
+    :class:`~repro.common.errors.RetryExhausted` raised when every
+    attempt aborted reports exactly *max_attempts* attempts.  The
+    default budget is 256 attempts.
+
+    ``max_retries`` is a deprecated alias for *max_attempts*: earlier
+    releases took this keyword but always accounted it as a number of
+    *attempts* (silently passing ``retries=max_retries - 1`` down), so
+    the alias keeps that — now documented — meaning rather than
+    silently changing callers' budgets.
+
     Returns the number of aborted attempts before the commit.  Raises
-    :class:`~repro.common.errors.RetryExhausted` (a
-    :class:`TransactionError` subtype, so legacy handlers keep working)
-    when the retry budget is exhausted.
+    :class:`RetryExhausted` (a :class:`TransactionError` subtype, so
+    legacy handlers keep working) when the attempt budget is exhausted.
     """
+    if max_attempts is not None and max_retries is not None:
+        raise TransactionError("pass max_attempts or max_retries, not both")
+    if max_attempts is None:
+        max_attempts = max_retries if max_retries is not None else 256
+    if max_attempts < 1:
+        raise TransactionError(
+            f"max_attempts must be at least 1, got {max_attempts}"
+        )
     return rt.run_with_retries(
-        body, retries=max_retries - 1, backoff_base=CONFLICT_BACKOFF_BASE
+        body, retries=max_attempts - 1, backoff_base=CONFLICT_BACKOFF_BASE
     )

@@ -44,6 +44,18 @@ SCHEMA_VERSION = 1
 #: The checked-in baseline for the default bench.
 DEFAULT_BASELINE = "BENCH_slpmt_ycsb.json"
 
+#: Multi-core contention grid defaults: the FG baseline against the
+#: full design, over core counts and key skews that bracket the
+#: no-contention and hot-key regimes.
+MULTICORE_SCHEMES = ("FG", "SLPMT")
+MULTICORE_CORES = (1, 2, 4)
+MULTICORE_THETAS = (0.0, 0.9)
+DEFAULT_MULTICORE_OPS = 100
+DEFAULT_MULTICORE_KEYS = 32
+
+#: The checked-in baseline for the contention bench.
+DEFAULT_MULTICORE_BASELINE = "BENCH_multicore.json"
+
 
 def bench_name(name: str) -> str:
     return f"BENCH_{name}.json"
@@ -116,6 +128,98 @@ def run_bench(
         # Wall-clock context, never gated: check_bench compares only
         # simulated cycles / pm_bytes, and strip_host() removes these
         # before any byte-identity comparison.
+        "host": {
+            "seconds": round(host_seconds, 3),
+            "cells_per_sec": round(len(keys) / host_seconds, 3)
+            if host_seconds > 0
+            else 0.0,
+            "jobs": jobs,
+        },
+    }
+
+
+def run_multicore_bench(
+    *,
+    name: str = "multicore",
+    workloads: "Sequence[str]" = ("hashtable",),
+    schemes: "Sequence[str]" = MULTICORE_SCHEMES,
+    cores: "Sequence[int]" = MULTICORE_CORES,
+    thetas: "Sequence[float]" = MULTICORE_THETAS,
+    ops_per_core: int = DEFAULT_MULTICORE_OPS,
+    num_keys: int = DEFAULT_MULTICORE_KEYS,
+    value_bytes: int = DEFAULT_VALUE_BYTES,
+    seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+    progress: "Optional[engine.ProgressFn]" = None,
+) -> Dict[str, Any]:
+    """Run the contention sweep and build the artifact document.
+
+    Cells are keyed ``workload/scheme/cN/tθ`` — one shared-key
+    contention run each (see
+    :func:`repro.harness.runner.run_contention`), deterministic from
+    ``(workload, scheme, cores, θ, seed)``, so the stripped document is
+    byte-identical between serial and ``--jobs N`` sweeps.  Geomeans
+    aggregate per scheme over every (workload × cores × θ) cell; the
+    contention counters (conflicts, aborts) ride along in each cell for
+    the reproducibility check but are not gated.
+    """
+    grid = [
+        (w, s, c, t)
+        for w in workloads
+        for s in schemes
+        for c in cores
+        for t in thetas
+    ]
+    keys = [f"{w}/{s}/c{c}/t{t:g}" for w, s, c, t in grid]
+    descriptors = [
+        {
+            "workload": w,
+            "scheme": s,
+            "cores": c,
+            "theta": t,
+            "ops_per_core": ops_per_core,
+            "num_keys": num_keys,
+            "value_bytes": value_bytes,
+            "seed": seed,
+        }
+        for w, s, c, t in grid
+    ]
+    t0 = time.perf_counter()
+    results = engine.run_tasks(
+        partasks.multicore_bench_cell,
+        descriptors,
+        jobs=jobs,
+        labels=keys,
+        progress=progress,
+    )
+    host_seconds = time.perf_counter() - t0
+    cells: Dict[str, Any] = dict(zip(keys, results))
+    geomeans: Dict[str, Any] = {}
+    for scheme in schemes:
+        mine = [
+            key
+            for key, (w, s, c, t) in zip(keys, grid)
+            if s == scheme
+        ]
+        geomeans[scheme] = {
+            "cycles": round(geomean(cells[k]["cycles"] for k in mine), 1),
+            "pm_bytes": round(geomean(cells[k]["pm_bytes"] for k in mine), 1),
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "params": {
+            "workloads": list(workloads),
+            "schemes": list(schemes),
+            "cores": list(cores),
+            "thetas": list(thetas),
+            "ops_per_core": ops_per_core,
+            "num_keys": num_keys,
+            "value_bytes": value_bytes,
+            "seed": seed,
+        },
+        "cells": cells,
+        "geomean": geomeans,
         "host": {
             "seconds": round(host_seconds, 3),
             "cells_per_sec": round(len(keys) / host_seconds, 3)

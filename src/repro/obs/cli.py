@@ -15,6 +15,8 @@ Bench artifacts and the perf-regression gate::
     python -m repro bench                    # run + print the sweep
     python -m repro bench --update           # re-pin BENCH_slpmt_ycsb.json
     python -m repro bench --check            # fail on drift vs the baseline
+    python -m repro bench --multicore        # shared-key contention grid
+    python -m repro bench --multicore --cores 1,2,4 --check
 """
 
 from __future__ import annotations
@@ -231,19 +233,37 @@ def _cmd_equivalence(args: argparse.Namespace) -> int:
     must be bit-identical to the checked-in baseline's simulated
     numbers."""
     jobs = max(2, resolve_jobs(args.jobs))
-    baseline_path = args.baseline or bench_mod.DEFAULT_BASELINE
-    baseline = bench_mod.load_bench(baseline_path)
-    params = baseline["params"]
-    kwargs = dict(
-        name=baseline["name"],
-        workloads=tuple(params["workloads"]),
-        schemes=tuple(params["schemes"]),
-        num_ops=params["num_ops"],
-        value_bytes=params["value_bytes"],
-        seed=params["seed"],
-    )
-    serial = bench_mod.run_bench(jobs=1, **kwargs)
-    parallel = bench_mod.run_bench(jobs=jobs, progress=_progress, **kwargs)
+    if args.multicore:
+        baseline_path = args.baseline or bench_mod.DEFAULT_MULTICORE_BASELINE
+        baseline = bench_mod.load_bench(baseline_path)
+        params = baseline["params"]
+        kwargs = dict(
+            name=baseline["name"],
+            workloads=tuple(params["workloads"]),
+            schemes=tuple(params["schemes"]),
+            cores=tuple(params["cores"]),
+            thetas=tuple(params["thetas"]),
+            ops_per_core=params["ops_per_core"],
+            num_keys=params["num_keys"],
+            value_bytes=params["value_bytes"],
+            seed=params["seed"],
+        )
+        run = bench_mod.run_multicore_bench
+    else:
+        baseline_path = args.baseline or bench_mod.DEFAULT_BASELINE
+        baseline = bench_mod.load_bench(baseline_path)
+        params = baseline["params"]
+        kwargs = dict(
+            name=baseline["name"],
+            workloads=tuple(params["workloads"]),
+            schemes=tuple(params["schemes"]),
+            num_ops=params["num_ops"],
+            value_bytes=params["value_bytes"],
+            seed=params["seed"],
+        )
+        run = bench_mod.run_bench
+    serial = run(jobs=1, **kwargs)
+    parallel = run(jobs=jobs, progress=_progress, **kwargs)
 
     failures = 0
     a = bench_mod.strip_host(serial)
@@ -333,6 +353,11 @@ def obs_main(argv: "List[str] | None" = None) -> int:
         "--baseline", default=None,
         help=f"baseline artifact path (default {bench_mod.DEFAULT_BASELINE})",
     )
+    p_equiv.add_argument(
+        "--multicore", action="store_true",
+        help="check the contention sweep against "
+        f"{bench_mod.DEFAULT_MULTICORE_BASELINE} instead",
+    )
     p_equiv.set_defaults(func=_cmd_equivalence)
 
     args = parser.parse_args(argv)
@@ -344,12 +369,32 @@ def bench_main(argv: "List[str] | None" = None) -> int:
         prog="python -m repro bench",
         description="BENCH_*.json perf artifacts and the regression gate.",
     )
-    parser.add_argument("--name", default="slpmt_ycsb")
-    parser.add_argument("--ops", type=int, default=bench_mod.DEFAULT_NUM_OPS)
+    parser.add_argument("--name", default=None,
+                        help="artifact name (default slpmt_ycsb, or "
+                        "multicore with --multicore)")
+    parser.add_argument("--ops", type=int, default=None,
+                        help=f"ops per run (default {bench_mod.DEFAULT_NUM_OPS}"
+                        f", or {bench_mod.DEFAULT_MULTICORE_OPS} per core "
+                        "with --multicore)")
     parser.add_argument(
         "--value-bytes", type=int, default=bench_mod.DEFAULT_VALUE_BYTES
     )
     parser.add_argument("--seed", type=int, default=bench_mod.DEFAULT_SEED)
+    parser.add_argument(
+        "--multicore", action="store_true",
+        help="sweep the shared-key contention grid (workload × scheme × "
+        "cores × θ) instead of the single-core scheme grid",
+    )
+    parser.add_argument(
+        "--cores", type=str, default=None,
+        help="comma-separated core counts for --multicore (default "
+        + ",".join(str(c) for c in bench_mod.MULTICORE_CORES) + ")",
+    )
+    parser.add_argument(
+        "--thetas", type=str, default=None,
+        help="comma-separated zipfian skews for --multicore (default "
+        + ",".join(f"{t:g}" for t in bench_mod.MULTICORE_THETAS) + ")",
+    )
     parser.add_argument(
         "--baseline", default=None,
         help="baseline artifact path (default BENCH_<name>.json)",
@@ -376,18 +421,47 @@ def bench_main(argv: "List[str] | None" = None) -> int:
         help="also write the fresh sweep document to this path",
     )
     args = parser.parse_args(argv)
+    if (args.cores or args.thetas) and not args.multicore:
+        raise SystemExit("--cores/--thetas require --multicore")
 
     jobs = resolve_jobs(args.jobs)
-    baseline_path = args.baseline or bench_mod.bench_name(args.name)
+    name = args.name or ("multicore" if args.multicore else "slpmt_ycsb")
+    baseline_path = args.baseline or bench_mod.bench_name(name)
     try:
-        doc = bench_mod.run_bench(
-            name=args.name,
-            num_ops=args.ops,
-            value_bytes=args.value_bytes,
-            seed=args.seed,
-            jobs=jobs,
-            progress=_progress if jobs > 1 else None,
-        )
+        if args.multicore:
+            cores = (
+                tuple(int(c) for c in args.cores.split(","))
+                if args.cores
+                else bench_mod.MULTICORE_CORES
+            )
+            thetas = (
+                tuple(float(t) for t in args.thetas.split(","))
+                if args.thetas
+                else bench_mod.MULTICORE_THETAS
+            )
+            doc = bench_mod.run_multicore_bench(
+                name=name,
+                cores=cores,
+                thetas=thetas,
+                ops_per_core=args.ops
+                if args.ops is not None
+                else bench_mod.DEFAULT_MULTICORE_OPS,
+                value_bytes=args.value_bytes,
+                seed=args.seed,
+                jobs=jobs,
+                progress=_progress if jobs > 1 else None,
+            )
+        else:
+            doc = bench_mod.run_bench(
+                name=name,
+                num_ops=args.ops
+                if args.ops is not None
+                else bench_mod.DEFAULT_NUM_OPS,
+                value_bytes=args.value_bytes,
+                seed=args.seed,
+                jobs=jobs,
+                progress=_progress if jobs > 1 else None,
+            )
     except WorkerCrash as exc:
         print(f"bench sweep failed: {exc}", file=sys.stderr)
         return 1

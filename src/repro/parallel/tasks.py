@@ -67,6 +67,50 @@ def bench_cell(
     }
 
 
+def multicore_bench_cell(
+    *,
+    workload: str,
+    scheme: str,
+    cores: int,
+    theta: float,
+    ops_per_core: int,
+    num_keys: int,
+    value_bytes: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """One ``BENCH_multicore.json`` cell: a shared-key contention run.
+
+    Keyed by ``(workload, scheme, cores, θ, seed)`` — the whole run is
+    deterministic from those, so the cell dict (minus ``host_ms``) is
+    byte-identical between serial and ``--jobs N`` sweeps.
+    """
+    _poison_check(f"{workload}/{scheme}/c{cores}/t{theta:g}")
+    from repro.harness.runner import run_contention
+
+    t0 = time.perf_counter()
+    res = run_contention(
+        workload,
+        scheme,
+        cores=cores,
+        theta=theta,
+        ops_per_core=ops_per_core,
+        num_keys=num_keys,
+        value_bytes=value_bytes,
+        seed=seed,
+    )
+    host_ms = (time.perf_counter() - t0) * 1000.0
+    return {
+        "cycles": res.cycles,
+        "pm_bytes": res.pm_bytes,
+        "conflicts": res.conflicts,
+        "aborts": res.aborts,
+        "commits": res.commits,
+        "cycles_per_op": round(res.cycles_per_op, 3),
+        "stats": json.loads(res.stats.to_json()),
+        "host_ms": round(host_ms, 3),
+    }
+
+
 def runner_cell(*, key: "Tuple") -> Any:
     """Warm one :func:`repro.harness.runner.cached_run` memo entry.
 
@@ -91,6 +135,14 @@ def fuzz_cell(*, cell, **kwargs) -> Any:
     from repro.fuzz.campaign import run_cell
 
     return run_cell(cell, **kwargs)
+
+
+def multicore_fuzz_cell(*, cell, **kwargs) -> Any:
+    """One contention-campaign cell: crash-point sweep over N cores."""
+    _poison_check(str(cell))
+    from repro.fuzz.campaign import run_multicore_cell
+
+    return run_multicore_cell(cell, **kwargs)
 
 
 def fault_cell(*, cell, **kwargs) -> Any:

@@ -13,6 +13,12 @@ from repro.workloads.kv.ctree import CritBitKV
 from repro.workloads.kv.engine import KV_BACKENDS, make_kv
 from repro.workloads.kv.rtree import RadixKV
 from repro.workloads.rbtree import RBTree
+from repro.workloads.shared import (
+    SharedOp,
+    generate_streams,
+    replay_contention,
+    zipfian_cdf,
+)
 from repro.workloads.ycsb import YcsbOp, generate_load, generate_mix, replay
 
 #: All workloads by their Table-II name.
@@ -52,6 +58,10 @@ __all__ = [
     "generate_load",
     "generate_mix",
     "replay",
+    "SharedOp",
+    "generate_streams",
+    "replay_contention",
+    "zipfian_cdf",
     "WORKLOADS",
     "KERNELS",
     "PMKV",

@@ -1,5 +1,8 @@
 """Deterministic interleaving scheduler."""
 
+import threading
+import time
+
 import pytest
 
 from repro.common.errors import PowerFailure, SimulationError
@@ -104,3 +107,124 @@ class TestLifecycle:
         assert scheduler.crashed
         assert ("crasher", 1) not in progress
         assert len([p for p in progress if p[0] == "bystander"]) < 1000
+
+
+class TestHangDetection:
+    def test_timeouts_validated(self):
+        with pytest.raises(SimulationError):
+            InterleavedScheduler(2, wait_timeout=0.0)
+        with pytest.raises(SimulationError):
+            InterleavedScheduler(2, hang_timeout=-1.0)
+
+    def test_deadlock_diagnosed_by_lack_of_progress(self):
+        # A worker that takes the turn and never yields is a genuine
+        # scheduler deadlock; it must be diagnosed within hang_timeout,
+        # not after a fixed 60s wall-clock grace.
+        scheduler = InterleavedScheduler(
+            2, seed=1, wait_timeout=0.02, hang_timeout=0.2
+        )
+        release = threading.Event()
+
+        def hog():
+            scheduler.checkpoint(0)
+            release.wait(timeout=10.0)  # holds the turn forever
+
+        def waiter():
+            for _ in range(1000):
+                scheduler.checkpoint(1)
+
+        t0 = time.monotonic()
+        try:
+            with pytest.raises(SimulationError, match="deadlock"):
+                scheduler.run([hog, waiter])
+        finally:
+            release.set()
+        assert time.monotonic() - t0 < 5.0
+
+    def test_slow_but_progressing_run_not_misdiagnosed(self):
+        # Total wall-clock far exceeds hang_timeout, but turns keep
+        # switching: progress-based detection must not trip.
+        scheduler = InterleavedScheduler(
+            2, seed=3, wait_timeout=0.02, hang_timeout=0.15
+        )
+        trace = []
+
+        def worker(tid):
+            def body():
+                for step in range(20):
+                    scheduler.checkpoint(tid)
+                    trace.append((tid, step))
+                    time.sleep(0.01)
+
+            return body
+
+        scheduler.run([worker(0), worker(1)])
+        assert sorted(trace) == [(t, s) for t in range(2) for s in range(20)]
+
+
+class TestPostCrashReuse:
+    def run_workers(self, scheduler, crash):
+        trace = []
+
+        def worker(tid):
+            def body():
+                for step in range(10):
+                    scheduler.checkpoint(tid)
+                    if crash and tid == 0 and step == 3:
+                        scheduler.crash_all()
+                    trace.append((tid, step))
+
+            return body
+
+        scheduler.run([worker(0), worker(1)])
+        return trace
+
+    def test_run_rearms_a_crashed_scheduler(self):
+        scheduler = InterleavedScheduler(2, seed=8)
+        self.run_workers(scheduler, crash=True)
+        assert scheduler.crashed
+        trace = self.run_workers(scheduler, crash=False)
+        assert not scheduler.crashed
+        assert sorted(trace) == [(t, s) for t in range(2) for s in range(10)]
+
+    def test_checkpoint_between_crash_and_rerun_raises(self):
+        # Until the next run() powers the system back on, the machine
+        # is "off": any checkpoint still unwinds with PowerFailure.
+        scheduler = InterleavedScheduler(2, seed=8)
+        self.run_workers(scheduler, crash=True)
+        with pytest.raises(PowerFailure):
+            scheduler.checkpoint(0)
+
+
+class TestCrashAtSwitch:
+    def armed_run(self, crash_at):
+        scheduler = InterleavedScheduler(2, seed=5)
+        scheduler.crash_at_switch = crash_at
+        trace = []
+
+        def worker(tid):
+            def body():
+                for step in range(50):
+                    scheduler.checkpoint(tid)
+                    trace.append((tid, step))
+
+            return body
+
+        scheduler.run([worker(0), worker(1)])
+        return scheduler, trace
+
+    def test_crash_fires_at_the_armed_switch(self):
+        scheduler, trace = self.armed_run(7)
+        assert scheduler.crashed
+        assert scheduler.switches == 7
+        assert len(trace) < 100
+
+    def test_armed_crash_is_deterministic(self):
+        _, a = self.armed_run(13)
+        _, b = self.armed_run(13)
+        assert a == b
+
+    def test_point_beyond_the_run_never_fires(self):
+        scheduler, trace = self.armed_run(10_000)
+        assert not scheduler.crashed
+        assert sorted(trace) == [(t, s) for t in range(2) for s in range(50)]

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.common.errors import TransactionError
+from repro.common.errors import (
+    RetryExhausted,
+    TransactionAborted,
+    TransactionError,
+)
 from repro.mem import layout
 from repro.multicore.system import MultiCoreSystem, run_atomically
 from repro.recovery.engine import recover
@@ -223,3 +227,108 @@ class TestErrors:
         system = MultiCoreSystem(2)
         with pytest.raises(TransactionError):
             system.run([lambda rt: None])
+
+
+class TestAttemptAccounting:
+    def always_abort(self, calls):
+        def body():
+            calls.append(1)
+            raise TransactionAborted("forced")
+
+        return body
+
+    def test_exhaustion_reports_exactly_max_attempts(self):
+        system = MultiCoreSystem(1, seed=0)
+        rt = system.runtimes[0]
+        calls = []
+        with pytest.raises(RetryExhausted, match="aborted 3 times"):
+            run_atomically(rt, self.always_abort(calls), max_attempts=3)
+        assert len(calls) == 3
+
+    def test_max_retries_alias_keeps_attempt_meaning(self):
+        # max_retries always *behaved* as an attempt budget (it passed
+        # retries=max_retries-1 down); the alias must not silently
+        # change existing callers' budgets.
+        system = MultiCoreSystem(1, seed=0)
+        rt = system.runtimes[0]
+        calls = []
+        with pytest.raises(RetryExhausted, match="aborted 3 times"):
+            run_atomically(rt, self.always_abort(calls), max_retries=3)
+        assert len(calls) == 3
+
+    def test_single_attempt_budget(self):
+        system = MultiCoreSystem(1, seed=0)
+        rt = system.runtimes[0]
+        calls = []
+        with pytest.raises(RetryExhausted, match="aborted 1 times"):
+            run_atomically(rt, self.always_abort(calls), max_attempts=1)
+        assert len(calls) == 1
+
+    def test_success_reports_aborted_attempts(self):
+        system = MultiCoreSystem(1, seed=0)
+        rt = system.runtimes[0]
+        counter = system.allocator.alloc(8)
+        remaining = [2]
+
+        def flaky():
+            if remaining[0]:
+                remaining[0] -= 1
+                raise TransactionAborted("transient")
+            rt.store(counter, 1)
+
+        assert run_atomically(rt, flaky, max_attempts=4) == 2
+
+    def test_both_kwargs_rejected(self):
+        system = MultiCoreSystem(1, seed=0)
+        rt = system.runtimes[0]
+        with pytest.raises(TransactionError, match="not both"):
+            run_atomically(rt, lambda: None, max_attempts=2, max_retries=2)
+
+    def test_nonpositive_budget_rejected(self):
+        system = MultiCoreSystem(1, seed=0)
+        rt = system.runtimes[0]
+        with pytest.raises(TransactionError, match="at least 1"):
+            run_atomically(rt, lambda: None, max_attempts=0)
+
+
+class TestCrashDuringBackoff:
+    def test_peer_crash_while_core_backs_off(self):
+        # A conflict-losing core yields turns inside backoff(); the
+        # peer uses one of those turns to pull the plug.  Every worker
+        # must unwind via PowerFailure (no deadlock in finish()), and
+        # recovery must still see an untorn committed prefix.
+        system, counter = counter_system(seed=7)
+        rt1 = system.runtimes[1]
+        in_backoff = []
+        crashed_mid_backoff = []
+        orig = rt1.backoff_sink
+
+        def sink(cycles):
+            in_backoff.append(cycles)
+            try:
+                orig(cycles)  # yields turns: the peer runs in here
+            finally:
+                in_backoff.pop()
+
+        rt1.backoff_sink = sink
+
+        def crasher(rt):
+            for _ in range(50):
+                if in_backoff:
+                    crashed_mid_backoff.append(True)
+                    system.scheduler.crash_all()
+
+                def body():
+                    value = rt.load(counter)
+                    rt.store(counter, value + 1)
+
+                run_atomically(rt, body)
+
+        system.run([crasher, increment_worker(counter, 50)])
+        assert crashed_mid_backoff, "no backoff overlapped the peer's turn"
+        assert system.scheduler.crashed
+        for core in system.cores:
+            core.crash()
+        recover(system.pm)
+        final = system.durable_read(counter)
+        assert 0 <= final <= system.total_commits()
