@@ -8,6 +8,7 @@ Usage::
     python -m repro all --ops 200        # everything
     python -m repro fuzz --budget 200 --seed 7   # crash-consistency fuzz
     python -m repro fuzz --replay r.json         # replay a reproducer
+    python -m repro serve --scheme SLPMT --batch-size 8  # txn service bench
     python -m repro obs stats --scheme SLPMT     # cycle attribution dump
     python -m repro obs trace --out trace.json   # Perfetto trace export
     python -m repro bench --check                # perf-regression gate
@@ -37,6 +38,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.obs.cli import bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.service.cli import serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the SLPMT paper's evaluation figures.",

@@ -83,6 +83,19 @@ class SimStats:
     backoff_turns: int = 0
     forced_lazy_by_peer: int = 0
 
+    # --- transaction service ---------------------------------------------
+    # All of these fire only through repro.service, so plain harness runs
+    # keep them at zero and the pre-service bench baselines stay
+    # comparable.  ``service_queue_peak`` is a high-water mark, not a
+    # count — meaningful per machine, not under add()/merged sums.
+    service_requests: int = 0
+    service_acked: int = 0
+    service_rejected: int = 0
+    service_reads: int = 0
+    service_batches: int = 0
+    service_batched_writes: int = 0
+    service_queue_peak: int = 0
+
     def copy(self) -> "SimStats":
         """Return an independent snapshot of the current counters."""
         return SimStats(**self.as_dict())
@@ -177,6 +190,11 @@ class SimStats:
             "contention (multi-core)": (
                 "conflicts", "wound_wait_aborts", "backoff_turns",
                 "forced_lazy_by_peer",
+            ),
+            "transaction service": (
+                "service_requests", "service_acked", "service_rejected",
+                "service_reads", "service_batches", "service_batched_writes",
+                "service_queue_peak",
             ),
         }
         lines = []

@@ -996,3 +996,375 @@ def run_multicore_campaign(
         progress=progress,
     )
     return result
+
+# ----------------------------------------------------------------------
+# transaction-service campaign (group-commit durability)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServiceCell:
+    """One (workload × scheme × group-commit batch size) service cell."""
+
+    workload: str
+    scheme: str
+    batch_size: int
+
+    def __str__(self) -> str:
+        return f"svc/{self.workload}/{self.scheme}/b{self.batch_size}"
+
+
+#: Schemes the service campaign sweeps by default: the FG baseline and
+#: the full design.
+SERVICE_SCHEMES: Tuple[str, ...] = ("FG", "SLPMT")
+
+#: Default service campaign grid: each scheme with and without group
+#: commit, over the hashtable (the structure whose O(1) paths keep
+#: per-case cost low enough for exhaustive durability-event sweeps).
+DEFAULT_SERVICE_CELLS: Tuple[ServiceCell, ...] = tuple(
+    ServiceCell("hashtable", scheme, batch)
+    for scheme in SERVICE_SCHEMES
+    for batch in (1, 8)
+)
+
+#: Service campaign traffic: write-heavy with multi-key transactions so
+#: a group commit's all-or-nothing set spans clients and keys.
+SERVICE_FUZZ_MIX: Dict[str, float] = {
+    "put": 0.65,
+    "get": 0.15,
+    "scan": 0.05,
+    "txn": 0.15,
+}
+
+
+@dataclass
+class ServiceCellReport:
+    """Coverage and outcome summary for one service cell."""
+
+    cell: ServiceCell
+    num_requests: int
+    persist_points_total: int
+    persist_points_run: int
+    exhaustive: bool
+    instr_points_total: int
+    instr_points_run: int
+    #: Clean-run service profile (determinism witnesses).
+    batches: int
+    acked: int
+    cycles: int = 0
+    pm_bytes: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def cases_run(self) -> int:
+        return self.persist_points_run + self.instr_points_run
+
+
+@dataclass
+class ServiceCampaignResult:
+    """A whole service campaign: parameters plus cell reports."""
+
+    budget: int
+    seed: int
+    num_clients: int
+    requests_per_client: int
+    value_bytes: int
+    cells: List[ServiceCellReport] = field(default_factory=list)
+
+    @property
+    def total_cases(self) -> int:
+        return sum(c.cases_run for c in self.cells)
+
+    @property
+    def violations(self) -> List[Violation]:
+        return [v for c in self.cells for v in c.violations]
+
+
+def _build_service(
+    cell: ServiceCell,
+    *,
+    num_clients: int,
+    requests_per_client: int,
+    value_bytes: int,
+    seed: int,
+    config: SystemConfig,
+):
+    """A fresh transaction service for one campaign case.
+
+    ``block`` admission so every request eventually commits (maximum
+    durability surface), open-loop arrivals fast enough to keep batches
+    full, and ``verify=False`` — the campaign applies its own two-state
+    acceptance check instead of the clean-run verify."""
+    from repro.service.admission import AdmissionPolicy
+    from repro.service.server import ServiceConfig, TransactionService
+    from repro.service.tm import GroupCommitPolicy
+
+    return TransactionService(
+        ServiceConfig(
+            workload=cell.workload,
+            scheme=cell.scheme,
+            num_clients=num_clients,
+            requests_per_client=requests_per_client,
+            value_bytes=value_bytes,
+            num_keys=24,
+            theta=0.6,
+            mix=dict(SERVICE_FUZZ_MIX),
+            arrival_cycles=600,
+            batch=GroupCommitPolicy(batch_size=cell.batch_size),
+            admission=AdmissionPolicy(max_depth=64, mode="block"),
+            seed=seed,
+            verify=False,
+        ),
+        config=config,
+    )
+
+
+def _check_service_recovered(svc) -> Tuple[Optional[str], str]:
+    """Post-crash acceptance check for a transaction-service run.
+
+    The service's durability contract is judged against its *committed
+    oracle* (every acknowledged write, folded in at group commit) and
+    the in-flight batch:
+
+    * ``structure`` — the workload's integrity invariants hold;
+    * **ack ⇒ durable** — the durable logical state contains every
+      acknowledged write's exact effect (the oracle state);
+    * **atomicity** — the only other legal image is the oracle plus the
+      *entire* in-flight batch applied in batch order: its commit marker
+      may have become durable immediately before the crash surfaced.
+      A partial batch — some requests' effects durable, others' not —
+      is a violation, as is any unacknowledged effect outside the
+      in-flight batch.
+    """
+    subject = svc.subject
+    try:
+        if hasattr(subject, "check_integrity"):
+            subject.check_integrity(subject.reader(durable=True))
+        state = durable_state(subject)
+    except RecoveryError as exc:
+        return str(exc), "structure"
+    except SimulationError as exc:
+        return f"durable traversal failed: {exc}", "structure"
+    except InvariantViolation as exc:
+        return exc.message, exc.check
+
+    committed = {k: tuple(v) for k, v in svc.rm.committed.items()}
+    acceptable = [tuple(sorted(committed.items()))]
+    if svc.inflight:
+        after = dict(committed)
+        for request in svc.inflight:
+            for key, value in zip(request.keys, request.values):
+                after[key] = tuple(value)
+        acceptable.append(tuple(sorted(after.items())))
+    if state in acceptable:
+        return None, ""
+    return _diagnose(state, acceptable[0])
+
+
+def run_service_case(
+    cell: ServiceCell,
+    crash_kind: str,
+    crash_point: int,
+    *,
+    num_clients: int = 5,
+    requests_per_client: int = 16,
+    value_bytes: int = 32,
+    seed: int = 7,
+    config: SystemConfig = STRESS_CONFIG,
+) -> CaseResult:
+    """One service crash case: serve with a power failure armed at the
+    *crash_point*-th post-setup durability event (``"persist"``) or
+    memory instruction (``"instr"``), recover, and judge the durable
+    image against the acknowledgement oracle."""
+    svc = _build_service(
+        cell,
+        num_clients=num_clients,
+        requests_per_client=requests_per_client,
+        value_bytes=value_bytes,
+        seed=seed,
+        config=config,
+    )
+    machine = svc.machine
+    if crash_kind == "persist":
+        machine.schedule_crash_after_persists(crash_point)
+    elif crash_kind == "instr":
+        machine.checkpoint = InstructionLimit(crash_point)
+    else:
+        raise ValueError(f"unknown crash kind {crash_kind!r}")
+
+    try:
+        svc.serve()
+    except PowerFailure:
+        machine.checkpoint = None
+        machine.crash()
+        recover(
+            machine.pm, mode=machine.scheme.logging_mode, hooks=[svc.subject]
+        )
+        violation, check = _check_service_recovered(svc)
+        return CaseResult(
+            crashed=True,
+            committed_ops=len(svc.rm.committed),
+            tx_commits=svc.tm.commits,
+            violation=violation,
+            check=check,
+        )
+
+    # The armed point lay beyond this run's count (caller-chosen points
+    # only): finish cleanly and judge like a clean run.
+    machine.cancel_scheduled_crash()
+    machine.checkpoint = None
+    violation, check = None, ""
+    try:
+        svc.finish()
+        svc.rm.sync_expected()
+        svc.subject.verify(durable=True)
+    except RecoveryError as exc:
+        violation, check = str(exc), "structure"
+    return CaseResult(
+        crashed=False,
+        committed_ops=len(svc.rm.committed),
+        tx_commits=svc.tm.commits,
+        violation=violation,
+        check=check,
+    )
+
+
+def run_service_cell(
+    cell: ServiceCell,
+    *,
+    budget: int,
+    seed: int,
+    num_clients: int = 5,
+    requests_per_client: int = 16,
+    value_bytes: int = 32,
+    config: SystemConfig = STRESS_CONFIG,
+) -> ServiceCellReport:
+    """Run one service cell's crash-point sweep.
+
+    A clean dry run of the identical service measures its post-setup
+    durability-event and instruction counts; the sweep then crashes a
+    fresh, identically seeded service at each point — exhaustively over
+    durability events when they fit three quarters of *budget*, sampled
+    otherwise, with the remainder spent on sampled instruction
+    boundaries.  Everything derives from ``(cell, seed)``.
+    """
+    svc = _build_service(
+        cell,
+        num_clients=num_clients,
+        requests_per_client=requests_per_client,
+        value_bytes=value_bytes,
+        seed=seed,
+        config=config,
+    )
+    events0 = svc.machine.wpq.total_inserts
+    instrs0 = svc.machine.stats.instructions
+    cycles0 = svc.machine.now
+    pm0 = svc.machine.stats.pm_bytes_written
+    svc.serve()
+    events = svc.machine.wpq.total_inserts - events0
+    instrs = svc.machine.stats.instructions - instrs0
+    clean = svc.result()
+    # Clean-run sanity: the service's own fence + verify must pass
+    # before any crash case of this cell is trusted.
+    svc.finish()
+    svc.rm.sync_expected()
+    svc.subject.verify(durable=True)
+
+    rng = random.Random(f"svc-cell:{seed}:{cell}")
+    persist_budget = max(1, (budget * 3) // 4)
+    if events <= persist_budget:
+        persist_points = list(range(events))
+        exhaustive = True
+    else:
+        persist_points = sorted(rng.sample(range(events), persist_budget))
+        exhaustive = False
+    instr_budget = max(0, budget - len(persist_points))
+    instr_points = sorted(rng.sample(range(instrs), min(instr_budget, instrs)))
+
+    report = ServiceCellReport(
+        cell=cell,
+        num_requests=clean.requests,
+        persist_points_total=events,
+        persist_points_run=len(persist_points),
+        exhaustive=exhaustive,
+        instr_points_total=instrs,
+        instr_points_run=len(instr_points),
+        batches=clean.batches,
+        acked=clean.acked,
+        cycles=svc.machine.now - cycles0,
+        pm_bytes=svc.machine.stats.pm_bytes_written - pm0,
+    )
+    for kind, points in (("persist", persist_points), ("instr", instr_points)):
+        for point in points:
+            result = run_service_case(
+                cell,
+                kind,
+                point,
+                num_clients=num_clients,
+                requests_per_client=requests_per_client,
+                value_bytes=value_bytes,
+                seed=seed,
+                config=config,
+            )
+            if result.violation is not None:
+                report.violations.append(
+                    Violation(
+                        cell=cell,
+                        crash_kind=kind,
+                        crash_point=point,
+                        check=result.check,
+                        message=result.violation,
+                    )
+                )
+    return report
+
+
+def run_service_campaign(
+    budget: int = 150,
+    seed: int = 7,
+    *,
+    cells: Sequence[ServiceCell] = DEFAULT_SERVICE_CELLS,
+    num_clients: int = 5,
+    requests_per_client: int = 16,
+    value_bytes: int = 32,
+    config: SystemConfig = STRESS_CONFIG,
+    jobs: int = 1,
+    progress=None,
+) -> ServiceCampaignResult:
+    """Run the transaction-service campaign grid.
+
+    *budget* is the per-cell case budget.  Cells are keyed by
+    ``(cell, seed)`` alone — each worker process rebuilds the whole
+    service from those scalars, and the ordered merge keeps the report
+    byte-identical to a serial campaign.
+    """
+    from repro.parallel import engine
+    from repro.parallel.tasks import service_fuzz_cell
+
+    result = ServiceCampaignResult(
+        budget=budget,
+        seed=seed,
+        num_clients=num_clients,
+        requests_per_client=requests_per_client,
+        value_bytes=value_bytes,
+    )
+    descriptors = [
+        {
+            "cell": cell,
+            "budget": budget,
+            "seed": seed,
+            "num_clients": num_clients,
+            "requests_per_client": requests_per_client,
+            "value_bytes": value_bytes,
+            "config": config,
+        }
+        for cell in cells
+    ]
+    result.cells = engine.run_tasks(
+        service_fuzz_cell,
+        descriptors,
+        jobs=jobs,
+        labels=[str(cell) for cell in cells],
+        progress=progress,
+    )
+    return result

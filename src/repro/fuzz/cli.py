@@ -10,6 +10,8 @@ Usage::
     python -m repro fuzz --faults --fault-kinds torn-tail
     python -m repro fuzz --multicore               # contention campaign
     python -m repro fuzz --multicore --cores 2,4 --thetas 0,0.9
+    python -m repro fuzz --service                 # txn-service campaign
+    python -m repro fuzz --service --batches 1,8 --schemes SLPMT
 
 A campaign writes its table to ``benchmarks/results/fuzz_campaign.txt``
 (override with ``--out``) and exits non-zero when any invariant
@@ -51,6 +53,9 @@ DEFAULT_FAULT_OUT = os.path.join("benchmarks", "results", "fault_campaign.txt")
 DEFAULT_MULTICORE_OUT = os.path.join(
     "benchmarks", "results", "multicore_campaign.txt"
 )
+DEFAULT_SERVICE_OUT = os.path.join(
+    "benchmarks", "results", "service_campaign.txt"
+)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -88,6 +93,13 @@ def _parser() -> argparse.ArgumentParser:
                         help="run the multi-core contention crash campaign "
                              "(shared-key zipfian streams, crash at sampled "
                              "turn-switch points)")
+    parser.add_argument("--service", action="store_true",
+                        help="run the transaction-service group-commit "
+                             "crash campaign (ack => durable at every "
+                             "persist point)")
+    parser.add_argument("--batches", type=str, default="1,8",
+                        help="comma-separated group-commit batch sizes for "
+                             "--service (default 1,8)")
     parser.add_argument("--cores", type=str, default="1,2,4",
                         help="comma-separated core counts for --multicore "
                              "(default 1,2,4)")
@@ -290,6 +302,63 @@ def _multicore_main(args: argparse.Namespace) -> int:
     return 1 if result.violations else 0
 
 
+def _service_main(args: argparse.Namespace) -> int:
+    from repro.fuzz.campaign import (
+        SERVICE_SCHEMES,
+        ServiceCell,
+        run_service_campaign,
+    )
+    from repro.fuzz.report import format_service_report
+    from repro.workloads import WORKLOADS
+
+    try:
+        batches = [int(b) for b in args.batches.split(",") if b.strip()]
+    except ValueError as exc:
+        raise SystemExit(f"bad --batches value: {exc}")
+    if not batches or any(b < 1 for b in batches):
+        raise SystemExit("--batches needs positive batch sizes")
+    workloads = ["hashtable"]
+    if args.workloads:
+        wanted = [w.strip() for w in args.workloads.split(",")]
+        unknown = set(wanted) - set(WORKLOADS)
+        if unknown:
+            raise SystemExit(f"unknown workload(s): {sorted(unknown)}")
+        workloads = wanted
+    schemes = list(SERVICE_SCHEMES)
+    if args.schemes:
+        schemes = [s.strip() for s in args.schemes.split(",")]
+    cells = [
+        ServiceCell(w, s, b)
+        for w in workloads
+        for s in schemes
+        for b in batches
+    ]
+    if not cells:
+        raise SystemExit("no cells selected")
+
+    budget = args.budget if args.budget is not None else 150
+    out = args.out if args.out != DEFAULT_OUT else DEFAULT_SERVICE_OUT
+    jobs = resolve_jobs(args.jobs)
+    try:
+        result = run_service_campaign(
+            budget=budget, seed=args.seed, cells=cells,
+            value_bytes=args.value_bytes, jobs=jobs,
+            progress=_progress if jobs > 1 else None,
+        )
+    except WorkerCrash as exc:
+        print(f"service campaign failed: {exc}", file=sys.stderr)
+        return 2
+    text = format_service_report(result)
+    print(text, end="")
+
+    out_dir = os.path.dirname(out) or "."
+    os.makedirs(out_dir, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"[report written to {out}]")
+    return 1 if result.violations else 0
+
+
 def fuzz_main(argv: "List[str] | None" = None) -> int:
     args = _parser().parse_args(argv)
     if args.replay:
@@ -302,6 +371,8 @@ def fuzz_main(argv: "List[str] | None" = None) -> int:
         raise SystemExit("--fault-kinds requires --faults")
     if args.multicore:
         return _multicore_main(args)
+    if args.service:
+        return _service_main(args)
 
     cells = list(DEFAULT_CELLS)
     if args.workloads:

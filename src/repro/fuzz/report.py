@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.fuzz.campaign import CampaignResult, MultiCoreCampaignResult
+from repro.fuzz.campaign import (
+    CampaignResult,
+    MultiCoreCampaignResult,
+    ServiceCampaignResult,
+)
 
 _COLUMNS = (
     ("workload", 10),
@@ -143,6 +147,80 @@ def format_multicore_report(result: MultiCoreCampaignResult) -> str:
         "",
         f"cells: {len(result.cells)} "
         f"({exhaustive_cells} with exhaustive switch-point coverage)",
+        f"cases: {result.total_cases}",
+        f"violations: {len(result.violations)}",
+    ]
+    for violation in result.violations:
+        lines.append(f"  VIOLATION {violation}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+_SVC_COLUMNS = (
+    ("workload", 10),
+    ("scheme", 7),
+    ("batch", 5),
+    ("reqs", 5),
+    ("persist-pts", 12),
+    ("instr-pts", 12),
+    ("cases", 6),
+    ("commits", 8),
+    ("acked", 6),
+    ("cycles", 9),
+    ("pm-bytes", 9),
+    ("violations", 10),
+)
+
+
+def _svc_row(values: List[str]) -> str:
+    return "  ".join(
+        str(v).ljust(width) for (_, width), v in zip(_SVC_COLUMNS, values)
+    ).rstrip()
+
+
+def format_service_report(result: ServiceCampaignResult) -> str:
+    """The service-campaign table plus totals, as written to
+    ``benchmarks/results/service_campaign.txt``."""
+    lines = [
+        "SLPMT transaction-service group-commit crash campaign",
+        f"budget={result.budget} per cell, seed={result.seed}, "
+        f"clients={result.num_clients}x{result.requests_per_client} requests, "
+        f"value_bytes={result.value_bytes}, "
+        "config=stress (512B/1KB/8KB caches)",
+        "acceptance: every acked request durable; unacked requests absent "
+        "or one whole in-flight batch",
+        "",
+        _svc_row([name for name, _ in _SVC_COLUMNS]),
+        _svc_row(["-" * min(w, 10) for _, w in _SVC_COLUMNS]),
+    ]
+    for cell in result.cells:
+        persist = f"{cell.persist_points_run}/{cell.persist_points_total}"
+        if cell.exhaustive:
+            persist += " all"
+        instr = f"{cell.instr_points_run}/{cell.instr_points_total}"
+        lines.append(
+            _svc_row(
+                [
+                    cell.cell.workload,
+                    cell.cell.scheme,
+                    cell.cell.batch_size,
+                    cell.num_requests,
+                    persist,
+                    instr,
+                    cell.cases_run,
+                    cell.batches,
+                    cell.acked,
+                    cell.cycles,
+                    cell.pm_bytes,
+                    len(cell.violations),
+                ]
+            )
+        )
+    exhaustive_cells = sum(1 for c in result.cells if c.exhaustive)
+    lines += [
+        "",
+        f"cells: {len(result.cells)} "
+        f"({exhaustive_cells} with exhaustive durability-point coverage)",
         f"cases: {result.total_cases}",
         f"violations: {len(result.violations)}",
     ]

@@ -8,6 +8,7 @@ suite does each unique simulation once.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -128,9 +129,20 @@ def run_contention(
     config: SystemConfig = DEFAULT_CONFIG,
     seed: int = 2023,
     verify: bool = True,
+    max_attempts: Optional[int] = None,
+    max_retries: Optional[int] = None,
 ) -> ContentionResult:
     """Simulate a shared-key contention run: *cores* workers hammer one
     durable *workload* instance with zipfian(θ) key skew.
+
+    *max_attempts* bounds each operation's total transaction attempts
+    (forwarded to :func:`~repro.workloads.shared.replay_contention`,
+    default 512).  ``max_retries`` is the deprecated alias with the same
+    total-attempts meaning (see
+    :func:`repro.multicore.system.run_atomically`); passing it emits a
+    :class:`DeprecationWarning` here — once per call site, not once per
+    retried transaction — and is normalised before the replay loop, so
+    the alias never fans out into per-transaction warnings.
 
     The whole run — streams, interleaving, conflicts, aborts, backoff —
     is a pure function of ``(workload, scheme, cores, theta, seed)``
@@ -145,6 +157,19 @@ def run_contention(
     """
     from repro.multicore.system import MultiCoreSystem
 
+    if max_attempts is not None and max_retries is not None:
+        raise ValueError("pass max_attempts or max_retries, not both")
+    if max_retries is not None:
+        warnings.warn(
+            "run_contention(max_retries=...) is deprecated; it counts "
+            "total attempts — pass max_attempts instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        max_attempts = max_retries
+    if max_attempts is None:
+        max_attempts = 512
+
     scheme = scheme_by_name(scheme) if isinstance(scheme, str) else scheme
     system = MultiCoreSystem(cores, scheme, config, seed=seed)
     subject = WORKLOADS[workload](system.runtimes[0], value_bytes=value_bytes)
@@ -156,7 +181,7 @@ def run_contention(
         value_words=subject.value_words,
         seed=seed,
     )
-    replay_contention(system, subject, streams)
+    replay_contention(system, subject, streams, max_attempts=max_attempts)
     system.fence_all()
     system.finalize_all()
     if verify:

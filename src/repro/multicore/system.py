@@ -31,6 +31,7 @@ the paper's evaluation is single-threaded and ours follows it.
 from __future__ import annotations
 
 import itertools
+import warnings
 from typing import Callable, List, Optional
 
 from repro.alloc.allocator import PersistentAllocator
@@ -276,7 +277,9 @@ def run_atomically(
     releases took this keyword but always accounted it as a number of
     *attempts* (silently passing ``retries=max_retries - 1`` down), so
     the alias keeps that — now documented — meaning rather than
-    silently changing callers' budgets.
+    silently changing callers' budgets.  Passing it emits a
+    :class:`DeprecationWarning` (once per call site, via the standard
+    warnings de-duplication).
 
     Returns the number of aborted attempts before the commit.  Raises
     :class:`RetryExhausted` (a :class:`TransactionError` subtype, so
@@ -285,6 +288,13 @@ def run_atomically(
     if max_attempts is not None and max_retries is not None:
         raise TransactionError("pass max_attempts or max_retries, not both")
     if max_attempts is None:
+        if max_retries is not None:
+            warnings.warn(
+                "run_atomically(max_retries=...) is deprecated; it counts "
+                "total attempts — pass max_attempts instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         max_attempts = max_retries if max_retries is not None else 256
     if max_attempts < 1:
         raise TransactionError(

@@ -233,7 +233,29 @@ def _cmd_equivalence(args: argparse.Namespace) -> int:
     must be bit-identical to the checked-in baseline's simulated
     numbers."""
     jobs = max(2, resolve_jobs(args.jobs))
-    if args.multicore:
+    if args.service:
+        from repro.service import bench as svc_bench
+
+        baseline_path = args.baseline or svc_bench.DEFAULT_SERVICE_BASELINE
+        baseline = bench_mod.load_bench(baseline_path)
+        params = baseline["params"]
+        kwargs = dict(
+            name=baseline["name"],
+            workloads=tuple(params["workloads"]),
+            schemes=tuple(params["schemes"]),
+            batches=tuple(params["batches"]),
+            num_clients=params["num_clients"],
+            requests_per_client=params["requests_per_client"],
+            value_bytes=params["value_bytes"],
+            num_keys=params["num_keys"],
+            theta=params["theta"],
+            arrival_cycles=params["arrival_cycles"],
+            max_wait_cycles=params["max_wait_cycles"],
+            max_depth=params["max_depth"],
+            seed=params["seed"],
+        )
+        run = svc_bench.run_service_bench
+    elif args.multicore:
         baseline_path = args.baseline or bench_mod.DEFAULT_MULTICORE_BASELINE
         baseline = bench_mod.load_bench(baseline_path)
         params = baseline["params"]
@@ -358,6 +380,11 @@ def obs_main(argv: "List[str] | None" = None) -> int:
         help="check the contention sweep against "
         f"{bench_mod.DEFAULT_MULTICORE_BASELINE} instead",
     )
+    p_equiv.add_argument(
+        "--service", action="store_true",
+        help="check the transaction-service sweep against "
+        "BENCH_service.json instead",
+    )
     p_equiv.set_defaults(func=_cmd_equivalence)
 
     args = parser.parse_args(argv)
@@ -384,6 +411,12 @@ def bench_main(argv: "List[str] | None" = None) -> int:
         "--multicore", action="store_true",
         help="sweep the shared-key contention grid (workload × scheme × "
         "cores × θ) instead of the single-core scheme grid",
+    )
+    parser.add_argument(
+        "--service", action="store_true",
+        help="sweep the transaction-service grid (workload × scheme × "
+        "group-commit batch size); uses the service grid's own knobs "
+        "(--ops/--value-bytes are ignored), honours --seed/--jobs",
     )
     parser.add_argument(
         "--cores", type=str, default=None,
@@ -423,12 +456,29 @@ def bench_main(argv: "List[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     if (args.cores or args.thetas) and not args.multicore:
         raise SystemExit("--cores/--thetas require --multicore")
+    if args.multicore and args.service:
+        raise SystemExit("--multicore and --service are mutually exclusive")
 
     jobs = resolve_jobs(args.jobs)
-    name = args.name or ("multicore" if args.multicore else "slpmt_ycsb")
+    name = args.name or (
+        "service"
+        if args.service
+        else "multicore"
+        if args.multicore
+        else "slpmt_ycsb"
+    )
     baseline_path = args.baseline or bench_mod.bench_name(name)
     try:
-        if args.multicore:
+        if args.service:
+            from repro.service.bench import run_service_bench
+
+            doc = run_service_bench(
+                name=name,
+                seed=args.seed,
+                jobs=jobs,
+                progress=_progress if jobs > 1 else None,
+            )
+        elif args.multicore:
             cores = (
                 tuple(int(c) for c in args.cores.split(","))
                 if args.cores
@@ -483,5 +533,14 @@ def bench_main(argv: "List[str] | None" = None) -> int:
         print(
             f"{scheme:<8} geomean cycles={geo['cycles']:>14,.0f}  "
             f"pm_bytes={geo['pm_bytes']:>12,.0f}"
+        )
+    for scheme, amort in doc.get("amortization", {}).items():
+        print(
+            f"{scheme:<8} commit-persist/write amortization "
+            f"b{amort['batch_lo']}->b{amort['batch_hi']}: "
+            f"{amort['geomean']:.2f}x geomean "
+            + " ".join(
+                f"{w}={r:.2f}x" for w, r in amort["per_workload"].items()
+            )
         )
     return 0

@@ -111,6 +111,75 @@ def multicore_bench_cell(
     }
 
 
+def service_bench_cell(
+    *,
+    workload: str,
+    scheme: str,
+    batch_size: int,
+    num_clients: int,
+    requests_per_client: int,
+    value_bytes: int,
+    num_keys: int,
+    theta: float,
+    arrival_cycles: int,
+    max_wait_cycles: int,
+    max_depth: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """One ``BENCH_service.json`` cell: a full transaction-service run.
+
+    The grid fixes ``block`` admission and the put-heavy service mix so
+    every batch size commits the identical request set (see
+    :mod:`repro.service.bench`); the cell carries the latency quantiles
+    and the commit-persist bucket the amortization headline derives
+    from.
+    """
+    _poison_check(f"{workload}/{scheme}/b{batch_size}")
+    from repro.service.admission import AdmissionPolicy
+    from repro.service.bench import SERVICE_MIX
+    from repro.service.server import ServiceConfig, run_service
+    from repro.service.tm import GroupCommitPolicy
+
+    t0 = time.perf_counter()
+    res = run_service(
+        ServiceConfig(
+            workload=workload,
+            scheme=scheme,
+            num_clients=num_clients,
+            requests_per_client=requests_per_client,
+            value_bytes=value_bytes,
+            num_keys=num_keys,
+            theta=theta,
+            mix=dict(SERVICE_MIX),
+            arrival_cycles=arrival_cycles,
+            batch=GroupCommitPolicy(
+                batch_size=batch_size, max_wait_cycles=max_wait_cycles
+            ),
+            admission=AdmissionPolicy(max_depth=max_depth, mode="block"),
+            seed=seed,
+        )
+    )
+    host_ms = (time.perf_counter() - t0) * 1000.0
+    return {
+        "cycles": res.cycles,
+        "pm_bytes": res.pm_bytes,
+        "requests": res.requests,
+        "acked": res.acked,
+        "shed": res.shed,
+        "reads": res.reads,
+        "batches": res.batches,
+        "committed_writes": res.committed_writes,
+        "commit_persist_cycles": res.commit_persist_cycles,
+        "commit_persist_per_write": round(res.commit_persist_per_write, 3),
+        "latency": res.latency.summary(),
+        "batch_occupancy": res.batch_occupancy.summary(),
+        "queue_depth": res.queue_depth.summary(),
+        "phases": dict(res.phases),
+        "stats": json.loads(res.stats.to_json()),
+        "host_ms": round(host_ms, 3),
+    }
+
+
 def runner_cell(*, key: "Tuple") -> Any:
     """Warm one :func:`repro.harness.runner.cached_run` memo entry.
 
@@ -143,6 +212,14 @@ def multicore_fuzz_cell(*, cell, **kwargs) -> Any:
     from repro.fuzz.campaign import run_multicore_cell
 
     return run_multicore_cell(cell, **kwargs)
+
+
+def service_fuzz_cell(*, cell, **kwargs) -> Any:
+    """One service-campaign cell: crash-point sweep over group commits."""
+    _poison_check(str(cell))
+    from repro.fuzz.campaign import run_service_cell
+
+    return run_service_cell(cell, **kwargs)
 
 
 def fault_cell(*, cell, **kwargs) -> Any:

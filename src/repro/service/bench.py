@@ -1,0 +1,167 @@
+"""The service-latency bench grid and its artifact.
+
+``python -m repro bench --service`` sweeps the transaction service over
+(workload × scheme × group-commit batch size) and writes
+``BENCH_service.json``: per-cell simulated cycles, PM bytes, request
+latency quantiles (from the obs :class:`~repro.obs.histogram.
+LogHistogram` the server feeds) and the commit-persist phase bucket,
+plus the group-commit headline — **amortization**, the drop in
+commit-persist cycles per committed write between batch size 1 and the
+largest batch in the grid.
+
+The grid deliberately runs a put-heavy mix with ``block`` admission so
+every cell commits the identical request set: the batch-size axis then
+isolates group commit, and the amortization ratios are apples-to-apples.
+
+``cycles``/``pm_bytes`` cells and per-scheme geomeans follow the same
+shape as the YCSB bench, so :func:`repro.obs.bench.check_bench` gates
+this artifact unchanged (±2% drift on every cell and geomean).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional, Sequence
+
+from repro.harness.metrics import geomean
+from repro.parallel import engine
+from repro.parallel import tasks as partasks
+
+#: Service bench grid: the FG baseline against the full design, over a
+#: hashtable (O(1) paths) and an rbtree (pointer-chasing, rebalancing).
+SERVICE_WORKLOADS = ("hashtable", "rbtree")
+SERVICE_SCHEMES = ("FG", "SLPMT")
+
+#: Batch-size axis: no batching, the default group, and a deep group.
+#: The amortization headline compares the first against the last.
+SERVICE_BATCHES = (1, 8, 16)
+
+#: Request mix for the grid: put-heavy so batch size 1 really means one
+#: write per commit (``txn`` requests would smuggle mini-batches into
+#: the baseline and flatten the amortization signal).
+SERVICE_MIX: Dict[str, float] = {"put": 0.80, "get": 0.14, "scan": 0.06}
+
+DEFAULT_SERVICE_CLIENTS = 6
+DEFAULT_SERVICE_REQUESTS = 25
+DEFAULT_SERVICE_VALUE_BYTES = 32
+#: 48 keys over 150 requests: enough same-key pressure that deep
+#: batches coalesce repeated lines, which is where group commit's
+#: amortization comes from on the pointer-chasing structures.
+DEFAULT_SERVICE_KEYS = 48
+DEFAULT_SERVICE_THETA = 0.6
+DEFAULT_SERVICE_ARRIVAL = 800
+DEFAULT_SERVICE_MAX_WAIT = 4000
+DEFAULT_SERVICE_DEPTH = 64
+DEFAULT_SERVICE_SEED = 2023
+
+#: The checked-in baseline for the service bench.
+DEFAULT_SERVICE_BASELINE = "BENCH_service.json"
+
+SCHEMA_VERSION = 1
+
+
+def run_service_bench(
+    *,
+    name: str = "service",
+    workloads: "Sequence[str]" = SERVICE_WORKLOADS,
+    schemes: "Sequence[str]" = SERVICE_SCHEMES,
+    batches: "Sequence[int]" = SERVICE_BATCHES,
+    num_clients: int = DEFAULT_SERVICE_CLIENTS,
+    requests_per_client: int = DEFAULT_SERVICE_REQUESTS,
+    value_bytes: int = DEFAULT_SERVICE_VALUE_BYTES,
+    num_keys: int = DEFAULT_SERVICE_KEYS,
+    theta: float = DEFAULT_SERVICE_THETA,
+    arrival_cycles: int = DEFAULT_SERVICE_ARRIVAL,
+    max_wait_cycles: int = DEFAULT_SERVICE_MAX_WAIT,
+    max_depth: int = DEFAULT_SERVICE_DEPTH,
+    seed: int = DEFAULT_SERVICE_SEED,
+    jobs: int = 1,
+    progress: "Optional[engine.ProgressFn]" = None,
+) -> Dict[str, Any]:
+    """Run the service sweep and build the artifact document.
+
+    Cells are keyed ``workload/scheme/bN``.  Every cell is one
+    self-contained deterministic service run, so the stripped document
+    is byte-identical between serial and ``--jobs N`` sweeps.
+    """
+    grid = [(w, s, b) for w in workloads for s in schemes for b in batches]
+    keys = [f"{w}/{s}/b{b}" for w, s, b in grid]
+    descriptors = [
+        {
+            "workload": w,
+            "scheme": s,
+            "batch_size": b,
+            "num_clients": num_clients,
+            "requests_per_client": requests_per_client,
+            "value_bytes": value_bytes,
+            "num_keys": num_keys,
+            "theta": theta,
+            "arrival_cycles": arrival_cycles,
+            "max_wait_cycles": max_wait_cycles,
+            "max_depth": max_depth,
+            "seed": seed,
+        }
+        for w, s, b in grid
+    ]
+    t0 = time.perf_counter()
+    results = engine.run_tasks(
+        partasks.service_bench_cell,
+        descriptors,
+        jobs=jobs,
+        labels=keys,
+        progress=progress,
+    )
+    host_seconds = time.perf_counter() - t0
+    cells: Dict[str, Any] = dict(zip(keys, results))
+    geomeans: Dict[str, Any] = {}
+    for scheme in schemes:
+        mine = [key for key, (w, s, b) in zip(keys, grid) if s == scheme]
+        geomeans[scheme] = {
+            "cycles": round(geomean(cells[k]["cycles"] for k in mine), 1),
+            "pm_bytes": round(geomean(cells[k]["pm_bytes"] for k in mine), 1),
+        }
+    # The group-commit headline: per (workload, scheme), the ratio of
+    # commit-persist cycles per committed write at batch 1 over the
+    # deepest batch, then the per-scheme geomean over workloads.
+    lo, hi = min(batches), max(batches)
+    amortization: Dict[str, Any] = {}
+    for scheme in schemes:
+        per_workload = {}
+        for w in workloads:
+            base = cells[f"{w}/{scheme}/b{lo}"]["commit_persist_per_write"]
+            deep = cells[f"{w}/{scheme}/b{hi}"]["commit_persist_per_write"]
+            per_workload[w] = round(base / deep, 3) if deep else 0.0
+        amortization[scheme] = {
+            "batch_lo": lo,
+            "batch_hi": hi,
+            "per_workload": per_workload,
+            "geomean": round(geomean(per_workload.values()), 3),
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "params": {
+            "workloads": list(workloads),
+            "schemes": list(schemes),
+            "batches": list(batches),
+            "num_clients": num_clients,
+            "requests_per_client": requests_per_client,
+            "value_bytes": value_bytes,
+            "num_keys": num_keys,
+            "theta": theta,
+            "arrival_cycles": arrival_cycles,
+            "max_wait_cycles": max_wait_cycles,
+            "max_depth": max_depth,
+            "seed": seed,
+        },
+        "cells": cells,
+        "geomean": geomeans,
+        "amortization": amortization,
+        "host": {
+            "seconds": round(host_seconds, 3),
+            "cells_per_sec": round(len(keys) / host_seconds, 3)
+            if host_seconds > 0
+            else 0.0,
+            "jobs": jobs,
+        },
+    }

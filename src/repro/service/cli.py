@@ -1,0 +1,173 @@
+"""The ``python -m repro serve`` front end.
+
+One deterministic transaction-service run with the full report: request
+totals, latency quantiles, group-commit amortization and the cycle
+attribution of the serving window::
+
+    python -m repro serve --scheme SLPMT --batch-size 8
+    python -m repro serve --workload rbtree --mode closed --think 500
+    python -m repro serve --admission shed --queue-depth 8 --json out.json
+
+The grid sweep + regression gate lives under ``python -m repro bench
+--service`` (see :mod:`repro.service.bench`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+from repro.service.admission import FAIRNESS, MODES, AdmissionPolicy
+from repro.service.model import DEFAULT_MIX
+from repro.service.server import (
+    CLIENT_MODES,
+    ServiceConfig,
+    ServiceResult,
+    run_service,
+)
+from repro.service.tm import GroupCommitPolicy
+
+
+def _result_doc(res: ServiceResult) -> dict:
+    """A diffable JSON document for one run (no host timing)."""
+    return {
+        "workload": res.workload,
+        "scheme": res.scheme,
+        "mode": res.mode,
+        "num_clients": res.num_clients,
+        "requests_per_client": res.requests_per_client,
+        "batch_size": res.batch_size,
+        "max_wait_cycles": res.max_wait_cycles,
+        "max_depth": res.max_depth,
+        "admission_mode": res.admission_mode,
+        "fairness": res.fairness,
+        "theta": res.theta,
+        "num_keys": res.num_keys,
+        "value_bytes": res.value_bytes,
+        "seed": res.seed,
+        "requests": res.requests,
+        "acked": res.acked,
+        "shed": res.shed,
+        "reads": res.reads,
+        "batches": res.batches,
+        "committed_writes": res.committed_writes,
+        "cycles": res.cycles,
+        "pm_bytes": res.pm_bytes,
+        "commit_persist_cycles": res.commit_persist_cycles,
+        "commit_persist_per_write": round(res.commit_persist_per_write, 3),
+        "phases": dict(res.phases),
+        "latency": res.latency.summary(),
+        "batch_occupancy": res.batch_occupancy.summary(),
+        "queue_depth": res.queue_depth.summary(),
+        "stats": json.loads(res.stats.to_json()),
+    }
+
+
+def serve_main(argv: "Optional[List[str]]" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve simulated clients against a durable structure "
+        "through the group-committing transaction service.",
+    )
+    parser.add_argument("--workload", default="hashtable")
+    parser.add_argument("--scheme", default="SLPMT")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=25,
+                        help="requests per client")
+    parser.add_argument("--value-bytes", type=int, default=64)
+    parser.add_argument("--num-keys", type=int, default=64)
+    parser.add_argument("--theta", type=float, default=0.0,
+                        help="zipfian key skew")
+    parser.add_argument("--mode", choices=CLIENT_MODES, default="open")
+    parser.add_argument("--arrival", type=int, default=3000,
+                        help="open-loop mean interarrival cycles per client")
+    parser.add_argument("--think", type=int, default=1500,
+                        help="closed-loop think cycles")
+    parser.add_argument("--batch-size", type=int,
+                        default=GroupCommitPolicy.batch_size)
+    parser.add_argument("--max-wait", type=int,
+                        default=GroupCommitPolicy.max_wait_cycles,
+                        help="group-commit flush deadline in cycles")
+    parser.add_argument("--queue-depth", type=int,
+                        default=AdmissionPolicy.max_depth)
+    parser.add_argument("--admission", choices=MODES,
+                        default=AdmissionPolicy.mode,
+                        help="full-queue behaviour")
+    parser.add_argument("--fairness", choices=FAIRNESS,
+                        default=AdmissionPolicy.fairness,
+                        help="batch-fill discipline")
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument("--json", help="write the diffable run document here")
+    args = parser.parse_args(argv)
+
+    res = run_service(
+        ServiceConfig(
+            workload=args.workload,
+            scheme=args.scheme,
+            num_clients=args.clients,
+            requests_per_client=args.requests,
+            value_bytes=args.value_bytes,
+            num_keys=args.num_keys,
+            theta=args.theta,
+            mix=dict(DEFAULT_MIX),
+            mode=args.mode,
+            arrival_cycles=args.arrival,
+            think_cycles=args.think,
+            batch=GroupCommitPolicy(
+                batch_size=args.batch_size, max_wait_cycles=args.max_wait
+            ),
+            admission=AdmissionPolicy(
+                max_depth=args.queue_depth,
+                mode=args.admission,
+                fairness=args.fairness,
+            ),
+            seed=args.seed,
+        )
+    )
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(_result_doc(res), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+        return 0
+
+    print(
+        f"{res.workload}/{res.scheme} {res.mode}-loop: "
+        f"{res.num_clients} clients x {res.requests_per_client} requests, "
+        f"batch<={res.batch_size} wait<={res.max_wait_cycles}, "
+        f"queue<={res.max_depth} ({res.admission_mode}/{res.fairness})"
+    )
+    print(
+        f"  served {res.acked}/{res.requests} "
+        f"({res.reads} reads, {res.committed_writes} committed writes in "
+        f"{res.batches} group commits, {res.shed} shed) "
+        f"in {res.cycles:,} cycles / {res.pm_bytes:,} PM bytes"
+    )
+    lat = res.latency.summary()
+    if lat["count"]:
+        print(
+            f"  latency cycles: p50={lat['p50']:,} p95={lat['p95']:,} "
+            f"p99={lat['p99']:,} max={lat['max']:,} (n={lat['count']})"
+        )
+    occ = res.batch_occupancy.summary()
+    if occ["count"]:
+        print(
+            f"  group commit: mean occupancy {occ['mean']:.1f} "
+            f"(p50={occ['p50']}, max={occ['max']}), "
+            f"commit-persist {res.commit_persist_cycles:,} cycles "
+            f"= {res.commit_persist_per_write:,.1f}/write"
+        )
+    total = sum(res.phases.values())
+    if total:
+        top = sorted(res.phases.items(), key=lambda kv: -kv[1])[:4]
+        print(
+            "  phase attribution: "
+            + "  ".join(
+                f"{name}={cycles:,} ({100.0 * cycles / total:.0f}%)"
+                for name, cycles in top
+                if cycles
+            )
+        )
+    return 0

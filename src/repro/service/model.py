@@ -1,0 +1,199 @@
+"""Request/response model and deterministic client generators.
+
+The transaction service speaks four typed operations against one
+durable structure:
+
+* ``get``  — point read of one key (simulated, non-transactional);
+* ``put``  — durable insert/update of one key;
+* ``scan`` — range read: full simulated traversal, then up to
+  ``scan_count`` keys from ``keys[0]`` upward;
+* ``txn``  — multi-key write transaction (all keys commit atomically).
+
+Clients are pure functions of ``(seed, client, knobs)``: the request
+stream, the zipfian key choices, the value payloads and the open-loop
+arrival gaps all derive from seeded RNGs, so a whole service run is
+reproducible from its :class:`~repro.service.server.ServiceConfig`
+alone — the same property the YCSB and shared-key generators already
+have, extended to client traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.workloads.base import value_words_for_key
+from repro.workloads.shared import KEY_BASE, sample_rank, zipfian_cdf
+
+#: Operation kinds the service accepts.
+OP_KINDS = ("get", "put", "scan", "txn")
+
+#: Write kinds (served through the group-committing TM).
+WRITE_KINDS = ("put", "txn")
+
+#: Default request mix: write-heavy (the YCSB-load shape the paper's
+#: evaluation drives), with enough reads to exercise the fast path.
+DEFAULT_MIX: Dict[str, float] = {
+    "put": 0.70,
+    "get": 0.15,
+    "scan": 0.05,
+    "txn": 0.10,
+}
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request.  ``seq`` is the position in the client's
+    stream — responses must come back in ``seq`` order per client."""
+
+    client: int
+    seq: int
+    kind: str
+    keys: Tuple[int, ...]
+    #: One value tuple per key for ``put``/``txn``; empty for reads.
+    values: Tuple[Tuple[int, ...], ...] = ()
+    #: Max keys a ``scan`` returns (from ``keys[0]`` upward).
+    scan_count: int = 0
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in WRITE_KINDS
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise ValueError(f"unknown request kind {self.kind!r}")
+        if self.is_write and len(self.values) != len(self.keys):
+            raise ValueError(
+                f"{self.kind} needs one value per key "
+                f"({len(self.keys)} keys, {len(self.values)} values)"
+            )
+
+
+@dataclass(frozen=True)
+class Response:
+    """The service's answer to one request.
+
+    ``status`` is ``"ok"`` for a served request and ``"shed"`` for one
+    rejected by admission control.  For a write, ``completed_at`` is the
+    cycle at which its group commit's ``tx_end`` returned — i.e. the
+    commit marker is durable — so an ``ok`` write response *is* the
+    durability acknowledgement.
+    """
+
+    client: int
+    seq: int
+    kind: str
+    status: str  # "ok" | "shed"
+    submitted_at: int
+    completed_at: int
+    #: ``get``: zero or one value tuple; ``scan``: (key, value) pairs.
+    values: Tuple = ()
+
+    @property
+    def latency(self) -> int:
+        return self.completed_at - self.submitted_at
+
+
+def value_for(key: int, client: int, seq: int, value_words: int) -> Tuple[int, ...]:
+    """Deterministic, writer-distinguishing value payload (the shared-key
+    stream recipe: content checks can attribute every durable word)."""
+    return tuple(
+        value_words_for_key(key * 1_000_003 + client * 65_537 + seq, value_words)
+    )
+
+
+def generate_stream(
+    client: int,
+    num_requests: int,
+    *,
+    mix: Optional[Dict[str, float]] = None,
+    num_keys: int = 64,
+    theta: float = 0.0,
+    value_words: int = 8,
+    txn_keys: int = 3,
+    scan_count: int = 4,
+    seed: int = 0,
+) -> List[Request]:
+    """One client's deterministic request stream.
+
+    Keys are ``KEY_BASE + rank`` with zipfian(θ) skew over a population
+    shared by every client, so cross-client writes collide and the
+    group-commit batches mix writers.  ``txn`` requests touch 2..*txn_keys*
+    distinct keys.
+    """
+    mix = DEFAULT_MIX if mix is None else mix
+    kinds = sorted(k for k, w in mix.items() if w > 0)
+    unknown = [k for k in kinds if k not in OP_KINDS]
+    if unknown:
+        raise ValueError(f"unknown mix kind(s): {unknown}")
+    weights = [mix[k] for k in kinds]
+    cdf = zipfian_cdf(num_keys, theta)
+    rng = random.Random(
+        f"svc:{seed}:{client}:{num_requests}:{theta!r}:{num_keys}"
+    )
+
+    def draw_key() -> int:
+        return KEY_BASE + sample_rank(cdf, rng)
+
+    stream: List[Request] = []
+    for seq in range(num_requests):
+        kind = rng.choices(kinds, weights=weights)[0]
+        if kind == "get":
+            stream.append(Request(client, seq, "get", (draw_key(),)))
+        elif kind == "scan":
+            stream.append(
+                Request(client, seq, "scan", (draw_key(),), scan_count=scan_count)
+            )
+        elif kind == "put":
+            key = draw_key()
+            stream.append(
+                Request(
+                    client, seq, "put", (key,),
+                    values=(value_for(key, client, seq, value_words),),
+                )
+            )
+        else:  # txn
+            want = rng.randrange(2, max(txn_keys, 2) + 1)
+            keys: List[int] = []
+            while len(keys) < min(want, num_keys):
+                key = draw_key()
+                if key not in keys:
+                    keys.append(key)
+            stream.append(
+                Request(
+                    client, seq, "txn", tuple(keys),
+                    values=tuple(
+                        value_for(k, client, seq, value_words) for k in keys
+                    ),
+                )
+            )
+    return stream
+
+
+def generate_streams(
+    num_clients: int,
+    num_requests: int,
+    **kwargs,
+) -> List[List[Request]]:
+    """Per-client request streams (see :func:`generate_stream`)."""
+    return [
+        generate_stream(client, num_requests, **kwargs)
+        for client in range(num_clients)
+    ]
+
+
+def arrival_gaps(
+    client: int,
+    num_requests: int,
+    *,
+    mean_cycles: int,
+    seed: int = 0,
+) -> List[int]:
+    """Open-loop interarrival gaps for one client: uniform on
+    ``[1, 2*mean)`` so the mean is *mean_cycles* and every gap is a
+    positive integer (the event loop needs strictly advancing times)."""
+    if mean_cycles < 1:
+        raise ValueError("mean_cycles must be positive")
+    rng = random.Random(f"svc-arrival:{seed}:{client}:{mean_cycles}")
+    return [rng.randrange(1, 2 * mean_cycles) for _ in range(num_requests)]

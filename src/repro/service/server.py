@@ -1,0 +1,515 @@
+"""The transaction service: WC event loop over TM and RM.
+
+One :class:`TransactionService` is a complete simulated serving system
+on one machine:
+
+* the **work coordinator** (this module) owns the event loop: it admits
+  client arrivals through the bounded
+  :class:`~repro.service.admission.AdmissionQueue`, serves ready reads
+  immediately, and drains eligible writes into group-commit batches per
+  the :class:`~repro.service.tm.GroupCommitPolicy`;
+* the **transaction manager** runs each batch as a single durable
+  transaction (one commit-persist drain per batch);
+* the **resource manager** applies typed ops to the durable structure
+  and keeps the committed oracle.
+
+Determinism: client streams, arrival times and every scheduling
+decision derive from :class:`ServiceConfig` alone — two runs of the
+same config produce byte-identical responses, cycles and histograms.
+Simulated time only advances through simulated work (reads, batch
+transactions) or explicit idle jumps to the next event (an arrival or a
+group-commit deadline), so request latencies are exact cycle counts.
+
+Durability semantics: an ``ok`` write response is recorded immediately
+after its batch's ``tx_end`` returned — the commit marker is durable —
+with no simulated instruction in between.  A crash therefore can never
+separate a committed batch from its acknowledgements: every acked
+request is durable, and every unacked write is either absent or part of
+the single currently-committing batch (atomic all-or-nothing).  The
+service crash campaign (``python -m repro fuzz --service``) proves both
+at every durability-event point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common import units
+from repro.common.config import DEFAULT_CONFIG, SystemConfig
+from repro.common.stats import SimStats
+from repro.core.machine import Machine
+from repro.core.schemes import scheme_by_name
+from repro.obs.histogram import LogHistogram
+from repro.obs.profiler import CycleProfiler
+from repro.runtime.hints import MANUAL, AnnotationPolicy
+from repro.runtime.ptx import PTx
+from repro.workloads import WORKLOADS
+
+from repro.service.admission import AdmissionPolicy, AdmissionQueue, QueuedRequest
+from repro.service.model import (
+    Request,
+    Response,
+    arrival_gaps,
+    generate_streams,
+)
+from repro.service.rm import ResourceManager
+from repro.service.tm import GroupCommitPolicy, TransactionManager
+
+#: Client-loop modes.
+CLIENT_MODES = ("open", "closed")
+
+
+@dataclass
+class ServiceConfig:
+    """Everything a service run derives from (all seeded, all scalar)."""
+
+    workload: str = "hashtable"
+    scheme: str = "SLPMT"
+    num_clients: int = 4
+    requests_per_client: int = 25
+    value_bytes: int = 64
+    num_keys: int = 64
+    theta: float = 0.0
+    #: Request mix weights (None: :data:`repro.service.model.DEFAULT_MIX`).
+    mix: Optional[Dict[str, float]] = None
+    txn_keys: int = 3
+    scan_count: int = 4
+    #: ``open``: seeded arrival times, independent of responses;
+    #: ``closed``: each client thinks after its previous response.
+    mode: str = "open"
+    arrival_cycles: int = 3000
+    think_cycles: int = 1500
+    batch: GroupCommitPolicy = field(default_factory=GroupCommitPolicy)
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    max_attempts: int = 64
+    seed: int = 2023
+    #: Assert every read against the committed oracle (cost-free:
+    #: Python-side comparison only).
+    check_reads: bool = True
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in CLIENT_MODES:
+            raise ValueError(
+                f"mode must be one of {CLIENT_MODES}, got {self.mode!r}"
+            )
+        if self.num_clients < 1:
+            raise ValueError("num_clients must be at least 1")
+
+
+@dataclass
+class ServiceResult:
+    """Headline metrics of one service run.
+
+    ``cycles`` / ``pm_bytes`` / ``phases`` / ``commit_persist_cycles``
+    are snapshotted at the end of *serving* — before the validation
+    fence — so they describe exactly the client-visible work.
+    """
+
+    workload: str
+    scheme: str
+    mode: str
+    num_clients: int
+    requests_per_client: int
+    batch_size: int
+    max_wait_cycles: int
+    max_depth: int
+    admission_mode: str
+    fairness: str
+    theta: float
+    num_keys: int
+    value_bytes: int
+    seed: int
+    requests: int
+    acked: int
+    shed: int
+    reads: int
+    batches: int
+    committed_writes: int
+    cycles: int
+    pm_bytes: int
+    commit_persist_cycles: int
+    phases: Dict[str, int]
+    latency: LogHistogram
+    batch_occupancy: LogHistogram
+    queue_depth: LogHistogram
+    responses: List[Response]
+    stats: SimStats
+
+    @property
+    def commit_persist_per_write(self) -> float:
+        """Commit-persist cycles amortised per committed write request —
+        the group-commit headline metric."""
+        return self.commit_persist_cycles / max(1, self.committed_writes)
+
+
+class TransactionService:
+    """One machine serving N simulated clients (see module docstring)."""
+
+    def __init__(
+        self,
+        cfg: ServiceConfig,
+        *,
+        config: SystemConfig = DEFAULT_CONFIG,
+        policy: AnnotationPolicy = MANUAL,
+        tracer=None,
+    ) -> None:
+        self.cfg = cfg
+        self.machine = Machine(scheme_by_name(cfg.scheme), config)
+        self.profiler = CycleProfiler()
+        self.profiler.bind(self.machine.now)
+        self.machine.profiler = self.profiler
+        if tracer is not None:
+            self.machine.tracer = tracer
+        self.rt = PTx(self.machine, policy=policy)
+        self.subject = WORKLOADS[cfg.workload](
+            self.rt, value_bytes=cfg.value_bytes
+        )
+        self.rm = ResourceManager(self.subject)
+        self.tm = TransactionManager(
+            self.rt, self.rm, max_attempts=cfg.max_attempts
+        )
+        self.queue = AdmissionQueue(cfg.admission)
+        value_words = cfg.value_bytes // units.WORD_BYTES
+        self.streams = generate_streams(
+            cfg.num_clients,
+            cfg.requests_per_client,
+            mix=cfg.mix,
+            num_keys=cfg.num_keys,
+            theta=cfg.theta,
+            value_words=value_words,
+            txn_keys=cfg.txn_keys,
+            scan_count=cfg.scan_count,
+            seed=cfg.seed,
+        )
+        self.responses: List[Response] = []
+        #: The batch currently inside :meth:`~..tm.TransactionManager.
+        #: commit_batch` — non-empty exactly while a group commit is in
+        #: flight (the crash campaign's all-or-nothing set).
+        self.inflight: List[Request] = []
+        self._cursor = [0] * cfg.num_clients
+        self._due: List[Optional[int]] = [None] * cfg.num_clients
+        self._arrivals: List[List[int]] = [[] for _ in range(cfg.num_clients)]
+        self._committed_writes = 0
+        self._served = False
+        self._finished = False
+        self._serve_end: Optional[Tuple[int, int, int, Dict[str, int]]] = None
+
+    # --- client schedule ------------------------------------------------
+
+    def _init_schedule(self) -> None:
+        t0 = self.machine.now
+        cfg = self.cfg
+        for client in range(cfg.num_clients):
+            if not self.streams[client]:
+                self._due[client] = None
+                continue
+            if cfg.mode == "open":
+                gaps = arrival_gaps(
+                    client,
+                    cfg.requests_per_client,
+                    mean_cycles=cfg.arrival_cycles,
+                    seed=cfg.seed,
+                )
+                at = t0
+                times = []
+                for gap in gaps:
+                    at += gap
+                    times.append(at)
+                self._arrivals[client] = times
+                self._due[client] = times[0]
+            else:
+                # Closed loop: stagger the first submissions so clients
+                # never tie on the very first cycle.
+                self._due[client] = t0 + 1 + client
+
+    def _client_done(self, client: int) -> bool:
+        return self._cursor[client] >= len(self.streams[client])
+
+    def _advance_client(self, client: int, *, completed_at: int) -> None:
+        """Move a client past its current request (response recorded)."""
+        cfg = self.cfg
+        self._cursor[client] += 1
+        if self._client_done(client):
+            self._due[client] = None
+        elif cfg.mode == "open":
+            self._due[client] = self._arrivals[client][self._cursor[client]]
+        else:
+            self._due[client] = completed_at + cfg.think_cycles
+
+    # --- event-loop steps ------------------------------------------------
+
+    def _record(self, response: Response) -> None:
+        self.responses.append(response)
+        if response.status == "ok":
+            self.machine.stats.service_acked += 1
+            self.profiler.record("req_latency", response.latency)
+        client = response.client
+        if self.cfg.mode == "closed" and not self._client_done(client):
+            # The client was waiting on this response; it thinks next.
+            if self._due[client] is None:
+                self._due[client] = response.completed_at + self.cfg.think_cycles
+
+    def _admit_due(self) -> bool:
+        """Admit (or shed) every due arrival, in (time, client) order."""
+        progressed = False
+        while True:
+            due = sorted(
+                (self._due[c], c)
+                for c in range(self.cfg.num_clients)
+                if self._due[c] is not None
+                and self._due[c] <= self.machine.now
+                and not self._client_done(c)
+            )
+            if not due:
+                return progressed
+            admitted_any = False
+            for at, client in due:
+                request = self.streams[client][self._cursor[client]]
+                if self.queue.has_room:
+                    self.machine.stats.service_requests += 1
+                    self.queue.admit(
+                        QueuedRequest(
+                            request=request,
+                            submitted_at=at,
+                            admitted_at=self.machine.now,
+                        )
+                    )
+                    self.profiler.record("queue_depth", self.queue.depth)
+                    self.machine.stats.service_queue_peak = max(
+                        self.machine.stats.service_queue_peak, self.queue.depth
+                    )
+                    # In closed mode the client now waits for the
+                    # response; _record() re-arms it.
+                    self._cursor[client] += 1
+                    if self._client_done(client):
+                        self._due[client] = None
+                    elif self.cfg.mode == "open":
+                        self._due[client] = self._arrivals[client][
+                            self._cursor[client]
+                        ]
+                    else:
+                        self._due[client] = None
+                    admitted_any = True
+                    progressed = True
+                elif self.cfg.admission.mode == "shed":
+                    self.machine.stats.service_requests += 1
+                    self.machine.stats.service_rejected += 1
+                    self._record(
+                        Response(
+                            client=client,
+                            seq=request.seq,
+                            kind=request.kind,
+                            status="shed",
+                            submitted_at=at,
+                            completed_at=self.machine.now,
+                        )
+                    )
+                    self._advance_client(client, completed_at=self.machine.now)
+                    progressed = True
+                # mode == "block": the client stalls at the door; its
+                # due time stays in the past and is retried next round.
+            if not admitted_any:
+                return progressed
+
+    def _serve_reads(self) -> bool:
+        ready = self.queue.pop_ready_reads()
+        for item in ready:
+            request = item.request
+            if request.kind == "get":
+                values = self.rm.read_get(request, check=self.cfg.check_reads)
+            else:
+                values = self.rm.read_scan(request, check=self.cfg.check_reads)
+            self.machine.stats.service_reads += 1
+            self._record(
+                Response(
+                    client=request.client,
+                    seq=request.seq,
+                    kind=request.kind,
+                    status="ok",
+                    submitted_at=item.submitted_at,
+                    completed_at=self.machine.now,
+                    values=values,
+                )
+            )
+        return bool(ready)
+
+    def _more_arrivals_possible(self) -> bool:
+        return any(
+            not self._client_done(c) for c in range(self.cfg.num_clients)
+        )
+
+    def _should_flush(self) -> bool:
+        eligible = self.queue.eligible_writes()
+        if eligible == 0:
+            return False
+        if eligible >= self.cfg.batch.batch_size:
+            return True
+        oldest = self.queue.oldest_write_admitted_at()
+        if (
+            oldest is not None
+            and self.machine.now - oldest >= self.cfg.batch.max_wait_cycles
+        ):
+            return True
+        return not self._more_arrivals_possible()
+
+    def _flush(self) -> bool:
+        batch = self.queue.take_batch(self.cfg.batch.batch_size)
+        if not batch:
+            return False
+        requests = [item.request for item in batch]
+        self.machine.stats.service_batches += 1
+        self.machine.stats.service_batched_writes += len(batch)
+        self.profiler.record("batch_occupancy", len(batch))
+        for request in requests:
+            for key in request.keys:
+                self.subject.before_transaction(key)
+        self.inflight = requests
+        self.tm.commit_batch(requests)
+        # tx_end returned: the batch's commit marker is durable.  The
+        # acks below involve no simulated work, so no crash point can
+        # separate them from the commit.
+        completed_at = self.machine.now
+        for item in batch:
+            self._committed_writes += 1
+            self._record(
+                Response(
+                    client=item.request.client,
+                    seq=item.request.seq,
+                    kind=item.request.kind,
+                    status="ok",
+                    submitted_at=item.submitted_at,
+                    completed_at=completed_at,
+                )
+            )
+        self.inflight = []
+        return True
+
+    def _next_wakeup(self) -> Optional[int]:
+        times: List[int] = []
+        now = self.machine.now
+        for c in range(self.cfg.num_clients):
+            at = self._due[c]
+            if at is not None and at > now and not self._client_done(c):
+                times.append(at)
+        oldest = self.queue.oldest_write_admitted_at()
+        if oldest is not None:
+            times.append(
+                max(now + 1, oldest + self.cfg.batch.max_wait_cycles)
+            )
+        return min(times) if times else None
+
+    # --- lifecycle -------------------------------------------------------
+
+    def serve(self) -> None:
+        """Run the event loop until every client stream is answered.
+
+        A :class:`~repro.common.errors.PowerFailure` propagates out with
+        the service state intact for the crash harness: ``responses``
+        holds every ack so far, ``rm.committed`` the acked-write oracle
+        and ``inflight`` the (possibly partially durable) batch."""
+        if self._served:
+            raise RuntimeError("serve() already ran")
+        self._served = True
+        self._init_schedule()
+        while True:
+            progressed = self._admit_due()
+            if self._serve_reads():
+                progressed = True
+            if self._should_flush():
+                self._flush()
+                progressed = True
+            if progressed:
+                continue
+            wakeup = self._next_wakeup()
+            if wakeup is None:
+                if self.queue.depth:
+                    # Only writes can remain queued (ready reads always
+                    # drain); force the final partial batch out.
+                    self._flush()
+                    continue
+                break
+            self.machine.now = wakeup
+        self._serve_end = (
+            self.machine.now,
+            self.machine.stats.pm_bytes_written,
+            self.profiler.phase_cycles.get("commit-persist", 0),
+            dict(self.profiler.phase_cycles),
+        )
+
+    def finish(self) -> None:
+        """Post-serving validation tail: force lazy state durable, run
+        end-of-run accounting and verify the durable image against the
+        committed oracle."""
+        if self._finished:
+            return
+        self._finished = True
+        self.rt.run_empty_transactions(self.machine.config.num_tx_ids)
+        self.machine.fence()
+        self.machine.finalize()
+        if self.cfg.verify:
+            self.rm.sync_expected()
+            self.subject.verify(durable=True)
+
+    def result(self) -> ServiceResult:
+        cfg = self.cfg
+        if self._serve_end is not None:
+            cycles, pm_bytes, commit_persist, phases = self._serve_end
+        else:
+            cycles = self.machine.now
+            pm_bytes = self.machine.stats.pm_bytes_written
+            commit_persist = self.profiler.phase_cycles.get("commit-persist", 0)
+            phases = dict(self.profiler.phase_cycles)
+        stats = self.machine.stats.copy()
+
+        def hist(name: str) -> LogHistogram:
+            return self.profiler.histograms.get(name, LogHistogram())
+
+        return ServiceResult(
+            workload=cfg.workload,
+            scheme=cfg.scheme,
+            mode=cfg.mode,
+            num_clients=cfg.num_clients,
+            requests_per_client=cfg.requests_per_client,
+            batch_size=cfg.batch.batch_size,
+            max_wait_cycles=cfg.batch.max_wait_cycles,
+            max_depth=cfg.admission.max_depth,
+            admission_mode=cfg.admission.mode,
+            fairness=cfg.admission.fairness,
+            theta=cfg.theta,
+            num_keys=cfg.num_keys,
+            value_bytes=cfg.value_bytes,
+            seed=cfg.seed,
+            requests=stats.service_requests,
+            acked=stats.service_acked,
+            shed=stats.service_rejected,
+            reads=stats.service_reads,
+            batches=stats.service_batches,
+            committed_writes=self._committed_writes,
+            cycles=cycles,
+            pm_bytes=pm_bytes,
+            commit_persist_cycles=commit_persist,
+            phases=phases,
+            latency=hist("req_latency"),
+            batch_occupancy=hist("batch_occupancy"),
+            queue_depth=hist("queue_depth"),
+            responses=list(self.responses),
+            stats=stats,
+        )
+
+    def run(self) -> ServiceResult:
+        """serve + finish + result (the one-call front door)."""
+        self.serve()
+        self.finish()
+        return self.result()
+
+
+def run_service(
+    cfg: ServiceConfig,
+    *,
+    config: SystemConfig = DEFAULT_CONFIG,
+    tracer=None,
+) -> ServiceResult:
+    """Build and run one :class:`TransactionService`."""
+    return TransactionService(cfg, config=config, tracer=tracer).run()

@@ -1,0 +1,105 @@
+"""The deprecated ``max_retries`` aliases warn once and stay faithful."""
+
+import warnings
+
+import pytest
+
+from repro.common.errors import TransactionError
+from repro.harness.runner import run_contention
+from repro.multicore.system import MultiCoreSystem, run_atomically
+
+
+def counter_system(seed=7):
+    system = MultiCoreSystem(1, seed=seed)
+    counter = system.allocator.alloc(8)
+    system.pm.write_word(counter, 0)
+    return system, counter
+
+
+class TestRunAtomicallyAlias:
+    def test_max_retries_warns(self):
+        system, counter = counter_system()
+        rt = system.runtimes[0]
+
+        def body():
+            rt.store(counter, rt.load(counter) + 1)
+
+        with pytest.warns(DeprecationWarning, match="max_retries"):
+            run_atomically(rt, body, max_retries=8)
+
+    def test_alias_keeps_total_attempts_meaning(self):
+        system, counter = counter_system()
+        rt = system.runtimes[0]
+
+        def body():
+            rt.store(counter, rt.load(counter) + 1)
+
+        with pytest.warns(DeprecationWarning):
+            aborts = run_atomically(rt, body, max_retries=8)
+        assert aborts == 0
+
+    def test_both_kwargs_rejected(self):
+        system, counter = counter_system()
+        rt = system.runtimes[0]
+        with pytest.raises(TransactionError, match="not both"):
+            run_atomically(
+                rt, lambda: None, max_attempts=4, max_retries=4
+            )
+
+    def test_max_attempts_does_not_warn(self):
+        system, counter = counter_system()
+        rt = system.runtimes[0]
+
+        def body():
+            rt.store(counter, rt.load(counter) + 1)
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_atomically(rt, body, max_attempts=8)
+
+
+class TestRunContentionAlias:
+    def test_max_retries_warns_once_per_call(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_contention(
+                "hashtable", "SLPMT",
+                cores=2, ops_per_core=4, num_keys=4, value_bytes=32,
+                max_retries=16,
+            )
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        # One warning per call site, not one per retried transaction.
+        assert len(deprecations) == 1
+        assert "max_retries" in str(deprecations[0].message)
+
+    def test_alias_equivalent_to_max_attempts(self):
+        kwargs = dict(
+            cores=2, ops_per_core=4, num_keys=4, value_bytes=32, seed=9
+        )
+        direct = run_contention("hashtable", "SLPMT", max_attempts=16, **kwargs)
+        with pytest.warns(DeprecationWarning):
+            aliased = run_contention(
+                "hashtable", "SLPMT", max_retries=16, **kwargs
+            )
+        assert direct.cycles == aliased.cycles
+        assert direct.pm_bytes == aliased.pm_bytes
+        assert direct.commits == aliased.commits
+
+    def test_both_kwargs_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            run_contention(
+                "hashtable", "SLPMT",
+                cores=1, ops_per_core=1,
+                max_attempts=8, max_retries=8,
+            )
+
+    def test_max_attempts_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_contention(
+                "hashtable", "SLPMT",
+                cores=1, ops_per_core=2, num_keys=4, value_bytes=32,
+                max_attempts=16,
+            )

@@ -1,0 +1,99 @@
+"""The harness run memo: ``_RunMemo`` semantics and ``cache_key``."""
+
+from repro.common.config import DEFAULT_CONFIG
+from repro.harness.runner import _RunMemo, cache_key, cached_run
+from repro.runtime.hints import MANUAL, NO_ANNOTATIONS
+
+
+class TestRunMemo:
+    def test_computes_once_per_key(self):
+        calls = []
+
+        def fn(*key):
+            calls.append(key)
+            return sum(key)
+
+        memo = _RunMemo(fn)
+        assert memo(1, 2) == 3
+        assert memo(1, 2) == 3
+        assert memo(2, 1) == 3
+        assert calls == [(1, 2), (2, 1)]
+
+    def test_cache_clear_recomputes(self):
+        calls = []
+
+        def fn(*key):
+            calls.append(key)
+            return key
+
+        memo = _RunMemo(fn)
+        memo(1)
+        memo.cache_clear()
+        memo(1)
+        assert calls == [(1,), (1,)]
+
+    def test_seed_injects_precomputed_result(self):
+        def fn(*key):
+            raise AssertionError("seeded keys must not compute")
+
+        memo = _RunMemo(fn)
+        memo.seed((1, 2), "warmed")
+        assert memo(1, 2) == "warmed"
+
+    def test_seed_first_writer_wins(self):
+        memo = _RunMemo(lambda *key: None)
+        memo.seed((1,), "first")
+        memo.seed((1,), "second")
+        assert memo(1) == "first"
+
+    def test_seed_normalises_key_to_tuple(self):
+        memo = _RunMemo(lambda *key: None)
+        memo.seed([3, 4], "listed")
+        assert memo(3, 4) == "listed"
+
+
+class TestCacheKey:
+    def test_defaults_resolve_to_config_values(self):
+        key = cache_key("hashtable", "SLPMT")
+        assert key[0] == "hashtable" and key[1] == "SLPMT"
+        assert key[5] == DEFAULT_CONFIG.pm.write_latency_ns
+        assert key[6] == DEFAULT_CONFIG.num_tx_ids
+        assert key[7] == DEFAULT_CONFIG.pm.wpq_bytes
+        assert key[8] == 2023
+
+    def test_explicit_default_equals_implicit(self):
+        assert cache_key("hashtable", "SLPMT") == cache_key(
+            "hashtable",
+            "SLPMT",
+            pm_write_latency_ns=DEFAULT_CONFIG.pm.write_latency_ns,
+            num_tx_ids=DEFAULT_CONFIG.num_tx_ids,
+            wpq_bytes=DEFAULT_CONFIG.pm.wpq_bytes,
+        )
+
+    def test_scheme_object_and_name_agree(self):
+        from repro.core.schemes import scheme_by_name
+
+        assert cache_key("hashtable", scheme_by_name("SLPMT")) == cache_key(
+            "hashtable", "SLPMT"
+        )
+
+    def test_policy_in_key(self):
+        assert cache_key("hashtable", "SLPMT", policy=MANUAL) != cache_key(
+            "hashtable", "SLPMT", policy=NO_ANNOTATIONS
+        )
+
+    def test_key_is_hashable_and_process_portable(self):
+        key = cache_key("hashtable", "SLPMT")
+        hash(key)
+        assert all(
+            isinstance(part, (str, int, float, tuple)) for part in key
+        )
+
+
+class TestCachedRunUsesKey:
+    def test_cached_run_files_under_cache_key(self):
+        from repro.harness import runner
+
+        result = cached_run("hashtable", "SLPMT", num_ops=5)
+        key = cache_key("hashtable", "SLPMT", num_ops=5)
+        assert runner._cached._cache[key] is result

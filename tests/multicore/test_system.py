@@ -220,7 +220,7 @@ class TestErrors:
 
         with pytest.raises(TransactionError):
             system.run(
-                [lambda r: run_atomically(r, always_abort, max_retries=3)]
+                [lambda r: run_atomically(r, always_abort, max_attempts=3)]
             )
 
     def test_worker_count_checked(self):
@@ -252,8 +252,9 @@ class TestAttemptAccounting:
         system = MultiCoreSystem(1, seed=0)
         rt = system.runtimes[0]
         calls = []
-        with pytest.raises(RetryExhausted, match="aborted 3 times"):
-            run_atomically(rt, self.always_abort(calls), max_retries=3)
+        with pytest.warns(DeprecationWarning, match="max_retries"):
+            with pytest.raises(RetryExhausted, match="aborted 3 times"):
+                run_atomically(rt, self.always_abort(calls), max_retries=3)
         assert len(calls) == 3
 
     def test_single_attempt_budget(self):

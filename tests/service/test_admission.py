@@ -1,0 +1,125 @@
+"""Bounded admission queue: backpressure, ready reads, batch fill."""
+
+import pytest
+
+from repro.service.admission import AdmissionPolicy, AdmissionQueue, QueuedRequest
+from repro.service.model import Request
+from repro.workloads.shared import KEY_BASE
+
+
+def put(client, seq):
+    key = KEY_BASE + client * 10 + seq
+    return Request(client, seq, "put", (key,), values=((client, seq),))
+
+
+def get(client, seq):
+    return Request(client, seq, "get", (KEY_BASE,))
+
+
+def enqueue(queue, requests, *, at=0):
+    for n, request in enumerate(requests):
+        queue.admit(
+            QueuedRequest(request=request, submitted_at=at + n, admitted_at=at + n)
+        )
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            AdmissionPolicy(max_depth=0)
+        with pytest.raises(ValueError, match="mode"):
+            AdmissionPolicy(mode="drop")
+        with pytest.raises(ValueError, match="fairness"):
+            AdmissionPolicy(fairness="random")
+
+
+class TestBoundedQueue:
+    def test_depth_and_room(self):
+        queue = AdmissionQueue(AdmissionPolicy(max_depth=2))
+        assert queue.has_room and queue.depth == 0
+        enqueue(queue, [put(0, 0), put(1, 0)])
+        assert queue.depth == 2 and not queue.has_room
+
+    def test_overflow_raises(self):
+        queue = AdmissionQueue(AdmissionPolicy(max_depth=1))
+        enqueue(queue, [put(0, 0)])
+        with pytest.raises(OverflowError):
+            enqueue(queue, [put(1, 0)])
+
+
+class TestReadyReads:
+    def test_head_read_pops(self):
+        queue = AdmissionQueue(AdmissionPolicy())
+        enqueue(queue, [get(0, 0), put(1, 0)])
+        ready = queue.pop_ready_reads()
+        assert [(r.request.client, r.request.seq) for r in ready] == [(0, 0)]
+        assert queue.depth == 1
+
+    def test_read_behind_own_write_waits(self):
+        queue = AdmissionQueue(AdmissionPolicy())
+        enqueue(queue, [put(0, 0), get(0, 1)])
+        assert queue.pop_ready_reads() == []
+        assert queue.depth == 2
+
+    def test_fixpoint_exposes_chained_reads(self):
+        queue = AdmissionQueue(AdmissionPolicy())
+        enqueue(queue, [get(0, 0), get(0, 1), put(0, 2)])
+        ready = queue.pop_ready_reads()
+        assert [r.request.seq for r in ready] == [0, 1]
+        assert queue.eligible_writes() == 1
+
+
+class TestBatchSelection:
+    def test_fifo_takes_global_admission_order(self):
+        queue = AdmissionQueue(AdmissionPolicy(fairness="fifo"))
+        enqueue(queue, [put(0, 0), put(1, 0), put(0, 1)])
+        batch = queue.take_batch(2)
+        assert [(i.request.client, i.request.seq) for i in batch] == [
+            (0, 0), (1, 0),
+        ]
+        assert queue.depth == 1
+
+    def test_fifo_heavy_writer_can_fill_batch(self):
+        queue = AdmissionQueue(AdmissionPolicy(fairness="fifo"))
+        enqueue(queue, [put(0, 0), put(0, 1), put(0, 2), put(1, 0)])
+        batch = queue.take_batch(3)
+        assert [(i.request.client, i.request.seq) for i in batch] == [
+            (0, 0), (0, 1), (0, 2),
+        ]
+
+    def test_round_robin_interleaves_clients(self):
+        queue = AdmissionQueue(AdmissionPolicy(fairness="round-robin"))
+        enqueue(queue, [put(0, 0), put(0, 1), put(0, 2), put(1, 0)])
+        batch = queue.take_batch(3)
+        assert [(i.request.client, i.request.seq) for i in batch] == [
+            (0, 0), (1, 0), (0, 1),
+        ]
+
+    def test_per_client_fifo_always_preserved(self):
+        for fairness in ("fifo", "round-robin"):
+            queue = AdmissionQueue(AdmissionPolicy(fairness=fairness))
+            enqueue(
+                queue,
+                [put(0, 0), put(1, 0), put(0, 1), put(1, 1), put(0, 2)],
+            )
+            batch = queue.take_batch(5)
+            for client in (0, 1):
+                seqs = [
+                    i.request.seq for i in batch if i.request.client == client
+                ]
+                assert seqs == sorted(seqs)
+
+    def test_read_blocks_later_writes_of_its_client(self):
+        queue = AdmissionQueue(AdmissionPolicy())
+        enqueue(queue, [get(0, 0), put(0, 1), put(1, 0)])
+        assert queue.eligible_writes() == 1
+        batch = queue.take_batch(8)
+        assert [(i.request.client, i.request.seq) for i in batch] == [(1, 0)]
+
+    def test_oldest_write_admitted_at(self):
+        queue = AdmissionQueue(AdmissionPolicy())
+        assert queue.oldest_write_admitted_at() is None
+        enqueue(queue, [get(0, 0)], at=5)
+        assert queue.oldest_write_admitted_at() is None
+        enqueue(queue, [put(1, 0)], at=9)
+        assert queue.oldest_write_admitted_at() == 9

@@ -1,0 +1,196 @@
+"""End-to-end transaction-service runs: the WC -> TM -> RM loop."""
+
+import pytest
+
+from repro.service.admission import AdmissionPolicy
+from repro.service.server import ServiceConfig, TransactionService, run_service
+from repro.service.tm import GroupCommitPolicy
+
+
+def config(**overrides):
+    base = dict(
+        workload="hashtable",
+        scheme="SLPMT",
+        num_clients=3,
+        requests_per_client=8,
+        value_bytes=32,
+        num_keys=24,
+        theta=0.6,
+        arrival_cycles=600,
+        admission=AdmissionPolicy(max_depth=64, mode="block"),
+        seed=11,
+    )
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+class TestConfigValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            config(mode="batch")
+
+    def test_bad_clients(self):
+        with pytest.raises(ValueError, match="num_clients"):
+            config(num_clients=0)
+
+
+class TestOpenLoop:
+    def test_all_requests_answered(self):
+        res = run_service(config())
+        total = 3 * 8
+        assert res.requests == total
+        assert res.acked == total and res.shed == 0
+        assert len(res.responses) == total
+        assert res.acked == res.reads + res.committed_writes
+
+    def test_deterministic(self):
+        a = run_service(config())
+        b = run_service(config())
+        assert a.responses == b.responses
+        assert a.cycles == b.cycles
+        assert a.pm_bytes == b.pm_bytes
+        assert a.latency.summary() == b.latency.summary()
+
+    def test_seed_changes_run(self):
+        a = run_service(config())
+        b = run_service(config(seed=12))
+        assert a.responses != b.responses
+
+    def test_per_client_fifo_responses(self):
+        res = run_service(config())
+        for client in range(3):
+            seqs = [r.seq for r in res.responses if r.client == client]
+            assert seqs == sorted(seqs)
+
+    def test_latencies_nonnegative_and_recorded(self):
+        res = run_service(config())
+        assert all(
+            r.completed_at >= r.submitted_at for r in res.responses
+        )
+        ok_writes = [
+            r for r in res.responses if r.status == "ok" and r.kind in ("put", "txn")
+        ]
+        assert res.committed_writes == len(ok_writes)
+        assert res.latency.summary()["count"] == res.acked
+
+
+class TestClosedLoop:
+    def test_all_requests_answered(self):
+        res = run_service(config(mode="closed", think_cycles=400))
+        assert res.acked == 3 * 8
+        assert res.shed == 0
+
+    def test_think_time_spaces_submissions(self):
+        res = run_service(config(mode="closed", think_cycles=400))
+        for client in range(3):
+            times = [
+                r.submitted_at for r in res.responses if r.client == client
+            ]
+            assert times == sorted(times)
+
+
+class TestBackpressure:
+    def test_shed_mode_rejects_when_full(self):
+        res = run_service(
+            config(
+                num_clients=4,
+                requests_per_client=12,
+                arrival_cycles=80,
+                admission=AdmissionPolicy(max_depth=2, mode="shed"),
+                batch=GroupCommitPolicy(batch_size=8, max_wait_cycles=6000),
+            )
+        )
+        assert res.shed > 0
+        assert res.acked + res.shed == res.requests == 4 * 12
+        shed = [r for r in res.responses if r.status == "shed"]
+        assert len(shed) == res.shed
+        assert all(r.completed_at == r.submitted_at for r in shed)
+
+    def test_block_mode_never_sheds(self):
+        res = run_service(
+            config(
+                arrival_cycles=80,
+                admission=AdmissionPolicy(max_depth=2, mode="block"),
+            )
+        )
+        assert res.shed == 0 and res.acked == 3 * 8
+
+    def test_queue_peak_tracked(self):
+        res = run_service(config(arrival_cycles=80))
+        assert res.stats.service_queue_peak >= 1
+        assert res.queue_depth.summary()["max"] >= 1
+
+
+class TestGroupCommit:
+    def test_batching_reduces_commit_count(self):
+        mix = {"put": 1.0}
+        one = run_service(config(mix=mix, batch=GroupCommitPolicy(batch_size=1)))
+        eight = run_service(config(mix=mix, batch=GroupCommitPolicy(batch_size=8)))
+        assert one.committed_writes == eight.committed_writes == 3 * 8
+        assert one.batches == 3 * 8
+        assert eight.batches < one.batches
+
+    def test_batching_amortises_commit_persist(self):
+        mix = {"put": 1.0}
+        one = run_service(config(mix=mix, batch=GroupCommitPolicy(batch_size=1)))
+        eight = run_service(config(mix=mix, batch=GroupCommitPolicy(batch_size=8)))
+        assert eight.commit_persist_per_write < one.commit_persist_per_write
+
+    def test_max_wait_forces_partial_batches(self):
+        res = run_service(
+            config(
+                mix={"put": 1.0},
+                arrival_cycles=3000,
+                batch=GroupCommitPolicy(batch_size=24, max_wait_cycles=100),
+            )
+        )
+        assert res.acked == 3 * 8
+        assert res.batches > 1
+        assert res.batch_occupancy.summary()["max"] < 24
+
+
+class TestLifecycle:
+    def test_serve_twice_rejected(self):
+        svc = TransactionService(config())
+        svc.serve()
+        with pytest.raises(RuntimeError, match="already ran"):
+            svc.serve()
+        svc.finish()
+
+    def test_oracle_matches_durable_state(self):
+        svc = TransactionService(config())
+        res = svc.run()
+        assert res.acked == 3 * 8
+        # run() already verified durable contents against rm.committed
+        # via sync_expected + verify(durable=True); spot-check the
+        # oracle is exactly the set of acknowledged written keys.
+        acked_writes = {
+            key
+            for stream in svc.streams
+            for request in stream
+            if request.is_write
+            for key in request.keys
+        }
+        assert set(svc.rm.committed) <= acked_writes
+
+    def test_metrics_snapshot_excludes_validation_tail(self):
+        svc = TransactionService(config())
+        svc.serve()
+        served_cycles = svc.machine.now
+        svc.finish()
+        res = svc.result()
+        assert res.cycles == served_cycles
+        assert svc.machine.now > served_cycles
+
+
+@pytest.mark.parametrize("scheme", ["FG", "FG+LG", "SLPMT"])
+def test_schemes_smoke(scheme):
+    res = run_service(config(scheme=scheme, requests_per_client=5))
+    assert res.acked == 3 * 5
+    assert res.shed == 0
+
+
+@pytest.mark.parametrize("workload", ["hashtable", "rbtree"])
+def test_workloads_smoke(workload):
+    res = run_service(config(workload=workload, requests_per_client=5))
+    assert res.acked == 3 * 5
