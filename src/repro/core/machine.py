@@ -79,7 +79,7 @@ from repro.isa.instructions import (
     _check_word_operand,
 )
 from repro.isa.program import Program
-from repro.mem import layout
+from repro.mem import layout, logregion
 from repro.mem.cache import SetAssocCache
 from repro.mem.cacheline import (
     AGGREGATE_MASK,
@@ -813,6 +813,36 @@ class Machine:
         self.stats.pm_log_bytes_written += total_bytes
         self.stats.pm_bytes_written += total_bytes
         self.stats.log_records_persisted += len(records)
+        self._prof_end()
+
+    def persist_protocol_entries(
+        self, entries: "List[DurableLogEntry]", *, phase: str
+    ) -> None:
+        """Durably append cross-shard 2PC protocol records.
+
+        The entries ride the ordinary log-append path — the attached
+        fault model sees every append, and the serialized stream CRCs
+        them like any other record — then pay synchronous WPQ drains for
+        the lines they occupy, so a scheduled persist-countdown crash
+        can land between the append and its durability.  *phase* names
+        the obs attribution bucket (``"prepare-persist"`` /
+        ``"decide-persist"``).
+        """
+        if not entries:
+            return
+        self._prof_begin(phase)
+        total_bytes = sum(
+            logregion.entry_wire_words(e) * units.WORD_BYTES for e in entries
+        )
+        lines = (total_bytes + units.LINE_BYTES - 1) // units.LINE_BYTES
+        for entry in entries:
+            self.pm.log_append(entry)
+        for _ in range(lines):
+            self._wpq_insert(sync=True, phase=CommitPhase.LOG_RECORDS)
+        self.stats.pm_log_lines_written += lines
+        self.stats.pm_log_bytes_written += total_bytes
+        self.stats.pm_bytes_written += total_bytes
+        self.stats.log_records_persisted += len(entries)
         self._prof_end()
 
     def _current_words(self, record: LogRecord) -> Tuple[int, ...]:

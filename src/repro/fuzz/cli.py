@@ -12,6 +12,8 @@ Usage::
     python -m repro fuzz --multicore --cores 2,4 --thetas 0,0.9
     python -m repro fuzz --service                 # txn-service campaign
     python -m repro fuzz --service --batches 1,8 --schemes SLPMT
+    python -m repro fuzz --twopc                   # cross-shard 2PC campaign
+    python -m repro fuzz --twopc --shards 2,3 --schemes SLPMT
 
 A campaign writes its table to ``benchmarks/results/fuzz_campaign.txt``
 (override with ``--out``) and exits non-zero when any invariant
@@ -56,6 +58,9 @@ DEFAULT_MULTICORE_OUT = os.path.join(
 DEFAULT_SERVICE_OUT = os.path.join(
     "benchmarks", "results", "service_campaign.txt"
 )
+DEFAULT_TWOPC_OUT = os.path.join(
+    "benchmarks", "results", "twopc_campaign.txt"
+)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -97,6 +102,14 @@ def _parser() -> argparse.ArgumentParser:
                         help="run the transaction-service group-commit "
                              "crash campaign (ack => durable at every "
                              "persist point)")
+    parser.add_argument("--twopc", action="store_true",
+                        help="run the cross-shard 2PC crash campaign "
+                             "(coordinator/participant crashes at every "
+                             "protocol step, torn/bit-flipped decision "
+                             "records; global atomicity at every case)")
+    parser.add_argument("--shards", type=str, default="2,3",
+                        help="comma-separated shard counts for --twopc "
+                             "(default 2,3)")
     parser.add_argument("--batches", type=str, default="1,8",
                         help="comma-separated group-commit batch sizes for "
                              "--service (default 1,8)")
@@ -339,9 +352,12 @@ def _service_main(args: argparse.Namespace) -> int:
     budget = args.budget if args.budget is not None else 150
     out = args.out if args.out != DEFAULT_OUT else DEFAULT_SERVICE_OUT
     jobs = resolve_jobs(args.jobs)
+    num_clients, requests_per_client = 5, 16
     try:
         result = run_service_campaign(
             budget=budget, seed=args.seed, cells=cells,
+            num_clients=num_clients,
+            requests_per_client=requests_per_client,
             value_bytes=args.value_bytes, jobs=jobs,
             progress=_progress if jobs > 1 else None,
         )
@@ -356,7 +372,104 @@ def _service_main(args: argparse.Namespace) -> int:
     with open(out, "w", encoding="utf-8") as fh:
         fh.write(text)
     print(f"[report written to {out}]")
-    return 1 if result.violations else 0
+
+    if result.violations:
+        for n, violation in enumerate(result.violations):
+            rep = minimize(
+                Reproducer.from_service_violation(
+                    violation,
+                    num_clients=num_clients,
+                    requests_per_client=requests_per_client,
+                    value_bytes=args.value_bytes,
+                    seed=args.seed,
+                )
+            )
+            rep_path = os.path.join(out_dir, f"service_repro_{n}.json")
+            with open(rep_path, "w", encoding="utf-8") as fh:
+                fh.write(rep.to_json())
+            print(f"[reproducer -> {rep_path}]")
+        return 1
+    return 0
+
+
+def _twopc_main(args: argparse.Namespace) -> int:
+    from repro.fuzz.report import format_twopc_report
+    from repro.fuzz.twopc import (
+        TWOPC_FAULTS,
+        TWOPC_FUZZ_SCHEMES,
+        TwoPCCell,
+        run_twopc_campaign,
+    )
+    from repro.workloads import WORKLOADS
+
+    try:
+        shards = [int(s) for s in args.shards.split(",") if s.strip()]
+    except ValueError as exc:
+        raise SystemExit(f"bad --shards value: {exc}")
+    if not shards or any(s < 2 for s in shards):
+        raise SystemExit("--shards needs counts of at least 2 (N=1 has no "
+                         "cross-shard protocol; its passivity is a test)")
+    workloads = ["hashtable"]
+    if args.workloads:
+        wanted = [w.strip() for w in args.workloads.split(",")]
+        unknown = set(wanted) - set(WORKLOADS)
+        if unknown:
+            raise SystemExit(f"unknown workload(s): {sorted(unknown)}")
+        workloads = wanted
+    schemes = list(TWOPC_FUZZ_SCHEMES)
+    if args.schemes:
+        schemes = [s.strip() for s in args.schemes.split(",")]
+    cells = [
+        TwoPCCell(w, s, n, fault)
+        for w in workloads
+        for s in schemes
+        for n in shards
+        for fault in TWOPC_FAULTS
+    ]
+    if not cells:
+        raise SystemExit("no cells selected")
+
+    budget = args.budget if args.budget is not None else 70
+    out = args.out if args.out != DEFAULT_OUT else DEFAULT_TWOPC_OUT
+    jobs = resolve_jobs(args.jobs)
+    num_clients, requests_per_client = 4, 12
+    try:
+        result = run_twopc_campaign(
+            budget=budget, seed=args.seed, cells=cells,
+            num_clients=num_clients,
+            requests_per_client=requests_per_client,
+            value_bytes=args.value_bytes, jobs=jobs,
+            progress=_progress if jobs > 1 else None,
+        )
+    except WorkerCrash as exc:
+        print(f"2PC campaign failed: {exc}", file=sys.stderr)
+        return 2
+    text = format_twopc_report(result)
+    print(text, end="")
+
+    out_dir = os.path.dirname(out) or "."
+    os.makedirs(out_dir, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"[report written to {out}]")
+
+    if result.violations:
+        for n, violation in enumerate(result.violations):
+            rep = minimize(
+                Reproducer.from_twopc_violation(
+                    violation,
+                    num_clients=num_clients,
+                    requests_per_client=requests_per_client,
+                    value_bytes=args.value_bytes,
+                    seed=args.seed,
+                )
+            )
+            rep_path = os.path.join(out_dir, f"twopc_repro_{n}.json")
+            with open(rep_path, "w", encoding="utf-8") as fh:
+                fh.write(rep.to_json())
+            print(f"[reproducer -> {rep_path}]")
+        return 1
+    return 0
 
 
 def fuzz_main(argv: "List[str] | None" = None) -> int:
@@ -373,6 +486,8 @@ def fuzz_main(argv: "List[str] | None" = None) -> int:
         return _multicore_main(args)
     if args.service:
         return _service_main(args)
+    if args.twopc:
+        return _twopc_main(args)
 
     cells = list(DEFAULT_CELLS)
     if args.workloads:

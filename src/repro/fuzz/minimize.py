@@ -42,6 +42,15 @@ class Reproducer:
     dict of :func:`repro.fuzz.faultcampaign.run_fault_case`) and
     ``crash_kind`` is ``"fault"``; *crash_point* is then meaningful only
     for drop-drain plans (it is mirrored inside the fault dict).
+
+    *service* / *twopc* switch the replay target from an op sequence to
+    a whole deterministic workload: a transaction-service run
+    (:func:`repro.fuzz.campaign.run_service_case`) or a sharded 2PC
+    deployment (:func:`repro.fuzz.twopc.run_twopc_case`).  They carry
+    the generation scalars (clients, requests per client, seed, batch
+    size / shard count); *ops* is then empty and shrinking reduces the
+    request volume instead of the op list.  A 2PC reproducer may also
+    carry *fault* (a torn/flipped protocol record, with its node label).
     """
 
     workload: str
@@ -54,6 +63,8 @@ class Reproducer:
     violation: str
     check: str
     fault: Optional[Dict] = None
+    service: Optional[Dict] = None
+    twopc: Optional[Dict] = None
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), indent=2, sort_keys=True) + "\n"
@@ -63,6 +74,8 @@ class Reproducer:
         data = json.loads(text)
         data["ops"] = [list(op) for op in data["ops"]]
         data.setdefault("fault", None)  # tolerate pre-fault files
+        data.setdefault("service", None)  # tolerate pre-service files
+        data.setdefault("twopc", None)  # tolerate pre-2PC files
         return cls(**data)
 
     @classmethod
@@ -101,11 +114,109 @@ class Reproducer:
             fault=dict(violation.fault),
         )
 
+    @classmethod
+    def from_service_violation(
+        cls,
+        violation: Violation,
+        *,
+        num_clients: int,
+        requests_per_client: int,
+        value_bytes: int,
+        seed: int,
+    ) -> "Reproducer":
+        """Freeze a service-campaign violation (cell is a
+        :class:`repro.fuzz.campaign.ServiceCell`)."""
+        return cls(
+            workload=violation.cell.workload,
+            scheme=violation.cell.scheme,
+            policy="none",
+            value_bytes=value_bytes,
+            ops=[],
+            crash_kind=violation.crash_kind,
+            crash_point=violation.crash_point,
+            violation=violation.message,
+            check=violation.check,
+            service={
+                "batch_size": violation.cell.batch_size,
+                "num_clients": num_clients,
+                "requests_per_client": requests_per_client,
+                "seed": seed,
+            },
+        )
+
+    @classmethod
+    def from_twopc_violation(
+        cls,
+        violation,
+        *,
+        num_clients: int,
+        requests_per_client: int,
+        value_bytes: int,
+        seed: int,
+    ) -> "Reproducer":
+        """Freeze a :class:`repro.fuzz.twopc.TwoPCViolation`."""
+        return cls(
+            workload=violation.cell.workload,
+            scheme=violation.cell.scheme,
+            policy="none",
+            value_bytes=value_bytes,
+            ops=[],
+            crash_kind=violation.crash_kind,
+            crash_point=violation.crash_point,
+            violation=violation.message,
+            check=violation.check,
+            fault=dict(violation.fault) if violation.fault else None,
+            twopc={
+                "shards": violation.cell.shards,
+                "num_clients": num_clients,
+                "requests_per_client": requests_per_client,
+                "seed": seed,
+            },
+        )
+
+
+def _twopc_cell(rep: Reproducer):
+    from repro.fuzz.twopc import TwoPCCell  # local: avoid cycle
+
+    return TwoPCCell(
+        rep.workload,
+        rep.scheme,
+        rep.twopc["shards"],
+        "torn-decision" if rep.fault is not None else "crash",
+    )
+
 
 def replay(
     rep: Reproducer, *, config: SystemConfig = STRESS_CONFIG
 ) -> CaseResult:
     """Re-run a reproducer exactly; deterministic by construction."""
+    if rep.twopc is not None:
+        from repro.fuzz.twopc import run_twopc_case  # local: avoid cycle
+
+        return run_twopc_case(
+            _twopc_cell(rep),
+            rep.crash_kind,
+            rep.crash_point,
+            fault=rep.fault,
+            num_clients=rep.twopc["num_clients"],
+            requests_per_client=rep.twopc["requests_per_client"],
+            value_bytes=rep.value_bytes,
+            seed=rep.twopc["seed"],
+            config=config,
+        )
+    if rep.service is not None:
+        from repro.fuzz.campaign import ServiceCell, run_service_case
+
+        return run_service_case(
+            ServiceCell(rep.workload, rep.scheme, rep.service["batch_size"]),
+            rep.crash_kind,
+            rep.crash_point,
+            num_clients=rep.service["num_clients"],
+            requests_per_client=rep.service["requests_per_client"],
+            value_bytes=rep.value_bytes,
+            seed=rep.service["seed"],
+            config=config,
+        )
     if rep.fault is not None:
         from repro.fuzz.faultcampaign import run_fault_case  # local: avoid cycle
 
@@ -242,11 +353,214 @@ def _minimize_fault(rep: Reproducer, *, config: SystemConfig) -> Reproducer:
     )
 
 
+# ----------------------------------------------------------------------
+# service / 2PC shrinking (request volume instead of the op list)
+# ----------------------------------------------------------------------
+
+
+def _service_first_violation(
+    rep: Reproducer,
+    num_clients: int,
+    requests_per_client: int,
+    *,
+    config: SystemConfig,
+) -> Optional[Tuple[int, str, str]]:
+    """Ascending crash-point scan of the reproducer's kind over a
+    service run of the given request volume."""
+    from repro.fuzz.campaign import (  # local: avoid cycle
+        ServiceCell,
+        _build_service,
+        run_service_case,
+    )
+
+    cell = ServiceCell(rep.workload, rep.scheme, rep.service["batch_size"])
+    seed = rep.service["seed"]
+    svc = _build_service(
+        cell,
+        num_clients=num_clients,
+        requests_per_client=requests_per_client,
+        value_bytes=rep.value_bytes,
+        seed=seed,
+        config=config,
+    )
+    events0 = svc.machine.wpq.total_inserts
+    instrs0 = svc.machine.stats.instructions
+    svc.serve()
+    if rep.crash_kind == "persist":
+        total = svc.machine.wpq.total_inserts - events0
+    else:
+        total = svc.machine.stats.instructions - instrs0
+    for point in range(min(total, _SCAN_CAP)):
+        result = run_service_case(
+            cell,
+            rep.crash_kind,
+            point,
+            num_clients=num_clients,
+            requests_per_client=requests_per_client,
+            value_bytes=rep.value_bytes,
+            seed=seed,
+            config=config,
+        )
+        if result.violation is not None:
+            return point, result.violation, result.check
+    return None
+
+
+def _twopc_first_violation(
+    rep: Reproducer,
+    num_clients: int,
+    requests_per_client: int,
+    *,
+    config: SystemConfig,
+) -> Optional[Tuple[int, str, str]]:
+    """The 2PC counterpart: step/persist kinds re-scan their point
+    space ascending; a fault plan is held fixed (its coordinates address
+    one node's physical append clock) and the candidate is accepted iff
+    the plan still fires and violates."""
+    from repro.fuzz.twopc import _build_twopc, run_twopc_case  # local: avoid cycle
+
+    cell = _twopc_cell(rep)
+    seed = rep.twopc["seed"]
+    if rep.fault is not None:
+        result = run_twopc_case(
+            cell,
+            rep.crash_kind,
+            rep.crash_point,
+            fault=rep.fault,
+            num_clients=num_clients,
+            requests_per_client=requests_per_client,
+            value_bytes=rep.value_bytes,
+            seed=seed,
+            config=config,
+        )
+        if result.violation is None:
+            return None
+        return rep.crash_point, result.violation, result.check
+    dep = _build_twopc(
+        cell,
+        num_clients=num_clients,
+        requests_per_client=requests_per_client,
+        value_bytes=rep.value_bytes,
+        seed=seed,
+        config=config,
+    )
+    machines = dict(dep.all_machines())
+    if rep.crash_kind == "step":
+        dep.serve()
+        total = len(dep.coordinator.steps.names)
+    elif rep.crash_kind.startswith("persist:"):
+        machine = machines[rep.crash_kind.split(":", 1)[1]]
+        before = machine.wpq.total_inserts
+        dep.serve()
+        total = machine.wpq.total_inserts - before
+    else:
+        raise ValueError(f"unknown crash kind {rep.crash_kind!r}")
+    for point in range(min(total, _SCAN_CAP)):
+        result = run_twopc_case(
+            cell,
+            rep.crash_kind,
+            point,
+            num_clients=num_clients,
+            requests_per_client=requests_per_client,
+            value_bytes=rep.value_bytes,
+            seed=seed,
+            config=config,
+        )
+        if result.violation is not None:
+            return point, result.violation, result.check
+    return None
+
+
+def _shrink_volume(first_violation, num_clients: int, requests_per_client: int):
+    """Greedy request-volume shrinking shared by the service and 2PC
+    paths: halve the per-client request count while the violation
+    survives, then peel clients off one at a time."""
+    found = None
+    rpc = requests_per_client
+    while rpc > 1:
+        candidate = max(1, rpc // 2)
+        result = first_violation(num_clients, candidate)
+        if result is None:
+            break
+        rpc, found = candidate, result
+    nc = num_clients
+    while nc > 1:
+        result = first_violation(nc - 1, rpc)
+        if result is None:
+            break
+        nc, found = nc - 1, result
+    if found is None:
+        found = first_violation(nc, rpc)
+    return found, nc, rpc
+
+
+def _minimize_service(rep: Reproducer, *, config: SystemConfig) -> Reproducer:
+    found, nc, rpc = _shrink_volume(
+        lambda n, r: _service_first_violation(rep, n, r, config=config),
+        rep.service["num_clients"],
+        rep.service["requests_per_client"],
+    )
+    if found is None:
+        raise AssertionError(
+            "service reproducer no longer violates — non-deterministic run?"
+        )
+    point, message, check = found
+    service = dict(rep.service)
+    service["num_clients"] = nc
+    service["requests_per_client"] = rpc
+    return Reproducer(
+        workload=rep.workload,
+        scheme=rep.scheme,
+        policy=rep.policy,
+        value_bytes=rep.value_bytes,
+        ops=[],
+        crash_kind=rep.crash_kind,
+        crash_point=point,
+        violation=message,
+        check=check,
+        service=service,
+    )
+
+
+def _minimize_twopc(rep: Reproducer, *, config: SystemConfig) -> Reproducer:
+    found, nc, rpc = _shrink_volume(
+        lambda n, r: _twopc_first_violation(rep, n, r, config=config),
+        rep.twopc["num_clients"],
+        rep.twopc["requests_per_client"],
+    )
+    if found is None:
+        raise AssertionError(
+            "2PC reproducer no longer violates — non-deterministic run?"
+        )
+    point, message, check = found
+    twopc = dict(rep.twopc)
+    twopc["num_clients"] = nc
+    twopc["requests_per_client"] = rpc
+    return Reproducer(
+        workload=rep.workload,
+        scheme=rep.scheme,
+        policy=rep.policy,
+        value_bytes=rep.value_bytes,
+        ops=[],
+        crash_kind=rep.crash_kind,
+        crash_point=point,
+        violation=message,
+        check=check,
+        fault=dict(rep.fault) if rep.fault else None,
+        twopc=twopc,
+    )
+
+
 def minimize(
     rep: Reproducer, *, config: SystemConfig = STRESS_CONFIG
 ) -> Reproducer:
     """Shrink *rep* to a minimal reproducer (ops first, then the crash
-    point), re-verifying the violation at every step."""
+    point; request volume first for service/2PC reproducers), re-verifying
+    the violation at every step."""
+    if rep.twopc is not None:
+        return _minimize_twopc(rep, config=config)
+    if rep.service is not None:
+        return _minimize_service(rep, config=config)
     if rep.fault is not None:
         return _minimize_fault(rep, config=config)
     ops = [list(op) for op in rep.ops]

@@ -15,6 +15,7 @@ from repro.fuzz.campaign import (
     MultiCoreCampaignResult,
     ServiceCampaignResult,
 )
+from repro.fuzz.twopc import TwoPCCampaignResult
 
 _COLUMNS = (
     ("workload", 10),
@@ -76,6 +77,89 @@ def format_report(result: CampaignResult) -> str:
         "",
         f"cells: {len(result.cells)} "
         f"({exhaustive_cells} with exhaustive durability-point coverage)",
+        f"cases: {result.total_cases}",
+        f"violations: {len(result.violations)}",
+    ]
+    for violation in result.violations:
+        lines.append(f"  VIOLATION {violation}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+_2PC_COLUMNS = (
+    ("workload", 10),
+    ("scheme", 7),
+    ("shards", 6),
+    ("fault", 13),
+    ("reqs", 5),
+    ("step-pts", 10),
+    ("persist-pts", 12),
+    ("fault-pts", 10),
+    ("cases", 6),
+    ("acked", 6),
+    ("xcommits", 8),
+    ("violations", 10),
+)
+
+
+def _twopc_row(values: List[str]) -> str:
+    return "  ".join(
+        str(v).ljust(width) for (_, width), v in zip(_2PC_COLUMNS, values)
+    ).rstrip()
+
+
+def format_twopc_report(result: TwoPCCampaignResult) -> str:
+    """The 2PC-campaign table plus totals, as written to
+    ``benchmarks/results/twopc_campaign.txt``."""
+    lines = [
+        "SLPMT cross-shard 2PC crash campaign",
+        f"budget={result.budget} per cell, seed={result.seed}, "
+        f"clients={result.num_clients}x{result.requests_per_client} requests, "
+        f"value_bytes={result.value_bytes}, "
+        "config=stress (512B/1KB/8KB caches)",
+        "acceptance: acked => durable on every home shard; the in-flight "
+        "global txn is all-or-nothing",
+        "across shards (resolved commit => applied everywhere, presumed "
+        "abort => applied nowhere)",
+        "",
+        _twopc_row([name for name, _ in _2PC_COLUMNS]),
+        _twopc_row(["-" * min(w, 10) for _, w in _2PC_COLUMNS]),
+    ]
+    for cell in result.cells:
+        steps = f"{cell.step_points_run}/{cell.step_points_total}"
+        persist = f"{cell.persist_points_run}/{cell.persist_points_total}"
+        faults = f"{cell.fault_points_run}/{cell.fault_points_total}"
+        if cell.exhaustive:
+            if cell.cell.fault == "crash":
+                steps += " all"
+            else:
+                faults += " all"
+        lines.append(
+            _twopc_row(
+                [
+                    cell.cell.workload,
+                    cell.cell.scheme,
+                    cell.cell.shards,
+                    cell.cell.fault,
+                    cell.num_requests,
+                    steps,
+                    persist,
+                    faults,
+                    cell.cases_run,
+                    cell.acked,
+                    cell.xshard_commits,
+                    len(cell.violations),
+                ]
+            )
+        )
+    torn_cells = sum(
+        1 for c in result.cells
+        if c.cell.fault == "torn-decision" and c.fault_points_run
+    )
+    lines += [
+        "",
+        f"cells: {len(result.cells)} "
+        f"({torn_cells} attacking durable decision records)",
         f"cases: {result.total_cases}",
         f"violations: {len(result.violations)}",
     ]

@@ -15,7 +15,9 @@ Stream wire format, version 1 (64-bit words):
   follow immediately after;
 * entry header word — ``kind`` (4 bits) | ``nwords`` (8 bits, <<4) |
   ``tx_seq`` (52 bits, <<12);
-* for undo/redo records: one address word, then ``nwords`` payload words;
+* for payload records (undo/redo, plus the 2PC ``prepare`` and
+  ``decide-commit``/``decide-abort`` records): one address word, then
+  ``nwords`` payload words;
 * every entry ends with a checksum word: CRC-32 of the entry's preceding
   wire words, folded into 64 bits (low half the CRC, high half its
   complement — never zero, so a checksum can not mimic the terminator);
@@ -29,6 +31,17 @@ The stream is append-only.  Entries are never erased — markers make
 stale records inert: recovery ignores any record whose transaction has a
 commit *or abort* marker (aborted transactions were already rolled back
 by the kernel-space replay of Section V-B).
+
+Tags 5–8 carry the cross-shard two-phase-commit protocol state
+(:mod:`repro.shard.twopc`): ``prepare`` stages one key/value write of a
+global transaction on a participant (addr = key, payload = value
+words), the ``prepared`` marker seals a participant's prepare phase,
+and ``decide-commit``/``decide-abort`` persist the coordinator's (or a
+participant's) durable decision (addr = deciding node id, payload =
+participant shard ids).  They ride the same CRC-checked framing as
+undo/redo records, so torn/bit-flipped decision records are detected by
+the tolerant decoder exactly like data records; local replay treats
+them as inert and recovery surfaces them for in-doubt resolution.
 
 Because real PM controllers guarantee only 8-byte write atomicity, a
 crash can cut the final append at any word boundary.  The *tolerant*
@@ -49,12 +62,29 @@ from repro.common import units
 from repro.common.errors import LogParseError, SimulationError
 from repro.mem.pm import DurableLogEntry
 
-#: Wire tags (0 is the terminator and therefore invalid).
-KIND_TAGS = {"undo": 1, "redo": 2, "commit": 3, "abort": 4}
+#: Wire tags (0 is the terminator and therefore invalid).  Tags 5–8 are
+#: the cross-shard 2PC protocol records (see the module docstring).
+KIND_TAGS = {
+    "undo": 1,
+    "redo": 2,
+    "commit": 3,
+    "abort": 4,
+    "prepare": 5,
+    "prepared": 6,
+    "decide-commit": 7,
+    "decide-abort": 8,
+}
 TAG_KINDS = {tag: kind for kind, tag in KIND_TAGS.items()}
 
 #: Entry kinds that carry an address and payload.
-PAYLOAD_KINDS = ("undo", "redo")
+PAYLOAD_KINDS = ("undo", "redo", "prepare", "decide-commit", "decide-abort")
+
+#: The 2PC protocol record kinds: inert to local replay, collected by
+#: recovery for cross-shard in-doubt resolution.
+TWOPC_KINDS = ("prepare", "prepared", "decide-commit", "decide-abort")
+
+#: The durable decision markers among :data:`TWOPC_KINDS`.
+DECISION_KINDS = ("decide-commit", "decide-abort")
 
 #: First word of a versioned stream ("SLPMTLOG", little-endian).  The
 #: low nibble (0x53 & 0xF = 3) is irrelevant: version detection matches

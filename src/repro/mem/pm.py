@@ -53,9 +53,15 @@ class DurableLogEntry:
     ``kind`` is ``"undo"`` (old words), ``"redo"`` (new words),
     ``"commit"`` (transaction end marker), or ``"abort"`` (the
     transaction was rolled back in place by the Section V-B kernel
-    replay — its remaining records are inert).  ``tx_seq`` is the global
-    transaction sequence number that owns the record; ``addr`` is the
-    word-aligned base of the payload.
+    replay — its remaining records are inert).  The cross-shard 2PC
+    protocol (:mod:`repro.shard.twopc`) adds ``"prepare"`` (a staged
+    write of a global transaction: addr = key, words = value),
+    ``"prepared"`` (marker sealing a participant's prepare phase) and
+    ``"decide-commit"``/``"decide-abort"`` (a durable decision: addr =
+    deciding node id, words = participant shard ids).  ``tx_seq`` is
+    the global transaction sequence number that owns the record;
+    ``addr`` is the word-aligned base of the payload (or the key/node
+    id for protocol records).
     """
 
     kind: str
@@ -63,8 +69,19 @@ class DurableLogEntry:
     addr: int = 0
     words: Tuple[int, ...] = ()
 
+    _KINDS = (
+        "undo",
+        "redo",
+        "commit",
+        "abort",
+        "prepare",
+        "prepared",
+        "decide-commit",
+        "decide-abort",
+    )
+
     def __post_init__(self) -> None:
-        if self.kind not in ("undo", "redo", "commit", "abort"):
+        if self.kind not in self._KINDS:
             raise SimulationError(f"unknown log entry kind {self.kind!r}")
 
 

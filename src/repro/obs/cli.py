@@ -17,6 +17,8 @@ Bench artifacts and the perf-regression gate::
     python -m repro bench --check            # fail on drift vs the baseline
     python -m repro bench --multicore        # shared-key contention grid
     python -m repro bench --multicore --cores 1,2,4 --check
+    python -m repro bench --twopc            # cross-shard 2PC grid
+    python -m repro bench --twopc --check    # gate vs BENCH_twopc.json
 """
 
 from __future__ import annotations
@@ -255,6 +257,29 @@ def _cmd_equivalence(args: argparse.Namespace) -> int:
             seed=params["seed"],
         )
         run = svc_bench.run_service_bench
+    elif args.twopc:
+        from repro.shard import bench as shard_bench
+
+        baseline_path = args.baseline or shard_bench.DEFAULT_TWOPC_BASELINE
+        baseline = bench_mod.load_bench(baseline_path)
+        params = baseline["params"]
+        kwargs = dict(
+            name=baseline["name"],
+            workloads=tuple(params["workloads"]),
+            schemes=tuple(params["schemes"]),
+            spans=tuple(params["spans"]),
+            num_shards=params["num_shards"],
+            num_clients=params["num_clients"],
+            requests_per_client=params["requests_per_client"],
+            value_bytes=params["value_bytes"],
+            num_keys=params["num_keys"],
+            theta=params["theta"],
+            arrival_cycles=params["arrival_cycles"],
+            batch_size=params["batch_size"],
+            max_wait_cycles=params["max_wait_cycles"],
+            seed=params["seed"],
+        )
+        run = shard_bench.run_twopc_bench
     elif args.multicore:
         baseline_path = args.baseline or bench_mod.DEFAULT_MULTICORE_BASELINE
         baseline = bench_mod.load_bench(baseline_path)
@@ -385,6 +410,11 @@ def obs_main(argv: "List[str] | None" = None) -> int:
         help="check the transaction-service sweep against "
         "BENCH_service.json instead",
     )
+    p_equiv.add_argument(
+        "--twopc", action="store_true",
+        help="check the cross-shard 2PC sweep against "
+        "BENCH_twopc.json instead",
+    )
     p_equiv.set_defaults(func=_cmd_equivalence)
 
     args = parser.parse_args(argv)
@@ -417,6 +447,18 @@ def bench_main(argv: "List[str] | None" = None) -> int:
         help="sweep the transaction-service grid (workload × scheme × "
         "group-commit batch size); uses the service grid's own knobs "
         "(--ops/--value-bytes are ignored), honours --seed/--jobs",
+    )
+    parser.add_argument(
+        "--twopc", action="store_true",
+        help="sweep the cross-shard 2PC grid (workload × scheme × "
+        "transaction span at a fixed shard count); uses the shard "
+        "grid's own knobs (--ops/--value-bytes are ignored), honours "
+        "--seed/--jobs/--spans",
+    )
+    parser.add_argument(
+        "--spans", type=str, default=None,
+        help="comma-separated txn_keys spans for --twopc (default "
+        "2,4,8)",
     )
     parser.add_argument(
         "--cores", type=str, default=None,
@@ -456,12 +498,18 @@ def bench_main(argv: "List[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     if (args.cores or args.thetas) and not args.multicore:
         raise SystemExit("--cores/--thetas require --multicore")
-    if args.multicore and args.service:
-        raise SystemExit("--multicore and --service are mutually exclusive")
+    if args.spans and not args.twopc:
+        raise SystemExit("--spans requires --twopc")
+    if sum((args.multicore, args.service, args.twopc)) > 1:
+        raise SystemExit(
+            "--multicore/--service/--twopc are mutually exclusive"
+        )
 
     jobs = resolve_jobs(args.jobs)
     name = args.name or (
-        "service"
+        "twopc"
+        if args.twopc
+        else "service"
         if args.service
         else "multicore"
         if args.multicore
@@ -469,7 +517,22 @@ def bench_main(argv: "List[str] | None" = None) -> int:
     )
     baseline_path = args.baseline or bench_mod.bench_name(name)
     try:
-        if args.service:
+        if args.twopc:
+            from repro.shard.bench import TWOPC_SPANS, run_twopc_bench
+
+            spans = (
+                tuple(int(s) for s in args.spans.split(","))
+                if args.spans
+                else TWOPC_SPANS
+            )
+            doc = run_twopc_bench(
+                name=name,
+                spans=spans,
+                seed=args.seed,
+                jobs=jobs,
+                progress=_progress if jobs > 1 else None,
+            )
+        elif args.service:
             from repro.service.bench import run_service_bench
 
             doc = run_service_bench(
@@ -535,9 +598,15 @@ def bench_main(argv: "List[str] | None" = None) -> int:
             f"pm_bytes={geo['pm_bytes']:>12,.0f}"
         )
     for scheme, amort in doc.get("amortization", {}).items():
+        if "span_lo" in amort:
+            axis = f"decide-persist/xwrite k{amort['span_lo']}->k{amort['span_hi']}"
+        else:
+            axis = (
+                "commit-persist/write "
+                f"b{amort['batch_lo']}->b{amort['batch_hi']}"
+            )
         print(
-            f"{scheme:<8} commit-persist/write amortization "
-            f"b{amort['batch_lo']}->b{amort['batch_hi']}: "
+            f"{scheme:<8} {axis} amortization: "
             f"{amort['geomean']:.2f}x geomean "
             + " ".join(
                 f"{w}={r:.2f}x" for w, r in amort["per_workload"].items()

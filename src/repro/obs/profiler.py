@@ -41,6 +41,13 @@ PHASES = (
     "forced-lazy",
     "abort",
     "recovery",
+    # Cross-shard 2PC (DESIGN.md §11): a participant persisting its
+    # prepare records, any node persisting a decision record, and the
+    # post-crash in-doubt resolution pass (clock-free: counted events
+    # only, since resolution runs outside the machine clock).
+    "prepare-persist",
+    "decide-persist",
+    "resolve",
 )
 
 #: Distributions every profiler carries (DESIGN.md §7).

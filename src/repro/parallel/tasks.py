@@ -180,6 +180,77 @@ def service_bench_cell(
     }
 
 
+def twopc_bench_cell(
+    *,
+    workload: str,
+    scheme: str,
+    txn_keys: int,
+    num_shards: int,
+    num_clients: int,
+    requests_per_client: int,
+    value_bytes: int,
+    num_keys: int,
+    theta: float,
+    arrival_cycles: int,
+    batch_size: int,
+    max_wait_cycles: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """One ``BENCH_twopc.json`` cell: a full sharded-deployment run.
+
+    The grid fixes the shard count and varies the transaction span
+    (``txn_keys``); the cell carries the 2PC phase buckets and the
+    decision-persist-per-cross-shard-write figure the amortization
+    headline derives from (see :mod:`repro.shard.bench`).
+    """
+    _poison_check(f"{workload}/{scheme}/k{txn_keys}")
+    from repro.service.tm import GroupCommitPolicy
+    from repro.shard.bench import TWOPC_MIX
+    from repro.shard.deployment import ShardedConfig, run_sharded
+
+    t0 = time.perf_counter()
+    res = run_sharded(
+        ShardedConfig(
+            num_shards=num_shards,
+            workload=workload,
+            scheme=scheme,
+            num_clients=num_clients,
+            requests_per_client=requests_per_client,
+            value_bytes=value_bytes,
+            num_keys=num_keys,
+            theta=theta,
+            mix=dict(TWOPC_MIX),
+            txn_keys=txn_keys,
+            arrival_cycles=arrival_cycles,
+            batch=GroupCommitPolicy(
+                batch_size=batch_size, max_wait_cycles=max_wait_cycles
+            ),
+            seed=seed,
+        )
+    )
+    host_ms = (time.perf_counter() - t0) * 1000.0
+    return {
+        "cycles": res.cycles,
+        "pm_bytes": res.pm_bytes,
+        "requests": res.requests,
+        "acked": res.acked,
+        "aborted": res.aborted,
+        "reads": res.reads,
+        "batches": res.batches,
+        "committed_writes": res.committed_writes,
+        "xshard_commits": res.xshard_commits,
+        "xshard_aborts": res.xshard_aborts,
+        "xshard_writes": res.xshard_writes,
+        "prepare_retries": res.prepare_retries,
+        "prepare_persist_cycles": res.prepare_persist_cycles,
+        "decide_persist_cycles": res.decide_persist_cycles,
+        "decide_persist_per_xwrite": round(res.decide_persist_per_xwrite, 3),
+        "phases": dict(res.phases),
+        "stats": json.loads(res.stats.to_json()),
+        "host_ms": round(host_ms, 3),
+    }
+
+
 def runner_cell(*, key: "Tuple") -> Any:
     """Warm one :func:`repro.harness.runner.cached_run` memo entry.
 
@@ -220,6 +291,16 @@ def service_fuzz_cell(*, cell, **kwargs) -> Any:
     from repro.fuzz.campaign import run_service_cell
 
     return run_service_cell(cell, **kwargs)
+
+
+def twopc_fuzz_cell(*, cell, **kwargs) -> Any:
+    """One 2PC-campaign cell: protocol-step and persist-point crash
+    sweep (plus decision-record fault injection) over a sharded
+    deployment."""
+    _poison_check(str(cell))
+    from repro.fuzz.twopc import run_twopc_cell
+
+    return run_twopc_cell(cell, **kwargs)
 
 
 def fault_cell(*, cell, **kwargs) -> Any:

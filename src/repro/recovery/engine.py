@@ -46,8 +46,8 @@ from typing import Dict, List, Optional, Protocol
 from repro.common import units
 from repro.common.errors import LogChecksumError, SimulationError, TornLogError
 from repro.core.ordering import LoggingMode
-from repro.mem.logregion import ParsedLog
-from repro.mem.pm import PersistentMemory
+from repro.mem.logregion import TWOPC_KINDS, ParsedLog
+from repro.mem.pm import DurableLogEntry, PersistentMemory
 
 #: Valid recovery policies.
 POLICIES = ("strict", "salvage")
@@ -102,6 +102,11 @@ class RecoveryReport:
     #: ``inert-damage`` (resolved transaction with corrupt — but inert —
     #: records).
     dispositions: Dict[int, str] = field(default_factory=dict)
+    #: Surviving cross-shard 2PC protocol records (prepare/prepared/
+    #: decide-commit/decide-abort), captured before the log is cleared.
+    #: Local replay treats them as inert; :mod:`repro.shard.recovery`
+    #: resolves in-doubt global transactions from them.
+    twopc_entries: List[DurableLogEntry] = field(default_factory=list)
 
     @property
     def damaged(self) -> bool:
@@ -145,6 +150,11 @@ def recover(
     )
     report = RecoveryReport(mode=mode, policy=policy, log_version=parsed.version)
     _classify_damage(parsed, report, policy)
+    # Protocol records must outlive the log reset below: the cross-shard
+    # resolution pass needs them after every local log is spent.
+    report.twopc_entries = [
+        e for e in parsed.entries if e.kind in TWOPC_KINDS
+    ]
     quarantined = {
         d.tx_seq for d in parsed.damaged if d.tx_seq is not None
     }
@@ -171,6 +181,8 @@ def recover(
             "recovery.rolled_back_txs", len(report.rolled_back_tx_seqs)
         )
         profiler.count("recovery.replayed_txs", len(report.replayed_tx_seqs))
+        if report.twopc_entries:
+            profiler.count("recovery.twopc_entries", len(report.twopc_entries))
         if report.damaged:
             profiler.count("recovery.torn_entries", report.torn_entries)
             profiler.count("recovery.corrupt_entries", report.corrupt_entries)

@@ -1,0 +1,633 @@
+"""The N-shard deployment: hash-routed serving over independent systems.
+
+Each shard is a complete single-core system behind the PR 6 service
+stack — its own :class:`~repro.mem.pm.PersistentMemory`, allocator,
+durable structure, resource manager and transaction manager — built as a
+one-core :class:`~repro.multicore.system.MultiCoreSystem` so shards stay
+upgrade-compatible with the contention scheduler.  A
+:class:`~repro.shard.router.HashRouter` sends single-key traffic to its
+home shard; multi-key transactions that span shards go through the
+:class:`~repro.shard.twopc.Coordinator`'s presumed-abort two-phase
+commit, every protocol decision durable as a v1 log record before it
+takes effect.
+
+Determinism: streams, arrivals, routing and every protocol step derive
+from :class:`ShardedConfig` alone.  Requests are processed in global
+``(arrival time, client)`` order; per-shard group-commit batches flush
+at ``batch_size`` and any residual flushes at end of stream, so two runs
+of one config are byte-identical.
+
+Passivity: with ``num_shards == 1`` the deployment builds a plain
+:class:`~repro.service.server.TransactionService` from the equivalent
+:class:`~repro.service.server.ServiceConfig` and delegates wholesale —
+no router, no coordinator, no protocol record is ever constructed, so
+the single-shard path is bit-identical to the PR 6 service (pinned
+against ``BENCH_service.json`` by the test suite).
+
+Durability semantics (the campaign's contract): an ``ok`` response is
+recorded only after the covering commit is durable — a local batch's
+``tx_end``, or phase 2 of 2PC completing on *every* participant.  An
+``aborted`` response (coordinator gave up on an unresponsive
+participant) guarantees the transaction is durable *nowhere*.  A crash
+mid-protocol leaves at most one local batch (``inflight_local``) and one
+global transaction (``inflight_gtx``) undecided; recovery resolves the
+latter from durable decision records alone
+(:func:`repro.shard.recovery.recover_deployment`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common import units
+from repro.common.config import DEFAULT_CONFIG, SystemConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import SimStats
+from repro.core.schemes import scheme_by_name
+from repro.mem.pm import DurableLogEntry
+from repro.multicore.system import MultiCoreSystem, run_atomically
+from repro.obs.profiler import CycleProfiler
+from repro.service.admission import AdmissionPolicy
+from repro.service.model import Request, Response, arrival_gaps, generate_streams
+from repro.service.rm import ResourceManager
+from repro.service.server import ServiceConfig, TransactionService
+from repro.service.tm import GroupCommitPolicy, TransactionManager
+from repro.shard.router import HashRouter
+from repro.shard.twopc import Coordinator, PreparedWrite, ShardUnavailable
+from repro.workloads import WORKLOADS
+
+
+@dataclass
+class ShardedConfig:
+    """Everything an N-shard run derives from (all seeded, all scalar).
+
+    The serving knobs mirror :class:`~repro.service.server.ServiceConfig`
+    (open-loop only); ``prepare_attempts`` / ``retry_wait_cycles`` bound
+    the coordinator's deterministic retry of unresponsive participants.
+    """
+
+    num_shards: int = 2
+    workload: str = "hashtable"
+    scheme: str = "SLPMT"
+    num_clients: int = 4
+    requests_per_client: int = 25
+    value_bytes: int = 64
+    num_keys: int = 64
+    theta: float = 0.0
+    mix: Optional[Dict[str, float]] = None
+    txn_keys: int = 3
+    scan_count: int = 4
+    arrival_cycles: int = 3000
+    batch: GroupCommitPolicy = field(default_factory=GroupCommitPolicy)
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    max_attempts: int = 64
+    prepare_attempts: int = 3
+    retry_wait_cycles: int = 500
+    seed: int = 2023
+    check_reads: bool = True
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_shards <= 8:
+            # A decision record carries the participant set as payload
+            # words; the v1 wire format caps payloads at 8 words.
+            raise ValueError("num_shards must be between 1 and 8")
+        if self.value_bytes // units.WORD_BYTES > 8:
+            raise ValueError(
+                "value_bytes must fit a prepare record's 8-word payload"
+            )
+
+    def service_config(self) -> ServiceConfig:
+        """The equivalent single-machine config (the N=1 delegate)."""
+        return ServiceConfig(
+            workload=self.workload,
+            scheme=self.scheme,
+            num_clients=self.num_clients,
+            requests_per_client=self.requests_per_client,
+            value_bytes=self.value_bytes,
+            num_keys=self.num_keys,
+            theta=self.theta,
+            mix=self.mix,
+            txn_keys=self.txn_keys,
+            scan_count=self.scan_count,
+            mode="open",
+            arrival_cycles=self.arrival_cycles,
+            batch=self.batch,
+            admission=self.admission,
+            max_attempts=self.max_attempts,
+            seed=self.seed,
+            check_reads=self.check_reads,
+            verify=self.verify,
+        )
+
+
+class ShardNode:
+    """One shard: a single-core system plus its 2PC participant half.
+
+    The participant contract (what the coordinator calls):
+
+    * :meth:`prepare` — stage the writes and make them durable as
+      ``prepare`` records sealed by a ``prepared`` marker (phase
+      ``prepare-persist``); raising :class:`~repro.shard.twopc.
+      ShardUnavailable` models an unresponsive shard.
+    * :meth:`commit` — persist the shard's own ``decide-commit`` record,
+      apply the staged writes in one local transaction, then seal with a
+      plain ``commit`` marker at the global seq (the *applied* marker
+      recovery uses for idempotence).
+    * :meth:`abort` — persist ``decide-abort`` and drop the stage.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        cfg: ShardedConfig,
+        *,
+        config: SystemConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.shard_id = shard_id
+        self.cfg = cfg
+        self.system = MultiCoreSystem(1, scheme_by_name(cfg.scheme), config)
+        self.machine = self.system.cores[0]
+        self.rt = self.system.runtimes[0]
+        self.profiler = CycleProfiler()
+        self.profiler.bind(self.machine.now)
+        self.machine.profiler = self.profiler
+        self.subject = WORKLOADS[cfg.workload](
+            self.rt, value_bytes=cfg.value_bytes
+        )
+        self.rm = ResourceManager(self.subject)
+        self.tm = TransactionManager(
+            self.rt, self.rm, max_attempts=cfg.max_attempts
+        )
+        #: Writes pending in this shard's group-commit batch:
+        #: ``(request, submitted_at)`` in arrival order.
+        self.pending: List[Tuple[Request, int]] = []
+        #: Prepared-but-undecided global transactions: gtx -> writes.
+        self.staged: Dict[int, List[PreparedWrite]] = {}
+        #: Test hook: fail the next N prepare calls (unresponsive shard).
+        self.fail_prepares = 0
+
+    # --- 2PC participant half -------------------------------------------
+
+    def prepare(self, gtx: int, writes: "Sequence[PreparedWrite]") -> None:
+        if self.fail_prepares > 0:
+            self.fail_prepares -= 1
+            raise ShardUnavailable(
+                f"shard {self.shard_id} unresponsive to prepare({gtx})"
+            )
+        entries = [
+            DurableLogEntry(kind="prepare", tx_seq=gtx, addr=key, words=value)
+            for key, value in writes
+        ]
+        entries.append(DurableLogEntry(kind="prepared", tx_seq=gtx))
+        self.machine.persist_protocol_entries(entries, phase="prepare-persist")
+        self.staged[gtx] = list(writes)
+
+    def commit(self, gtx: int, shard_ids: "Sequence[int]") -> None:
+        writes = self.staged.get(gtx)
+        if writes is None:
+            raise SimulationError(
+                f"shard {self.shard_id}: commit({gtx}) without prepare"
+            )
+        # The shard's own durable copy of the decision: recovery can
+        # resolve from any surviving log, not only the coordinator's.
+        self.machine.persist_protocol_entries(
+            [
+                DurableLogEntry(
+                    kind="decide-commit",
+                    tx_seq=gtx,
+                    addr=self.shard_id,
+                    words=tuple(shard_ids),
+                )
+            ],
+            phase="decide-persist",
+        )
+        self.apply_staged(gtx, writes)
+
+    def apply_staged(self, gtx: int, writes: "Sequence[PreparedWrite]") -> None:
+        """Apply *writes* in one local transaction and seal it with the
+        applied marker (shared by phase 2 and crash recovery)."""
+        for key, _ in writes:
+            self.subject.before_transaction(key)
+
+        def body() -> None:
+            for key, value in writes:
+                self.subject._insert(key, list(value))
+
+        run_atomically(self.rt, body, max_attempts=self.cfg.max_attempts)
+        # Seal: a plain commit marker at the global seq.  Recovery skips
+        # the re-apply on shards whose log shows this marker.
+        self.machine.persist_protocol_entries(
+            [DurableLogEntry(kind="commit", tx_seq=gtx)],
+            phase="decide-persist",
+        )
+        for key, value in writes:
+            self.rm.committed[key] = tuple(value)
+        self.staged.pop(gtx, None)
+
+    def abort(self, gtx: int, shard_ids: "Sequence[int]") -> None:
+        if gtx in self.staged:
+            self.machine.persist_protocol_entries(
+                [
+                    DurableLogEntry(
+                        kind="decide-abort",
+                        tx_seq=gtx,
+                        addr=self.shard_id,
+                        words=tuple(shard_ids),
+                    )
+                ],
+                phase="decide-persist",
+            )
+            del self.staged[gtx]
+
+
+@dataclass
+class ShardedResult:
+    """Headline metrics of one sharded run (cycles / pm_bytes summed
+    over every node and the coordinator, snapshotted at end of serving)."""
+
+    num_shards: int
+    workload: str
+    scheme: str
+    requests: int
+    acked: int
+    aborted: int
+    reads: int
+    batches: int
+    committed_writes: int
+    xshard_commits: int
+    xshard_aborts: int
+    xshard_writes: int
+    prepare_retries: int
+    cycles: int
+    pm_bytes: int
+    prepare_persist_cycles: int
+    decide_persist_cycles: int
+    phases: Dict[str, int]
+    responses: List[Response]
+    stats: SimStats
+
+    @property
+    def decide_persist_per_xwrite(self) -> float:
+        """Decision-persist cycles amortised per committed cross-shard
+        key write — the 2PC overhead headline."""
+        return self.decide_persist_cycles / max(1, self.xshard_writes)
+
+
+class ShardedDeployment:
+    """N shards, one router, one coordinator (see module docstring)."""
+
+    def __init__(
+        self,
+        cfg: ShardedConfig,
+        *,
+        config: SystemConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.cfg = cfg
+        self.config = config
+        #: The N=1 delegate (2PC machinery provably passive).
+        self.service: Optional[TransactionService] = None
+        self.nodes: List[ShardNode] = []
+        if cfg.num_shards == 1:
+            self.service = TransactionService(
+                cfg.service_config(), config=config
+            )
+            return
+        self.router = HashRouter(cfg.num_shards)
+        self.nodes = [
+            ShardNode(shard, cfg, config=config)
+            for shard in range(cfg.num_shards)
+        ]
+        self.coordinator = Coordinator(
+            cfg.num_shards,
+            cfg.scheme,
+            config,
+            prepare_attempts=cfg.prepare_attempts,
+            retry_wait_cycles=cfg.retry_wait_cycles,
+            max_attempts=cfg.max_attempts,
+        )
+        value_words = cfg.value_bytes // units.WORD_BYTES
+        self.streams = generate_streams(
+            cfg.num_clients,
+            cfg.requests_per_client,
+            mix=cfg.mix,
+            num_keys=cfg.num_keys,
+            theta=cfg.theta,
+            value_words=value_words,
+            txn_keys=cfg.txn_keys,
+            scan_count=cfg.scan_count,
+            seed=cfg.seed,
+        )
+        self.responses: List[Response] = []
+        #: Global acked-write oracle: key -> value tuple.
+        self.committed: Dict[int, Tuple[int, ...]] = {}
+        #: The local batch inside ``commit_batch`` right now, if any:
+        #: ``(shard_id, [requests])`` — the crash harness's undecided set.
+        self.inflight_local: Optional[Tuple[int, List[Request]]] = None
+        #: The global transaction inside ``commit_global`` right now:
+        #: ``(gtx, {shard: [(key, value)]}, request)``.
+        self.inflight_gtx: Optional[
+            Tuple[int, Dict[int, List[PreparedWrite]], Request]
+        ] = None
+        #: Decided global transactions: gtx -> "commit" | "abort".
+        self.fates: Dict[int, str] = {}
+        self.requests = 0
+        self.reads = 0
+        self.batches = 0
+        self.committed_writes = 0
+        self.xshard_writes = 0
+        self.aborted = 0
+        self._served = False
+        self._finished = False
+        self._serve_end: Optional[Tuple[int, int, Dict[str, int]]] = None
+
+    # --- machine inventory (crash/fault harness) ------------------------
+
+    def all_machines(self) -> "List[Tuple[str, object]]":
+        """Every machine in the deployment, labelled: the coordinator as
+        ``coord``, shard *i* as ``s{i}`` — the crash/fault injection
+        surface."""
+        if self.service is not None:
+            return [("s0", self.service.machine)]
+        out: List[Tuple[str, object]] = [("coord", self.coordinator.machine)]
+        out.extend((f"s{n.shard_id}", n.machine) for n in self.nodes)
+        return out
+
+    def crash(self) -> None:
+        """Power-fail every node *directly at the machine level* (the
+        one-core scheduler never runs, so it must not enter its crashed
+        state — recovery re-apply transactions still need checkpoints to
+        no-op)."""
+        if self.service is not None:
+            self.service.machine.crash()
+            return
+        self.coordinator.machine.crash()
+        for node in self.nodes:
+            node.machine.crash()
+
+    # --- serving ---------------------------------------------------------
+
+    def serve(self) -> None:
+        if self.service is not None:
+            self.service.serve()
+            return
+        if self._served:
+            raise RuntimeError("serve() already ran")
+        self._served = True
+        cfg = self.cfg
+        events: List[Tuple[int, int, Request]] = []
+        for client in range(cfg.num_clients):
+            gaps = arrival_gaps(
+                client,
+                cfg.requests_per_client,
+                mean_cycles=cfg.arrival_cycles,
+                seed=cfg.seed,
+            )
+            at = 0
+            for gap, request in zip(gaps, self.streams[client]):
+                at += gap
+                events.append((at, client, request))
+        events.sort(key=lambda e: (e[0], e[1]))
+        for at, _, request in events:
+            self._dispatch(request, at)
+        # End of stream: flush every residual partial batch.
+        for node in self.nodes:
+            self._flush(node)
+        self._serve_end = (
+            self._total_cycles(),
+            self._total_pm_bytes(),
+            self._merged_phases(),
+        )
+
+    def _dispatch(self, request: Request, at: int) -> None:
+        self.requests += 1
+        if request.kind == "get":
+            node = self.nodes[self.router.home(request.keys[0])]
+            values = node.rm.read_get(request, check=self.cfg.check_reads)
+            self.reads += 1
+            self._record(request, at, "ok", node.machine.now, values)
+        elif request.kind == "scan":
+            values = self._scan(request)
+            self.reads += 1
+            completed = max(node.machine.now for node in self.nodes)
+            self._record(request, at, "ok", completed, values)
+        else:  # put / txn
+            spans = self.router.spans(request.keys)
+            if len(spans) == 1:
+                self._enqueue_write(self.nodes[spans[0]], request, at)
+            else:
+                self._commit_cross_shard(request, at)
+
+    def _scan(self, request: Request) -> Tuple:
+        """A scan fans out to every shard (each checks against its own
+        slice of the oracle) and merges by key order."""
+        merged: List[Tuple[int, Tuple[int, ...]]] = []
+        for node in self.nodes:
+            merged.extend(
+                node.rm.read_scan(request, check=self.cfg.check_reads)
+            )
+        merged.sort()
+        return tuple(merged[: request.scan_count])
+
+    def _record(
+        self,
+        request: Request,
+        submitted_at: int,
+        status: str,
+        completed_at: int,
+        values: Tuple = (),
+    ) -> None:
+        self.responses.append(
+            Response(
+                client=request.client,
+                seq=request.seq,
+                kind=request.kind,
+                status=status,
+                submitted_at=submitted_at,
+                completed_at=completed_at,
+                values=values,
+            )
+        )
+
+    # --- local (single-shard) writes -------------------------------------
+
+    def _enqueue_write(self, node: ShardNode, request: Request, at: int) -> None:
+        node.pending.append((request, at))
+        if len(node.pending) >= self.cfg.batch.batch_size:
+            self._flush(node)
+
+    def _flush(self, node: ShardNode) -> bool:
+        if not node.pending:
+            return False
+        batch = node.pending
+        node.pending = []
+        requests = [request for request, _ in batch]
+        for request in requests:
+            for key in request.keys:
+                node.subject.before_transaction(key)
+        self.inflight_local = (node.shard_id, requests)
+        node.tm.commit_batch(requests)
+        # tx_end returned: the batch commit marker is durable, and the
+        # acks below involve no simulated work (no crash can separate
+        # them from the commit).
+        completed_at = node.machine.now
+        for request, submitted_at in batch:
+            for key, value in zip(request.keys, request.values):
+                self.committed[key] = tuple(value)
+            self.committed_writes += 1
+            self._record(request, submitted_at, "ok", completed_at)
+        self.inflight_local = None
+        self.batches += 1
+        return True
+
+    # --- cross-shard transactions ----------------------------------------
+
+    def _commit_cross_shard(self, request: Request, at: int) -> None:
+        groups = self.router.split(request.keys)
+        # Flush the participants' pending batches first so the global
+        # transaction orders after every write already accepted.
+        for shard in groups:
+            self._flush(self.nodes[shard])
+        plan: Dict[int, List[PreparedWrite]] = {
+            shard: [
+                (key, tuple(request.values[index])) for index, key in pairs
+            ]
+            for shard, pairs in groups.items()
+        }
+        gtx = self.coordinator.new_gtx()
+        participants = {shard: self.nodes[shard] for shard in groups}
+        self.inflight_gtx = (gtx, plan, request)
+        fate = self.coordinator.commit_global(gtx, plan, participants)
+        self.fates[gtx] = fate
+        if fate == "commit":
+            completed_at = max(
+                self.nodes[shard].machine.now for shard in groups
+            )
+            for writes in plan.values():
+                for key, value in writes:
+                    self.committed[key] = tuple(value)
+            self.committed_writes += 1
+            self.xshard_writes += len(request.keys)
+            self._record(request, at, "ok", completed_at)
+        else:
+            self.aborted += 1
+            self._record(
+                request, at, "aborted", self.coordinator.machine.now
+            )
+        self.inflight_gtx = None
+
+    # --- lifecycle --------------------------------------------------------
+
+    def finish(self) -> None:
+        """Validation tail: force lazy state durable on every shard and
+        verify each durable image against that shard's oracle."""
+        if self.service is not None:
+            self.service.finish()
+            return
+        if self._finished:
+            return
+        self._finished = True
+        for node in self.nodes:
+            node.rt.run_empty_transactions(node.machine.config.num_tx_ids)
+            node.machine.fence()
+            node.machine.finalize()
+        self.coordinator.machine.finalize()
+        if self.cfg.verify:
+            for node in self.nodes:
+                node.rm.sync_expected()
+                node.subject.verify(durable=True)
+
+    def _total_cycles(self) -> int:
+        return self.coordinator.machine.now + sum(
+            node.machine.now for node in self.nodes
+        )
+
+    def _total_pm_bytes(self) -> int:
+        return self.coordinator.machine.stats.pm_bytes_written + sum(
+            node.machine.stats.pm_bytes_written for node in self.nodes
+        )
+
+    def _merged_phases(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        profilers = [self.coordinator.profiler] + [
+            node.profiler for node in self.nodes
+        ]
+        for profiler in profilers:
+            for phase, cycles in profiler.phase_cycles.items():
+                merged[phase] = merged.get(phase, 0) + cycles
+        return merged
+
+    def result(self) -> ShardedResult:
+        if self.service is not None:
+            r = self.service.result()
+            return ShardedResult(
+                num_shards=1,
+                workload=r.workload,
+                scheme=r.scheme,
+                requests=r.requests,
+                acked=r.acked,
+                aborted=0,
+                reads=r.reads,
+                batches=r.batches,
+                committed_writes=r.committed_writes,
+                xshard_commits=0,
+                xshard_aborts=0,
+                xshard_writes=0,
+                prepare_retries=0,
+                cycles=r.cycles,
+                pm_bytes=r.pm_bytes,
+                prepare_persist_cycles=0,
+                decide_persist_cycles=0,
+                phases=r.phases,
+                responses=r.responses,
+                stats=r.stats,
+            )
+        if self._serve_end is not None:
+            cycles, pm_bytes, phases = self._serve_end
+        else:
+            cycles = self._total_cycles()
+            pm_bytes = self._total_pm_bytes()
+            phases = self._merged_phases()
+        stats = SimStats()
+        for node in self.nodes:
+            stats.add(node.machine.stats)
+        stats.add(self.coordinator.machine.stats)
+        acked = sum(1 for r in self.responses if r.status == "ok")
+        return ShardedResult(
+            num_shards=self.cfg.num_shards,
+            workload=self.cfg.workload,
+            scheme=self.cfg.scheme,
+            requests=self.requests,
+            acked=acked,
+            aborted=self.aborted,
+            reads=self.reads,
+            batches=self.batches,
+            committed_writes=self.committed_writes,
+            xshard_commits=self.coordinator.committed_gtxs,
+            xshard_aborts=self.coordinator.aborted_gtxs,
+            xshard_writes=self.xshard_writes,
+            prepare_retries=self.coordinator.prepare_retries,
+            cycles=cycles,
+            pm_bytes=pm_bytes,
+            prepare_persist_cycles=phases.get("prepare-persist", 0),
+            decide_persist_cycles=phases.get("decide-persist", 0),
+            phases=phases,
+            responses=list(self.responses),
+            stats=stats,
+        )
+
+    def run(self) -> ShardedResult:
+        """serve + finish + result (the one-call front door)."""
+        self.serve()
+        self.finish()
+        return self.result()
+
+
+def run_sharded(
+    cfg: ShardedConfig,
+    *,
+    config: SystemConfig = DEFAULT_CONFIG,
+) -> ShardedResult:
+    """Build and run one :class:`ShardedDeployment`."""
+    return ShardedDeployment(cfg, config=config).run()

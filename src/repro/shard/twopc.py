@@ -1,0 +1,207 @@
+"""Presumed-abort two-phase commit over PM log regions.
+
+The coordinator and every participant persist their protocol state as
+v1 log records (:mod:`repro.mem.logregion` tags 5–8) in their *own* PM
+log region, exactly the role undo/redo records play for local
+transactions:
+
+* **prepare** (participant): one record per staged write — addr is the
+  key, the payload the value words — followed by a **prepared** marker,
+  all made durable in one synchronous drain (phase ``prepare-persist``);
+* **decide-commit / decide-abort** (coordinator, then each participant
+  in phase 2): the durable decision — addr is the deciding node's id,
+  the payload the participant shard ids (phase ``decide-persist``);
+* a plain **commit** marker carrying the global tx_seq seals a
+  participant's phase-2 apply, so recovery can tell an applied shard
+  from an in-doubt one.
+
+Presumed abort: a global transaction with *no* durable decision record
+anywhere is aborted by recovery — the coordinator therefore only needs
+to persist a decision before phase 2 (commit) or when giving up on an
+unresponsive participant (abort); the no-progress crash costs nothing.
+
+Global transaction sequence numbers live at :data:`GTX_BASE` — far
+above every per-core local sequence (``core_id * 10**12 + n``) and
+comfortably inside the wire format's 52-bit field — so protocol records
+can never collide with local transactions in any log.
+
+Crash instrumentation: every protocol step reports to a
+:class:`StepTracker`, and the fuzz campaign arms ``crash_at`` to cut
+the protocol at each step — before prepare, after each participant
+prepared, before the decision persist, and after the decision but
+before any acknowledgement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import DEFAULT_CONFIG, SystemConfig
+from repro.common.errors import PowerFailure, SimulationError
+from repro.core.machine import Machine
+from repro.core.schemes import Scheme, scheme_by_name
+from repro.mem.pm import DurableLogEntry
+from repro.obs.profiler import CycleProfiler
+
+#: Base of the global (cross-shard) transaction sequence namespace.
+#: Fits the 52-bit wire field and clears every per-core local range.
+GTX_BASE = 1 << 48
+
+#: A staged write: (key, value words).
+PreparedWrite = Tuple[int, Tuple[int, ...]]
+
+
+class ShardUnavailable(SimulationError):
+    """A participant did not answer a prepare request (test hook for
+    the bounded-retry path; real shards in this simulator are in
+    process and never silently vanish)."""
+
+
+class StepTracker:
+    """Deterministic protocol-step clock with an armed crash point.
+
+    Every named step the protocol passes is appended to :attr:`names`;
+    when :attr:`crash_at` equals the step's index, the tracker raises
+    :class:`~repro.common.errors.PowerFailure` *at* that step.  A dry
+    run with ``crash_at=None`` therefore enumerates the exact crash
+    points a campaign can sweep.
+    """
+
+    def __init__(self) -> None:
+        self.names: List[str] = []
+        self.crash_at: Optional[int] = None
+
+    def hit(self, name: str) -> None:
+        index = len(self.names)
+        self.names.append(name)
+        if self.crash_at is not None and index == self.crash_at:
+            raise PowerFailure(f"2pc step crash at #{index} ({name})")
+
+
+class Coordinator:
+    """The transaction coordinator: one machine, one durable log.
+
+    The coordinator owns a dedicated :class:`~repro.core.machine.
+    Machine` whose PM log region holds only protocol records, so its
+    decision persists pay real WPQ drains, show up as ``decide-persist``
+    spans, and are reachable by the same crash/fault injection as any
+    shard's log.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        scheme: "Scheme | str",
+        config: SystemConfig = DEFAULT_CONFIG,
+        *,
+        prepare_attempts: int = 3,
+        retry_wait_cycles: int = 500,
+        max_attempts: int = 64,
+    ) -> None:
+        if prepare_attempts < 1:
+            raise SimulationError("prepare_attempts must be at least 1")
+        if isinstance(scheme, str):
+            scheme = scheme_by_name(scheme)
+        #: Node id: shards are 0..N-1, the coordinator is N.
+        self.node_id = num_shards
+        self.machine = Machine(scheme, config, core_id=self.node_id)
+        self.profiler = CycleProfiler()
+        self.profiler.bind(self.machine.now)
+        self.machine.profiler = self.profiler
+        self.steps = StepTracker()
+        self.prepare_attempts = prepare_attempts
+        self.retry_wait_cycles = retry_wait_cycles
+        self.max_attempts = max_attempts
+        self.committed_gtxs = 0
+        self.aborted_gtxs = 0
+        self.prepare_retries = 0
+        self._next_gtx = GTX_BASE + 1
+
+    def new_gtx(self) -> int:
+        gtx = self._next_gtx
+        self._next_gtx += 1
+        return gtx
+
+    # --- durable protocol state ----------------------------------------
+
+    def persist_decision(
+        self, gtx: int, kind: str, shard_ids: Sequence[int]
+    ) -> None:
+        """Write the durable decision record for *gtx* to the
+        coordinator's own log (one synchronous ``decide-persist``)."""
+        self.machine.persist_protocol_entries(
+            [
+                DurableLogEntry(
+                    kind=kind,
+                    tx_seq=gtx,
+                    addr=self.node_id,
+                    words=tuple(shard_ids),
+                )
+            ],
+            phase="decide-persist",
+        )
+
+    # --- the protocol ---------------------------------------------------
+
+    def commit_global(
+        self,
+        gtx: int,
+        plan: "Dict[int, List[PreparedWrite]]",
+        participants: "Dict[int, object]",
+    ) -> str:
+        """Run one global transaction to a durable decision.
+
+        *plan* maps shard id → staged writes; *participants* maps shard
+        id → the shard node (anything with ``prepare``/``commit``/
+        ``abort``).  Returns ``"commit"`` or ``"abort"``.  On commit,
+        every participant has applied and sealed its part before this
+        returns — the caller's acknowledgement is covered by durable
+        state on all shards.
+        """
+        shard_ids = sorted(plan)
+        if len(shard_ids) > 8:
+            raise SimulationError(
+                "a decision record holds at most 8 participant ids"
+            )
+        label = f"g{gtx - GTX_BASE}"
+        self.steps.hit(f"pre-prepare:{label}")
+        prepared: List[int] = []
+        for shard in shard_ids:
+            if not self._prepare_with_retry(
+                participants[shard], gtx, plan[shard]
+            ):
+                # Unresponsive participant: durable abort, then tell
+                # everyone who already prepared (presumed abort makes
+                # the record optional, but persisting it lets recovery
+                # resolve without re-contacting anyone).
+                self.steps.hit(f"prepare-failed:{label}:s{shard}")
+                self.persist_decision(gtx, "decide-abort", shard_ids)
+                for done in prepared:
+                    participants[done].abort(gtx, shard_ids)
+                self.aborted_gtxs += 1
+                return "abort"
+            prepared.append(shard)
+            self.steps.hit(f"prepared:{label}:s{shard}")
+        self.steps.hit(f"pre-decision:{label}")
+        self.persist_decision(gtx, "decide-commit", shard_ids)
+        self.steps.hit(f"post-decision:{label}")
+        for shard in shard_ids:
+            participants[shard].commit(gtx, shard_ids)
+            self.steps.hit(f"applied:{label}:s{shard}")
+        self.committed_gtxs += 1
+        return "commit"
+
+    def _prepare_with_retry(
+        self, participant, gtx: int, writes: "List[PreparedWrite]"
+    ) -> bool:
+        """Prepare one participant, retrying a bounded, deterministic
+        number of times; each retry waits ``retry_wait_cycles`` on the
+        coordinator clock (the timeout model)."""
+        for _ in range(self.prepare_attempts):
+            try:
+                participant.prepare(gtx, writes)
+                return True
+            except ShardUnavailable:
+                self.prepare_retries += 1
+                self.machine.now += self.retry_wait_cycles
+        return False

@@ -1,0 +1,200 @@
+"""The sharded deployment: serving, 2PC commit/abort, N=1 passivity."""
+
+import json
+import os
+
+import pytest
+
+from repro.fuzz.campaign import STRESS_CONFIG
+from repro.service.admission import AdmissionPolicy
+from repro.service.bench import SERVICE_MIX
+from repro.service.tm import GroupCommitPolicy
+from repro.shard.deployment import ShardedConfig, ShardedDeployment, run_sharded
+from repro.shard.router import home_shard
+from repro.shard.twopc import GTX_BASE
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+TXN_MIX = {"put": 0.3, "get": 0.1, "scan": 0.05, "txn": 0.55}
+
+
+def small_cfg(**overrides):
+    base = dict(
+        num_shards=2,
+        workload="hashtable",
+        scheme="SLPMT",
+        num_clients=3,
+        requests_per_client=10,
+        value_bytes=32,
+        num_keys=24,
+        theta=0.6,
+        mix=dict(TXN_MIX),
+        txn_keys=4,
+        arrival_cycles=600,
+        batch=GroupCommitPolicy(batch_size=4),
+        seed=7,
+    )
+    base.update(overrides)
+    return ShardedConfig(**base)
+
+
+class TestServing:
+    def test_run_is_deterministic(self):
+        a = run_sharded(small_cfg(), config=STRESS_CONFIG)
+        b = run_sharded(small_cfg(), config=STRESS_CONFIG)
+        assert a.cycles == b.cycles
+        assert a.pm_bytes == b.pm_bytes
+        assert a.responses == b.responses
+
+    def test_acked_writes_reach_their_home_shards(self):
+        dep = ShardedDeployment(small_cfg(), config=STRESS_CONFIG)
+        dep.serve()
+        dep.finish()
+        for key, value in dep.committed.items():
+            shard = home_shard(key, dep.cfg.num_shards)
+            assert dep.nodes[shard].rm.committed[key] == value
+            # Placement: no other shard ever stored the key.
+            for node in dep.nodes:
+                if node.shard_id != shard:
+                    assert key not in node.rm.committed
+
+    def test_cross_shard_transactions_commit(self):
+        res = run_sharded(small_cfg(), config=STRESS_CONFIG)
+        assert res.xshard_commits > 0
+        assert res.xshard_writes > 0
+        assert res.prepare_persist_cycles > 0
+        assert res.decide_persist_cycles > 0
+        assert res.aborted == 0
+
+    def test_verify_runs_against_durable_state(self):
+        # run() calls finish() which verifies every shard durably;
+        # reaching here without SimulationError IS the assertion.
+        res = run_sharded(small_cfg(num_shards=3), config=STRESS_CONFIG)
+        assert res.acked == res.requests
+
+    def test_scan_merges_across_shards_in_key_order(self):
+        dep = ShardedDeployment(
+            small_cfg(mix={"put": 0.7, "scan": 0.3}), config=STRESS_CONFIG
+        )
+        dep.serve()
+        scans = [r for r in dep.responses if r.kind == "scan"]
+        assert scans, "mix must generate scans"
+        for response in scans:
+            keys = [k for k, _ in response.values]
+            assert keys == sorted(keys)
+
+
+class TestUnresponsiveParticipant:
+    def _cross_shard_deployment(self):
+        cfg = small_cfg(
+            mix={"txn": 1.0}, num_clients=2, requests_per_client=6
+        )
+        return ShardedDeployment(cfg, config=STRESS_CONFIG)
+
+    def test_retry_then_success(self):
+        dep = self._cross_shard_deployment()
+        # Fail fewer prepares than the coordinator's attempt budget:
+        # the retry path absorbs them and everything still commits.
+        dep.nodes[0].fail_prepares = dep.cfg.prepare_attempts - 1
+        dep.serve()
+        dep.finish()
+        res = dep.result()
+        assert res.prepare_retries == dep.cfg.prepare_attempts - 1
+        assert res.aborted == 0
+        assert res.xshard_commits > 0
+
+    def test_exhausted_retries_abort_globally(self):
+        dep = self._cross_shard_deployment()
+        clean = self._cross_shard_deployment()
+        clean.serve()
+        baseline_aborts = clean.result().aborted
+        assert baseline_aborts == 0
+        # Enough failures to exhaust every attempt for the first gtx.
+        dep.nodes[0].fail_prepares = dep.cfg.prepare_attempts
+        dep.serve()
+        dep.finish()
+        res = dep.result()
+        assert res.aborted >= 1
+        assert res.xshard_aborts >= 1
+        aborted = [r for r in dep.responses if r.status == "aborted"]
+        assert aborted
+        # Global atomicity of the abort: none of the aborted requests'
+        # writes is durable anywhere (unless a later txn rewrote it).
+        gtx_fates = set(dep.fates.values())
+        assert "abort" in gtx_fates
+        for node in dep.nodes:
+            node.rm.sync_expected()
+            node.subject.verify(durable=True)
+
+
+class TestSingleShardPassivity:
+    def test_no_protocol_machinery_is_built(self):
+        dep = ShardedDeployment(small_cfg(num_shards=1))
+        assert dep.service is not None
+        assert dep.nodes == []
+        assert not hasattr(dep, "coordinator") or dep.coordinator is None
+
+    def test_result_has_zero_cross_shard_counters(self):
+        res = run_sharded(small_cfg(num_shards=1), config=STRESS_CONFIG)
+        assert res.num_shards == 1
+        assert res.xshard_commits == 0
+        assert res.xshard_aborts == 0
+        assert res.prepare_persist_cycles == 0
+        assert res.decide_persist_cycles == 0
+
+    def test_bit_identical_to_pinned_service_bench(self):
+        """The N=1 deployment must reproduce BENCH_service.json's
+        numbers exactly — proof the sharding layer adds nothing to the
+        single-machine path."""
+        with open(os.path.join(REPO, "BENCH_service.json")) as fh:
+            baseline = json.load(fh)
+        params = baseline["params"]
+        key = "hashtable/SLPMT/b8"
+        cell = baseline["cells"][key]
+        res = run_sharded(
+            ShardedConfig(
+                num_shards=1,
+                workload="hashtable",
+                scheme="SLPMT",
+                num_clients=params["num_clients"],
+                requests_per_client=params["requests_per_client"],
+                value_bytes=params["value_bytes"],
+                num_keys=params["num_keys"],
+                theta=params["theta"],
+                mix=dict(SERVICE_MIX),
+                arrival_cycles=params["arrival_cycles"],
+                batch=GroupCommitPolicy(
+                    batch_size=8,
+                    max_wait_cycles=params["max_wait_cycles"],
+                ),
+                admission=AdmissionPolicy(
+                    max_depth=params["max_depth"], mode="block"
+                ),
+                seed=params["seed"],
+            )
+        )
+        assert res.cycles == cell["cycles"]
+        assert res.pm_bytes == cell["pm_bytes"]
+        assert res.acked == cell["acked"]
+        assert res.batches == cell["batches"]
+
+
+class TestConfigValidation:
+    def test_more_than_eight_shards_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedConfig(num_shards=9)
+
+    def test_oversized_values_rejected(self):
+        # A prepare record's payload caps at 8 words = 64 bytes.
+        with pytest.raises(ValueError):
+            ShardedConfig(value_bytes=128)
+
+
+class TestGtxNamespace:
+    def test_global_seqs_clear_local_ranges(self):
+        dep = ShardedDeployment(small_cfg(), config=STRESS_CONFIG)
+        dep.serve()
+        assert dep.fates, "run must produce global transactions"
+        assert all(gtx > GTX_BASE for gtx in dep.fates)
+        # Local per-core seqs live at core_id * 10**12 + n — far below.
+        assert GTX_BASE > 8 * 10**12

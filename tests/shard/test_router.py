@@ -1,0 +1,54 @@
+"""Hash routing: deterministic placement, stable splits."""
+
+import pytest
+
+from repro.shard.router import HashRouter, home_shard
+
+
+class TestHomeShard:
+    def test_deterministic_across_instances(self):
+        for num_shards in (2, 3, 4, 8):
+            a = [home_shard(k, num_shards) for k in range(256)]
+            b = [home_shard(k, num_shards) for k in range(256)]
+            assert a == b
+
+    def test_every_key_in_range(self):
+        for num_shards in (2, 3, 5):
+            assert all(
+                0 <= home_shard(k, num_shards) < num_shards
+                for k in range(512)
+            )
+
+    def test_keys_spread_over_all_shards(self):
+        # The router must not starve a shard on a dense key range.
+        for num_shards in (2, 3, 4):
+            homes = {home_shard(k, num_shards) for k in range(256)}
+            assert homes == set(range(num_shards))
+
+    def test_single_shard_is_identity(self):
+        assert all(home_shard(k, 1) == 0 for k in range(64))
+
+
+class TestRouterSplit:
+    def test_split_groups_preserve_key_indices(self):
+        router = HashRouter(3)
+        keys = [5, 9, 17, 40, 41]
+        groups = router.split(keys)
+        seen = sorted(
+            (index, key) for pairs in groups.values() for index, key in pairs
+        )
+        assert seen == list(enumerate(keys))
+        for shard, pairs in groups.items():
+            assert all(router.home(key) == shard for _, key in pairs)
+
+    def test_spans_sorted_and_unique(self):
+        router = HashRouter(4)
+        keys = list(range(32))
+        spans = router.spans(keys)
+        assert list(spans) == sorted(set(spans))
+        assert set(spans) == {router.home(k) for k in keys}
+
+    def test_single_key_span_is_home(self):
+        router = HashRouter(4)
+        for key in range(64):
+            assert router.spans([key]) == (router.home(key),)
