@@ -40,6 +40,7 @@ import itertools
 from collections import OrderedDict
 from typing import (
     TYPE_CHECKING,
+    Any,
     Callable,
     Dict,
     List,
@@ -816,7 +817,11 @@ class Machine:
         self._prof_end()
 
     def persist_protocol_entries(
-        self, entries: "List[DurableLogEntry]", *, phase: str
+        self,
+        entries: "List[DurableLogEntry]",
+        *,
+        phase: str,
+        label: "Optional[Dict[str, Any]]" = None,
     ) -> None:
         """Durably append cross-shard 2PC protocol records.
 
@@ -826,11 +831,15 @@ class Machine:
         the lines they occupy, so a scheduled persist-countdown crash
         can land between the append and its durability.  *phase* names
         the obs attribution bucket (``"prepare-persist"`` /
-        ``"decide-persist"``).
+        ``"decide-persist"``); *label* identifies the span on the
+        machine tracer (``gtx`` id and 2PC ``step`` family —
+        pre-prepare / prepared / pre-decision / post-decision /
+        applied) instead of an anonymous ``protocol_persist`` mark.
         """
         if not entries:
             return
         self._prof_begin(phase)
+        self._trace("protocol_persist", records=len(entries), **(label or {}))
         total_bytes = sum(
             logregion.entry_wire_words(e) * units.WORD_BYTES for e in entries
         )

@@ -35,6 +35,7 @@ EVENT_KINDS = (
     "crash",
     "context_switch",
     "conflict_abort",
+    "protocol_persist",
 )
 
 

@@ -1053,6 +1053,13 @@ class ServiceCellReport:
     acked: int
     cycles: int = 0
     pm_bytes: int = 0
+    #: Clean-run windowed telemetry: steady-state detection over the
+    #: acked-per-window series (see :mod:`repro.obs.steady`).
+    windows: int = 0
+    steady: bool = False
+    window_lo: int = 0
+    window_hi: int = 0
+    steady_kcyc: float = 0.0
     violations: List[Violation] = field(default_factory=list)
 
     @property
@@ -1088,6 +1095,7 @@ def _build_service(
     value_bytes: int,
     seed: int,
     config: SystemConfig,
+    telemetry=None,
 ):
     """A fresh transaction service for one campaign case.
 
@@ -1116,6 +1124,7 @@ def _build_service(
             verify=False,
         ),
         config=config,
+        telemetry=telemetry,
     )
 
 
@@ -1247,7 +1256,16 @@ def run_service_cell(
     durability events when they fit three quarters of *budget*, sampled
     otherwise, with the remainder spent on sampled instruction
     boundaries.  Everything derives from ``(cell, seed)``.
+
+    The clean run also carries a windowed telemetry registry (passive,
+    so the crash points it derives are unaffected); its steady-state
+    summary lands in the report — a campaign cell quoting cycles from a
+    run that never settled says so in the table.
     """
+    from repro.obs.steady import steady_summary
+    from repro.obs.telemetry import TelemetryWindows
+
+    fine = TelemetryWindows(window_cycles=1024)
     svc = _build_service(
         cell,
         num_clients=num_clients,
@@ -1255,6 +1273,7 @@ def run_service_cell(
         value_bytes=value_bytes,
         seed=seed,
         config=config,
+        telemetry=fine,
     )
     events0 = svc.machine.wpq.total_inserts
     instrs0 = svc.machine.stats.instructions
@@ -1281,6 +1300,8 @@ def run_service_cell(
     instr_budget = max(0, budget - len(persist_points))
     instr_points = sorted(rng.sample(range(instrs), min(instr_budget, instrs)))
 
+    telemetry = fine.rebinned(max(1, fine.num_windows // 8))
+    steady = steady_summary(telemetry)
     report = ServiceCellReport(
         cell=cell,
         num_requests=clean.requests,
@@ -1293,6 +1314,11 @@ def run_service_cell(
         acked=clean.acked,
         cycles=svc.machine.now - cycles0,
         pm_bytes=svc.machine.stats.pm_bytes_written - pm0,
+        windows=steady["windows_total"],
+        steady=steady["steady"],
+        window_lo=steady["window_lo"],
+        window_hi=steady["window_hi"],
+        steady_kcyc=steady["throughput_kcyc"],
     )
     for kind, points in (("persist", persist_points), ("instr", instr_points)):
         for point in points:

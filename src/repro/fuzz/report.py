@@ -252,6 +252,8 @@ _SVC_COLUMNS = (
     ("acked", 6),
     ("cycles", 9),
     ("pm-bytes", 9),
+    ("steady-win", 11),
+    ("kcyc", 6),
     ("violations", 10),
 )
 
@@ -282,6 +284,9 @@ def format_service_report(result: ServiceCampaignResult) -> str:
         if cell.exhaustive:
             persist += " all"
         instr = f"{cell.instr_points_run}/{cell.instr_points_total}"
+        steady = f"{cell.window_lo}..{cell.window_hi}/{cell.windows}"
+        if not cell.steady:
+            steady += "!"
         lines.append(
             _svc_row(
                 [
@@ -296,6 +301,8 @@ def format_service_report(result: ServiceCampaignResult) -> str:
                     cell.acked,
                     cell.cycles,
                     cell.pm_bytes,
+                    steady,
+                    f"{cell.steady_kcyc:g}",
                     len(cell.violations),
                 ]
             )

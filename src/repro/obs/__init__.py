@@ -11,7 +11,14 @@ This package layers *passive* measurement over the simulator:
 * :mod:`repro.obs.histogram` — the log-scaled, fixed-memory,
   mergeable histogram those distributions are stored in;
 * :mod:`repro.obs.trace` — Chrome/Perfetto ``trace_event`` JSON and
-  JSONL export of :class:`~repro.core.tracing.Tracer` streams;
+  JSONL export of :class:`~repro.core.tracing.Tracer` streams,
+  including request-scoped async spans and cross-shard flow arrows;
+* :mod:`repro.obs.context` — the :class:`~repro.obs.context.TraceContext`
+  identity that request-scoped spans carry end to end;
+* :mod:`repro.obs.telemetry` — fixed-width simulated-cycle windows of
+  throughput, latency quantiles, queue depth and shed/abort rates;
+* :mod:`repro.obs.steady` — warm-up trimming, steady-state detection
+  and throughput-vs-latency knee finding over those windows;
 * :mod:`repro.obs.bench` — machine-readable ``BENCH_*.json`` perf
   artifacts and the ``bench --check`` regression gate;
 * :mod:`repro.obs.cli` — the ``python -m repro obs`` / ``bench``
@@ -29,8 +36,11 @@ from __future__ import annotations
 
 import os
 
+from repro.obs.context import REQUEST_EVENT_KINDS, TraceContext
 from repro.obs.histogram import LogHistogram
 from repro.obs.profiler import PHASES, CycleProfiler
+from repro.obs.steady import knee_index, steady_summary, steady_window_range
+from repro.obs.telemetry import TelemetryWindows, merge_telemetry
 
 #: Environment variable that switches default-on observability.
 OBS_ENV_VAR = "REPRO_OBS"
@@ -58,6 +68,13 @@ __all__ = [
     "CycleProfiler",
     "PHASES",
     "OBS_ENV_VAR",
+    "REQUEST_EVENT_KINDS",
+    "TraceContext",
+    "TelemetryWindows",
+    "merge_telemetry",
+    "knee_index",
+    "steady_summary",
+    "steady_window_range",
     "obs_env_enabled",
     "attach",
 ]

@@ -171,6 +171,8 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 
 def _cmd_passivity(args: argparse.Namespace) -> int:
     """The CI gate: observability on vs off must be bit-identical."""
+    if args.telemetry:
+        return _cmd_passivity_telemetry(args)
     from repro.harness.runner import run_workload
     from repro.obs.profiler import CycleProfiler
     from repro.core.tracing import Tracer
@@ -213,6 +215,108 @@ def _cmd_passivity(args: argparse.Namespace) -> int:
                 f"({observed.cycles:,} cycles bit-identical, "
                 f"buckets sum exactly)"
             )
+    for failure in failures:
+        print(f"PASSIVITY VIOLATION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_passivity_telemetry(args: argparse.Namespace) -> int:
+    """The windowed-telemetry / request-tracing CI gate.
+
+    Three proofs, exit 1 if any fails:
+
+    1. a service run with telemetry + a request tracer attached is
+       bit-identical (cycles, SimStats) to the bare run;
+    2. same for a sharded cross-shard run;
+    3. two half-runs' telemetry registries merged in submission order
+       serialise byte-identically to the registry of recording both
+       halves into one — the contract ``--jobs N`` sweeps rely on.
+    """
+    from repro.core.tracing import Tracer
+    from repro.obs.telemetry import TelemetryWindows, merge_telemetry
+    from repro.service.server import ServiceConfig, run_service
+    from repro.shard.deployment import ShardedConfig, run_sharded
+
+    failures: List[str] = []
+
+    svc_cfg = ServiceConfig(
+        workload=args.workload, scheme=args.scheme, seed=args.seed
+    )
+    bare = run_service(svc_cfg)
+    telemetry = TelemetryWindows()
+    observed = run_service(
+        svc_cfg, telemetry=telemetry, request_tracer=Tracer()
+    )
+    if bare.stats.as_dict() != observed.stats.as_dict():
+        failures.append(
+            f"service {svc_cfg.workload}/{svc_cfg.scheme}: "
+            "SimStats drifted with telemetry attached"
+        )
+    elif bare.cycles != observed.cycles:
+        failures.append(
+            f"service {svc_cfg.workload}/{svc_cfg.scheme}: cycles "
+            f"{bare.cycles} != {observed.cycles}"
+        )
+    else:
+        print(
+            f"passive: service {svc_cfg.workload}/{svc_cfg.scheme} "
+            f"telemetry+tracing attached, {observed.cycles:,} cycles "
+            f"bit-identical ({telemetry.total('acked')} acks windowed)"
+        )
+
+    shard_cfg = ShardedConfig(
+        workload=args.workload, scheme=args.scheme, seed=args.seed
+    )
+    bare_sh = run_sharded(shard_cfg)
+    sh_tel = TelemetryWindows()
+    observed_sh = run_sharded(
+        shard_cfg, telemetry=sh_tel, request_tracer=Tracer()
+    )
+    if bare_sh.stats.as_dict() != observed_sh.stats.as_dict():
+        failures.append(
+            f"sharded {shard_cfg.workload}/{shard_cfg.scheme}: "
+            "SimStats drifted with telemetry attached"
+        )
+    elif (bare_sh.cycles, bare_sh.pm_bytes) != (
+        observed_sh.cycles, observed_sh.pm_bytes
+    ):
+        failures.append(
+            f"sharded {shard_cfg.workload}/{shard_cfg.scheme}: "
+            f"cycles/pm_bytes ({bare_sh.cycles}, {bare_sh.pm_bytes}) != "
+            f"({observed_sh.cycles}, {observed_sh.pm_bytes})"
+        )
+    else:
+        print(
+            f"passive: sharded {shard_cfg.workload}/{shard_cfg.scheme} "
+            f"telemetry+tracing attached, {observed_sh.cycles:,} cycles "
+            f"bit-identical ({sh_tel.total('decisions')} 2PC decisions "
+            "windowed)"
+        )
+
+    # Merge determinism: record two disjoint seeds into separate
+    # registries, merge, compare byte-for-byte against one registry
+    # that saw both runs.
+    split_a, split_b = TelemetryWindows(), TelemetryWindows()
+    serial = TelemetryWindows()
+    for seed, part in ((args.seed, split_a), (args.seed + 1, split_b)):
+        cfg = ServiceConfig(
+            workload=args.workload, scheme=args.scheme, seed=seed
+        )
+        run_service(cfg, telemetry=part)
+        run_service(cfg, telemetry=serial)
+    merged = merge_telemetry([split_a, split_b])
+    a = json.dumps(merged.to_dict(), sort_keys=True)
+    b = json.dumps(serial.to_dict(), sort_keys=True)
+    if a != b:
+        failures.append(
+            "telemetry merge: split registries merged != serial registry"
+        )
+    else:
+        print(
+            f"merge: split-vs-serial telemetry byte-identical "
+            f"({len(merged)} windows, {len(a)} JSON bytes)"
+        )
+
     for failure in failures:
         print(f"PASSIVITY VIOLATION: {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -384,6 +488,12 @@ def obs_main(argv: "List[str] | None" = None) -> int:
         help="prove obs changes nothing (exit 1 on any counter drift)",
     )
     _add_run_args(p_pass)
+    p_pass.add_argument(
+        "--telemetry", action="store_true",
+        help="gate the windowed-telemetry + request-tracing layer "
+        "instead (service + sharded runs, plus split-vs-serial merge "
+        "byte-identity)",
+    )
     p_pass.set_defaults(func=_cmd_passivity)
 
     p_equiv = sub.add_parser(
@@ -419,6 +529,72 @@ def obs_main(argv: "List[str] | None" = None) -> int:
 
     args = parser.parse_args(argv)
     return args.func(args)
+
+
+#: Checked-in curve artifacts (JSON document + gnuplot table).
+CURVE_JSON = "benchmarks/results/curve_service.json"
+CURVE_TABLE = "benchmarks/results/curve_service.tsv"
+
+
+def _bench_curves(args: argparse.Namespace) -> int:
+    """``bench --curves``: the arrival-rate sweep artifact pipeline.
+
+    Runs the deterministic curve sweep, then: ``--update`` re-pins the
+    checked-in JSON + table, ``--check`` fails if the fresh sweep
+    differs from the checked-in JSON at all (the document holds only
+    simulated numbers), otherwise prints the curve.
+    """
+    import os
+
+    from repro.service.curve import curve_to_table, format_curve, run_curve
+
+    jobs = resolve_jobs(args.jobs)
+    try:
+        doc = run_curve(
+            seed=args.seed,
+            jobs=jobs,
+            progress=_progress if jobs > 1 else None,
+        )
+    except WorkerCrash as exc:
+        print(f"curve sweep failed: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.update:
+        os.makedirs(os.path.dirname(CURVE_JSON), exist_ok=True)
+        with open(CURVE_JSON, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        with open(CURVE_TABLE, "w") as fh:
+            fh.write(curve_to_table(doc))
+        print(f"wrote {CURVE_JSON}")
+        print(f"wrote {CURVE_TABLE}")
+        return 0
+    if args.check:
+        with open(CURVE_JSON) as fh:
+            baseline = json.load(fh)
+        if doc != baseline:
+            for key in _diff_keys(
+                {"points": {str(i): p for i, p in enumerate(doc["points"])},
+                 "knees": doc["knees"]},
+                {"points": {str(i): p
+                            for i, p in enumerate(baseline["points"])},
+                 "knees": baseline["knees"]},
+            )[:20]:
+                print(
+                    f"CURVE DRIFT vs {CURVE_JSON}: {key}", file=sys.stderr
+                )
+            return 1
+        print(
+            f"curves: fresh sweep byte-identical to {CURVE_JSON} "
+            f"({len(doc['points'])} load points)"
+        )
+        return 0
+    print(format_curve(doc))
+    return 0
 
 
 def bench_main(argv: "List[str] | None" = None) -> int:
@@ -461,6 +637,13 @@ def bench_main(argv: "List[str] | None" = None) -> int:
         "2,4,8)",
     )
     parser.add_argument(
+        "--curves", action="store_true",
+        help="sweep arrival rates per scheme and write the "
+        "throughput-vs-latency curve artifacts "
+        "(benchmarks/results/curve_service.json + .tsv); honours "
+        "--seed/--jobs/--check/--update",
+    )
+    parser.add_argument(
         "--cores", type=str, default=None,
         help="comma-separated core counts for --multicore (default "
         + ",".join(str(c) for c in bench_mod.MULTICORE_CORES) + ")",
@@ -500,10 +683,12 @@ def bench_main(argv: "List[str] | None" = None) -> int:
         raise SystemExit("--cores/--thetas require --multicore")
     if args.spans and not args.twopc:
         raise SystemExit("--spans requires --twopc")
-    if sum((args.multicore, args.service, args.twopc)) > 1:
+    if sum((args.multicore, args.service, args.twopc, args.curves)) > 1:
         raise SystemExit(
-            "--multicore/--service/--twopc are mutually exclusive"
+            "--multicore/--service/--twopc/--curves are mutually exclusive"
         )
+    if args.curves:
+        return _bench_curves(args)
 
     jobs = resolve_jobs(args.jobs)
     name = args.name or (

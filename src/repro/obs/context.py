@@ -1,0 +1,127 @@
+"""Request-scoped trace context: who a span belongs to, end to end.
+
+A :class:`TraceContext` names one client request as it moves through
+the serving stack — work coordinator admission, group-commit batches in
+the transaction manager, resource-manager reads, the shard router and
+the 2PC coordinator.  Every layer that emits a request-scoped trace
+event attaches the context's fields, so the Perfetto export can stitch
+parent-linked spans across tracks: the request span on its home shard,
+the batch span that committed it, and (for a cross-shard transaction)
+the global-transaction span on the coordinator track with PREPARE /
+DECIDE flow arrows to each participant.
+
+Contexts are immutable; a layer that learns more (the router assigns a
+shard, the TM assigns a batch, the coordinator assigns a gtx) derives a
+child with :meth:`child` rather than mutating shared state.  Like every
+obs object, a context is pure bookkeeping — it never touches a machine
+and costs zero simulated cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+#: Event kinds the request tracer emits (the request-span schema the
+#: Perfetto exporter consumes; see :func:`repro.obs.trace.request_trace_events`).
+REQUEST_EVENT_KINDS = (
+    "req_begin",      # request entered the system (span open)
+    "req_admit",      # admitted into the bounded queue
+    "req_shed",       # rejected by admission control (span close)
+    "req_ack",        # response recorded (span close)
+    "batch_begin",    # group-commit batch entered the TM (span open)
+    "batch_end",      # batch commit marker durable (span close)
+    "gtx_begin",      # 2PC global transaction opened (span open)
+    "gtx_end",        # durable decision reached + applied (span close)
+    "prepare_send",   # coordinator asked a participant to prepare (flow out)
+    "prepare_done",   # participant's prepare records durable (flow in)
+    "decide_send",    # coordinator's durable decision fanned out (flow out)
+    "decide_done",    # participant applied + sealed the decision (flow in)
+    "rm_read",        # resource manager served the read (instant)
+)
+
+#: Async-id namespaces: request flow ids are small (client/seq based);
+#: batch spans, gtx spans and the per-(gtx, shard) PREPARE/DECIDE flow
+#: arrows each live in their own integer range so no two Perfetto ids
+#: can collide across span families.
+BATCH_FLOW_BASE = 2_000_000_000
+GTX_FLOW_BASE = 3_000_000_000
+PREPARE_FLOW_BASE = 4_000_000_000
+DECIDE_FLOW_BASE = 5_000_000_000
+
+#: Shards per gtx the arrow namespaces reserve (the deployment caps
+#: participants at 8; 16 leaves headroom).
+_FLOW_SHARD_STRIDE = 16
+
+
+def batch_flow_id(batch: int) -> int:
+    """Async id of a group-commit batch span."""
+    return BATCH_FLOW_BASE + batch
+
+
+def gtx_flow_id(gtx: int) -> int:
+    """Async id of a 2PC global-transaction span."""
+    return GTX_FLOW_BASE + gtx
+
+
+def prepare_flow_id(gtx: int, shard: int) -> int:
+    """Flow-arrow id of one PREPARE (coordinator -> shard)."""
+    return PREPARE_FLOW_BASE + gtx * _FLOW_SHARD_STRIDE + shard
+
+
+def decide_flow_id(gtx: int, shard: int) -> int:
+    """Flow-arrow id of one DECIDE (coordinator -> shard)."""
+    return DECIDE_FLOW_BASE + gtx * _FLOW_SHARD_STRIDE + shard
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of one request (and the work done on its behalf)."""
+
+    client: int
+    seq: int
+    #: Home shard (router-assigned); ``None`` on a single-machine service.
+    shard: Optional[int] = None
+    #: Group-commit batch that carried the request's write, if any.
+    batch: Optional[int] = None
+    #: Global (cross-shard) transaction sequence, if 2PC was involved.
+    gtx: Optional[int] = None
+
+    @property
+    def request_id(self) -> str:
+        """Stable human-readable id: ``c<client>.r<seq>``."""
+        return f"c{self.client}.r{self.seq}"
+
+    @property
+    def flow_id(self) -> int:
+        """Deterministic integer id for Perfetto async/flow binding.
+
+        Unique per request within a run: clients and sequence numbers
+        are both bounded well below the multipliers.
+        """
+        return 1 + self.client * 1_000_003 + self.seq * 7
+
+    def child(self, **fields: Any) -> "TraceContext":
+        """A derived context with extra identity learned downstream."""
+        return dataclasses.replace(self, **fields)
+
+    def fields(self) -> Dict[str, Any]:
+        """The non-``None`` identity fields, for trace-event args."""
+        out: Dict[str, Any] = {
+            "request": self.request_id,
+            "client": self.client,
+            "seq": self.seq,
+        }
+        if self.shard is not None:
+            out["shard"] = self.shard
+        if self.batch is not None:
+            out["batch"] = self.batch
+        if self.gtx is not None:
+            out["gtx"] = self.gtx
+        return out
+
+
+def for_request(request, *, shard: Optional[int] = None) -> TraceContext:
+    """Root context for a :class:`~repro.service.model.Request`."""
+    return TraceContext(client=request.client, seq=request.seq, shard=shard)

@@ -1,0 +1,204 @@
+"""Steady-state detection, warm-up trimming and knee finding.
+
+The windowed telemetry of a serving run starts with a warm-up: cold
+caches, an empty admission queue, the first group-commit batches still
+filling.  Quoting a throughput or a tail latency that averages the
+warm-up in understates the steady system, so every curve this repo
+reports runs the same deterministic pipeline:
+
+1. **Steady-state detection** (:func:`steady_window_range`): the
+   earliest window *s* such that every remaining windowed value stays
+   within ``rel_tol`` of the mean over ``[s, end)`` — a windowed-mean
+   convergence test.  The trailing tail windows (the drain after the
+   last arrival, which is ramp-*down*, not steady state) are first
+   clipped by ``drop_tail``.
+2. **Warm-up trimming**: everything before *s* is discarded;
+   throughput and latency quantiles are recomputed over the steady
+   range only (:func:`steady_summary` works directly on a
+   :class:`~repro.obs.telemetry.TelemetryWindows`).
+3. **Knee finding** (:func:`knee_index`): across the load points of one
+   scheme, the knee of the throughput-vs-latency curve — the last load
+   point that buys throughput without paying the latency blow-up —
+   found with a normalised difference test (Kneedle-style, integer/
+   float arithmetic only, fully deterministic).
+
+All functions are pure: sequences in, indices/summaries out.  Nothing
+here touches a machine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.telemetry import TelemetryWindows
+
+#: Windowed values within ±25% of the remaining mean count as converged
+#: (windows hold few tens of requests, so integer arrival noise alone
+#: is ~10–15%; tighter tolerances reject genuinely settled runs).
+DEFAULT_REL_TOL = 0.25
+
+#: A steady range must cover at least this many windows to be credible.
+DEFAULT_MIN_WINDOWS = 3
+
+#: Tail windows clipped before detection (arrival drain / final flush).
+DEFAULT_DROP_TAIL = 1
+
+#: Extra tail windows detection may additionally discard: the ramp-down
+#: of an overloaded run can straddle a window boundary (a rebinned
+#: series' last occupied window is usually partial), so the drain shows
+#: up as up to two trailing low windows, not one.
+DEFAULT_MAX_TAIL_EXTRA = 2
+
+
+def steady_window_range(
+    values: "Sequence[float]",
+    *,
+    rel_tol: float = DEFAULT_REL_TOL,
+    min_windows: int = DEFAULT_MIN_WINDOWS,
+    drop_tail: int = DEFAULT_DROP_TAIL,
+    max_tail_extra: int = DEFAULT_MAX_TAIL_EXTRA,
+) -> "Optional[Tuple[int, int]]":
+    """The steady ``[start, end)`` window range of a throughput series.
+
+    After clipping *drop_tail* trailing windows, finds the latest end
+    *e* (shrinking by at most *max_tail_extra* further windows, for a
+    ramp-down that straddles a window boundary) and, for that end, the
+    earliest start *s* such that every value in ``values[s:e]`` lies
+    within ``rel_tol`` relative distance of the mean over that range,
+    with the range at least *min_windows* wide.  ``None`` when no such
+    range exists — the run never settled.
+    """
+    if min_windows < 1:
+        raise ValueError("min_windows must be positive")
+    hard_end = len(values) - max(0, drop_tail)
+    lowest_end = max(min_windows, hard_end - max(0, max_tail_extra))
+    for end in range(hard_end, lowest_end - 1, -1):
+        if end < min_windows:
+            break
+        for start in range(0, end - min_windows + 1):
+            window = values[start:end]
+            mean = sum(window) / len(window)
+            if mean <= 0:
+                continue
+            if all(abs(v - mean) <= rel_tol * mean for v in window):
+                return (start, end)
+    return None
+
+
+def steady_summary(
+    telemetry: TelemetryWindows,
+    *,
+    counter: str = "acked",
+    latency: str = "latency",
+    rel_tol: float = DEFAULT_REL_TOL,
+    min_windows: int = DEFAULT_MIN_WINDOWS,
+    drop_tail: int = DEFAULT_DROP_TAIL,
+) -> Dict[str, Any]:
+    """Warm-up-trimmed headline numbers for one telemetry registry.
+
+    Detects the steady range on the *counter* series, then reports the
+    steady throughput (events per kilocycle) and the latency quantiles
+    of the merged steady-window histogram.  When detection fails, falls
+    back to the full run and says so (``"steady": false``) — a curve
+    cell is never silently quoted from an unsettled run.
+    """
+    series = telemetry.series(counter)
+    found = steady_window_range(
+        series, rel_tol=rel_tol, min_windows=min_windows, drop_tail=drop_tail
+    )
+    if found is not None:
+        lo, hi = found
+        steady = True
+    else:
+        lo, hi = 0, len(series)
+        steady = False
+    windows = list(range(lo, hi))
+    hist = telemetry.merged_hist(latency, windows)
+    lat = hist.summary()
+    return {
+        "steady": steady,
+        "window_cycles": telemetry.window_cycles,
+        "windows_total": len(series),
+        "window_lo": lo,
+        "window_hi": hi,
+        "warmup_trimmed": lo,
+        "tail_trimmed": len(series) - hi,
+        "throughput_kcyc": round(
+            telemetry.throughput_per_kcycle(counter, windows), 4
+        ),
+        "latency": lat,
+    }
+
+
+def knee_index(
+    throughputs: "Sequence[float]",
+    latencies: "Sequence[float]",
+) -> int:
+    """Index of the knee of a throughput-vs-latency curve.
+
+    Points must be ordered by increasing offered load.  Both axes are
+    normalised to ``[0, 1]``; the knee is the point maximising
+    ``norm(throughput) - norm(latency)`` — the furthest the curve gets
+    above the diagonal, i.e. the last point that gains throughput
+    faster than it pays latency (Kneedle's difference curve).  Ties
+    break toward the *lower* load point (first maximum), and a flat or
+    single-point curve returns index 0.
+    """
+    if len(throughputs) != len(latencies):
+        raise ValueError("throughputs and latencies must align")
+    n = len(throughputs)
+    if n == 0:
+        raise ValueError("knee of an empty curve")
+    if n == 1:
+        return 0
+    t_lo, t_hi = min(throughputs), max(throughputs)
+    l_lo, l_hi = min(latencies), max(latencies)
+    t_span = (t_hi - t_lo) or 1.0
+    l_span = (l_hi - l_lo) or 1.0
+    best, best_score = 0, float("-inf")
+    for i in range(n):
+        score = (throughputs[i] - t_lo) / t_span - (latencies[i] - l_lo) / l_span
+        if score > best_score + 1e-12:
+            best, best_score = i, score
+    return best
+
+
+def curve_table(
+    rows: "Sequence[Dict[str, Any]]",
+    *,
+    columns: "Sequence[str]" = (
+        "scheme",
+        "arrival_cycles",
+        "offered_kcyc",
+        "throughput_kcyc",
+        "p50",
+        "p95",
+        "p99",
+        "window_lo",
+        "window_hi",
+        "steady",
+        "knee",
+    ),
+) -> str:
+    """A gnuplot-friendly table: ``#``-prefixed header, whitespace-
+    separated columns, one load point per line, blank line between
+    schemes (gnuplot dataset blocks)."""
+    lines = ["# " + "\t".join(columns)]
+    prev_scheme: "Optional[str]" = None
+    for row in rows:
+        scheme = str(row.get("scheme", ""))
+        if prev_scheme is not None and scheme != prev_scheme:
+            lines.append("")
+        prev_scheme = scheme
+        lines.append(
+            "\t".join(_cell(row.get(col)) for col in columns)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)

@@ -1,0 +1,301 @@
+"""Windowed telemetry: fixed-width simulated-cycle time series.
+
+The per-run obs layer answers "how much, in total"; this module answers
+"how much, *when*".  A :class:`TelemetryWindows` registry slices the
+simulated clock into fixed-width windows (``window_cycles`` wide,
+window *i* covering ``[i*W, (i+1)*W)``) and keeps, per window:
+
+* **counts** — acked requests, reads, committed writes, shed requests,
+  aborts, group-commit batches, 2PC decisions … any named counter;
+* **distributions** — request latency, queue depth, 2PC decide
+  latency … any named :class:`~repro.obs.histogram.LogHistogram`.
+
+Attribution rule: every sample lands in exactly **one** window — the
+window of the cycle it is recorded at.  Latencies are recorded at
+*completion*, so a request that spans two windows counts once, in the
+window its response was recorded (the property the tests pin).
+
+Registries merge by aligned window (same ``window_cycles`` required),
+and :meth:`to_dict` sorts every key — so folding per-worker registries
+in task-submission order yields a byte-identical document to a serial
+run, the same contract the parallel bench sweeps already honour.
+
+Passivity: a registry only ever receives cycle values the caller read
+from a machine clock; it never advances one.  The CI telemetry gate
+(``python -m repro obs passivity --telemetry``) re-proves on every push
+that attaching telemetry leaves all simulated counters bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.histogram import LogHistogram, merge_all
+
+#: Default window width.  At the service's default load (~3k-cycle mean
+#: interarrival over 4 clients) this yields a few dozen requests per
+#: window — enough signal for a windowed mean, fine enough to see
+#: warm-up.
+DEFAULT_WINDOW_CYCLES = 4096
+
+#: Count names every serving layer records (free-form names are also
+#: accepted; these are the documented core set).
+COUNTS = (
+    "acked",
+    "reads",
+    "writes",
+    "shed",
+    "aborted",
+    "batches",
+    "decisions",
+)
+
+#: Distribution names the serving layers record.
+DISTRIBUTIONS = (
+    "latency",
+    "queue_depth",
+    "decide_latency",
+)
+
+
+class _Window:
+    """One window's counters and distributions."""
+
+    __slots__ = ("counts", "hists")
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self.hists: Dict[str, LogHistogram] = {}
+
+
+class TelemetryWindows:
+    """The windowed metrics registry (see module docstring)."""
+
+    def __init__(self, window_cycles: int = DEFAULT_WINDOW_CYCLES) -> None:
+        if window_cycles < 1:
+            raise ValueError("window_cycles must be positive")
+        self.window_cycles = window_cycles
+        self._windows: Dict[int, _Window] = {}
+
+    # --- recording ------------------------------------------------------
+
+    def window_index(self, cycle: int) -> int:
+        """The window a cycle value falls in (clamped at zero)."""
+        return max(0, cycle) // self.window_cycles
+
+    def _window(self, cycle: int) -> _Window:
+        idx = self.window_index(cycle)
+        win = self._windows.get(idx)
+        if win is None:
+            win = _Window()
+            self._windows[idx] = win
+        return win
+
+    def count(self, cycle: int, name: str, n: int = 1) -> None:
+        """Bump counter *name* in the window containing *cycle*."""
+        win = self._window(cycle)
+        win.counts[name] = win.counts.get(name, 0) + n
+
+    def record(self, cycle: int, name: str, value: int) -> None:
+        """Add one sample to distribution *name* in *cycle*'s window."""
+        win = self._window(cycle)
+        hist = win.hists.get(name)
+        if hist is None:
+            hist = LogHistogram()
+            win.hists[name] = hist
+        hist.record(value)
+
+    # --- queries --------------------------------------------------------
+
+    @property
+    def num_windows(self) -> int:
+        """Occupied-range width: ``max index + 1`` (0 when empty)."""
+        return (max(self._windows) + 1) if self._windows else 0
+
+    def series(self, name: str) -> List[int]:
+        """Counter *name* per window over ``0..num_windows-1``, zeros
+        filled — the contiguous series steady-state detection runs on."""
+        out = [0] * self.num_windows
+        for idx, win in self._windows.items():
+            out[idx] = win.counts.get(name, 0)
+        return out
+
+    def total(self, name: str) -> int:
+        return sum(w.counts.get(name, 0) for w in self._windows.values())
+
+    def window_counts(self, idx: int) -> Dict[str, int]:
+        win = self._windows.get(idx)
+        return dict(win.counts) if win is not None else {}
+
+    def window_hist(self, idx: int, name: str) -> Optional[LogHistogram]:
+        win = self._windows.get(idx)
+        return win.hists.get(name) if win is not None else None
+
+    def merged_hist(
+        self, name: str, windows: "Optional[Iterable[int]]" = None
+    ) -> LogHistogram:
+        """One histogram folding *name* across *windows* (default all)."""
+        indices = sorted(self._windows) if windows is None else sorted(windows)
+        return merge_all(
+            self._windows[i].hists[name]
+            for i in indices
+            if i in self._windows and name in self._windows[i].hists
+        )
+
+    def throughput_per_kcycle(
+        self, name: str = "acked", windows: "Optional[Iterable[int]]" = None
+    ) -> float:
+        """Mean *name* rate over *windows* in events per 1000 cycles."""
+        indices = (
+            list(range(self.num_windows)) if windows is None
+            else sorted(windows)
+        )
+        if not indices:
+            return 0.0
+        total = sum(self.window_counts(i).get(name, 0) for i in indices)
+        return 1000.0 * total / (len(indices) * self.window_cycles)
+
+    # --- merge / serialisation ------------------------------------------
+
+    def merge(self, other: "TelemetryWindows") -> None:
+        """Fold *other*'s windows into this registry (aligned widths)."""
+        if other.window_cycles != self.window_cycles:
+            raise ValueError(
+                f"cannot merge telemetry with window_cycles "
+                f"{other.window_cycles} into {self.window_cycles}"
+            )
+        for idx, src in other._windows.items():
+            dst = self._windows.get(idx)
+            if dst is None:
+                dst = _Window()
+                self._windows[idx] = dst
+            for name, n in src.counts.items():
+                dst.counts[name] = dst.counts.get(name, 0) + n
+            for name, hist in src.hists.items():
+                if name in dst.hists:
+                    dst.hists[name].merge(hist)
+                else:
+                    fresh = LogHistogram(sub_buckets=hist.sub_buckets)
+                    fresh.merge(hist)
+                    dst.hists[name] = fresh
+
+    def rebinned(self, factor: int) -> "TelemetryWindows":
+        """A fresh registry with *factor* adjacent windows folded into
+        one (window ``i`` lands in ``i // factor``).
+
+        Lets a run record at a fine default width and pick the analysis
+        width afterwards — e.g. coarsen until a load sweep has ~10
+        windows per cell — without re-running anything.  Deterministic:
+        counts add, histograms merge.
+        """
+        if factor < 1:
+            raise ValueError("rebin factor must be positive")
+        out = TelemetryWindows(window_cycles=self.window_cycles * factor)
+        for idx, win in self._windows.items():
+            dst = out._windows.get(idx // factor)
+            if dst is None:
+                dst = _Window()
+                out._windows[idx // factor] = dst
+            for name, n in win.counts.items():
+                dst.counts[name] = dst.counts.get(name, 0) + n
+            for name, hist in win.hists.items():
+                if name in dst.hists:
+                    dst.hists[name].merge(hist)
+                else:
+                    fresh = LogHistogram(sub_buckets=hist.sub_buckets)
+                    fresh.merge(hist)
+                    dst.hists[name] = fresh
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic (fully sorted) serialised form."""
+        return {
+            "window_cycles": self.window_cycles,
+            "windows": {
+                str(idx): {
+                    "counts": dict(sorted(win.counts.items())),
+                    "hists": {
+                        name: hist.to_dict()
+                        for name, hist in sorted(win.hists.items())
+                    },
+                }
+                for idx, win in sorted(self._windows.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TelemetryWindows":
+        tel = cls(window_cycles=int(data["window_cycles"]))
+        for idx, payload in data.get("windows", {}).items():
+            win = _Window()
+            win.counts = {
+                str(k): int(v) for k, v in payload.get("counts", {}).items()
+            }
+            win.hists = {
+                str(k): LogHistogram.from_dict(v)
+                for k, v in payload.get("hists", {}).items()
+            }
+            tel._windows[int(idx)] = win
+        return tel
+
+    # --- reporting ------------------------------------------------------
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Per-window summary rows over the full occupied range."""
+        out: List[Dict[str, Any]] = []
+        for idx in range(self.num_windows):
+            counts = self.window_counts(idx)
+            row: Dict[str, Any] = {
+                "window": idx,
+                "start_cycle": idx * self.window_cycles,
+                "end_cycle": (idx + 1) * self.window_cycles,
+                "counts": dict(sorted(counts.items())),
+            }
+            win = self._windows.get(idx)
+            if win is not None:
+                row["hists"] = {
+                    name: hist.summary()
+                    for name, hist in sorted(win.hists.items())
+                }
+            else:
+                row["hists"] = {}
+            out.append(row)
+        return out
+
+    def format(self, *, counter: str = "acked") -> str:
+        """Human-readable window table (throughput + latency quantiles)."""
+        lines = [
+            f"--- windows ({self.window_cycles} cycles each) ---",
+            f"  {'win':>4} {'cycles':>18} {counter:>7} {'/kcyc':>7} "
+            f"{'lat p50':>9} {'p95':>9} {'p99':>9} {'qdepth':>7} {'shed':>5}",
+        ]
+        for idx in range(self.num_windows):
+            counts = self.window_counts(idx)
+            n = counts.get(counter, 0)
+            rate = 1000.0 * n / self.window_cycles
+            lat = self.window_hist(idx, "latency")
+            depth = self.window_hist(idx, "queue_depth")
+            lines.append(
+                f"  {idx:>4} "
+                f"{idx * self.window_cycles:>8}..{(idx + 1) * self.window_cycles:<8} "
+                f"{n:>7} {rate:>7.2f} "
+                f"{lat.p50 if lat else 0:>9} {lat.p95 if lat else 0:>9} "
+                f"{lat.p99 if lat else 0:>9} "
+                f"{depth.p95 if depth else 0:>7} {counts.get('shed', 0):>5}"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+
+def merge_telemetry(
+    registries: "Iterable[TelemetryWindows]",
+) -> TelemetryWindows:
+    """Merge any number of aligned registries into a fresh one."""
+    out: "Optional[TelemetryWindows]" = None
+    for tel in registries:
+        if out is None:
+            out = TelemetryWindows(window_cycles=tel.window_cycles)
+        out.merge(tel)
+    return out if out is not None else TelemetryWindows()

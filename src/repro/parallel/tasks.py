@@ -348,3 +348,32 @@ def trace_cell(
         "total_emitted": run.tracer.total_emitted,
         "capacity": run.tracer.capacity,
     }
+
+
+# ----------------------------------------------------------------------
+# throughput-vs-latency curve sweep
+# ----------------------------------------------------------------------
+
+
+def curve_cell(
+    *,
+    scheme: str,
+    arrival_cycles: int,
+    workload: str,
+    seed: int,
+) -> Dict[str, Any]:
+    """One load point of a throughput-vs-latency curve.
+
+    Deterministic from its arguments (the telemetry windowing and
+    steady-state detection are pure functions of the simulated run), so
+    serial and ``--jobs N`` sweeps merge byte-identically.
+    """
+    _poison_check(f"curve/{scheme}/a{arrival_cycles}")
+    from repro.service.curve import run_curve_cell
+
+    t0 = time.perf_counter()
+    cell = run_curve_cell(
+        scheme, arrival_cycles, workload=workload, seed=seed
+    )
+    cell["host_ms"] = round((time.perf_counter() - t0) * 1000.0, 3)
+    return cell

@@ -29,6 +29,17 @@ from repro.service.server import (
 from repro.service.tm import GroupCommitPolicy
 
 
+def _hist_doc(hist) -> dict:
+    """Quantile summary plus the full occupied buckets, so external
+    tooling can re-derive any quantile (not just p50/p95/p99)."""
+    doc = hist.summary()
+    doc["sub_buckets"] = hist.sub_buckets
+    doc["buckets"] = [
+        [lo, hi, count] for lo, hi, count in hist.buckets()
+    ]
+    return doc
+
+
 def _result_doc(res: ServiceResult) -> dict:
     """A diffable JSON document for one run (no host timing)."""
     return {
@@ -57,9 +68,9 @@ def _result_doc(res: ServiceResult) -> dict:
         "commit_persist_cycles": res.commit_persist_cycles,
         "commit_persist_per_write": round(res.commit_persist_per_write, 3),
         "phases": dict(res.phases),
-        "latency": res.latency.summary(),
-        "batch_occupancy": res.batch_occupancy.summary(),
-        "queue_depth": res.queue_depth.summary(),
+        "latency": _hist_doc(res.latency),
+        "batch_occupancy": _hist_doc(res.batch_occupancy),
+        "queue_depth": _hist_doc(res.queue_depth),
         "stats": json.loads(res.stats.to_json()),
     }
 
@@ -99,7 +110,42 @@ def serve_main(argv: "Optional[List[str]]" = None) -> int:
                         help="batch-fill discipline")
     parser.add_argument("--seed", type=int, default=2023)
     parser.add_argument("--json", help="write the diffable run document here")
+    parser.add_argument(
+        "--windows", type=int, metavar="CYCLES",
+        help="attach windowed telemetry at this window width and report "
+        "the per-window throughput/latency table",
+    )
+    parser.add_argument(
+        "--curve", action="store_true",
+        help="sweep arrival rates per scheme and report the "
+        "throughput-vs-latency curve (knee marked); --json writes the "
+        "curve document, --table the gnuplot table",
+    )
+    parser.add_argument(
+        "--curve-schemes", default=None, metavar="A,B",
+        help="comma-separated schemes for --curve",
+    )
+    parser.add_argument(
+        "--curve-arrivals", default=None, metavar="N,N,...",
+        help="comma-separated mean interarrival cycles for --curve",
+    )
+    parser.add_argument(
+        "--table", help="write the gnuplot curve table here (--curve only)"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel workers for --curve (default: serial)",
+    )
     args = parser.parse_args(argv)
+
+    if args.curve:
+        return _curve_main(args)
+
+    telemetry = None
+    if args.windows is not None:
+        from repro.obs.telemetry import TelemetryWindows
+
+        telemetry = TelemetryWindows(window_cycles=args.windows)
 
     res = run_service(
         ServiceConfig(
@@ -123,12 +169,16 @@ def serve_main(argv: "Optional[List[str]]" = None) -> int:
                 fairness=args.fairness,
             ),
             seed=args.seed,
-        )
+        ),
+        telemetry=telemetry,
     )
 
     if args.json:
+        doc = _result_doc(res)
+        if telemetry is not None:
+            doc["telemetry"] = telemetry.to_dict()
         with open(args.json, "w") as fh:
-            json.dump(_result_doc(res), fh, indent=1, sort_keys=True)
+            json.dump(doc, fh, indent=1, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.json}")
         return 0
@@ -170,4 +220,51 @@ def serve_main(argv: "Optional[List[str]]" = None) -> int:
                 if cycles
             )
         )
+    if telemetry is not None:
+        print(telemetry.format())
+    return 0
+
+
+def _curve_main(args) -> int:
+    """The ``serve --curve`` arrival-rate sweep."""
+    from repro.parallel.engine import resolve_jobs
+    from repro.service.curve import (
+        DEFAULT_CURVE_ARRIVALS,
+        DEFAULT_CURVE_SCHEMES,
+        curve_to_table,
+        format_curve,
+        run_curve,
+    )
+
+    schemes = (
+        tuple(s.strip() for s in args.curve_schemes.split(",") if s.strip())
+        if args.curve_schemes
+        else DEFAULT_CURVE_SCHEMES
+    )
+    arrivals = (
+        tuple(int(a) for a in args.curve_arrivals.split(",") if a.strip())
+        if args.curve_arrivals
+        else DEFAULT_CURVE_ARRIVALS
+    )
+    doc = run_curve(
+        schemes=schemes,
+        arrivals=arrivals,
+        workload=args.workload,
+        seed=args.seed,
+        jobs=resolve_jobs(args.jobs),
+    )
+    wrote = False
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+        wrote = True
+    if args.table:
+        with open(args.table, "w") as fh:
+            fh.write(curve_to_table(doc))
+        print(f"wrote {args.table}")
+        wrote = True
+    if not wrote:
+        print(format_curve(doc))
     return 0

@@ -16,8 +16,9 @@ on every read when ``check_reads`` is on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.obs.context import TraceContext
 from repro.workloads.base import Workload
 
 from repro.service.model import Request
@@ -30,10 +31,28 @@ class ReadConsistencyError(AssertionError):
 class ResourceManager:
     """Typed-op adapter over one :class:`~repro.workloads.base.Workload`."""
 
-    def __init__(self, subject: Workload) -> None:
+    def __init__(
+        self, subject: Workload, *, request_tracer=None, track: int = 0
+    ) -> None:
         self.subject = subject
+        #: Request-span sink; reads served with a context attached emit
+        #: an ``rm_read`` instant on track *track* (the RM's shard id).
+        self.request_tracer = request_tracer
+        self.track = track
         #: Committed oracle: key -> value tuple, updated at group commit.
         self.committed: Dict[int, Tuple[int, ...]] = {}
+
+    def _trace_read(self, ctx: "Optional[TraceContext]", results: int) -> None:
+        if ctx is None or self.request_tracer is None:
+            return
+        self.request_tracer.emit(
+            self.subject.rt.machine.now,
+            self.track,
+            "rm_read",
+            flow=ctx.flow_id,
+            results=results,
+            **ctx.fields(),
+        )
 
     # --- writes (inside the TM's open transaction) ---------------------
 
@@ -51,11 +70,18 @@ class ResourceManager:
 
     # --- reads (simulated, non-transactional) --------------------------
 
-    def read_get(self, request: Request, *, check: bool = True) -> Tuple:
+    def read_get(
+        self,
+        request: Request,
+        *,
+        check: bool = True,
+        ctx: "Optional[TraceContext]" = None,
+    ) -> Tuple:
         """Serve a ``get``: the traversal and value fetch issue real
         simulated loads (cache behaviour and latency included)."""
         key = request.keys[0]
         got = self.subject.get(key)
+        self._trace_read(ctx, 0 if got is None else 1)
         if check:
             want = self.committed.get(key)
             if (None if got is None else tuple(got)) != want:
@@ -66,7 +92,13 @@ class ResourceManager:
                 )
         return () if got is None else (tuple(got),)
 
-    def read_scan(self, request: Request, *, check: bool = True) -> Tuple:
+    def read_scan(
+        self,
+        request: Request,
+        *,
+        check: bool = True,
+        ctx: "Optional[TraceContext]" = None,
+    ) -> Tuple:
         """Serve a ``scan``: one full simulated traversal to collect the
         key set, then up to ``scan_count`` point lookups from
         ``keys[0]`` upward."""
@@ -85,6 +117,7 @@ class ResourceManager:
                 break
             value = self.subject.get(key)
             out.append((key, () if value is None else tuple(value)))
+        self._trace_read(ctx, len(out))
         return tuple(out)
 
     # --- validation -----------------------------------------------------

@@ -40,8 +40,10 @@ from repro.common.config import DEFAULT_CONFIG, SystemConfig
 from repro.common.stats import SimStats
 from repro.core.machine import Machine
 from repro.core.schemes import scheme_by_name
+from repro.obs.context import TraceContext, for_request
 from repro.obs.histogram import LogHistogram
 from repro.obs.profiler import CycleProfiler
+from repro.obs.telemetry import TelemetryWindows
 from repro.runtime.hints import MANUAL, AnnotationPolicy
 from repro.runtime.ptx import PTx
 from repro.workloads import WORKLOADS
@@ -154,8 +156,18 @@ class TransactionService:
         config: SystemConfig = DEFAULT_CONFIG,
         policy: AnnotationPolicy = MANUAL,
         tracer=None,
+        telemetry: "Optional[TelemetryWindows]" = None,
+        request_tracer=None,
+        shard_id: "Optional[int]" = None,
     ) -> None:
         self.cfg = cfg
+        #: Windowed metrics sink (passive: only reads the clock).
+        self.telemetry = telemetry
+        #: Request-span sink (a :class:`~repro.core.tracing.Tracer`);
+        #: events land on track *shard_id* (0 on a standalone service).
+        self.request_tracer = request_tracer
+        self.shard_id = shard_id
+        self._track = 0 if shard_id is None else shard_id
         self.machine = Machine(scheme_by_name(cfg.scheme), config)
         self.profiler = CycleProfiler()
         self.profiler.bind(self.machine.now)
@@ -166,9 +178,15 @@ class TransactionService:
         self.subject = WORKLOADS[cfg.workload](
             self.rt, value_bytes=cfg.value_bytes
         )
-        self.rm = ResourceManager(self.subject)
+        self.rm = ResourceManager(
+            self.subject, request_tracer=request_tracer, track=self._track
+        )
         self.tm = TransactionManager(
-            self.rt, self.rm, max_attempts=cfg.max_attempts
+            self.rt,
+            self.rm,
+            max_attempts=cfg.max_attempts,
+            request_tracer=request_tracer,
+            track=self._track,
         )
         self.queue = AdmissionQueue(cfg.admission)
         value_words = cfg.value_bytes // units.WORD_BYTES
@@ -240,8 +258,44 @@ class TransactionService:
 
     # --- event-loop steps ------------------------------------------------
 
+    def _ctx(self, request: Request) -> TraceContext:
+        return for_request(request, shard=self.shard_id)
+
+    def _emit_req(
+        self, kind: str, ctx: TraceContext, *, at: "Optional[int]" = None,
+        **extra,
+    ) -> None:
+        """Emit one request-scoped trace event (no-op without a sink).
+
+        *at* overrides the timestamp (e.g. a ``req_begin`` stamped at
+        the request's submission time); it is always a value previously
+        read from the simulated clock — never computed — so the request
+        tracer stays as passive as the machine tracer.
+        """
+        if self.request_tracer is None:
+            return
+        self.request_tracer.emit(
+            self.machine.now if at is None else at,
+            self._track,
+            kind,
+            flow=ctx.flow_id,
+            **ctx.fields(),
+            **extra,
+        )
+
     def _record(self, response: Response) -> None:
         self.responses.append(response)
+        if self.telemetry is not None:
+            at = response.completed_at
+            if response.status == "ok":
+                self.telemetry.count(at, "acked")
+                self.telemetry.record(at, "latency", response.latency)
+                if response.kind in ("get", "scan"):
+                    self.telemetry.count(at, "reads")
+                else:
+                    self.telemetry.count(at, "writes")
+            else:
+                self.telemetry.count(at, "shed")
         if response.status == "ok":
             self.machine.stats.service_acked += 1
             self.profiler.record("req_latency", response.latency)
@@ -277,6 +331,13 @@ class TransactionService:
                         )
                     )
                     self.profiler.record("queue_depth", self.queue.depth)
+                    if self.telemetry is not None:
+                        self.telemetry.record(
+                            self.machine.now, "queue_depth", self.queue.depth
+                        )
+                    ctx = self._ctx(request)
+                    self._emit_req("req_begin", ctx, at=at, op=request.kind)
+                    self._emit_req("req_admit", ctx, depth=self.queue.depth)
                     self.machine.stats.service_queue_peak = max(
                         self.machine.stats.service_queue_peak, self.queue.depth
                     )
@@ -296,6 +357,9 @@ class TransactionService:
                 elif self.cfg.admission.mode == "shed":
                     self.machine.stats.service_requests += 1
                     self.machine.stats.service_rejected += 1
+                    ctx = self._ctx(request)
+                    self._emit_req("req_begin", ctx, at=at, op=request.kind)
+                    self._emit_req("req_shed", ctx)
                     self._record(
                         Response(
                             client=client,
@@ -317,11 +381,17 @@ class TransactionService:
         ready = self.queue.pop_ready_reads()
         for item in ready:
             request = item.request
+            ctx = self._ctx(request)
             if request.kind == "get":
-                values = self.rm.read_get(request, check=self.cfg.check_reads)
+                values = self.rm.read_get(
+                    request, check=self.cfg.check_reads, ctx=ctx
+                )
             else:
-                values = self.rm.read_scan(request, check=self.cfg.check_reads)
+                values = self.rm.read_scan(
+                    request, check=self.cfg.check_reads, ctx=ctx
+                )
             self.machine.stats.service_reads += 1
+            self._emit_req("req_ack", ctx)
             self._record(
                 Response(
                     client=request.client,
@@ -360,19 +430,28 @@ class TransactionService:
             return False
         requests = [item.request for item in batch]
         self.machine.stats.service_batches += 1
+        batch_no = self.machine.stats.service_batches
         self.machine.stats.service_batched_writes += len(batch)
         self.profiler.record("batch_occupancy", len(batch))
+        if self.telemetry is not None:
+            self.telemetry.count(self.machine.now, "batches")
+        contexts = None
+        if self.request_tracer is not None:
+            contexts = [self._ctx(r).child(batch=batch_no) for r in requests]
         for request in requests:
             for key in request.keys:
                 self.subject.before_transaction(key)
         self.inflight = requests
-        self.tm.commit_batch(requests)
+        self.tm.commit_batch(requests, contexts=contexts)
         # tx_end returned: the batch's commit marker is durable.  The
         # acks below involve no simulated work, so no crash point can
         # separate them from the commit.
         completed_at = self.machine.now
         for item in batch:
             self._committed_writes += 1
+            self._emit_req(
+                "req_ack", self._ctx(item.request).child(batch=batch_no)
+            )
             self._record(
                 Response(
                     client=item.request.client,
@@ -510,6 +589,14 @@ def run_service(
     *,
     config: SystemConfig = DEFAULT_CONFIG,
     tracer=None,
+    telemetry: "Optional[TelemetryWindows]" = None,
+    request_tracer=None,
 ) -> ServiceResult:
     """Build and run one :class:`TransactionService`."""
-    return TransactionService(cfg, config=config, tracer=tracer).run()
+    return TransactionService(
+        cfg,
+        config=config,
+        tracer=tracer,
+        telemetry=telemetry,
+        request_tracer=request_tracer,
+    ).run()

@@ -47,6 +47,7 @@ from repro.common.stats import SimStats
 from repro.core.schemes import scheme_by_name
 from repro.mem.pm import DurableLogEntry
 from repro.multicore.system import MultiCoreSystem, run_atomically
+from repro.obs.context import TraceContext, for_request
 from repro.obs.profiler import CycleProfiler
 from repro.service.admission import AdmissionPolicy
 from repro.service.model import Request, Response, arrival_gaps, generate_streams
@@ -54,7 +55,12 @@ from repro.service.rm import ResourceManager
 from repro.service.server import ServiceConfig, TransactionService
 from repro.service.tm import GroupCommitPolicy, TransactionManager
 from repro.shard.router import HashRouter
-from repro.shard.twopc import Coordinator, PreparedWrite, ShardUnavailable
+from repro.shard.twopc import (
+    GTX_BASE,
+    Coordinator,
+    PreparedWrite,
+    ShardUnavailable,
+)
 from repro.workloads import WORKLOADS
 
 
@@ -144,9 +150,11 @@ class ShardNode:
         cfg: ShardedConfig,
         *,
         config: SystemConfig = DEFAULT_CONFIG,
+        request_tracer=None,
     ) -> None:
         self.shard_id = shard_id
         self.cfg = cfg
+        self.request_tracer = request_tracer
         self.system = MultiCoreSystem(1, scheme_by_name(cfg.scheme), config)
         self.machine = self.system.cores[0]
         self.rt = self.system.runtimes[0]
@@ -156,9 +164,15 @@ class ShardNode:
         self.subject = WORKLOADS[cfg.workload](
             self.rt, value_bytes=cfg.value_bytes
         )
-        self.rm = ResourceManager(self.subject)
+        self.rm = ResourceManager(
+            self.subject, request_tracer=request_tracer, track=shard_id
+        )
         self.tm = TransactionManager(
-            self.rt, self.rm, max_attempts=cfg.max_attempts
+            self.rt,
+            self.rm,
+            max_attempts=cfg.max_attempts,
+            request_tracer=request_tracer,
+            track=shard_id,
         )
         #: Writes pending in this shard's group-commit batch:
         #: ``(request, submitted_at)`` in arrival order.
@@ -181,7 +195,11 @@ class ShardNode:
             for key, value in writes
         ]
         entries.append(DurableLogEntry(kind="prepared", tx_seq=gtx))
-        self.machine.persist_protocol_entries(entries, phase="prepare-persist")
+        self.machine.persist_protocol_entries(
+            entries,
+            phase="prepare-persist",
+            label={"gtx": gtx - GTX_BASE, "step": "prepared"},
+        )
         self.staged[gtx] = list(writes)
 
     def commit(self, gtx: int, shard_ids: "Sequence[int]") -> None:
@@ -202,6 +220,7 @@ class ShardNode:
                 )
             ],
             phase="decide-persist",
+            label={"gtx": gtx - GTX_BASE, "step": "post-decision"},
         )
         self.apply_staged(gtx, writes)
 
@@ -221,6 +240,7 @@ class ShardNode:
         self.machine.persist_protocol_entries(
             [DurableLogEntry(kind="commit", tx_seq=gtx)],
             phase="decide-persist",
+            label={"gtx": gtx - GTX_BASE, "step": "applied"},
         )
         for key, value in writes:
             self.rm.committed[key] = tuple(value)
@@ -238,6 +258,7 @@ class ShardNode:
                     )
                 ],
                 phase="decide-persist",
+                label={"gtx": gtx - GTX_BASE, "step": "post-decision"},
             )
             del self.staged[gtx]
 
@@ -283,20 +304,37 @@ class ShardedDeployment:
         cfg: ShardedConfig,
         *,
         config: SystemConfig = DEFAULT_CONFIG,
+        telemetry=None,
+        request_tracer=None,
     ) -> None:
         self.cfg = cfg
         self.config = config
+        #: Windowed metrics sink.  Caveat of the deployment's clock
+        #: model: each sample is windowed by the *responding* node's own
+        #: clock (shards are independent clock domains); counters from
+        #: different shards land in comparable but not globally ordered
+        #: windows.  2PC decide latency avoids this by living entirely
+        #: on the coordinator clock.
+        self.telemetry = telemetry
+        #: Request-span sink: shard *i* on track *i*, the coordinator on
+        #: track ``num_shards``.
+        self.request_tracer = request_tracer
         #: The N=1 delegate (2PC machinery provably passive).
         self.service: Optional[TransactionService] = None
         self.nodes: List[ShardNode] = []
         if cfg.num_shards == 1:
             self.service = TransactionService(
-                cfg.service_config(), config=config
+                cfg.service_config(),
+                config=config,
+                telemetry=telemetry,
+                request_tracer=request_tracer,
             )
             return
         self.router = HashRouter(cfg.num_shards)
         self.nodes = [
-            ShardNode(shard, cfg, config=config)
+            ShardNode(
+                shard, cfg, config=config, request_tracer=request_tracer
+            )
             for shard in range(cfg.num_shards)
         ]
         self.coordinator = Coordinator(
@@ -306,6 +344,8 @@ class ShardedDeployment:
             prepare_attempts=cfg.prepare_attempts,
             retry_wait_cycles=cfg.retry_wait_cycles,
             max_attempts=cfg.max_attempts,
+            request_tracer=request_tracer,
+            telemetry=telemetry,
         )
         value_words = cfg.value_bytes // units.WORD_BYTES
         self.streams = generate_streams(
@@ -403,15 +443,24 @@ class ShardedDeployment:
     def _dispatch(self, request: Request, at: int) -> None:
         self.requests += 1
         if request.kind == "get":
-            node = self.nodes[self.router.home(request.keys[0])]
-            values = node.rm.read_get(request, check=self.cfg.check_reads)
+            shard = self.router.home(request.keys[0])
+            node = self.nodes[shard]
+            ctx = for_request(request, shard=shard)
+            self._open_span(ctx, at, op=request.kind)
+            values = node.rm.read_get(
+                request, check=self.cfg.check_reads, ctx=ctx
+            )
             self.reads += 1
-            self._record(request, at, "ok", node.machine.now, values)
+            self._record(request, at, "ok", node.machine.now, values,
+                         shard=shard)
         elif request.kind == "scan":
-            values = self._scan(request)
+            shard = self.router.home(request.keys[0])
+            ctx = for_request(request, shard=shard)
+            self._open_span(ctx, at, op=request.kind)
+            values = self._scan(request, ctx=ctx)
             self.reads += 1
             completed = max(node.machine.now for node in self.nodes)
-            self._record(request, at, "ok", completed, values)
+            self._record(request, at, "ok", completed, values, shard=shard)
         else:  # put / txn
             spans = self.router.spans(request.keys)
             if len(spans) == 1:
@@ -419,16 +468,40 @@ class ShardedDeployment:
             else:
                 self._commit_cross_shard(request, at)
 
-    def _scan(self, request: Request) -> Tuple:
+    def _scan(
+        self, request: Request, *, ctx: "Optional[TraceContext]" = None
+    ) -> Tuple:
         """A scan fans out to every shard (each checks against its own
         slice of the oracle) and merges by key order."""
         merged: List[Tuple[int, Tuple[int, ...]]] = []
         for node in self.nodes:
             merged.extend(
-                node.rm.read_scan(request, check=self.cfg.check_reads)
+                node.rm.read_scan(
+                    request,
+                    check=self.cfg.check_reads,
+                    ctx=None if ctx is None else ctx.child(
+                        shard=node.shard_id
+                    ),
+                )
             )
         merged.sort()
         return tuple(merged[: request.scan_count])
+
+    def _open_span(
+        self, ctx: TraceContext, submitted_at: int, *, op: str
+    ) -> None:
+        """Open a request span on its home-shard track (no-op without a
+        tracer); :meth:`_record` closes it at the response."""
+        if self.request_tracer is None:
+            return
+        self.request_tracer.emit(
+            submitted_at,
+            ctx.shard if ctx.shard is not None else 0,
+            "req_begin",
+            flow=ctx.flow_id,
+            op=op,
+            **ctx.fields(),
+        )
 
     def _record(
         self,
@@ -437,7 +510,34 @@ class ShardedDeployment:
         status: str,
         completed_at: int,
         values: Tuple = (),
+        *,
+        shard: "Optional[int]" = None,
+        gtx: "Optional[int]" = None,
     ) -> None:
+        if self.telemetry is not None:
+            if status == "ok":
+                self.telemetry.count(completed_at, "acked")
+                self.telemetry.record(
+                    completed_at, "latency", completed_at - submitted_at
+                )
+                if request.kind in ("get", "scan"):
+                    self.telemetry.count(completed_at, "reads")
+                else:
+                    self.telemetry.count(completed_at, "writes")
+            else:
+                self.telemetry.count(completed_at, "aborted")
+        if self.request_tracer is not None and shard is not None:
+            ctx = for_request(request, shard=shard)
+            if gtx is not None:
+                ctx = ctx.child(gtx=gtx)
+            self.request_tracer.emit(
+                completed_at,
+                shard,
+                "req_ack",
+                flow=ctx.flow_id,
+                status=status,
+                **ctx.fields(),
+            )
         self.responses.append(
             Response(
                 client=request.client,
@@ -453,6 +553,9 @@ class ShardedDeployment:
     # --- local (single-shard) writes -------------------------------------
 
     def _enqueue_write(self, node: ShardNode, request: Request, at: int) -> None:
+        self._open_span(
+            for_request(request, shard=node.shard_id), at, op=request.kind
+        )
         node.pending.append((request, at))
         if len(node.pending) >= self.cfg.batch.batch_size:
             self._flush(node)
@@ -463,11 +566,20 @@ class ShardedDeployment:
         batch = node.pending
         node.pending = []
         requests = [request for request, _ in batch]
+        if self.telemetry is not None:
+            self.telemetry.count(node.machine.now, "batches")
+        contexts = None
+        if self.request_tracer is not None:
+            batch_no = node.tm.commits + 1
+            contexts = [
+                for_request(r, shard=node.shard_id).child(batch=batch_no)
+                for r in requests
+            ]
         for request in requests:
             for key in request.keys:
                 node.subject.before_transaction(key)
         self.inflight_local = (node.shard_id, requests)
-        node.tm.commit_batch(requests)
+        node.tm.commit_batch(requests, contexts=contexts)
         # tx_end returned: the batch commit marker is durable, and the
         # acks below involve no simulated work (no crash can separate
         # them from the commit).
@@ -476,7 +588,10 @@ class ShardedDeployment:
             for key, value in zip(request.keys, request.values):
                 self.committed[key] = tuple(value)
             self.committed_writes += 1
-            self._record(request, submitted_at, "ok", completed_at)
+            self._record(
+                request, submitted_at, "ok", completed_at,
+                shard=node.shard_id,
+            )
         self.inflight_local = None
         self.batches += 1
         return True
@@ -496,9 +611,15 @@ class ShardedDeployment:
             for shard, pairs in groups.items()
         }
         gtx = self.coordinator.new_gtx()
+        g = gtx - GTX_BASE
+        home = self.router.home(request.keys[0])
+        ctx = for_request(request, shard=home).child(gtx=g)
+        self._open_span(ctx, at, op=request.kind)
         participants = {shard: self.nodes[shard] for shard in groups}
         self.inflight_gtx = (gtx, plan, request)
-        fate = self.coordinator.commit_global(gtx, plan, participants)
+        fate = self.coordinator.commit_global(
+            gtx, plan, participants, ctx=ctx
+        )
         self.fates[gtx] = fate
         if fate == "commit":
             completed_at = max(
@@ -509,11 +630,14 @@ class ShardedDeployment:
                     self.committed[key] = tuple(value)
             self.committed_writes += 1
             self.xshard_writes += len(request.keys)
-            self._record(request, at, "ok", completed_at)
+            self._record(
+                request, at, "ok", completed_at, shard=home, gtx=g
+            )
         else:
             self.aborted += 1
             self._record(
-                request, at, "aborted", self.coordinator.machine.now
+                request, at, "aborted", self.coordinator.machine.now,
+                shard=home, gtx=g,
             )
         self.inflight_gtx = None
 
@@ -628,6 +752,13 @@ def run_sharded(
     cfg: ShardedConfig,
     *,
     config: SystemConfig = DEFAULT_CONFIG,
+    telemetry=None,
+    request_tracer=None,
 ) -> ShardedResult:
     """Build and run one :class:`ShardedDeployment`."""
-    return ShardedDeployment(cfg, config=config).run()
+    return ShardedDeployment(
+        cfg,
+        config=config,
+        telemetry=telemetry,
+        request_tracer=request_tracer,
+    ).run()

@@ -130,3 +130,38 @@ def test_correct_policy_passes_where_buggy_policy_fails():
         instr_budget=0,
     )
     assert good.violations == []
+
+
+@pytest.mark.fuzz
+def test_service_cell_reports_steady_telemetry():
+    """The service campaign's clean run carries windowed telemetry:
+    every cell report quotes a steady window range and throughput, and
+    the table renders them."""
+    from repro.fuzz.campaign import (
+        ServiceCampaignResult,
+        ServiceCell,
+        run_service_cell,
+    )
+    from repro.fuzz.report import format_service_report
+
+    report = run_service_cell(
+        ServiceCell("hashtable", "SLPMT", 8),
+        budget=4,
+        seed=7,
+        num_clients=3,
+        requests_per_client=10,
+    )
+    assert report.windows > 0
+    assert 0 <= report.window_lo < report.window_hi <= report.windows
+    assert report.steady_kcyc > 0
+    result = ServiceCampaignResult(
+        budget=4,
+        seed=7,
+        num_clients=3,
+        requests_per_client=10,
+        value_bytes=32,
+        cells=[report],
+    )
+    text = format_service_report(result)
+    assert "steady-win" in text and "kcyc" in text
+    assert f"{report.window_lo}..{report.window_hi}/{report.windows}" in text

@@ -61,6 +61,12 @@ class TestObsCli:
         out = capsys.readouterr().out
         assert out.count("passive:") == 3
 
+    def test_telemetry_passivity_gate(self, capsys):
+        assert obs_main(["passivity", "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("passive:") == 2
+        assert "merge: split-vs-serial telemetry byte-identical" in out
+
 
 class TestBenchCli:
     def test_sweep_prints_geomeans(self, tmp_path, capsys, monkeypatch):

@@ -106,3 +106,42 @@ class TestMergeAndSerialise:
         h.record(42)
         s = h.summary()
         assert set(s) == {"count", "mean", "p50", "p95", "p99", "min", "max"}
+
+
+class TestEdgeCases:
+    def test_empty_percentiles_all_zero(self):
+        h = LogHistogram()
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == 0
+        s = h.summary()
+        assert s["count"] == 0
+        assert s["p50"] == 0 and s["p99"] == 0 and s["max"] == 0
+        assert h.buckets() == []
+
+    def test_merge_disjoint_bucket_ranges(self):
+        # Two histograms whose occupied buckets don't overlap at all:
+        # the merge must keep both ends intact, not renormalise.
+        low, high = LogHistogram(), LogHistogram()
+        for v in (1, 2, 3):
+            low.record(v)
+        for v in (1_000_000, 2_000_000):
+            high.record(v)
+        low.merge(high)
+        assert low.count == 5
+        assert low.min == 1 and low.max == 2_000_000
+        rows = low.buckets()
+        assert sum(count for _, _, count in rows) == 5
+        assert rows[0][0] <= 1
+        assert rows[-1][1] > 1_000_000
+        # Tail quantile lands in the high cluster, median in the low one.
+        assert low.quantile(0.99) >= 1_000_000 * 0.8
+        assert low.p50 <= 3
+
+    def test_merge_with_empty_either_side(self):
+        a, b = LogHistogram(), LogHistogram()
+        b.record(5)
+        a.merge(b)
+        assert (a.count, a.min, a.max) == (1, 5, 5)
+        a.merge(LogHistogram())
+        assert a.count == 1
+        assert a.summary() == b.summary()

@@ -1,0 +1,174 @@
+"""Request-scoped tracing: contexts, spans, and telemetry passivity.
+
+The request tracer rides the service's own clock reads, so attaching it
+(and a telemetry registry) must leave every simulated number
+bit-identical — the same bar the machine-level obs layer clears.  The
+exported Perfetto document must carry parent-linked request spans
+(async ``b``/``e`` pairs bound by flow id) alongside the machine
+tracks.
+"""
+
+import json
+
+import pytest
+
+from repro.core.tracing import Tracer
+from repro.obs.context import (
+    REQUEST_EVENT_KINDS,
+    TraceContext,
+    batch_flow_id,
+    decide_flow_id,
+    for_request,
+    gtx_flow_id,
+    prepare_flow_id,
+)
+from repro.obs.telemetry import TelemetryWindows
+from repro.obs.trace import (
+    chrome_trace,
+    request_trace_events,
+    validate_chrome_trace,
+)
+from repro.service.server import ServiceConfig, run_service
+
+
+class TestTraceContext:
+    def test_request_id_and_fields(self):
+        ctx = TraceContext(client=2, seq=7)
+        assert ctx.request_id == "c2.r7"
+        assert ctx.fields() == {"request": "c2.r7", "client": 2, "seq": 7}
+        full = ctx.child(shard=1, batch=3, gtx=5)
+        assert full.fields() == {
+            "request": "c2.r7", "client": 2, "seq": 7,
+            "shard": 1, "batch": 3, "gtx": 5,
+        }
+        # child() never mutates the parent (frozen dataclass).
+        assert ctx.shard is None
+
+    def test_flow_ids_are_disjoint_across_namespaces(self):
+        ids = {
+            TraceContext(client=0, seq=0).flow_id,
+            TraceContext(client=3, seq=11).flow_id,
+            batch_flow_id(1),
+            gtx_flow_id(1),
+            prepare_flow_id(1, 0),
+            prepare_flow_id(1, 1),
+            decide_flow_id(1, 0),
+            decide_flow_id(1, 1),
+        }
+        assert len(ids) == 8
+
+    def test_distinct_requests_distinct_flows(self):
+        seen = set()
+        for client in range(8):
+            for seq in range(50):
+                seen.add(TraceContext(client=client, seq=seq).flow_id)
+        assert len(seen) == 8 * 50
+
+
+class TestRequestSpans:
+    def _served_tracer(self, **overrides):
+        kwargs = dict(
+            workload="hashtable", scheme="SLPMT", num_clients=3,
+            requests_per_client=12, value_bytes=32, num_keys=32, seed=11,
+        )
+        kwargs.update(overrides)
+        tracer = Tracer()
+        res = run_service(ServiceConfig(**kwargs), request_tracer=tracer)
+        return tracer, res
+
+    def test_event_kinds_are_registered(self):
+        tracer, _ = self._served_tracer()
+        kinds = {e.kind for e in tracer.events()}
+        assert kinds <= set(REQUEST_EVENT_KINDS)
+        assert "req_begin" in kinds and "req_ack" in kinds
+        assert "batch_begin" in kinds and "batch_end" in kinds
+
+    def test_every_request_opens_and_closes_one_span(self):
+        tracer, res = self._served_tracer()
+        begins = [e for e in tracer.events() if e.kind == "req_begin"]
+        acks = [e for e in tracer.events() if e.kind == "req_ack"]
+        sheds = [e for e in tracer.events() if e.kind == "req_shed"]
+        assert len(begins) == res.requests
+        assert len(acks) == res.acked
+        assert len(sheds) == res.shed
+        open_flows = {e.fields["flow"] for e in begins}
+        closed = [e.fields["flow"] for e in acks + sheds]
+        assert sorted(closed) == sorted(open_flows)
+
+    def test_batch_spans_name_their_requests(self):
+        tracer, res = self._served_tracer()
+        batch_begins = [
+            e for e in tracer.events() if e.kind == "batch_begin"
+        ]
+        assert len(batch_begins) == res.batches
+        for e in batch_begins:
+            assert e.fields["flow"] == batch_flow_id(e.fields["batch"])
+            assert e.fields["size"] == len(e.fields["requests"])
+            assert all(r.startswith("c") for r in e.fields["requests"])
+
+    def test_exported_spans_validate_and_pair(self):
+        tracer, res = self._served_tracer()
+        events = request_trace_events(tracer)
+        doc = {"traceEvents": events}
+        assert validate_chrome_trace(doc) == []
+        opens = [e for e in events if e["ph"] == "b"]
+        closes = [e for e in events if e["ph"] == "e"]
+        assert len(opens) == len(closes)
+        # b/e pairs bind by (cat, id): every open has exactly one close.
+        assert sorted((e["cat"], e["id"]) for e in opens) == sorted(
+            (e["cat"], e["id"]) for e in closes
+        )
+        req_spans = [e for e in opens if e["cat"] == "request"]
+        assert len(req_spans) == res.requests
+
+    def test_combined_document_keeps_machine_and_request_pids_apart(self):
+        machine_tracer = Tracer()
+        request_tracer = Tracer()
+        run_service(
+            ServiceConfig(
+                workload="hashtable", scheme="SLPMT", num_clients=2,
+                requests_per_client=8, value_bytes=32, seed=3,
+            ),
+            tracer=machine_tracer,
+            request_tracer=request_tracer,
+        )
+        doc = chrome_trace([machine_tracer], request_tracer=request_tracer)
+        assert validate_chrome_trace(doc) == []
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {1, 2}
+        names = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert any(
+            e["pid"] == 2 and e["args"]["name"] == "requests" for e in names
+        )
+
+
+class TestServiceTelemetryPassivity:
+    KW = dict(
+        workload="hashtable", scheme="SLPMT", num_clients=3,
+        requests_per_client=15, value_bytes=32, seed=23,
+    )
+
+    def test_bit_identical_with_telemetry_and_tracer(self):
+        bare = run_service(ServiceConfig(**self.KW))
+        telemetry = TelemetryWindows()
+        observed = run_service(
+            ServiceConfig(**self.KW),
+            telemetry=telemetry,
+            request_tracer=Tracer(),
+        )
+        assert bare.cycles == observed.cycles
+        assert bare.stats.as_dict() == observed.stats.as_dict()
+        assert bare.pm_bytes == observed.pm_bytes
+        # And the registry actually saw the run.
+        assert telemetry.total("acked") == observed.acked
+
+    def test_telemetry_accounts_every_request(self):
+        telemetry = TelemetryWindows()
+        res = run_service(ServiceConfig(**self.KW), telemetry=telemetry)
+        assert telemetry.total("acked") == res.acked
+        assert telemetry.total("shed") == res.shed
+        assert telemetry.total("batches") == res.batches
+        assert telemetry.merged_hist("latency").count == res.acked

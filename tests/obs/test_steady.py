@@ -1,0 +1,122 @@
+"""Steady-state detection, warm-up trimming, knees, curve tables."""
+
+import pytest
+
+from repro.obs.steady import (
+    curve_table,
+    knee_index,
+    steady_summary,
+    steady_window_range,
+)
+from repro.obs.telemetry import TelemetryWindows
+
+
+class TestSteadyWindowRange:
+    def test_trims_warmup(self):
+        # Ramp-up then flat: detection should skip the ramp.
+        values = [1, 5, 20, 21, 19, 20, 22, 0]
+        assert steady_window_range(values) == (2, 7)
+
+    def test_flat_series_is_steady_from_zero(self):
+        assert steady_window_range([10, 10, 10, 10, 0]) == (0, 4)
+
+    def test_never_settles_returns_none(self):
+        assert steady_window_range([1, 100, 1, 100, 1, 100]) is None
+
+    def test_drop_tail_clips_the_drain(self):
+        # Last window is the post-arrival drain; it must not drag the
+        # range, and the returned end excludes it.
+        values = [20, 21, 19, 20, 3]
+        lo, hi = steady_window_range(values, drop_tail=1)
+        assert hi == 4 and lo == 0
+
+    def test_max_tail_extra_shrinks_past_a_straddled_rampdown(self):
+        # Ramp-down straddling a window boundary: two trailing low
+        # windows after drop_tail's clip.  End may shrink up to
+        # max_tail_extra further windows to find the plateau.
+        values = [20, 21, 19, 20, 9, 2]
+        assert steady_window_range(values, drop_tail=1) == (0, 4)
+        assert (
+            steady_window_range(values, drop_tail=1, max_tail_extra=0)
+            is None
+        )
+
+    def test_min_windows_floor(self):
+        assert steady_window_range([10, 10], drop_tail=0) is None
+        assert steady_window_range([10, 10, 10], drop_tail=0) == (0, 3)
+        with pytest.raises(ValueError):
+            steady_window_range([1], min_windows=0)
+
+    def test_all_zero_series_is_not_steady(self):
+        assert steady_window_range([0, 0, 0, 0, 0]) is None
+
+
+class TestSteadySummary:
+    def _telemetry(self, per_window, window_cycles=100):
+        tel = TelemetryWindows(window_cycles=window_cycles)
+        for win, n in enumerate(per_window):
+            for i in range(n):
+                cycle = win * window_cycles + (i * window_cycles) // max(1, n)
+                tel.count(cycle, "acked")
+                # Warm-up windows get 10x latency: trimming must drop it.
+                tel.record(cycle, "latency", 1000 if win < 2 else 100)
+        return tel
+
+    def test_summary_quotes_only_the_steady_range(self):
+        tel = self._telemetry([2, 8, 20, 21, 19, 20, 3])
+        s = steady_summary(tel)
+        assert s["steady"] is True
+        assert s["window_lo"] == 2
+        assert s["warmup_trimmed"] == 2
+        # The warm-up's 1000-cycle latencies are gone from the quantiles.
+        assert s["latency"]["max"] == 100
+        assert s["throughput_kcyc"] == pytest.approx(200.0)
+
+    def test_unsettled_run_falls_back_to_full_range_and_says_so(self):
+        tel = self._telemetry([1, 40, 1, 40, 1, 40, 1, 40])
+        s = steady_summary(tel)
+        assert s["steady"] is False
+        assert (s["window_lo"], s["window_hi"]) == (0, 8)
+
+
+class TestKnee:
+    def test_knee_at_the_saturation_point(self):
+        throughputs = [10, 19, 26, 27, 27]
+        latencies = [5, 6, 8, 40, 200]
+        assert knee_index(throughputs, latencies) == 2
+
+    def test_tie_breaks_toward_lower_load(self):
+        assert knee_index([10, 10, 10], [5, 5, 5]) == 0
+
+    def test_single_point_and_validation(self):
+        assert knee_index([5], [9]) == 0
+        with pytest.raises(ValueError):
+            knee_index([], [])
+        with pytest.raises(ValueError):
+            knee_index([1, 2], [1])
+
+
+class TestCurveTable:
+    def test_blocks_per_scheme_and_gnuplot_header(self):
+        rows = [
+            {"scheme": "FG", "arrival_cycles": 4000, "offered_kcyc": 1.0,
+             "throughput_kcyc": 0.9, "p50": 10, "p95": 20, "p99": 30,
+             "window_lo": 1, "window_hi": 9, "steady": True, "knee": False},
+            {"scheme": "FG", "arrival_cycles": 2000, "offered_kcyc": 2.0,
+             "throughput_kcyc": 1.1, "p50": 12, "p95": 25, "p99": 40,
+             "window_lo": 0, "window_hi": 8, "steady": True, "knee": True},
+            {"scheme": "SLPMT", "arrival_cycles": 4000, "offered_kcyc": 1.0,
+             "throughput_kcyc": 1.3, "p50": 8, "p95": 15, "p99": 22,
+             "window_lo": 2, "window_hi": 10, "steady": False, "knee": True},
+        ]
+        text = curve_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("# scheme")
+        # One blank separator line between the FG and SLPMT blocks.
+        assert lines[3] == ""
+        fg_knee = lines[2].split("\t")
+        assert fg_knee[0] == "FG"
+        assert fg_knee[-1] == "1"  # knee flag
+        slpmt = lines[4].split("\t")
+        assert slpmt[-2] == "0"  # steady=False renders as 0
+        assert text.endswith("\n")
