@@ -12,6 +12,8 @@ Usage::
     python -m repro obs stats --scheme SLPMT     # cycle attribution dump
     python -m repro obs trace --out trace.json   # Perfetto trace export
     python -m repro bench --check                # perf-regression gate
+    python -m repro model fit                    # fit the cost model
+    python -m repro bench --model                # predict + spot-check
 """
 
 from __future__ import annotations
@@ -42,6 +44,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.service.cli import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "model":
+        from repro.model.cli import model_main
+
+        return model_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the SLPMT paper's evaluation figures.",

@@ -46,6 +46,7 @@ from typing import (
     List,
     Optional,
     Protocol,
+    Sequence,
     Set,
     Tuple,
 )
@@ -323,6 +324,156 @@ class Machine:
         if log_free:
             self.stats.logfree_stores += 1
         self._do_store(addr, value, persist_flag=not lazy, log_flag=not log_free)
+
+    # --- batched execution of homogeneous op runs ---------------------
+    #
+    # A contiguous run of word stores (a value payload) or loads with one
+    # shared hint is the hottest repeated pattern the runtime issues.
+    # The batch paths below are bit-identical to the per-word loop: the
+    # first word of every cache line takes the full path (miss handling,
+    # signature probe, log-record creation), and the remaining words of
+    # the line are folded into one bulk update ONLY when no per-word
+    # event could fire between them — no deferred-lazy state to probe
+    # (``self._lazy`` empty, so signature probes and tx-id forcing are
+    # no-ops) and no log record to create (the run's log-mask bits are
+    # already covered, the line record already exists, or the store is
+    # log-free).  Under those conditions every skipped word would have
+    # been exactly ``ISSUE_CYCLES + L1 latency`` of clock, three counter
+    # bumps and a word write, in an order nothing observes — so summing
+    # them preserves the clock, the WPQ timing and every SimStats
+    # counter.  Fuzz/multicore runs install ``checkpoint``/``coherence``
+    # hooks that must see every word; they fall back to the per-word
+    # loop unchanged.
+
+    def exec_store_run(
+        self, addr: int, values: "Sequence[int]", lazy: bool, log_free: bool
+    ) -> None:
+        """Fast path of ``for i, v: exec_storeT(addr + 8*i, v, ...)``.
+
+        ``lazy``/``log_free`` are the raw storeT flags (pre scheme
+        honour), matching :meth:`exec_storeT`; both False means the run
+        is plain :meth:`exec_store` stores.
+        """
+        n = len(values)
+        storeT = lazy or log_free
+        if n < 2 or self.checkpoint is not None or self.coherence is not None:
+            if storeT:
+                for i in range(n):
+                    self.exec_storeT(addr + i * 8, values[i], lazy, log_free)
+            else:
+                for i in range(n):
+                    self.exec_store(addr + i * 8, values[i])
+            return
+        eff_lazy = lazy and self.scheme.honor_lazy
+        eff_log_free = log_free and self.scheme.honor_log_free
+        log_flag = not eff_log_free
+        word_grain = self.scheme.log_granularity != "line"
+        undo = self.scheme.logging_mode is not LoggingMode.REDO
+        stats = self.stats
+        l1 = self.l1
+        i = 0
+        while i < n:
+            a = addr + i * 8
+            # First word of the line: the full path (possible miss fill,
+            # signature probe, tx-id check, log-record creation).
+            if storeT:
+                self.exec_storeT(a, values[i], lazy, log_free)
+            else:
+                self.exec_store(a, values[i])
+            line_addr = a & _LINE_MASK
+            w0 = (a & _OFFSET_MASK) >> _WORD_SHIFT
+            seg = min(n - i, units.WORDS_PER_LINE - w0)
+            rest = seg - 1
+            if rest <= 0:
+                i += 1
+                continue
+            if self._lazy:
+                # Deferred lazy transactions outstanding: every word must
+                # probe the signatures (a hit forces persists whose WPQ
+                # cost depends on the exact clock).  Per-word path.
+                for j in range(i + 1, i + seg):
+                    aj = addr + j * 8
+                    if storeT:
+                        self.exec_storeT(aj, values[j], lazy, log_free)
+                    else:
+                        self.exec_store(aj, values[j])
+                i += seg
+                continue
+            line = l1.lookup(line_addr, touch=False)
+            in_tx = self._in_tx and line_addr >= _PM_BASE
+            if in_tx and log_flag:
+                # The tail words may only be folded when none of them
+                # would create a log record (vectorized log-bit check
+                # across the whole run instead of per-word dispatch).
+                if word_grain:
+                    seg_mask = ((1 << rest) - 1) << (w0 + 1)
+                    covered = undo and (line.log_mask & seg_mask) == seg_mask
+                else:
+                    covered = line.log_mask != 0
+                if not covered:
+                    for j in range(i + 1, i + seg):
+                        aj = addr + j * 8
+                        if storeT:
+                            self.exec_storeT(aj, values[j], lazy, log_free)
+                        else:
+                            self.exec_store(aj, values[j])
+                    i += seg
+                    continue
+            # Bulk-account the remaining words of the line: each would
+            # have been an L1 hit costing ISSUE + L1 latency with no
+            # observable event in between.
+            stats.instructions += rest
+            if storeT:
+                stats.storeTs += rest
+                if eff_log_free:
+                    stats.logfree_stores += rest
+            else:
+                stats.stores += rest
+            stats.l1_hits += rest
+            self.now += rest * (ISSUE_CYCLES + l1.latency)
+            if in_tx:
+                if self.scheme.honor_lazy:
+                    self.signatures[self._cur_txid].insert_many(
+                        line_addr, rest
+                    )
+                if not eff_lazy:
+                    line.persist = True
+                line.tx_id = self._cur_txid
+            line.words[w0 + 1 : w0 + seg] = values[i + 1 : i + seg]
+            line.dirty = True
+            line.state = Mesi.MODIFIED
+            i += seg
+
+    def exec_load_run(self, addr: int, count: int) -> "List[int]":
+        """Fast path of ``[exec_load(addr + 8*i) for i in range(count)]``."""
+        if count < 2 or self.checkpoint is not None or self.coherence is not None:
+            return [self.exec_load(addr + i * 8) for i in range(count)]
+        stats = self.stats
+        l1 = self.l1
+        values: List[int] = []
+        i = 0
+        while i < count:
+            a = addr + i * 8
+            values.append(self.exec_load(a))
+            line_addr = a & _LINE_MASK
+            w0 = (a & _OFFSET_MASK) >> _WORD_SHIFT
+            seg = min(count - i, units.WORDS_PER_LINE - w0)
+            rest = seg - 1
+            if rest <= 0 or self._lazy:
+                # Outstanding deferred-lazy state: a tagged line would
+                # force persists mid-run, so keep the per-word path.
+                i += 1
+                continue
+            line = l1.lookup(line_addr, touch=False)
+            stats.instructions += rest
+            stats.loads += rest
+            stats.l1_hits += rest
+            self.now += rest * (ISSUE_CYCLES + l1.latency)
+            if line_addr >= _PM_BASE and self._in_tx and self.scheme.honor_lazy:
+                self.signatures[self._cur_txid].insert_many(line_addr, rest)
+            values.extend(line.words[w0 + 1 : w0 + seg])
+            i += seg
+        return values
 
     # --- direct (non-simulated) access for setup and validation ---------
 

@@ -144,6 +144,12 @@ def run_contention(
     retried transaction — and is normalised before the replay loop, so
     the alias never fans out into per-transaction warnings.
 
+    Removal schedule: ``max_retries`` is kept for the remainder of the
+    1.x artifact series and will be dropped together with the next
+    schema-breaking release (schema_version 2), at which point passing
+    it becomes a :class:`TypeError`.  The warning text names
+    ``max_attempts`` so call sites can be migrated mechanically.
+
     The whole run — streams, interleaving, conflicts, aborts, backoff —
     is a pure function of ``(workload, scheme, cores, theta, seed)``
     plus the size knobs, so cells computed in different processes (or on
@@ -162,7 +168,8 @@ def run_contention(
     if max_retries is not None:
         warnings.warn(
             "run_contention(max_retries=...) is deprecated; it counts "
-            "total attempts — pass max_attempts instead",
+            "total attempts — pass max_attempts instead "
+            "(max_retries will be removed with schema_version 2)",
             DeprecationWarning,
             stacklevel=2,
         )

@@ -42,6 +42,7 @@ class SetAssocCache:
         "num_sets",
         "_index_mask",
         "_sets",
+        "_set_memo",
     )
 
     def __init__(self, name: str, config: CacheConfig) -> None:
@@ -57,6 +58,11 @@ class SetAssocCache:
         self._sets: List["OrderedDict[int, CacheLine]"] = [
             OrderedDict() for _ in range(num_sets)
         ]
+        # line_addr -> set memo: the address→set mapping is a pure static
+        # function of the geometry, so it is computed once per distinct
+        # line address and never invalidated (clear() drops lines, not
+        # sets).  Bounded by the distinct working-set line count.
+        self._set_memo: "dict[int, OrderedDict[int, CacheLine]]" = {}
 
     # --- geometry -----------------------------------------------------
 
@@ -66,7 +72,11 @@ class SetAssocCache:
         return (line_addr >> _LINE_SHIFT) % self.num_sets
 
     def _set_for(self, line_addr: int) -> "OrderedDict[int, CacheLine]":
-        return self._sets[self.set_index(line_addr)]
+        cache_set = self._set_memo.get(line_addr)
+        if cache_set is None:
+            cache_set = self._sets[self.set_index(line_addr)]
+            self._set_memo[line_addr] = cache_set
+        return cache_set
 
     # --- lookup ---------------------------------------------------------
 
@@ -76,11 +86,16 @@ class SetAssocCache:
         ``touch=True`` promotes the line to MRU (the normal access path);
         metadata-only scans pass ``touch=False`` to avoid perturbing LRU.
         """
-        mask = self._index_mask
-        if mask is not None:
-            cache_set = self._sets[(line_addr >> _LINE_SHIFT) & mask]
-        else:
-            cache_set = self._sets[(line_addr >> _LINE_SHIFT) % self.num_sets]
+        cache_set = self._set_memo.get(line_addr)
+        if cache_set is None:
+            mask = self._index_mask
+            if mask is not None:
+                cache_set = self._sets[(line_addr >> _LINE_SHIFT) & mask]
+            else:
+                cache_set = self._sets[
+                    (line_addr >> _LINE_SHIFT) % self.num_sets
+                ]
+            self._set_memo[line_addr] = cache_set
         line = cache_set.get(line_addr)
         if line is not None and touch:
             cache_set.move_to_end(line_addr)

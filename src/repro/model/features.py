@@ -1,0 +1,158 @@
+"""Per-cell predictor vectors from workload statics (DESIGN.md §13).
+
+A feature vector is derived *without running the simulator*: only from
+the cell's knobs (op count, value size) and cheap static properties of
+the workload (its op mix, key-population skew, per-op structural
+overhead).  The bench grid's ycsb-load streams are pure unique-key
+insert mixes, so the statics are exact; mixed/zipfian workloads carry
+their mix and skew mass in the statics block for future feature terms.
+
+The fitter learns one coefficient per feature per phase per
+(workload, scheme) pair, so scheme- and structure-specific constants
+(log records per op, rotations per insert) live in the *coefficients*;
+the features only need to span the cost surface's shape:
+
+* ``intercept``       — fixed per-run cost (setup, final commit tail);
+* ``ops``             — per-operation cost (metadata writes, commits);
+* ``ops_value_words`` — payload-proportional cost (value stores, their
+  log records and drains);
+* ``ops_log_ops``     — depth-proportional cost for tree/heap
+  structures (``ops × bit_length(ops)``; integer log2 keeps the
+  feature platform-deterministic — no libm);
+* ``resize_moves`` / ``resize_moves_value_words`` — the hash table's
+  migration step function: entries copied by every resize the insert
+  count triggers (load factor 3, bucket doubling — exactly derivable
+  from the documented growth policy, zero for non-resizing
+  structures).  Migration re-copies payloads, hence the ``× words``
+  companion term.
+
+Expected log-record counts are linear combinations of these same terms
+(records/op is structure- and scheme-constant on this grid), so they
+are reported as statics rather than fitted as a collinear column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.common import units
+
+#: Feature names, in coefficient order.  The artifact stores this tuple;
+#: a model fitted against a different feature set refuses to load.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "intercept",
+    "ops",
+    "ops_value_words",
+    "ops_log_ops",
+    "resize_moves",
+    "resize_moves_value_words",
+)
+
+#: The hash table's growth policy (repro.workloads.hashtable): resize
+#: when ``count + 1 > MAX_LOAD * num_buckets``, doubling the buckets.
+_HT_INITIAL_BUCKETS = 16
+_HT_MAX_LOAD = 3
+
+
+def resize_moves(workload: str, num_ops: int) -> int:
+    """Entries migrated by all resizes a load of *num_ops* unique-key
+    inserts triggers — an exact static of the growth policy."""
+    if workload != "hashtable":
+        return 0
+    moves = 0
+    buckets = _HT_INITIAL_BUCKETS
+    count = 0
+    while count < num_ops:
+        threshold = _HT_MAX_LOAD * buckets
+        if num_ops <= threshold:
+            break
+        # The insert taking count past the threshold migrates every
+        # existing entry into the doubled table.
+        moves += threshold
+        count = threshold
+        buckets *= 2
+    return moves
+
+#: Static per-op metadata-write estimates (words per insert beyond the
+#: value payload), used for the expected-log-record static.  These are
+#: documentation-grade statics — the fitted coefficients never depend
+#: on them.
+_METADATA_WORDS_PER_OP: Dict[str, int] = {
+    "hashtable": 4,
+    "rbtree": 10,
+    "heap": 6,
+    "avl": 10,
+    "dlist": 4,
+    "inplace": 2,
+    "kv-btree": 12,
+    "kv-ctree": 8,
+    "kv-rtree": 8,
+}
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One predictable grid cell: (workload, scheme, size knobs)."""
+
+    workload: str
+    scheme: str
+    num_ops: int
+    value_bytes: int
+
+    @property
+    def key(self) -> str:
+        return (
+            f"{self.workload}/{self.scheme}/"
+            f"ops{self.num_ops}/vb{self.value_bytes}"
+        )
+
+    @property
+    def pair(self) -> str:
+        """The (workload, scheme) model key."""
+        return f"{self.workload}/{self.scheme}"
+
+
+def value_words(value_bytes: int) -> int:
+    """Payload words per value (ceil division, min 1 — matches
+    :class:`repro.workloads.base.Workload`)."""
+    return max(1, (value_bytes + units.WORD_BYTES - 1) // units.WORD_BYTES)
+
+
+def feature_vector(spec: CellSpec) -> List[float]:
+    """The predictor vector for *spec*, in :data:`FEATURE_NAMES` order.
+
+    Pure integer-derived floats: every term is exact in IEEE-754 for
+    any realistic grid, so fits and predictions are bit-reproducible
+    across hosts.
+    """
+    ops = spec.num_ops
+    vw = value_words(spec.value_bytes)
+    moves = resize_moves(spec.workload, ops)
+    return [
+        1.0,
+        float(ops),
+        float(ops * vw),
+        float(ops * ops.bit_length()),
+        float(moves),
+        float(moves * vw),
+    ]
+
+
+def statics(spec: CellSpec) -> Dict[str, object]:
+    """Cheap static descriptors of the cell (documentation + future
+    feature terms); none of these require simulation."""
+    vw = value_words(spec.value_bytes)
+    meta = _METADATA_WORDS_PER_OP.get(spec.workload, 6)
+    return {
+        # The bench grid replays ycsb-load: 100% inserts over unique
+        # uniformly-drawn keys (zero repeated-key zipfian mass).
+        "op_mix": {"insert": 1.0},
+        "zipf_theta": 0.0,
+        "value_words": vw,
+        "metadata_words_per_op": meta,
+        # Upper bound on logged words if every store were logged; the
+        # scheme's honoured hints scale this down inside the fitted
+        # coefficients.
+        "est_logged_words_max": spec.num_ops * (vw + meta),
+    }

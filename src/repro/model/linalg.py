@@ -1,0 +1,139 @@
+"""Deterministic least squares, dependency-free.
+
+The fitter must produce byte-identical coefficients on every host and
+Python version, so everything here is plain IEEE-754 double arithmetic
+in a fixed evaluation order: normal equations assembled row-major,
+solved by Gaussian elimination with partial pivoting.  Columns are
+scaled to unit max-magnitude before solving (the feature magnitudes
+span ~1 to ~1e4, and squaring them in the normal matrix would otherwise
+cost precision) and unscaled afterwards — both steps exact-order
+deterministic.
+
+A tiny ridge term keeps the solve well-posed when a feature column is
+(nearly) collinear on a small training grid; it is part of the model
+definition, not a tunable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+#: Ridge regularisation applied to the scaled normal matrix diagonal.
+#: Large enough to make rank-deficient grids solvable, small enough to
+#: leave well-posed fits unchanged to far beyond artifact precision.
+RIDGE = 1e-9
+
+
+class SingularMatrixError(ValueError):
+    """The normal matrix could not be solved (degenerate training grid)."""
+
+
+def solve(matrix: List[List[float]], rhs: List[float]) -> List[float]:
+    """Solve ``matrix @ x = rhs`` by Gaussian elimination.
+
+    Partial pivoting with a deterministic tie-break (lowest row index
+    wins) so the arithmetic order — hence every result bit — is a pure
+    function of the inputs.  Mutates its arguments; callers pass copies.
+    """
+    n = len(matrix)
+    for col in range(n):
+        pivot_row = col
+        pivot_mag = abs(matrix[col][col])
+        for row in range(col + 1, n):
+            mag = abs(matrix[row][col])
+            if mag > pivot_mag:
+                pivot_mag = mag
+                pivot_row = row
+        if pivot_mag == 0.0:
+            raise SingularMatrixError(
+                f"singular normal matrix (pivot column {col})"
+            )
+        if pivot_row != col:
+            matrix[col], matrix[pivot_row] = matrix[pivot_row], matrix[col]
+            rhs[col], rhs[pivot_row] = rhs[pivot_row], rhs[col]
+        pivot = matrix[col][col]
+        for row in range(col + 1, n):
+            factor = matrix[row][col] / pivot
+            if factor == 0.0:
+                continue
+            row_vec = matrix[row]
+            col_vec = matrix[col]
+            for k in range(col, n):
+                row_vec[k] -= factor * col_vec[k]
+            rhs[row] -= factor * rhs[col]
+    x = [0.0] * n
+    for row in range(n - 1, -1, -1):
+        acc = rhs[row]
+        row_vec = matrix[row]
+        for k in range(row + 1, n):
+            acc -= row_vec[k] * x[k]
+        x[row] = acc / row_vec[row]
+    return x
+
+
+def lstsq(
+    rows: Sequence[Sequence[float]], targets: Sequence[float]
+) -> List[float]:
+    """Least-squares fit of ``rows @ beta ≈ targets``.
+
+    Returns the coefficient vector.  Deterministic: same inputs, same
+    bits, on every platform.
+    """
+    if not rows:
+        raise ValueError("empty training set")
+    n_features = len(rows[0])
+    if len(targets) != len(rows):
+        raise ValueError("rows/targets length mismatch")
+    if len(rows) < n_features:
+        raise ValueError(
+            f"underdetermined fit: {len(rows)} observations for "
+            f"{n_features} features"
+        )
+    # Column scaling to unit max magnitude (exactly invertible order).
+    scales = [0.0] * n_features
+    for row in rows:
+        for j in range(n_features):
+            mag = abs(row[j])
+            if mag > scales[j]:
+                scales[j] = mag
+    scales = [s if s > 0.0 else 1.0 for s in scales]
+    # Normal equations on the scaled columns.
+    ata = [[0.0] * n_features for _ in range(n_features)]
+    atb = [0.0] * n_features
+    for row, y in zip(rows, targets):
+        scaled = [row[j] / scales[j] for j in range(n_features)]
+        for j in range(n_features):
+            sj = scaled[j]
+            if sj == 0.0:
+                continue
+            row_j = ata[j]
+            for k in range(n_features):
+                row_j[k] += sj * scaled[k]
+            atb[j] += sj * y
+    for j in range(n_features):
+        ata[j][j] += RIDGE
+    beta_scaled = solve(ata, atb)
+    return [beta_scaled[j] / scales[j] for j in range(n_features)]
+
+
+def predict_row(coefficients: Sequence[float], row: Sequence[float]) -> float:
+    """Dot product in fixed order (the single prediction primitive)."""
+    acc = 0.0
+    for c, f in zip(coefficients, row):
+        acc += c * f
+    return acc
+
+
+def rms_residual(
+    coefficients: Sequence[float],
+    rows: Sequence[Sequence[float]],
+    targets: Sequence[float],
+) -> float:
+    """Root-mean-square residual of the fit over *rows*."""
+    if not rows:
+        return 0.0
+    total = 0.0
+    for row, y in zip(rows, targets):
+        err = predict_row(coefficients, row) - y
+        total += err * err
+    return (total / len(rows)) ** 0.5

@@ -281,6 +281,12 @@ def run_atomically(
     :class:`DeprecationWarning` (once per call site, via the standard
     warnings de-duplication).
 
+    Removal schedule: the alias is kept for the remainder of the 1.x
+    artifact series and will be dropped together with the next
+    schema-breaking release (schema_version 2), at which point passing
+    it becomes a :class:`TypeError`.  The warning text names
+    ``max_attempts`` so call sites can be migrated mechanically.
+
     Returns the number of aborted attempts before the commit.  Raises
     :class:`RetryExhausted` (a :class:`TransactionError` subtype, so
     legacy handlers keep working) when the attempt budget is exhausted.
@@ -291,7 +297,8 @@ def run_atomically(
         if max_retries is not None:
             warnings.warn(
                 "run_atomically(max_retries=...) is deprecated; it counts "
-                "total attempts — pass max_attempts instead",
+                "total attempts — pass max_attempts instead "
+                "(max_retries will be removed with schema_version 2)",
                 DeprecationWarning,
                 stacklevel=2,
             )

@@ -18,7 +18,6 @@ explicitly re-baselined in the same PR that caused it.
 
 from __future__ import annotations
 
-import copy
 import json
 import time
 from dataclasses import dataclass
@@ -70,6 +69,7 @@ def run_bench(
     value_bytes: int = DEFAULT_VALUE_BYTES,
     seed: int = DEFAULT_SEED,
     jobs: int = 1,
+    best_of: int = 1,
     progress: "Optional[engine.ProgressFn]" = None,
 ) -> Dict[str, Any]:
     """Run the sweep and build the artifact document.
@@ -80,6 +80,13 @@ def run_bench(
     the merge preserves cell order.  Host timing (per-cell ``host_ms``
     and the top-level ``host`` block) is wall-clock and explicitly
     outside the ``--check`` gate.
+
+    *best_of* > 1 repeats the identical sweep and reports the minimum
+    wall-clock (all reps by construction produce the same simulated
+    numbers; the first rep's are kept).  The in-process run memo is
+    cleared before every rep so serial timings measure real simulation
+    work, not cache hits — this is the measurement mode the CI perf job
+    uses to track the hot-path trajectory.
     """
     keys = [f"{w}/{s}" for w in workloads for s in schemes]
     descriptors = [
@@ -93,15 +100,26 @@ def run_bench(
         for w in workloads
         for s in schemes
     ]
-    t0 = time.perf_counter()
-    results = engine.run_tasks(
-        partasks.bench_cell,
-        descriptors,
-        jobs=jobs,
-        labels=keys,
-        progress=progress,
-    )
-    host_seconds = time.perf_counter() - t0
+    best_of = max(1, best_of)
+    rep_seconds: List[float] = []
+    results: "Optional[List[Any]]" = None
+    for _rep in range(best_of):
+        if best_of > 1:
+            from repro.harness.runner import _cached
+
+            _cached.cache_clear()
+        t0 = time.perf_counter()
+        rep_results = engine.run_tasks(
+            partasks.bench_cell,
+            descriptors,
+            jobs=jobs,
+            labels=keys,
+            progress=progress,
+        )
+        rep_seconds.append(time.perf_counter() - t0)
+        if results is None:
+            results = rep_results
+    host_seconds = min(rep_seconds)
     cells: Dict[str, Any] = dict(zip(keys, results))
     geomeans: Dict[str, Any] = {}
     for scheme in schemes:
@@ -134,6 +152,8 @@ def run_bench(
             if host_seconds > 0
             else 0.0,
             "jobs": jobs,
+            "best_of": best_of,
+            "rep_seconds": [round(s, 3) for s in rep_seconds],
         },
     }
 
@@ -230,19 +250,282 @@ def run_multicore_bench(
     }
 
 
+#: ``bench --model`` default prediction grid: two orders of magnitude
+#: denser than the training grid (120 op counts × 8 value sizes × the
+#: 24 workload/scheme pairs = 23 040 cells vs 504 training cells) —
+#: the campaign scale the simulator cannot sweep per push.
+MODEL_OPS_GRID = tuple(range(25, 3001, 25))
+MODEL_VALUE_BYTES_GRID = (16, 32, 64, 128, 256, 512, 1024, 2048)
+#: Simulator spot-checks per ``bench --model`` run (seeded sample of
+#: interpolation cells, each gated against ``--max-error``).
+DEFAULT_SPOT_CHECKS = 6
+#: Spot-checked cells stay at or below this op count so the audit costs
+#: seconds, not the campaign the model exists to avoid.
+SPOT_CHECK_OPS_CAP = 600
+
+MODEL_BENCH_KIND = "model-bench"
+
+
+def run_model_bench(
+    *,
+    name: str = "model",
+    model_path: "Optional[str]" = None,
+    workloads: "Sequence[str]" = KERNELS,
+    schemes: "Sequence[str]" = BENCH_SCHEMES,
+    ops_grid: "Sequence[int]" = MODEL_OPS_GRID,
+    value_bytes_grid: "Sequence[int]" = MODEL_VALUE_BYTES_GRID,
+    seed: int = DEFAULT_SEED,
+    spot_checks: int = DEFAULT_SPOT_CHECKS,
+    max_error: "Optional[float]" = None,
+    jobs: int = 1,
+    progress: "Optional[engine.ProgressFn]" = None,
+) -> Dict[str, Any]:
+    """Predict a campaign-scale grid from the fitted cost model, then
+    audit a seeded sample of cells against the real simulator.
+
+    The document combines both tiers: every grid cell's predicted
+    cycles / PM bytes (cells outside the training range flagged
+    ``extrapolated``), plus ``spot_check`` — fresh simulator runs of a
+    deterministic hash-ranked sample of interpolation cells, each
+    scored by relative error and gated against *max_error*.  One
+    extrapolated cell is probed informationally (reported, never
+    gated).  ``doc["spot_check"]["ok"]`` is the verdict.
+
+    Everything except ``host`` is deterministic in (model artifact,
+    grid, seed): prediction is fixed-order arithmetic and the sample is
+    hash-ranked, so serial and ``--jobs N`` documents are byte-identical
+    modulo :func:`strip_host`.
+    """
+    from repro.model.features import CellSpec
+    from repro.model.fit import (
+        DEFAULT_MAX_ERROR,
+        DEFAULT_MODEL_PATH,
+        _mix64,
+        geomean_error,
+    )
+    from repro.model.predict import load_model
+
+    model_path = model_path or DEFAULT_MODEL_PATH
+    max_error = DEFAULT_MAX_ERROR if max_error is None else max_error
+    model = load_model(model_path)
+
+    t0 = time.perf_counter()
+    specs = [
+        CellSpec(w, s, ops, vb)
+        for w in workloads
+        for s in schemes
+        for ops in ops_grid
+        for vb in value_bytes_grid
+    ]
+    cells: Dict[str, Any] = {}
+    scheme_cycles: Dict[str, List[float]] = {s: [] for s in schemes}
+    scheme_pm: Dict[str, List[float]] = {s: [] for s in schemes}
+    extrapolated_count = 0
+    for spec in specs:
+        predicted = model.predict_cell(spec)
+        cells[spec.key] = {
+            "cycles": round(predicted["cycles"], 3),
+            "pm_bytes": round(predicted["pm_bytes"], 3),
+            "extrapolated": predicted["extrapolated"],
+        }
+        extrapolated_count += predicted["extrapolated"]
+        scheme_cycles[spec.scheme].append(predicted["cycles"])
+        scheme_pm[spec.scheme].append(predicted["pm_bytes"])
+    model_seconds = time.perf_counter() - t0
+    # Deep-extrapolation cells can clamp every phase to zero; keep the
+    # per-scheme geomean defined by aggregating positive predictions
+    # only (the count of excluded cells is visible via the cells block).
+    geomeans = {
+        scheme: {
+            "cycles": round(
+                geomean(v for v in scheme_cycles[scheme] if v > 0), 1
+            ),
+            "pm_bytes": round(
+                geomean(v for v in scheme_pm[scheme] if v > 0), 1
+            ),
+        }
+        for scheme in schemes
+    }
+
+    # Seeded hash-ranked spot-check sample: interpolation cells only
+    # (the model is contractually accurate there), capped in op count,
+    # ordering independent of dict/iteration order.
+    interior = [
+        spec
+        for spec in specs
+        if not cells[spec.key]["extrapolated"]
+        and spec.num_ops <= SPOT_CHECK_OPS_CAP
+    ]
+    interior.sort(key=lambda spec: spec.key)
+    ranked = sorted(
+        (_mix64(index + 1, seed), spec) for index, spec in enumerate(interior)
+    )
+    picks = [spec for _, spec in ranked[: max(0, spot_checks)]]
+    exterior = [
+        spec
+        for spec in specs
+        if cells[spec.key]["extrapolated"] and spec.num_ops <= SPOT_CHECK_OPS_CAP
+    ]
+    exterior.sort(key=lambda spec: spec.key)
+    probe = None
+    if exterior:
+        probe = min(
+            (_mix64(index + 1, seed), spec)
+            for index, spec in enumerate(exterior)
+        )[1]
+
+    audit_specs = picks + ([probe] if probe is not None else [])
+    t1 = time.perf_counter()
+    simulated = engine.run_tasks(
+        partasks.model_train_cell,
+        [
+            {
+                "workload": spec.workload,
+                "scheme": spec.scheme,
+                "num_ops": spec.num_ops,
+                "value_bytes": spec.value_bytes,
+                "seed": seed,
+            }
+            for spec in audit_specs
+        ],
+        jobs=jobs,
+        labels=[spec.key for spec in audit_specs],
+        progress=progress,
+    )
+    spot_seconds = time.perf_counter() - t1
+
+    spot_cells: Dict[str, Any] = {}
+    errors: List[float] = []
+    for spec, sim in zip(picks, simulated):
+        actual = sim["cycles"]
+        predicted = cells[spec.key]["cycles"]
+        rel = abs(predicted - actual) / actual if actual else 0.0
+        spot_cells[spec.key] = {
+            "actual_cycles": actual,
+            "predicted_cycles": predicted,
+            "rel_error": round(rel, 6),
+        }
+        errors.append(rel)
+    spot_check: Dict[str, Any] = {
+        "cells": spot_cells,
+        "geomean_rel_error": round(geomean_error(errors), 6),
+        "max_rel_error": round(max(errors), 6) if errors else 0.0,
+        "max_error": max_error,
+        "ok": (max(errors) if errors else 0.0) <= max_error,
+    }
+    if probe is not None:
+        sim = simulated[-1]
+        actual = sim["cycles"]
+        predicted = cells[probe.key]["cycles"]
+        spot_check["extrapolated_probe"] = {
+            "cell": probe.key,
+            "actual_cycles": actual,
+            "predicted_cycles": predicted,
+            "rel_error": round(
+                abs(predicted - actual) / actual if actual else 0.0, 6
+            ),
+        }
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": MODEL_BENCH_KIND,
+        "name": name,
+        "params": {
+            "workloads": list(workloads),
+            "schemes": list(schemes),
+            "ops_grid": list(ops_grid),
+            "value_bytes_grid": list(value_bytes_grid),
+            "seed": seed,
+            "spot_checks": spot_checks,
+            "max_error": max_error,
+            "model_path": model_path,
+        },
+        # Provenance of the predictions: the artifact's own fit params
+        # and held-out score (deterministic — included in strip_host
+        # comparisons, unlike host timing).
+        "model": {
+            "params": model.doc["params"],
+            "train_range": model.doc["train_range"],
+            "holdout_geomean_rel_error": model.doc["validation"][
+                "geomean_rel_error"
+            ],
+        },
+        "cells": cells,
+        "extrapolated_cells": extrapolated_count,
+        "geomean": geomeans,
+        "spot_check": spot_check,
+        "host": {
+            "model_seconds": round(model_seconds, 3),
+            "spot_check_seconds": round(spot_seconds, 3),
+            "cells_per_sec": round(len(specs) / model_seconds, 1)
+            if model_seconds > 0
+            else 0.0,
+            "jobs": jobs,
+        },
+    }
+
+
+def format_model_bench(doc: Dict[str, Any]) -> str:
+    """Human summary of a ``bench --model`` document."""
+    spot = doc["spot_check"]
+    lines = [
+        f"model bench: {len(doc['cells'])} cells predicted in "
+        f"{doc['host']['model_seconds']:.3f}s "
+        f"({doc['extrapolated_cells']} extrapolated, flagged)",
+    ]
+    for scheme, geo in doc["geomean"].items():
+        lines.append(
+            f"{scheme:<8} geomean cycles={geo['cycles']:>14,.0f}  "
+            f"pm_bytes={geo['pm_bytes']:>12,.0f}"
+        )
+    lines.append(
+        f"spot-check ({len(spot['cells'])} simulated cells, gate "
+        f"≤{spot['max_error'] * 100:.1f}%): "
+        + ("PASS" if spot["ok"] else "FAIL")
+    )
+    for key, cell in spot["cells"].items():
+        lines.append(
+            f"  {key:<34} rel error {cell['rel_error'] * 100:6.3f}%"
+        )
+    probe = spot.get("extrapolated_probe")
+    if probe:
+        lines.append(
+            f"  {probe['cell']:<34} rel error "
+            f"{probe['rel_error'] * 100:6.3f}% (extrapolated, not gated)"
+        )
+    return "\n".join(lines)
+
+
+#: Keys that carry host wall-clock (never simulated numbers) at any
+#: nesting depth of any artifact — bench cells (``host_ms``), bench and
+#: model-bench documents and the cost model's training cells (``host``).
+_HOST_KEYS = frozenset({"host", "host_ms"})
+
+
 def strip_host(doc: Dict[str, Any]) -> Dict[str, Any]:
-    """A deep copy of *doc* without any host-timing field.
+    """A deep copy of *doc* without any host-timing field, recursively.
 
     This is the comparison form for every determinism / equivalence
     check: two runs of the same sweep must be byte-identical *modulo*
-    wall-clock, which lives only in ``host`` and per-cell ``host_ms``.
+    wall-clock.  Host timing lives only under the :data:`_HOST_KEYS`
+    names, at any depth — top-level ``host`` blocks, per-cell
+    ``host_ms``, and the cost model's per-training-cell ``host_ms`` —
+    so one recursive sweep covers ``BENCH_*.json``,
+    ``cost_model.json`` and ``bench --model`` documents alike.
     """
-    out = copy.deepcopy(doc)
-    out.pop("host", None)
-    for cell in out.get("cells", {}).values():
-        if isinstance(cell, dict):
-            cell.pop("host_ms", None)
-    return out
+
+    def _strip(node: Any) -> Any:
+        if isinstance(node, dict):
+            return {
+                key: _strip(value)
+                for key, value in node.items()
+                if key not in _HOST_KEYS
+            }
+        if isinstance(node, list):
+            return [_strip(value) for value in node]
+        return node
+
+    return _strip(doc)
 
 
 def write_bench(path: str, doc: Dict[str, Any]) -> None:

@@ -333,12 +333,94 @@ def _diff_keys(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
     return [k for k in sorted(set(fa) | set(fb)) if fa.get(k) != fb.get(k)]
 
 
+def _model_equivalence(jobs: int) -> int:
+    """``obs equivalence --model``: serial vs ``--jobs N`` byte-identity
+    of the model pipeline.
+
+    Fits a reduced training grid twice (serial, parallel) and predicts
+    + spot-checks a reduced ``bench --model`` grid twice; both document
+    pairs must agree exactly after :func:`~repro.obs.bench.strip_host`
+    (which removes host timing and the per-training-cell ``host_ms``
+    fit metadata — every simulated observation, coefficient, residual
+    and prediction is compared).  Also proves the checked-in artifact
+    still matches this build's phase/feature schema.
+    """
+    from repro.model.fit import DEFAULT_MODEL_PATH, fit_model
+    from repro.model.predict import ModelSchemaError, load_model
+
+    failures = 0
+    grid = dict(
+        workloads=("hashtable", "rbtree"),
+        schemes=("FG", "SLPMT"),
+        ops_grid=(40, 80, 120, 160),
+        value_bytes_grid=(64, 128),
+    )
+    serial_fit = bench_mod.strip_host(fit_model(jobs=1, **grid))
+    parallel_fit = bench_mod.strip_host(
+        fit_model(jobs=jobs, progress=_progress, **grid)
+    )
+    if serial_fit != parallel_fit:
+        for key in _diff_keys(serial_fit, parallel_fit)[:20]:
+            print(
+                f"EQUIVALENCE VIOLATION model fit serial vs --jobs {jobs}: "
+                f"{key}",
+                file=sys.stderr,
+            )
+        failures += 1
+    else:
+        print(
+            f"equivalence: model fit --jobs {jobs} byte-identical to "
+            f"serial ({len(serial_fit['training_cells'])} training cells, "
+            "modulo host timing)"
+        )
+    try:
+        load_model(DEFAULT_MODEL_PATH)
+    except FileNotFoundError:
+        print(f"equivalence: no {DEFAULT_MODEL_PATH} checked in, skipping")
+        return 1 if failures else 0
+    except ModelSchemaError as exc:
+        print(
+            f"EQUIVALENCE VIOLATION {DEFAULT_MODEL_PATH}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    bench_grid = dict(
+        ops_grid=tuple(range(50, 301, 50)),
+        value_bytes_grid=(64, 128, 256),
+        spot_checks=3,
+    )
+    serial_bench = bench_mod.strip_host(
+        bench_mod.run_model_bench(jobs=1, **bench_grid)
+    )
+    parallel_bench = bench_mod.strip_host(
+        bench_mod.run_model_bench(jobs=jobs, progress=_progress, **bench_grid)
+    )
+    if serial_bench != parallel_bench:
+        for key in _diff_keys(serial_bench, parallel_bench)[:20]:
+            print(
+                "EQUIVALENCE VIOLATION bench --model serial vs "
+                f"--jobs {jobs}: {key}",
+                file=sys.stderr,
+            )
+        failures += 1
+    else:
+        print(
+            f"equivalence: bench --model --jobs {jobs} byte-identical to "
+            f"serial ({len(serial_bench['cells'])} predicted cells, "
+            f"{len(serial_bench['spot_check']['cells'])} spot-checks, "
+            "modulo host timing)"
+        )
+    return 1 if failures else 0
+
+
 def _cmd_equivalence(args: argparse.Namespace) -> int:
     """The parallel==serial gate: a ``--jobs N`` sweep must be
     byte-identical to the serial sweep (modulo host timing), and both
     must be bit-identical to the checked-in baseline's simulated
     numbers."""
     jobs = max(2, resolve_jobs(args.jobs))
+    if args.model:
+        return _model_equivalence(jobs)
     if args.service:
         from repro.service import bench as svc_bench
 
@@ -525,6 +607,12 @@ def obs_main(argv: "List[str] | None" = None) -> int:
         help="check the cross-shard 2PC sweep against "
         "BENCH_twopc.json instead",
     )
+    p_equiv.add_argument(
+        "--model", action="store_true",
+        help="check the cost-model pipeline instead: reduced-grid fit "
+        "and bench --model documents must be byte-identical between "
+        "serial and --jobs N (modulo host timing)",
+    )
     p_equiv.set_defaults(func=_cmd_equivalence)
 
     args = parser.parse_args(argv)
@@ -597,6 +685,48 @@ def _bench_curves(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_model(args: argparse.Namespace) -> int:
+    """``bench --model``: the surrogate tier.
+
+    Predicts the campaign-scale grid from the checked-in cost model (no
+    simulation), then audits a seeded sample of cells with the real
+    simulator; exit status is the spot-check verdict.
+    """
+    from repro.model.predict import ModelSchemaError
+
+    jobs = resolve_jobs(args.jobs)
+    try:
+        doc = bench_mod.run_model_bench(
+            name=args.name or "model",
+            model_path=args.model_path,
+            seed=args.seed,
+            spot_checks=args.spot_checks
+            if args.spot_checks is not None
+            else bench_mod.DEFAULT_SPOT_CHECKS,
+            max_error=args.max_error,
+            jobs=jobs,
+            progress=_progress if jobs > 1 else None,
+        )
+    except FileNotFoundError as exc:
+        print(
+            f"model bench failed: {exc} "
+            "(fit one first: python -m repro model fit)",
+            file=sys.stderr,
+        )
+        return 1
+    except ModelSchemaError as exc:
+        print(f"model bench failed: {exc}", file=sys.stderr)
+        return 1
+    except WorkerCrash as exc:
+        print(f"model bench failed: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        bench_mod.write_bench(args.out, doc)
+        print(f"wrote {args.out}")
+    print(bench_mod.format_model_bench(doc))
+    return 0 if doc["spot_check"]["ok"] else 1
+
+
 def bench_main(argv: "List[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro bench",
@@ -644,6 +774,34 @@ def bench_main(argv: "List[str] | None" = None) -> int:
         "--seed/--jobs/--check/--update",
     )
     parser.add_argument(
+        "--model", action="store_true",
+        help="predict the campaign-scale grid from the fitted cost "
+        "model (benchmarks/results/cost_model.json) and spot-check a "
+        "seeded sample against the real simulator; exits 1 if any "
+        "spot-check exceeds --max-error",
+    )
+    parser.add_argument(
+        "--model-path", default=None,
+        help="cost model artifact for --model (default "
+        "benchmarks/results/cost_model.json)",
+    )
+    parser.add_argument(
+        "--spot-checks", type=int, default=None,
+        help="simulator audit cells for --model (default "
+        f"{bench_mod.DEFAULT_SPOT_CHECKS})",
+    )
+    parser.add_argument(
+        "--max-error", type=float, default=None,
+        help="per-spot-check relative-error gate for --model "
+        "(default 0.05)",
+    )
+    parser.add_argument(
+        "--best-of", type=int, default=1,
+        help="repeat the default sweep N times and report the minimum "
+        "wall-clock (run memo cleared between reps; simulated numbers "
+        "are identical across reps)",
+    )
+    parser.add_argument(
         "--cores", type=str, default=None,
         help="comma-separated core counts for --multicore (default "
         + ",".join(str(c) for c in bench_mod.MULTICORE_CORES) + ")",
@@ -683,12 +841,29 @@ def bench_main(argv: "List[str] | None" = None) -> int:
         raise SystemExit("--cores/--thetas require --multicore")
     if args.spans and not args.twopc:
         raise SystemExit("--spans requires --twopc")
-    if sum((args.multicore, args.service, args.twopc, args.curves)) > 1:
+    if sum(
+        (args.multicore, args.service, args.twopc, args.curves, args.model)
+    ) > 1:
         raise SystemExit(
-            "--multicore/--service/--twopc/--curves are mutually exclusive"
+            "--multicore/--service/--twopc/--curves/--model are "
+            "mutually exclusive"
         )
+    if (
+        args.model_path or args.spot_checks is not None
+        or args.max_error is not None
+    ) and not args.model:
+        raise SystemExit(
+            "--model-path/--spot-checks/--max-error require --model"
+        )
+    if args.best_of > 1 and (
+        args.multicore or args.service or args.twopc or args.curves
+        or args.model
+    ):
+        raise SystemExit("--best-of only applies to the default sweep")
     if args.curves:
         return _bench_curves(args)
+    if args.model:
+        return _bench_model(args)
 
     jobs = resolve_jobs(args.jobs)
     name = args.name or (
@@ -758,6 +933,7 @@ def bench_main(argv: "List[str] | None" = None) -> int:
                 value_bytes=args.value_bytes,
                 seed=args.seed,
                 jobs=jobs,
+                best_of=args.best_of,
                 progress=_progress if jobs > 1 else None,
             )
     except WorkerCrash as exc:
@@ -796,5 +972,12 @@ def bench_main(argv: "List[str] | None" = None) -> int:
             + " ".join(
                 f"{w}={r:.2f}x" for w, r in amort["per_workload"].items()
             )
+        )
+    host = doc.get("host", {})
+    if host.get("best_of", 1) > 1:
+        reps = " ".join(f"{s:.3f}" for s in host.get("rep_seconds", []))
+        print(
+            f"wall-clock best-of-{host['best_of']}: {host['seconds']:.3f}s "
+            f"(reps: {reps})"
         )
     return 0

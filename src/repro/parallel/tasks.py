@@ -251,6 +251,45 @@ def twopc_bench_cell(
     }
 
 
+def model_train_cell(
+    *,
+    workload: str,
+    scheme: str,
+    num_ops: int,
+    value_bytes: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """One cost-model training/validation cell: a profiled simulator run.
+
+    Returns the phase buckets the fitter regresses against (they
+    exactly partition ``cycles``) plus the totals the validator gates
+    on.  Deterministic from its arguments; ``host_ms`` is the only
+    non-simulated field (stripped before byte-identity checks).
+    """
+    _poison_check(f"model/{workload}/{scheme}/ops{num_ops}/vb{value_bytes}")
+    from repro.core.schemes import scheme_by_name
+    from repro.harness.runner import run_workload
+    from repro.obs.profiler import PHASES, CycleProfiler
+
+    t0 = time.perf_counter()
+    profiler = CycleProfiler()
+    res = run_workload(
+        workload,
+        scheme_by_name(scheme),
+        num_ops=num_ops,
+        value_bytes=value_bytes,
+        seed=seed,
+        profiler=profiler,
+    )
+    host_ms = (time.perf_counter() - t0) * 1000.0
+    return {
+        "cycles": res.cycles,
+        "pm_bytes": res.pm_bytes,
+        "phases": {p: profiler.phase_cycles.get(p, 0) for p in PHASES},
+        "host_ms": round(host_ms, 3),
+    }
+
+
 def runner_cell(*, key: "Tuple") -> Any:
     """Warm one :func:`repro.harness.runner.cached_run` memo entry.
 

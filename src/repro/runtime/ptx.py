@@ -197,12 +197,17 @@ class PTx:
     def write_words(
         self, addr: int, values: Sequence[int], hint: Hint = Hint.NONE
     ) -> None:
-        """Store a contiguous run of words (e.g. a value payload)."""
-        for i, value in enumerate(values):
-            self.store(addr + i * 8, value, hint)
+        """Store a contiguous run of words (e.g. a value payload).
+
+        The whole run shares one hint, so the machine can execute it as
+        a batch (:meth:`~repro.core.machine.Machine.exec_store_run`) —
+        bit-identical to the word-by-word loop.
+        """
+        lazy, log_free = self.policy.flags(hint)
+        self.machine.exec_store_run(addr, values, lazy, log_free)
 
     def read_words(self, addr: int, count: int) -> List[int]:
-        return [self.load(addr + i * 8) for i in range(count)]
+        return self.machine.exec_load_run(addr, count)
 
     # --- struct helpers -------------------------------------------------------------
 

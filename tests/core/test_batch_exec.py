@@ -1,0 +1,185 @@
+"""Batched store/load runs must be bit-identical to the per-word loop.
+
+``exec_store_run`` / ``exec_load_run`` are pure hot-path work: same
+clock, same SimStats counters, same cache/log/signature state as
+issuing one ``exec_store``/``exec_storeT``/``exec_load`` per word — for
+every scheme, both logging disciplines, every hint combination, and
+every alignment, including runs that straddle log-coverage boundaries
+and deferred-lazy state where the batch path must bail out.
+"""
+
+import pytest
+
+from repro.common.config import DEFAULT_CONFIG
+from repro.core.machine import Machine
+from repro.core.schemes import SCHEMES, scheme_by_name
+from repro.mem import layout
+
+BASE = layout.PM_HEAP_BASE
+
+ALL_SCHEMES = sorted(SCHEMES) + ["SLPMT:redo", "FG:redo"]
+
+#: (lazy, log_free) hint grids the runtime can emit.
+HINTS = [(False, False), (True, False), (False, True), (True, True)]
+
+
+def _drive(machine, *, batched, lazy, log_free, base=BASE, offset_words=0,
+           payload_words=19, interleave_load=True):
+    """One deterministic transaction mix, word-at-a-time or batched."""
+    addr = base + offset_words * 8
+    payload = [(i * 2654435761) % (1 << 40) for i in range(payload_words)]
+
+    def store_run(a, values):
+        if batched:
+            machine.exec_store_run(a, values, lazy, log_free)
+        elif lazy or log_free:
+            for i, v in enumerate(values):
+                machine.exec_storeT(a + i * 8, v, lazy, log_free)
+        else:
+            for i, v in enumerate(values):
+                machine.exec_store(a + i * 8, v)
+
+    def load_run(a, count):
+        if batched:
+            return machine.exec_load_run(a, count)
+        return [machine.exec_load(a + i * 8) for i in range(count)]
+
+    machine.tx_begin()
+    store_run(addr, payload)
+    if interleave_load:
+        assert load_run(addr, payload_words) == payload
+    # Overwrite part of the run: log bits are now covered, so the
+    # batch path's bulk branch is reachable for word-grain undo.
+    store_run(addr + 8, payload[:7])
+    machine.tx_end()
+    # Second transaction re-touching the same lines (fresh tx id, log
+    # masks reset): exercises the not-covered -> per-word fallback.
+    machine.tx_begin()
+    store_run(addr + 16, payload[3:12])
+    assert load_run(addr, payload_words) [3:5]  # touch without asserting all
+    machine.tx_end()
+    machine.finalize()
+
+
+def _state(machine, base=BASE, words=40):
+    return (
+        machine.now,
+        machine.stats,
+        [machine.raw_read(base + i * 8) for i in range(words)],
+        [machine.durable_read(base + i * 8) for i in range(words)],
+    )
+
+
+@pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+@pytest.mark.parametrize("lazy,log_free", HINTS)
+def test_store_run_bit_identical(scheme_name, lazy, log_free):
+    scheme = scheme_by_name(scheme_name)
+    a = Machine(scheme, DEFAULT_CONFIG)
+    b = Machine(scheme, DEFAULT_CONFIG)
+    _drive(a, batched=False, lazy=lazy, log_free=log_free)
+    _drive(b, batched=True, lazy=lazy, log_free=log_free)
+    assert _state(a) == _state(b)
+
+
+@pytest.mark.parametrize("scheme_name", ["SLPMT", "FG", "SLPMT:redo"])
+@pytest.mark.parametrize("offset_words", [0, 1, 3, 7])
+def test_unaligned_runs_bit_identical(scheme_name, offset_words):
+    # Runs starting mid-line: the first-word/tail split lands at every
+    # alignment within the 8-word line.
+    scheme = scheme_by_name(scheme_name)
+    a = Machine(scheme, DEFAULT_CONFIG)
+    b = Machine(scheme, DEFAULT_CONFIG)
+    _drive(a, batched=False, lazy=True, log_free=False,
+           offset_words=offset_words)
+    _drive(b, batched=True, lazy=True, log_free=False,
+           offset_words=offset_words)
+    assert _state(a) == _state(b)
+
+
+@pytest.mark.parametrize("count", [0, 1, 2, 8, 9, 24])
+def test_run_lengths_bit_identical(count):
+    scheme = scheme_by_name("SLPMT")
+    a = Machine(scheme, DEFAULT_CONFIG)
+    b = Machine(scheme, DEFAULT_CONFIG)
+    payload = list(range(1, count + 1))
+    for machine, batched in ((a, False), (b, True)):
+        machine.tx_begin()
+        if batched:
+            machine.exec_store_run(BASE, payload, False, False)
+            got = machine.exec_load_run(BASE, count)
+        else:
+            for i, v in enumerate(payload):
+                machine.exec_store(BASE + i * 8, v)
+            got = [machine.exec_load(BASE + i * 8) for i in range(count)]
+        assert got == payload
+        machine.tx_end()
+        machine.finalize()
+    assert _state(a) == _state(b)
+
+
+def test_deferred_lazy_state_forces_per_word_path():
+    # A committed lazy transaction leaves deferred-lazy state behind;
+    # a later run over the same lines must probe signatures per word.
+    # Bit-identity must hold through that fallback.
+    scheme = scheme_by_name("SLPMT")
+    machines = [Machine(scheme, DEFAULT_CONFIG) for _ in range(2)]
+    for machine, batched in zip(machines, (False, True)):
+        machine.tx_begin()
+        values = list(range(10, 26))
+        if batched:
+            machine.exec_store_run(BASE, values, True, False)
+        else:
+            for i, v in enumerate(values):
+                machine.exec_storeT(BASE + i * 8, v, True, False)
+        machine.tx_end()
+        assert machine._lazy  # deferred-lazy state is live
+        machine.tx_begin()
+        more = list(range(50, 62))
+        if batched:
+            machine.exec_store_run(BASE + 8, more, False, False)
+        else:
+            for i, v in enumerate(more):
+                machine.exec_store(BASE + 8 + i * 8, v)
+        machine.tx_end()
+        machine.finalize()
+    assert _state(machines[0]) == _state(machines[1])
+
+
+def test_checkpoint_hook_sees_every_word():
+    # Fuzz crash hooks count per-word callbacks; the batch API must
+    # fall back so the hook fires once per word, exactly as before.
+    scheme = scheme_by_name("SLPMT")
+    machine = Machine(scheme, DEFAULT_CONFIG)
+    calls = []
+    machine.checkpoint = lambda: calls.append(machine.now)
+    machine.tx_begin()
+    machine.exec_store_run(BASE, [1, 2, 3, 4, 5], False, False)
+    machine.exec_load_run(BASE, 5)
+    machine.tx_end()
+    assert len(calls) == 10  # 5 stores + 5 loads, one checkpoint each
+
+
+def test_store_run_outside_transaction():
+    # DRAM / non-transactional runs take the in_tx=False branch.
+    scheme = scheme_by_name("SLPMT")
+    a = Machine(scheme, DEFAULT_CONFIG)
+    b = Machine(scheme, DEFAULT_CONFIG)
+    values = list(range(7, 27))
+    for i, v in enumerate(values):
+        a.exec_store(BASE + i * 8, v)
+    b.exec_store_run(BASE, values, False, False)
+    assert [a.raw_read(BASE + i * 8) for i in range(20)] == values
+    assert _state(a) == _state(b)
+
+
+def test_insert_many_matches_repeated_inserts():
+    from repro.core.signatures import BloomSignature
+
+    one = BloomSignature(DEFAULT_CONFIG.signature)
+    many = BloomSignature(DEFAULT_CONFIG.signature)
+    for _ in range(5):
+        one.insert(BASE)
+    many.insert_many(BASE, 5)
+    assert one._bits == many._bits
+    assert one._count == many._count
+    assert one.maybe_contains(BASE) and many.maybe_contains(BASE)

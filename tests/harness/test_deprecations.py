@@ -27,6 +27,21 @@ class TestRunAtomicallyAlias:
         with pytest.warns(DeprecationWarning, match="max_retries"):
             run_atomically(rt, body, max_retries=8)
 
+    def test_warning_names_the_replacement(self):
+        # The migration path must be in the message itself: the text
+        # names max_attempts and the removal milestone.
+        system, counter = counter_system()
+        rt = system.runtimes[0]
+
+        def body():
+            rt.store(counter, rt.load(counter) + 1)
+
+        with pytest.warns(DeprecationWarning) as caught:
+            run_atomically(rt, body, max_retries=8)
+        message = str(caught[0].message)
+        assert "max_attempts" in message
+        assert "schema_version 2" in message
+
     def test_alias_keeps_total_attempts_meaning(self):
         system, counter = counter_system()
         rt = system.runtimes[0]
@@ -73,6 +88,17 @@ class TestRunContentionAlias:
         # One warning per call site, not one per retried transaction.
         assert len(deprecations) == 1
         assert "max_retries" in str(deprecations[0].message)
+
+    def test_warning_names_the_replacement(self):
+        with pytest.warns(DeprecationWarning) as caught:
+            run_contention(
+                "hashtable", "SLPMT",
+                cores=1, ops_per_core=2, num_keys=4, value_bytes=32,
+                max_retries=16,
+            )
+        message = str(caught[0].message)
+        assert "max_attempts" in message
+        assert "schema_version 2" in message
 
     def test_alias_equivalent_to_max_attempts(self):
         kwargs = dict(

@@ -1,0 +1,69 @@
+"""The address→set memo is a pure cache over static geometry."""
+
+from repro.common.config import CacheConfig
+from repro.mem.cache import SetAssocCache
+from repro.mem.cacheline import new_l1_line
+
+
+def cache(ways=2, sets=4):
+    config = CacheConfig(
+        size_bytes=ways * sets * 64, ways=ways, latency_cycles=1
+    )
+    return SetAssocCache("T", config)
+
+
+def test_memo_returns_the_live_set_object():
+    c = cache()
+    assert c._set_for(0x100) is c._sets[c.set_index(0x100)]
+    # Second call hits the memo, same object.
+    assert c._set_for(0x100) is c._set_for(0x100)
+
+
+def test_lookup_and_set_for_agree():
+    c = cache()
+    for addr in (0x0, 0x40, 0x1000, 0x1040, 0x73C0):
+        c.lookup(addr, touch=False)  # populates the memo via lookup
+        assert c._set_memo[addr] is c._sets[c.set_index(addr)]
+
+
+def test_memo_survives_clear():
+    # Crash simulation clears lines but keeps the set objects, so the
+    # memo must stay valid across clear().
+    c = cache()
+    c.insert(new_l1_line(0x40, [0] * 8))
+    memo_set = c._set_for(0x40)
+    c.clear()
+    assert c.lookup(0x40) is None
+    assert c._set_for(0x40) is memo_set
+    c.insert(new_l1_line(0x40, [1] * 8))
+    assert c.lookup(0x40) is not None
+
+
+def test_memoized_cache_behaves_like_fresh_cache():
+    # Same access sequence against a warm-memo cache and a fresh one:
+    # identical hits, victims and final contents.
+    a, b = cache(), cache()
+    seq = [0x0, 0x40, 0x100, 0x140, 0x0, 0x200, 0x240, 0x40, 0x300]
+    for addr in seq:  # warm a's memo with lookups first
+        a.lookup(addr, touch=False)
+    results = []
+    for c in (a, b):
+        log = []
+        for addr in seq:
+            line = c.lookup(addr)
+            if line is None:
+                victim = c.insert(new_l1_line(addr, [addr] * 8))
+                log.append(("miss", addr, victim.addr if victim else None))
+            else:
+                log.append(("hit", addr, None))
+        results.append(log)
+    assert results[0] == results[1]
+
+
+def test_non_power_of_two_sets_fall_back_to_modulo():
+    c = SetAssocCache(
+        "T", CacheConfig(size_bytes=3 * 2 * 64, ways=2, latency_cycles=1)
+    )
+    assert c.num_sets == 3
+    for addr in (0x0, 0x40, 0x80, 0xC0, 0x100):
+        assert c._set_for(addr) is c._sets[(addr >> 6) % 3]

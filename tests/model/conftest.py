@@ -1,0 +1,20 @@
+"""Shared small-grid fixtures: one real fit, reused by every module."""
+
+import pytest
+
+from repro.model.fit import fit_model
+
+#: Small but real training grid: 2 workloads × 2 schemes × (4 ops ×
+#: 2 value sizes).  The default 25% holdout keeps 6 training points —
+#: exactly determined for the 6-feature model, still a real fit.
+SMALL_GRID = dict(
+    workloads=("hashtable", "rbtree"),
+    schemes=("FG", "SLPMT"),
+    ops_grid=(40, 80, 120, 160),
+    value_bytes_grid=(64, 128),
+)
+
+
+@pytest.fixture(scope="session")
+def small_doc():
+    return fit_model(**SMALL_GRID)

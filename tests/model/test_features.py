@@ -1,0 +1,92 @@
+"""Feature vectors are exact statics — no simulation, no libm."""
+
+from repro.model.features import (
+    FEATURE_NAMES,
+    CellSpec,
+    feature_vector,
+    resize_moves,
+    statics,
+    value_words,
+)
+
+
+class TestResizeMoves:
+    def test_non_hashtable_is_zero(self):
+        for workload in ("rbtree", "heap", "avl", "dlist"):
+            assert resize_moves(workload, 1000) == 0
+
+    def test_step_function_matches_growth_policy(self):
+        # INITIAL_BUCKETS=16, MAX_LOAD=3, doubling: resizes trigger on
+        # the insert that takes the count past 48, 96, 192, 384...,
+        # each migrating every existing entry.
+        assert resize_moves("hashtable", 48) == 0
+        assert resize_moves("hashtable", 49) == 48
+        assert resize_moves("hashtable", 96) == 48
+        assert resize_moves("hashtable", 97) == 48 + 96
+        assert resize_moves("hashtable", 192) == 48 + 96
+        assert resize_moves("hashtable", 193) == 48 + 96 + 192
+        assert resize_moves("hashtable", 300) == 48 + 96 + 192
+        assert resize_moves("hashtable", 385) == 48 + 96 + 192 + 384
+
+    def test_matches_simulated_hashtable_growth(self):
+        # The static must agree with the real structure: replay the
+        # documented policy step by step.
+        buckets, count, moves = 16, 0, 0
+        for _ in range(300):
+            if count + 1 > 3 * buckets:
+                moves += count
+                buckets *= 2
+            count += 1
+        assert resize_moves("hashtable", 300) == moves
+
+
+class TestFeatureVector:
+    def test_arity_matches_names(self):
+        spec = CellSpec("hashtable", "SLPMT", 300, 256)
+        assert len(feature_vector(spec)) == len(FEATURE_NAMES)
+
+    def test_values(self):
+        spec = CellSpec("rbtree", "FG", 200, 64)
+        vec = feature_vector(spec)
+        named = dict(zip(FEATURE_NAMES, vec))
+        assert named["intercept"] == 1.0
+        assert named["ops"] == 200.0
+        assert named["ops_value_words"] == 200.0 * 8  # 64B = 8 words
+        assert named["ops_log_ops"] == 200.0 * 8  # bit_length(200) == 8
+        assert named["resize_moves"] == 0.0
+        assert named["resize_moves_value_words"] == 0.0
+
+    def test_hashtable_resize_terms(self):
+        spec = CellSpec("hashtable", "SLPMT", 300, 256)
+        named = dict(zip(FEATURE_NAMES, feature_vector(spec)))
+        assert named["resize_moves"] == 336.0
+        assert named["resize_moves_value_words"] == 336.0 * 32
+
+    def test_all_terms_integer_exact(self):
+        # Every feature is an integer-valued float: bit-reproducible
+        # across hosts (no libm, no division).
+        for ops in (25, 300, 3000):
+            for vb in (16, 256, 2048):
+                for w in ("hashtable", "avl"):
+                    for f in feature_vector(CellSpec(w, "EDE", ops, vb)):
+                        assert f == int(f)
+
+
+def test_value_words_ceil_min_one():
+    assert value_words(1) == 1
+    assert value_words(8) == 1
+    assert value_words(9) == 2
+    assert value_words(256) == 32
+
+
+def test_cell_spec_keys():
+    spec = CellSpec("heap", "ATOM", 120, 128)
+    assert spec.key == "heap/ATOM/ops120/vb128"
+    assert spec.pair == "heap/ATOM"
+
+
+def test_statics_no_simulation_needed():
+    s = statics(CellSpec("hashtable", "SLPMT", 300, 256))
+    assert s["value_words"] == 32
+    assert s["op_mix"] == {"insert": 1.0}
+    assert s["est_logged_words_max"] > 0

@@ -1,0 +1,42 @@
+"""Held-out validation re-simulates cells and gates on geomean error."""
+
+import pytest
+
+from repro.model.predict import CostModel
+from repro.model.validate import format_validation, validate_model
+
+
+@pytest.fixture(scope="module")
+def report(small_doc):
+    return validate_model(CostModel(small_doc), jobs=0)
+
+
+def test_matches_fit_validation(small_doc, report):
+    # validate re-simulates the held-out cells from scratch; the
+    # deterministic simulator must reproduce the fit's own numbers.
+    fitted = small_doc["validation"]
+    assert report["geomean_rel_error"] == fitted["geomean_rel_error"]
+    assert report["max_rel_error"] == fitted["max_rel_error"]
+    assert sorted(report["cells"]) == sorted(fitted["cells"])
+
+
+def test_report_shape(report):
+    assert report["ok"] is True
+    assert set(report["per_pair"]) == {
+        "hashtable/FG", "hashtable/SLPMT", "rbtree/FG", "rbtree/SLPMT",
+    }
+    for cell in report["cells"].values():
+        assert cell["rel_error"] >= 0.0
+        assert cell["actual_cycles"] > 0
+
+
+def test_gate_fails_on_tiny_budget(small_doc, report):
+    strict = validate_model(CostModel(small_doc), max_error=1e-12)
+    assert strict["ok"] is False
+    assert strict["geomean_rel_error"] == report["geomean_rel_error"]
+
+
+def test_format_mentions_verdict(report):
+    text = format_validation(report)
+    assert "PASS" in text
+    assert "geomean" in text
