@@ -1004,14 +1004,24 @@ def run_multicore_campaign(
 
 @dataclass(frozen=True)
 class ServiceCell:
-    """One (workload × scheme × group-commit batch size) service cell."""
+    """One (workload × scheme × group-commit batch size) service cell.
+
+    ``locking`` routes write batches through the wound-wait lock
+    manager with round-robin batch fill — the multi-structure
+    configuration the composite workloads exercise.  The trailing
+    defaults keep :class:`~repro.fuzz.minimize.Reproducer` replay
+    (which rebuilds ``ServiceCell(workload, scheme, batch_size)``)
+    working unchanged.
+    """
 
     workload: str
     scheme: str
     batch_size: int
+    locking: bool = False
 
     def __str__(self) -> str:
-        return f"svc/{self.workload}/{self.scheme}/b{self.batch_size}"
+        suffix = "+lk" if self.locking else ""
+        return f"svc/{self.workload}/{self.scheme}/b{self.batch_size}{suffix}"
 
 
 #: Schemes the service campaign sweeps by default: the FG baseline and
@@ -1019,12 +1029,19 @@ class ServiceCell:
 SERVICE_SCHEMES: Tuple[str, ...] = ("FG", "SLPMT")
 
 #: Default service campaign grid: each scheme with and without group
-#: commit, over the hashtable (the structure whose O(1) paths keep
-#: per-case cost low enough for exhaustive durability-event sweeps).
+#: commit over the hashtable (the structure whose O(1) paths keep
+#: per-case cost low enough for exhaustive durability-event sweeps),
+#: plus the composite multi-structure workload behind the wound-wait
+#: lock manager — every ``multistruct`` insert spans map, queue and
+#: counter, so these cells prove cross-structure atomicity through the
+#: lock manager at every crash point.
 DEFAULT_SERVICE_CELLS: Tuple[ServiceCell, ...] = tuple(
     ServiceCell("hashtable", scheme, batch)
     for scheme in SERVICE_SCHEMES
     for batch in (1, 8)
+) + tuple(
+    ServiceCell("multistruct", scheme, 8, locking=True)
+    for scheme in SERVICE_SCHEMES
 )
 
 #: Service campaign traffic: write-heavy with multi-key transactions so
@@ -1096,13 +1113,17 @@ def _build_service(
     seed: int,
     config: SystemConfig,
     telemetry=None,
+    duration_cycles: Optional[int] = None,
 ):
     """A fresh transaction service for one campaign case.
 
     ``block`` admission so every request eventually commits (maximum
     durability surface), open-loop arrivals fast enough to keep batches
     full, and ``verify=False`` — the campaign applies its own two-state
-    acceptance check instead of the clean-run verify."""
+    acceptance check instead of the clean-run verify.  Locking cells
+    route batches through the wound-wait lock manager with round-robin
+    batch fill (the fill order the lock manager's deferral re-queueing
+    is designed against)."""
     from repro.service.admission import AdmissionPolicy
     from repro.service.server import ServiceConfig, TransactionService
     from repro.service.tm import GroupCommitPolicy
@@ -1119,9 +1140,15 @@ def _build_service(
             mix=dict(SERVICE_FUZZ_MIX),
             arrival_cycles=600,
             batch=GroupCommitPolicy(batch_size=cell.batch_size),
-            admission=AdmissionPolicy(max_depth=64, mode="block"),
+            admission=AdmissionPolicy(
+                max_depth=64,
+                mode="block",
+                fairness="round-robin" if cell.locking else "fifo",
+            ),
             seed=seed,
             verify=False,
+            locking=cell.locking,
+            duration_cycles=duration_cycles,
         ),
         config=config,
         telemetry=telemetry,
@@ -1165,9 +1192,43 @@ def _check_service_recovered(svc) -> Tuple[Optional[str], str]:
             for key, value in zip(request.keys, request.values):
                 after[key] = tuple(value)
         acceptable.append(tuple(sorted(after.items())))
-    if state in acceptable:
-        return None, ""
-    return _diagnose(state, acceptable[0])
+    if state not in acceptable:
+        return _diagnose(state, acceptable[0])
+
+    # Cross-structure atomicity: on composite subjects the durable
+    # queue chain and event counter must land on the same side of the
+    # commit boundary as the map image — the acknowledged chain (queue
+    # facet order) or that plus the whole in-flight batch, never a mix.
+    if hasattr(subject, "queue_keys") and "queue" in getattr(
+        svc.rm, "structures", {}
+    ):
+        read = subject.reader(durable=True)
+        try:
+            chain = tuple(subject.queue_keys(read))
+            counter = subject.counter_value(read)
+        except SimulationError as exc:
+            return f"durable queue traversal failed: {exc}", "xstructure"
+        acked_chain = tuple(svc.rm.structures["queue"].order)
+        legal_chains = [acked_chain]
+        if svc.inflight:
+            legal_chains.append(
+                acked_chain
+                + tuple(k for r in svc.inflight for k in r.keys)
+            )
+        if chain not in legal_chains:
+            return (
+                f"durable queue chain ({len(chain)} nodes) matches "
+                f"neither the acked chain ({len(acked_chain)}) nor "
+                f"acked+inflight ({len(legal_chains[-1])})",
+                "xstructure",
+            )
+        if counter != len(chain):
+            return (
+                f"durable counter {counter} != queue chain length "
+                f"{len(chain)}",
+                "xstructure",
+            )
+    return None, ""
 
 
 def run_service_case(
@@ -1180,6 +1241,7 @@ def run_service_case(
     value_bytes: int = 32,
     seed: int = 7,
     config: SystemConfig = STRESS_CONFIG,
+    duration_cycles: Optional[int] = None,
 ) -> CaseResult:
     """One service crash case: serve with a power failure armed at the
     *crash_point*-th post-setup durability event (``"persist"``) or
@@ -1192,6 +1254,7 @@ def run_service_case(
         value_bytes=value_bytes,
         seed=seed,
         config=config,
+        duration_cycles=duration_cycles,
     )
     machine = svc.machine
     if crash_kind == "persist":
@@ -1247,6 +1310,7 @@ def run_service_cell(
     requests_per_client: int = 16,
     value_bytes: int = 32,
     config: SystemConfig = STRESS_CONFIG,
+    duration_cycles: Optional[int] = None,
 ) -> ServiceCellReport:
     """Run one service cell's crash-point sweep.
 
@@ -1274,6 +1338,7 @@ def run_service_cell(
         seed=seed,
         config=config,
         telemetry=fine,
+        duration_cycles=duration_cycles,
     )
     events0 = svc.machine.wpq.total_inserts
     instrs0 = svc.machine.stats.instructions
@@ -1331,6 +1396,7 @@ def run_service_cell(
                 value_bytes=value_bytes,
                 seed=seed,
                 config=config,
+                duration_cycles=duration_cycles,
             )
             if result.violation is not None:
                 report.violations.append(
@@ -1354,6 +1420,7 @@ def run_service_campaign(
     requests_per_client: int = 16,
     value_bytes: int = 32,
     config: SystemConfig = STRESS_CONFIG,
+    duration_cycles: Optional[int] = None,
     jobs: int = 1,
     progress=None,
 ) -> ServiceCampaignResult:
@@ -1383,6 +1450,7 @@ def run_service_campaign(
             "requests_per_client": requests_per_client,
             "value_bytes": value_bytes,
             "config": config,
+            "duration_cycles": duration_cycles,
         }
         for cell in cells
     ]

@@ -113,6 +113,12 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--batches", type=str, default="1,8",
                         help="comma-separated group-commit batch sizes for "
                              "--service (default 1,8)")
+    parser.add_argument("--duration", type=int, default=None,
+                        metavar="CYCLES",
+                        help="run each --service cell in duration mode: "
+                             "clients submit until the simulated clock "
+                             "passes CYCLES instead of a fixed request "
+                             "count")
     parser.add_argument("--cores", type=str, default="1,2,4",
                         help="comma-separated core counts for --multicore "
                              "(default 1,2,4)")
@@ -317,6 +323,7 @@ def _multicore_main(args: argparse.Namespace) -> int:
 
 def _service_main(args: argparse.Namespace) -> int:
     from repro.fuzz.campaign import (
+        DEFAULT_SERVICE_CELLS,
         SERVICE_SCHEMES,
         ServiceCell,
         run_service_campaign,
@@ -330,22 +337,30 @@ def _service_main(args: argparse.Namespace) -> int:
         raise SystemExit(f"bad --batches value: {exc}")
     if not batches or any(b < 1 for b in batches):
         raise SystemExit("--batches needs positive batch sizes")
-    workloads = ["hashtable"]
-    if args.workloads:
-        wanted = [w.strip() for w in args.workloads.split(",")]
-        unknown = set(wanted) - set(WORKLOADS)
-        if unknown:
-            raise SystemExit(f"unknown workload(s): {sorted(unknown)}")
-        workloads = wanted
-    schemes = list(SERVICE_SCHEMES)
-    if args.schemes:
-        schemes = [s.strip() for s in args.schemes.split(",")]
-    cells = [
-        ServiceCell(w, s, b)
-        for w in workloads
-        for s in schemes
-        for b in batches
-    ]
+    if not (args.workloads or args.schemes or args.batches != "1,8"):
+        # No grid filters: the default grid, including the composite
+        # multi-structure cells behind the wound-wait lock manager.
+        cells = list(DEFAULT_SERVICE_CELLS)
+    else:
+        workloads = ["hashtable"]
+        if args.workloads:
+            wanted = [w.strip() for w in args.workloads.split(",")]
+            unknown = set(wanted) - set(WORKLOADS)
+            if unknown:
+                raise SystemExit(f"unknown workload(s): {sorted(unknown)}")
+            workloads = wanted
+        schemes = list(SERVICE_SCHEMES)
+        if args.schemes:
+            schemes = [s.strip() for s in args.schemes.split(",")]
+        # Composite subjects declare multiple lock structures; their
+        # cells run behind the lock manager so cross-structure
+        # atomicity is judged through it.
+        cells = [
+            ServiceCell(w, s, b, locking=(w == "multistruct"))
+            for w in workloads
+            for s in schemes
+            for b in batches
+        ]
     if not cells:
         raise SystemExit("no cells selected")
 
@@ -358,7 +373,8 @@ def _service_main(args: argparse.Namespace) -> int:
             budget=budget, seed=args.seed, cells=cells,
             num_clients=num_clients,
             requests_per_client=requests_per_client,
-            value_bytes=args.value_bytes, jobs=jobs,
+            value_bytes=args.value_bytes,
+            duration_cycles=args.duration, jobs=jobs,
             progress=_progress if jobs > 1 else None,
         )
     except WorkerCrash as exc:
@@ -482,6 +498,8 @@ def fuzz_main(argv: "List[str] | None" = None) -> int:
         return _faults_main(args)
     if args.fault_kinds:
         raise SystemExit("--fault-kinds requires --faults")
+    if args.duration is not None and not args.service:
+        raise SystemExit("--duration requires --service")
     if args.multicore:
         return _multicore_main(args)
     if args.service:

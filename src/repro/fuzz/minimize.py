@@ -138,6 +138,7 @@ class Reproducer:
             check=violation.check,
             service={
                 "batch_size": violation.cell.batch_size,
+                "locking": violation.cell.locking,
                 "num_clients": num_clients,
                 "requests_per_client": requests_per_client,
                 "seed": seed,
@@ -208,7 +209,12 @@ def replay(
         from repro.fuzz.campaign import ServiceCell, run_service_case
 
         return run_service_case(
-            ServiceCell(rep.workload, rep.scheme, rep.service["batch_size"]),
+            ServiceCell(
+                rep.workload,
+                rep.scheme,
+                rep.service["batch_size"],
+                locking=rep.service.get("locking", False),
+            ),
             rep.crash_kind,
             rep.crash_point,
             num_clients=rep.service["num_clients"],
@@ -373,7 +379,12 @@ def _service_first_violation(
         run_service_case,
     )
 
-    cell = ServiceCell(rep.workload, rep.scheme, rep.service["batch_size"])
+    cell = ServiceCell(
+        rep.workload,
+        rep.scheme,
+        rep.service["batch_size"],
+        locking=rep.service.get("locking", False),
+    )
     seed = rep.service["seed"]
     svc = _build_service(
         cell,

@@ -8,7 +8,6 @@ suite does each unique simulation once.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -130,25 +129,15 @@ def run_contention(
     seed: int = 2023,
     verify: bool = True,
     max_attempts: Optional[int] = None,
-    max_retries: Optional[int] = None,
 ) -> ContentionResult:
     """Simulate a shared-key contention run: *cores* workers hammer one
     durable *workload* instance with zipfian(θ) key skew.
 
     *max_attempts* bounds each operation's total transaction attempts
     (forwarded to :func:`~repro.workloads.shared.replay_contention`,
-    default 512).  ``max_retries`` is the deprecated alias with the same
-    total-attempts meaning (see
-    :func:`repro.multicore.system.run_atomically`); passing it emits a
-    :class:`DeprecationWarning` here — once per call site, not once per
-    retried transaction — and is normalised before the replay loop, so
-    the alias never fans out into per-transaction warnings.
-
-    Removal schedule: ``max_retries`` is kept for the remainder of the
-    1.x artifact series and will be dropped together with the next
-    schema-breaking release (schema_version 2), at which point passing
-    it becomes a :class:`TypeError`.  The warning text names
-    ``max_attempts`` so call sites can be migrated mechanically.
+    default 512).  The 1.x-era ``max_retries`` alias was removed with
+    schema_version 2 as its deprecation warning scheduled; passing it
+    is now a :class:`TypeError` like any unknown keyword.
 
     The whole run — streams, interleaving, conflicts, aborts, backoff —
     is a pure function of ``(workload, scheme, cores, theta, seed)``
@@ -163,17 +152,6 @@ def run_contention(
     """
     from repro.multicore.system import MultiCoreSystem
 
-    if max_attempts is not None and max_retries is not None:
-        raise ValueError("pass max_attempts or max_retries, not both")
-    if max_retries is not None:
-        warnings.warn(
-            "run_contention(max_retries=...) is deprecated; it counts "
-            "total attempts — pass max_attempts instead "
-            "(max_retries will be removed with schema_version 2)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        max_attempts = max_retries
     if max_attempts is None:
         max_attempts = 512
 

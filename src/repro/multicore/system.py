@@ -31,7 +31,6 @@ the paper's evaluation is single-threaded and ours follows it.
 from __future__ import annotations
 
 import itertools
-import warnings
 from typing import Callable, List, Optional
 
 from repro.alloc.allocator import PersistentAllocator
@@ -261,7 +260,6 @@ def run_atomically(
     body: Callable[[], None],
     *,
     max_attempts: "int | None" = None,
-    max_retries: "int | None" = None,
 ) -> int:
     """Run *body* in a transaction, retrying on conflict aborts with
     bounded, deterministic, cycle-accounted backoff.
@@ -273,36 +271,16 @@ def run_atomically(
     attempt aborted reports exactly *max_attempts* attempts.  The
     default budget is 256 attempts.
 
-    ``max_retries`` is a deprecated alias for *max_attempts*: earlier
-    releases took this keyword but always accounted it as a number of
-    *attempts* (silently passing ``retries=max_retries - 1`` down), so
-    the alias keeps that — now documented — meaning rather than
-    silently changing callers' budgets.  Passing it emits a
-    :class:`DeprecationWarning` (once per call site, via the standard
-    warnings de-duplication).
-
-    Removal schedule: the alias is kept for the remainder of the 1.x
-    artifact series and will be dropped together with the next
-    schema-breaking release (schema_version 2), at which point passing
-    it becomes a :class:`TypeError`.  The warning text names
-    ``max_attempts`` so call sites can be migrated mechanically.
+    The 1.x-era ``max_retries`` alias (same total-attempts meaning) was
+    removed with schema_version 2 as its deprecation warning scheduled;
+    passing it is now a :class:`TypeError` like any unknown keyword.
 
     Returns the number of aborted attempts before the commit.  Raises
     :class:`RetryExhausted` (a :class:`TransactionError` subtype, so
     legacy handlers keep working) when the attempt budget is exhausted.
     """
-    if max_attempts is not None and max_retries is not None:
-        raise TransactionError("pass max_attempts or max_retries, not both")
     if max_attempts is None:
-        if max_retries is not None:
-            warnings.warn(
-                "run_atomically(max_retries=...) is deprecated; it counts "
-                "total attempts — pass max_attempts instead "
-                "(max_retries will be removed with schema_version 2)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        max_attempts = max_retries if max_retries is not None else 256
+        max_attempts = 256
     if max_attempts < 1:
         raise TransactionError(
             f"max_attempts must be at least 1, got {max_attempts}"

@@ -413,6 +413,50 @@ def _model_equivalence(jobs: int) -> int:
     return 1 if failures else 0
 
 
+def _sustained_equivalence(jobs: int) -> int:
+    """``obs equivalence --sustained``: serial vs ``--jobs N``
+    byte-identity of the sharded-population merge.
+
+    Runs a reduced sustained shape — 3 populations whose final windows
+    straddle the horizon (the duration is deliberately not a multiple
+    of the window width) — twice, and requires the two documents to
+    agree exactly after :func:`~repro.obs.bench.strip_host`.  The
+    ``telemetry_sha256`` field inside the document pins the merged
+    registry at full resolution, so this is the merged-telemetry
+    byte-identity gate, not just a totals check.
+    """
+    from repro.service.sustained import run_sustained
+
+    shape = dict(
+        populations=3,
+        clients_per_population=3,
+        duration_cycles=300_000,   # 300000 / 8192 = 36.6 windows: the
+        window_cycles=8192,        # final window straddles the horizon
+        arrival_cycles=2500,
+        num_keys=48,
+        locking=True,
+    )
+    serial = bench_mod.strip_host(run_sustained(jobs=1, **shape))
+    parallel = bench_mod.strip_host(
+        run_sustained(jobs=jobs, progress=_progress, **shape)
+    )
+    if serial != parallel:
+        for key in _diff_keys(serial, parallel)[:20]:
+            print(
+                f"EQUIVALENCE VIOLATION sustained serial vs --jobs {jobs}: "
+                f"{key}",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        f"equivalence: sustained --jobs {jobs} byte-identical to serial "
+        f"({shape['populations']} populations, "
+        f"{serial['totals']['requests']} requests, merged telemetry "
+        f"sha256 {serial['telemetry_sha256'][:16]})"
+    )
+    return 0
+
+
 def _cmd_equivalence(args: argparse.Namespace) -> int:
     """The parallel==serial gate: a ``--jobs N`` sweep must be
     byte-identical to the serial sweep (modulo host timing), and both
@@ -421,6 +465,8 @@ def _cmd_equivalence(args: argparse.Namespace) -> int:
     jobs = max(2, resolve_jobs(args.jobs))
     if args.model:
         return _model_equivalence(jobs)
+    if args.sustained:
+        return _sustained_equivalence(jobs)
     if args.service:
         from repro.service import bench as svc_bench
 
@@ -441,6 +487,8 @@ def _cmd_equivalence(args: argparse.Namespace) -> int:
             max_wait_cycles=params["max_wait_cycles"],
             max_depth=params["max_depth"],
             seed=params["seed"],
+            duration_cycles=params.get("duration_cycles"),
+            target_load=params.get("target_load"),
         )
         run = svc_bench.run_service_bench
     elif args.twopc:
@@ -613,6 +661,12 @@ def obs_main(argv: "List[str] | None" = None) -> int:
         "and bench --model documents must be byte-identical between "
         "serial and --jobs N (modulo host timing)",
     )
+    p_equiv.add_argument(
+        "--sustained", action="store_true",
+        help="check the sharded-population sustained run instead: a "
+        "reduced 3-population duration-mode run must merge "
+        "byte-identically between serial and --jobs N",
+    )
     p_equiv.set_defaults(func=_cmd_equivalence)
 
     args = parser.parse_args(argv)
@@ -641,6 +695,7 @@ def _bench_curves(args: argparse.Namespace) -> int:
         doc = run_curve(
             seed=args.seed,
             jobs=jobs,
+            duration_cycles=args.duration,
             progress=_progress if jobs > 1 else None,
         )
     except WorkerCrash as exc:
@@ -682,6 +737,71 @@ def _bench_curves(args: argparse.Namespace) -> int:
         )
         return 0
     print(format_curve(doc))
+    return 0
+
+
+def _bench_sustained(args: argparse.Namespace) -> int:
+    """``bench --sustained``: the campaign-scale sustained artifact.
+
+    Runs the default sharded-population deployment (4 populations x 8
+    clients in duration mode — just over a million requests), then:
+    ``--update`` re-pins ``benchmarks/results/sustained_service.json``,
+    ``--check`` fails if the fresh run differs from the checked-in
+    document anywhere outside host timing, otherwise prints the
+    summary.  ``--duration``/``--target-load``/``--seed``/``--jobs``
+    override the run shape (gated runs must keep the baseline's).
+    """
+    import os
+
+    from repro.service.sustained import (
+        DEFAULT_SUSTAINED_PATH,
+        format_sustained,
+        load_sustained,
+        run_sustained,
+        write_sustained,
+    )
+
+    jobs = resolve_jobs(args.jobs)
+    kwargs = dict(seed=args.seed, jobs=jobs)
+    if args.duration is not None:
+        kwargs["duration_cycles"] = args.duration
+    if args.target_load is not None:
+        kwargs["target_load"] = args.target_load
+    try:
+        doc = run_sustained(
+            progress=_progress if jobs > 1 else None, **kwargs
+        )
+    except WorkerCrash as exc:
+        print(f"sustained run failed: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        write_sustained(args.out, doc)
+        print(f"wrote {args.out}")
+    if args.update:
+        os.makedirs(os.path.dirname(DEFAULT_SUSTAINED_PATH), exist_ok=True)
+        write_sustained(DEFAULT_SUSTAINED_PATH, doc)
+        print(f"wrote {DEFAULT_SUSTAINED_PATH}")
+        return 0
+    if args.check:
+        baseline = load_sustained(DEFAULT_SUSTAINED_PATH)
+        fresh = bench_mod.strip_host(doc)
+        pinned = bench_mod.strip_host(baseline)
+        if fresh != pinned:
+            for key in _diff_keys(fresh, pinned)[:20]:
+                print(
+                    f"SUSTAINED DRIFT vs {DEFAULT_SUSTAINED_PATH}: {key}",
+                    file=sys.stderr,
+                )
+            return 1
+        print(
+            f"sustained: fresh run byte-identical to "
+            f"{DEFAULT_SUSTAINED_PATH} "
+            f"({doc['totals']['requests']:,} requests across "
+            f"{doc['params']['populations']} populations, merged "
+            f"telemetry sha256 {doc['telemetry_sha256'][:16]})"
+        )
+        return 0
+    print(format_sustained(doc))
     return 0
 
 
@@ -771,7 +891,26 @@ def bench_main(argv: "List[str] | None" = None) -> int:
         help="sweep arrival rates per scheme and write the "
         "throughput-vs-latency curve artifacts "
         "(benchmarks/results/curve_service.json + .tsv); honours "
-        "--seed/--jobs/--check/--update",
+        "--seed/--jobs/--check/--update/--duration",
+    )
+    parser.add_argument(
+        "--sustained", action="store_true",
+        help="run the campaign-scale sharded-population deployment "
+        "(duration mode, ~1M requests) and gate/update "
+        "benchmarks/results/sustained_service.json; honours "
+        "--seed/--jobs/--check/--update/--duration/--target-load",
+    )
+    parser.add_argument(
+        "--duration", type=int, default=None, metavar="CYCLES",
+        help="duration mode for --service/--curves/--sustained: every "
+        "run serves until the simulated clock passes this horizon "
+        "instead of a fixed request count",
+    )
+    parser.add_argument(
+        "--target-load", type=float, default=None, metavar="REQS_PER_KCYC",
+        help="offered load in requests per 1000 cycles for "
+        "--service/--sustained (spread over the clients; overrides the "
+        "arrival gap)",
     )
     parser.add_argument(
         "--model", action="store_true",
@@ -842,12 +981,19 @@ def bench_main(argv: "List[str] | None" = None) -> int:
     if args.spans and not args.twopc:
         raise SystemExit("--spans requires --twopc")
     if sum(
-        (args.multicore, args.service, args.twopc, args.curves, args.model)
+        (args.multicore, args.service, args.twopc, args.curves, args.model,
+         args.sustained)
     ) > 1:
         raise SystemExit(
-            "--multicore/--service/--twopc/--curves/--model are "
-            "mutually exclusive"
+            "--multicore/--service/--twopc/--curves/--model/--sustained "
+            "are mutually exclusive"
         )
+    if args.duration is not None and not (
+        args.service or args.curves or args.sustained
+    ):
+        raise SystemExit("--duration requires --service/--curves/--sustained")
+    if args.target_load is not None and not (args.service or args.sustained):
+        raise SystemExit("--target-load requires --service/--sustained")
     if (
         args.model_path or args.spot_checks is not None
         or args.max_error is not None
@@ -857,13 +1003,15 @@ def bench_main(argv: "List[str] | None" = None) -> int:
         )
     if args.best_of > 1 and (
         args.multicore or args.service or args.twopc or args.curves
-        or args.model
+        or args.model or args.sustained
     ):
         raise SystemExit("--best-of only applies to the default sweep")
     if args.curves:
         return _bench_curves(args)
     if args.model:
         return _bench_model(args)
+    if args.sustained:
+        return _bench_sustained(args)
 
     jobs = resolve_jobs(args.jobs)
     name = args.name or (
@@ -898,6 +1046,8 @@ def bench_main(argv: "List[str] | None" = None) -> int:
             doc = run_service_bench(
                 name=name,
                 seed=args.seed,
+                duration_cycles=args.duration,
+                target_load=args.target_load,
                 jobs=jobs,
                 progress=_progress if jobs > 1 else None,
             )

@@ -93,29 +93,49 @@ def steady_summary(
     rel_tol: float = DEFAULT_REL_TOL,
     min_windows: int = DEFAULT_MIN_WINDOWS,
     drop_tail: int = DEFAULT_DROP_TAIL,
+    max_tail_extra: int = DEFAULT_MAX_TAIL_EXTRA,
+    horizon_cycles: "Optional[int]" = None,
 ) -> Dict[str, Any]:
     """Warm-up-trimmed headline numbers for one telemetry registry.
 
     Detects the steady range on the *counter* series, then reports the
     steady throughput (events per kilocycle) and the latency quantiles
     of the merged steady-window histogram.  When detection fails, falls
-    back to the full run and says so (``"steady": false``) — a curve
-    cell is never silently quoted from an unsettled run.
+    back to the full run minus the clipped tail (clamped so at least
+    *min_windows* windows are quoted) and says so (``"steady": false``)
+    — a curve cell is never silently quoted from an unsettled run, and
+    the fallback never re-includes the ramp-down windows detection was
+    told to drop.
+
+    *horizon_cycles* is the duration-mode cutoff: only windows that end
+    at or before the horizon are *full* windows, so the series is first
+    clipped to ``horizon_cycles // window_cycles`` — the straddled
+    partial window (and the post-horizon queue drain) never biases the
+    steady throughput.
     """
     series = telemetry.series(counter)
+    if horizon_cycles is not None:
+        series = series[: max(0, horizon_cycles // telemetry.window_cycles)]
     found = steady_window_range(
-        series, rel_tol=rel_tol, min_windows=min_windows, drop_tail=drop_tail
+        series,
+        rel_tol=rel_tol,
+        min_windows=min_windows,
+        drop_tail=drop_tail,
+        max_tail_extra=max_tail_extra,
     )
     if found is not None:
         lo, hi = found
         steady = True
     else:
-        lo, hi = 0, len(series)
+        lo = 0
+        hi = max(
+            min(min_windows, len(series)), len(series) - max(0, drop_tail)
+        )
         steady = False
     windows = list(range(lo, hi))
     hist = telemetry.merged_hist(latency, windows)
     lat = hist.summary()
-    return {
+    out = {
         "steady": steady,
         "window_cycles": telemetry.window_cycles,
         "windows_total": len(series),
@@ -128,6 +148,9 @@ def steady_summary(
         ),
         "latency": lat,
     }
+    if horizon_cycles is not None:
+        out["horizon_cycles"] = horizon_cycles
+    return out
 
 
 def knee_index(

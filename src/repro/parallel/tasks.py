@@ -125,6 +125,8 @@ def service_bench_cell(
     max_wait_cycles: int,
     max_depth: int,
     seed: int,
+    duration_cycles: "Optional[int]" = None,
+    target_load: "Optional[float]" = None,
 ) -> Dict[str, Any]:
     """One ``BENCH_service.json`` cell: a full transaction-service run.
 
@@ -132,7 +134,9 @@ def service_bench_cell(
     every batch size commits the identical request set (see
     :mod:`repro.service.bench`); the cell carries the latency quantiles
     and the commit-persist bucket the amortization headline derives
-    from.
+    from.  With *duration_cycles* the cell runs in duration mode (the
+    fixed request count is ignored); *target_load* spreads an offered
+    load in requests/kcyc over the clients instead of ``arrival_cycles``.
     """
     _poison_check(f"{workload}/{scheme}/b{batch_size}")
     from repro.service.admission import AdmissionPolicy
@@ -157,6 +161,8 @@ def service_bench_cell(
             ),
             admission=AdmissionPolicy(max_depth=max_depth, mode="block"),
             seed=seed,
+            duration_cycles=duration_cycles,
+            target_load=target_load,
         )
     )
     host_ms = (time.perf_counter() - t0) * 1000.0
@@ -400,19 +406,106 @@ def curve_cell(
     arrival_cycles: int,
     workload: str,
     seed: int,
+    duration_cycles: "Optional[int]" = None,
 ) -> Dict[str, Any]:
     """One load point of a throughput-vs-latency curve.
 
     Deterministic from its arguments (the telemetry windowing and
     steady-state detection are pure functions of the simulated run), so
-    serial and ``--jobs N`` sweeps merge byte-identically.
+    serial and ``--jobs N`` sweeps merge byte-identically.  With
+    *duration_cycles* the cell runs in duration mode (arrivals stop at
+    the horizon) instead of a fixed request count.
     """
     _poison_check(f"curve/{scheme}/a{arrival_cycles}")
     from repro.service.curve import run_curve_cell
 
     t0 = time.perf_counter()
     cell = run_curve_cell(
-        scheme, arrival_cycles, workload=workload, seed=seed
+        scheme, arrival_cycles, workload=workload, seed=seed,
+        duration_cycles=duration_cycles,
     )
     cell["host_ms"] = round((time.perf_counter() - t0) * 1000.0, 3)
     return cell
+
+
+# ----------------------------------------------------------------------
+# sustained service load (sharded client populations)
+# ----------------------------------------------------------------------
+
+
+def sustained_population_cell(
+    *,
+    population: int,
+    client_base: int,
+    workload: str,
+    scheme: str,
+    clients: int,
+    value_bytes: int,
+    num_keys: int,
+    theta: float,
+    arrival_cycles: int,
+    batch_size: int,
+    duration_cycles: int,
+    window_cycles: int,
+    seed: int,
+    locking: bool = False,
+    target_load: "Optional[float]" = None,
+) -> Dict[str, Any]:
+    """One client population of a sustained run: a full duration-mode
+    service with its own machine, clock and telemetry registry.
+
+    The population slice is identified purely by ``client_base``: every
+    stream and arrival seed hashes the *global* client id, so the same
+    population simulated serially or in a worker process produces the
+    identical request sequence.  The telemetry registry comes back as
+    its ``to_dict`` form; the parent folds the per-population
+    registries in population order via
+    :func:`repro.obs.telemetry.merge_telemetry`, which is the same
+    byte-identical ordered-merge contract every other sweep honours.
+    """
+    _poison_check(f"sustained/p{population}")
+    from repro.obs.telemetry import TelemetryWindows
+    from repro.service.server import ServiceConfig, run_service
+    from repro.service.tm import GroupCommitPolicy
+
+    t0 = time.perf_counter()
+    telemetry = TelemetryWindows(window_cycles)
+    res = run_service(
+        ServiceConfig(
+            workload=workload,
+            scheme=scheme,
+            num_clients=clients,
+            client_base=client_base,
+            value_bytes=value_bytes,
+            num_keys=num_keys,
+            theta=theta,
+            mode="open",
+            arrival_cycles=arrival_cycles,
+            duration_cycles=duration_cycles,
+            target_load=target_load,
+            locking=locking,
+            keep_responses=False,
+            batch=GroupCommitPolicy(batch_size=batch_size),
+            seed=seed,
+        ),
+        telemetry=telemetry,
+    )
+    host_ms = (time.perf_counter() - t0) * 1000.0
+    return {
+        "population": population,
+        "client_base": client_base,
+        "clients": clients,
+        "requests": res.requests,
+        "acked": res.acked,
+        "shed": res.shed,
+        "reads": res.reads,
+        "batches": res.batches,
+        "committed_writes": res.committed_writes,
+        "cycles": res.cycles,
+        "pm_bytes": res.pm_bytes,
+        "lock_grants": res.lock_grants,
+        "lock_wounds": res.lock_wounds,
+        "lock_waits": res.lock_waits,
+        "telemetry": telemetry.to_dict(),
+        "host_ms": round(host_ms, 3),
+    }

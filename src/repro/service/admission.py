@@ -17,8 +17,12 @@ Selection out of the queue preserves per-client FIFO by construction:
 
 ``fifo`` fairness fills a batch in global admission order;
 ``round-robin`` takes one eligible write per client per turn, cycling
-in admission order of each client's head — a heavy writer cannot
-monopolise a batch ahead of light writers.
+through a **persistent rotation** (clients in first-admission order,
+resuming after the last client served by the previous batch) — a heavy
+writer cannot monopolise a batch ahead of light writers, and a client
+whose head is a ready read keeps its rotation slot: it is passed over
+for this batch without letting later clients jump ahead of it in the
+cycle.
 """
 
 from __future__ import annotations
@@ -72,6 +76,13 @@ class AdmissionQueue:
     def __init__(self, policy: AdmissionPolicy) -> None:
         self.policy = policy
         self._items: List[QueuedRequest] = []
+        #: Round-robin rotation: clients in first-admission order.  The
+        #: rotation is persistent across batches — a client is never
+        #: dropped, and :meth:`take_batch` advances the cursor past the
+        #: last client served, so a client skipped this batch (head is a
+        #: ready read, or nothing queued) keeps its place in the cycle.
+        self._rotation: List[int] = []
+        self._rotation_cursor = 0
 
     # --- admission ------------------------------------------------------
 
@@ -86,7 +97,17 @@ class AdmissionQueue:
     def admit(self, item: QueuedRequest) -> None:
         if not self.has_room:
             raise OverflowError("admission queue is full")
+        client = item.request.client
+        if client not in self._rotation:
+            self._rotation.append(client)
         self._items.append(item)
+
+    def readmit_front(self, items: List[QueuedRequest]) -> None:
+        """Put lock-deferred requests back at the queue front, in the
+        given order, with their original timing provenance — they lead
+        the next batch and only get older (wound-wait livelock
+        freedom)."""
+        self._items[0:0] = list(items)
 
     # --- reads ----------------------------------------------------------
 
@@ -138,9 +159,12 @@ class AdmissionQueue:
                 if len(picked) >= limit:
                     break
             return picked
-        # round-robin: per-client runs of leading writes, one per turn.
+        # round-robin: per-client runs of leading writes, one per turn,
+        # cycling the persistent rotation from the cursor.  A client
+        # with no eligible run this batch (head is a ready read, or
+        # nothing queued) is passed over *in place* — it keeps its
+        # rotation slot instead of ceding it to later clients.
         runs: Dict[int, List[int]] = {}
-        order: List[int] = []
         blocked = set()
         for idx, item in enumerate(self._items):
             client = item.request.client
@@ -149,10 +173,14 @@ class AdmissionQueue:
             if not item.request.is_write:
                 blocked.add(client)
                 continue
-            if client not in runs:
-                runs[client] = []
-                order.append(client)
-            runs[client].append(idx)
+            runs.setdefault(client, []).append(idx)
+        n = len(self._rotation)
+        start = self._rotation_cursor % n if n else 0
+        order = [
+            client
+            for client in self._rotation[start:] + self._rotation[:start]
+            if client in runs
+        ]
         picked = []
         turn = 0
         while len(picked) < limit:
@@ -173,10 +201,17 @@ class AdmissionQueue:
 
         The returned list is in selection order; within one client it is
         always that client's FIFO order (both disciplines take each
-        client's run front-to-back).
+        client's run front-to-back).  Under round-robin this also
+        advances the rotation cursor past the last client served, so the
+        next batch resumes the cycle rather than restarting it.
         """
         picked = self._select(limit=limit)
         batch = [self._items[idx] for idx in picked]
+        if batch and self.policy.fairness == "round-robin":
+            last_client = batch[-1].request.client
+            self._rotation_cursor = (
+                self._rotation.index(last_client) + 1
+            ) % len(self._rotation)
         for idx in sorted(picked, reverse=True):
             self._items.pop(idx)
         return batch

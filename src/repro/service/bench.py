@@ -57,7 +57,10 @@ DEFAULT_SERVICE_SEED = 2023
 #: The checked-in baseline for the service bench.
 DEFAULT_SERVICE_BASELINE = "BENCH_service.json"
 
-SCHEMA_VERSION = 1
+#: Bumped to 2 with the sustained-load release: the ``max_retries``
+#: alias removal this schema change was scheduled against, plus the new
+#: duration/target-load grid knobs recorded in ``params``.
+SCHEMA_VERSION = 2
 
 
 def run_service_bench(
@@ -75,6 +78,8 @@ def run_service_bench(
     max_wait_cycles: int = DEFAULT_SERVICE_MAX_WAIT,
     max_depth: int = DEFAULT_SERVICE_DEPTH,
     seed: int = DEFAULT_SERVICE_SEED,
+    duration_cycles: "Optional[int]" = None,
+    target_load: "Optional[float]" = None,
     jobs: int = 1,
     progress: "Optional[engine.ProgressFn]" = None,
 ) -> Dict[str, Any]:
@@ -82,7 +87,11 @@ def run_service_bench(
 
     Cells are keyed ``workload/scheme/bN``.  Every cell is one
     self-contained deterministic service run, so the stripped document
-    is byte-identical between serial and ``--jobs N`` sweeps.
+    is byte-identical between serial and ``--jobs N`` sweeps.  With
+    *duration_cycles* every cell runs in duration mode (until the
+    simulated clock passes the horizon) instead of a fixed request
+    count; *target_load* offers that many requests/kcyc spread over the
+    clients instead of the ``arrival_cycles`` gap.
     """
     grid = [(w, s, b) for w in workloads for s in schemes for b in batches]
     keys = [f"{w}/{s}/b{b}" for w, s, b in grid]
@@ -100,6 +109,8 @@ def run_service_bench(
             "max_wait_cycles": max_wait_cycles,
             "max_depth": max_depth,
             "seed": seed,
+            "duration_cycles": duration_cycles,
+            "target_load": target_load,
         }
         for w, s, b in grid
     ]
@@ -153,6 +164,8 @@ def run_service_bench(
             "max_wait_cycles": max_wait_cycles,
             "max_depth": max_depth,
             "seed": seed,
+            "duration_cycles": duration_cycles,
+            "target_load": target_load,
         },
         "cells": cells,
         "geomean": geomeans,

@@ -8,8 +8,18 @@ attribution of the serving window::
     python -m repro serve --workload rbtree --mode closed --think 500
     python -m repro serve --admission shed --queue-depth 8 --json out.json
 
+Sustained modes: ``--duration CYCLES`` runs until the simulated clock
+passes the horizon instead of a fixed request count, ``--target-load
+R`` offers R requests per kilocycle spread over the clients, and
+``--populations P`` fans the run out into P sharded client populations
+(one service per worker with ``--jobs``), merging their telemetry::
+
+    python -m repro serve --duration 2000000 --target-load 0.8
+    python -m repro serve --populations 4 --duration 1000000 --jobs 4
+
 The grid sweep + regression gate lives under ``python -m repro bench
---service`` (see :mod:`repro.service.bench`).
+--service`` (see :mod:`repro.service.bench`); the checked-in sustained
+artifact under ``python -m repro bench --sustained``.
 """
 
 from __future__ import annotations
@@ -72,6 +82,11 @@ def _result_doc(res: ServiceResult) -> dict:
         "batch_occupancy": _hist_doc(res.batch_occupancy),
         "queue_depth": _hist_doc(res.queue_depth),
         "stats": json.loads(res.stats.to_json()),
+        "duration_cycles": res.duration_cycles,
+        "client_base": res.client_base,
+        "lock_grants": res.lock_grants,
+        "lock_wounds": res.lock_wounds,
+        "lock_waits": res.lock_waits,
     }
 
 
@@ -109,6 +124,28 @@ def serve_main(argv: "Optional[List[str]]" = None) -> int:
                         default=AdmissionPolicy.fairness,
                         help="batch-fill discipline")
     parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument(
+        "--duration", type=int, default=None, metavar="CYCLES",
+        help="duration mode: serve until the simulated clock passes this "
+        "horizon (arrivals stop there, the queue drains); --requests is "
+        "ignored",
+    )
+    parser.add_argument(
+        "--target-load", type=float, default=None, metavar="REQS_PER_KCYC",
+        help="offered load in requests per 1000 cycles spread over the "
+        "clients (open mode; overrides --arrival)",
+    )
+    parser.add_argument(
+        "--locking", action="store_true",
+        help="route write batches through the wound-wait lock manager "
+        "over the workload's named structures",
+    )
+    parser.add_argument(
+        "--populations", type=int, default=None, metavar="P",
+        help="sustained mode: fan out into P sharded client populations "
+        "(each --clients wide, disjoint global client ids) and merge "
+        "their telemetry; requires --duration, honours --jobs",
+    )
     parser.add_argument("--json", help="write the diffable run document here")
     parser.add_argument(
         "--windows", type=int, metavar="CYCLES",
@@ -134,12 +171,15 @@ def serve_main(argv: "Optional[List[str]]" = None) -> int:
     )
     parser.add_argument(
         "--jobs", type=int, default=None,
-        help="parallel workers for --curve (default: serial)",
+        help="parallel workers for --curve / --populations "
+        "(default: serial)",
     )
     args = parser.parse_args(argv)
 
     if args.curve:
         return _curve_main(args)
+    if args.populations is not None:
+        return _sustained_main(args)
 
     telemetry = None
     if args.windows is not None:
@@ -169,6 +209,9 @@ def serve_main(argv: "Optional[List[str]]" = None) -> int:
                 fairness=args.fairness,
             ),
             seed=args.seed,
+            duration_cycles=args.duration,
+            target_load=args.target_load,
+            locking=args.locking,
         ),
         telemetry=telemetry,
     )
@@ -183,12 +226,22 @@ def serve_main(argv: "Optional[List[str]]" = None) -> int:
         print(f"wrote {args.json}")
         return 0
 
+    shape = (
+        f"duration {res.duration_cycles:,} cycles"
+        if res.duration_cycles is not None
+        else f"{res.requests_per_client} requests each"
+    )
     print(
         f"{res.workload}/{res.scheme} {res.mode}-loop: "
-        f"{res.num_clients} clients x {res.requests_per_client} requests, "
+        f"{res.num_clients} clients, {shape}, "
         f"batch<={res.batch_size} wait<={res.max_wait_cycles}, "
         f"queue<={res.max_depth} ({res.admission_mode}/{res.fairness})"
     )
+    if res.lock_grants or res.lock_wounds or res.lock_waits:
+        print(
+            f"  lock manager: {res.lock_grants} grants, "
+            f"{res.lock_wounds} wounds, {res.lock_waits} waits"
+        )
     print(
         f"  served {res.acked}/{res.requests} "
         f"({res.reads} reads, {res.committed_writes} committed writes in "
@@ -252,6 +305,7 @@ def _curve_main(args) -> int:
         workload=args.workload,
         seed=args.seed,
         jobs=resolve_jobs(args.jobs),
+        duration_cycles=args.duration,
     )
     wrote = False
     if args.json:
@@ -267,4 +321,39 @@ def _curve_main(args) -> int:
         wrote = True
     if not wrote:
         print(format_curve(doc))
+    return 0
+
+
+def _sustained_main(args) -> int:
+    """The ``serve --populations P`` sharded-population fan-out."""
+    from repro.parallel.engine import resolve_jobs
+    from repro.service.sustained import format_sustained, run_sustained
+
+    if args.duration is None:
+        raise SystemExit("--populations requires --duration")
+    if args.mode != "open":
+        raise SystemExit("--populations requires the open client loop")
+    doc = run_sustained(
+        populations=args.populations,
+        clients_per_population=args.clients,
+        workload=args.workload,
+        scheme=args.scheme,
+        value_bytes=args.value_bytes,
+        num_keys=args.num_keys,
+        theta=args.theta,
+        arrival_cycles=args.arrival,
+        target_load=args.target_load,
+        batch_size=args.batch_size,
+        duration_cycles=args.duration,
+        locking=args.locking,
+        seed=args.seed,
+        jobs=resolve_jobs(args.jobs),
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+        return 0
+    print(format_sustained(doc))
     return 0

@@ -64,8 +64,12 @@ def curve_cell_config(
     *,
     workload: str = "hashtable",
     seed: int = 2023,
+    duration_cycles: "Optional[int]" = None,
 ):
-    """The :class:`~repro.service.server.ServiceConfig` of one cell."""
+    """The :class:`~repro.service.server.ServiceConfig` of one cell.
+
+    With *duration_cycles* the cell runs in duration mode: the fixed
+    request count is ignored and arrivals stop at the horizon."""
     from repro.service.server import ServiceConfig
     from repro.service.tm import GroupCommitPolicy
 
@@ -81,6 +85,7 @@ def curve_cell_config(
         arrival_cycles=arrival_cycles,
         batch=GroupCommitPolicy(batch_size=CURVE_BATCH_SIZE),
         seed=seed,
+        duration_cycles=duration_cycles,
     )
 
 
@@ -96,20 +101,24 @@ def run_curve_cell(
     workload: str = "hashtable",
     seed: int = 2023,
     window_cycles: int = BASE_WINDOW_CYCLES,
+    duration_cycles: "Optional[int]" = None,
 ) -> Dict[str, Any]:
     """One load point: run the service, trim warm-up, quote steady
-    numbers.  Fully deterministic from the arguments."""
+    numbers.  Fully deterministic from the arguments.  In duration mode
+    the straddled tail window past the horizon is trimmed before
+    detection (see :func:`~repro.obs.steady.steady_summary`)."""
     from repro.service.server import run_service
 
     cfg = curve_cell_config(
-        scheme, arrival_cycles, workload=workload, seed=seed
+        scheme, arrival_cycles, workload=workload, seed=seed,
+        duration_cycles=duration_cycles,
     )
     fine = TelemetryWindows(window_cycles)
     res = run_service(cfg, telemetry=fine)
     telemetry = fine.rebinned(max(1, fine.num_windows // TARGET_WINDOWS))
-    summary = steady_summary(telemetry)
+    summary = steady_summary(telemetry, horizon_cycles=duration_cycles)
     latency = summary["latency"]
-    return {
+    cell = {
         "scheme": scheme,
         "workload": workload,
         "arrival_cycles": arrival_cycles,
@@ -130,6 +139,9 @@ def run_curve_cell(
         "latency": latency,
         "acked_series": telemetry.series("acked"),
     }
+    if duration_cycles is not None:
+        cell["duration_cycles"] = duration_cycles
+    return cell
 
 
 def run_curve(
@@ -139,6 +151,7 @@ def run_curve(
     workload: str = "hashtable",
     seed: int = 2023,
     jobs: int = 1,
+    duration_cycles: "Optional[int]" = None,
     progress=None,
 ) -> Dict[str, Any]:
     """The full curve document: every (scheme, arrival) cell, knees
@@ -146,7 +159,8 @@ def run_curve(
 
     With ``jobs > 1`` cells run on the parallel engine; results are
     collected in submission order, so the document is byte-identical to
-    a serial sweep.
+    a serial sweep.  With *duration_cycles* every cell runs in duration
+    mode instead of a fixed request count.
     """
     from repro.parallel.engine import run_tasks
     from repro.parallel.tasks import curve_cell
@@ -157,6 +171,7 @@ def run_curve(
             "arrival_cycles": arrival,
             "workload": workload,
             "seed": seed,
+            "duration_cycles": duration_cycles,
         }
         for scheme in schemes
         for arrival in arrivals
@@ -192,7 +207,7 @@ def run_curve(
             "throughput_kcyc": points[knee]["throughput_kcyc"],
             "p95": points[knee]["p95"],
         }
-    return {
+    doc = {
         "kind": "curve",
         "workload": workload,
         "seed": seed,
@@ -202,6 +217,9 @@ def run_curve(
         "knees": knees,
         "points": rows,
     }
+    if duration_cycles is not None:
+        doc["duration_cycles"] = duration_cycles
+    return doc
 
 
 def curve_to_table(doc: Dict[str, Any]) -> str:

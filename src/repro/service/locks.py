@@ -1,0 +1,154 @@
+"""Wound-wait lock manager over named structures.
+
+Multi-structure transactions (hashtable insert + queue push + counter
+update) ride the group-commit TM as one durable transaction, but which
+requests may share a batch is a concurrency-control decision.  This
+module supplies the classic lock-manager half: every write request
+acquires its named structures (from
+:meth:`~repro.service.rm.ResourceManager.structures_of`) in canonical
+sorted order before joining a batch, with **wound-wait** arbitration —
+the same rule :class:`~repro.multicore.system.MultiCoreSystem` applies
+to cache-line conflicts, lifted to structure granularity:
+
+* an *older* requester (smaller timestamp) **wounds** every younger
+  holder in its way: the holder is evicted from the forming batch, its
+  locks are released and it is re-queued to lead the next batch;
+* a *younger* requester **waits**: it is deferred to the next batch with
+  its original submission time intact, so it only gets older.
+
+The oldest queued request is therefore always grantable — the protocol
+is deadlock- and livelock-free by the usual wound-wait argument.
+
+Lock modes follow the Marathe et al. split: single-structure writes
+(``put``) take their structure **shared** — they commit atomically
+together anyway, so group commit keeps its batching win — while
+multi-key ``txn`` requests take every touched structure **exclusive**.
+Locks live only for the batch they admit: the batch commits as one
+atomic transaction immediately after resolution, which releases every
+grant, so the manager carries no state between batches — only the
+``grants`` / ``wounds`` / ``waits`` counters.
+
+Timestamps are ``(submitted_at, client, seq)``: total, deterministic,
+and aligned with arrival order, so resolution is a pure function of the
+batch contents and the whole service run stays bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.service.admission import QueuedRequest
+from repro.service.model import Request
+
+#: A lock timestamp: arrival order, tie-broken by (client, seq).
+Timestamp = Tuple[int, int, int]
+
+#: Structure-set oracle: request -> named structures it writes.
+StructuresOf = Callable[[Request], Tuple[str, ...]]
+
+
+def lock_timestamp(item: QueuedRequest) -> Timestamp:
+    """The wound-wait age of a queued request (smaller = older)."""
+    return (item.submitted_at, item.request.client, item.request.seq)
+
+
+def lock_mode(request: Request) -> str:
+    """``"x"`` (exclusive) for multi-key ``txn`` requests, ``"s"``
+    (shared) for single-structure writes."""
+    return "x" if request.kind == "txn" else "s"
+
+
+class _Grant:
+    """One admitted request and the locks it holds."""
+
+    __slots__ = ("item", "index", "ts", "mode", "structures")
+
+    def __init__(
+        self,
+        item: QueuedRequest,
+        index: int,
+        ts: Timestamp,
+        mode: str,
+        structures: Tuple[str, ...],
+    ) -> None:
+        self.item = item
+        self.index = index
+        self.ts = ts
+        self.mode = mode
+        self.structures = structures
+
+
+class LockManager:
+    """Deterministic wound-wait resolution for group-commit batches."""
+
+    def __init__(self) -> None:
+        #: Requests that made it into a batch with all locks held.
+        self.grants = 0
+        #: Younger holders evicted by an older requester.
+        self.wounds = 0
+        #: Younger requesters deferred behind an older holder.
+        self.waits = 0
+
+    def resolve(
+        self,
+        batch: List[QueuedRequest],
+        structures_of: StructuresOf,
+    ) -> Tuple[List[QueuedRequest], List[QueuedRequest]]:
+        """Split a candidate batch into ``(granted, deferred)``.
+
+        Requests are considered in batch (selection) order; each
+        acquires its structures in canonical sorted order.  ``granted``
+        keeps selection order; ``deferred`` keeps it too, so re-queuing
+        them at the queue front preserves the original relative order.
+        The first candidate always acquires (no locks are held when
+        resolution starts), so a non-empty batch never resolves to an
+        empty grant set.
+        """
+        holders: Dict[str, List[_Grant]] = {}
+        grants: List[_Grant] = []
+        deferred: List[_Grant] = []
+
+        def release(grant: _Grant) -> None:
+            for name in grant.structures:
+                holding = holders.get(name, [])
+                if grant in holding:
+                    holding.remove(grant)
+                if not holding:
+                    holders.pop(name, None)
+
+        for index, item in enumerate(batch):
+            ts = lock_timestamp(item)
+            mode = lock_mode(item.request)
+            structures = tuple(sorted(structures_of(item.request)))
+            grant = _Grant(item, index, ts, mode, structures)
+            conflicts: List[_Grant] = []
+            for name in structures:
+                for holder in holders.get(name, []):
+                    if mode == "s" and holder.mode == "s":
+                        continue
+                    if holder not in conflicts:
+                        conflicts.append(holder)
+            if not conflicts:
+                pass
+            elif any(holder.ts < ts for holder in conflicts):
+                # An older transaction holds a lock we need: wait.
+                self.waits += 1
+                deferred.append(grant)
+                continue
+            else:
+                # Every blocker is younger: wound them all.
+                for holder in conflicts:
+                    release(holder)
+                    grants.remove(holder)
+                    deferred.append(holder)
+                    self.wounds += 1
+            for name in structures:
+                holders.setdefault(name, []).append(grant)
+            grants.append(grant)
+
+        self.grants += len(grants)
+        deferred.sort(key=lambda g: g.index)
+        return (
+            [g.item for g in grants],
+            [g.item for g in deferred],
+        )

@@ -103,72 +103,110 @@ def value_for(key: int, client: int, seq: int, value_words: int) -> Tuple[int, .
     )
 
 
-def generate_stream(
-    client: int,
-    num_requests: int,
-    *,
-    mix: Optional[Dict[str, float]] = None,
-    num_keys: int = 64,
-    theta: float = 0.0,
-    value_words: int = 8,
-    txn_keys: int = 3,
-    scan_count: int = 4,
-    seed: int = 0,
-) -> List[Request]:
-    """One client's deterministic request stream.
+class ClientStream:
+    """One client's deterministic request stream, lazily extensible.
 
     Keys are ``KEY_BASE + rank`` with zipfian(θ) skew over a population
     shared by every client, so cross-client writes collide and the
     group-commit batches mix writers.  ``txn`` requests touch 2..*txn_keys*
     distinct keys.
+
+    The stream is **prefix-stable**: requests ``0..n-1`` are the same
+    whether the stream is asked for ``n`` or ``n+k`` requests, because
+    the RNG seed hashes only ``(seed, client, theta, num_keys)`` — never
+    a request count — and requests are drawn strictly in ``seq`` order.
+    Duration-driven runs depend on this: growing a run's horizon extends
+    the traffic rather than reshuffling it.
     """
-    mix = DEFAULT_MIX if mix is None else mix
-    kinds = sorted(k for k, w in mix.items() if w > 0)
-    unknown = [k for k in kinds if k not in OP_KINDS]
-    if unknown:
-        raise ValueError(f"unknown mix kind(s): {unknown}")
-    weights = [mix[k] for k in kinds]
-    cdf = zipfian_cdf(num_keys, theta)
-    rng = random.Random(
-        f"svc:{seed}:{client}:{num_requests}:{theta!r}:{num_keys}"
-    )
 
-    def draw_key() -> int:
-        return KEY_BASE + sample_rank(cdf, rng)
+    def __init__(
+        self,
+        client: int,
+        *,
+        mix: Optional[Dict[str, float]] = None,
+        num_keys: int = 64,
+        theta: float = 0.0,
+        value_words: int = 8,
+        txn_keys: int = 3,
+        scan_count: int = 4,
+        seed: int = 0,
+    ) -> None:
+        mix = DEFAULT_MIX if mix is None else mix
+        self.kinds = sorted(k for k, w in mix.items() if w > 0)
+        unknown = [k for k in self.kinds if k not in OP_KINDS]
+        if unknown:
+            raise ValueError(f"unknown mix kind(s): {unknown}")
+        self.client = client
+        self.num_keys = num_keys
+        self.value_words = value_words
+        self.txn_keys = txn_keys
+        self.scan_count = scan_count
+        self.weights = [mix[k] for k in self.kinds]
+        self.cdf = zipfian_cdf(num_keys, theta)
+        self._rng = random.Random(f"svc:{seed}:{client}:{theta!r}:{num_keys}")
+        self._requests: List[Request] = []
 
-    stream: List[Request] = []
-    for seq in range(num_requests):
-        kind = rng.choices(kinds, weights=weights)[0]
+    def _draw_key(self) -> int:
+        return KEY_BASE + sample_rank(self.cdf, self._rng)
+
+    def _draw_next(self) -> None:
+        client, seq, rng = self.client, len(self._requests), self._rng
+        kind = rng.choices(self.kinds, weights=self.weights)[0]
         if kind == "get":
-            stream.append(Request(client, seq, "get", (draw_key(),)))
+            request = Request(client, seq, "get", (self._draw_key(),))
         elif kind == "scan":
-            stream.append(
-                Request(client, seq, "scan", (draw_key(),), scan_count=scan_count)
+            request = Request(
+                client, seq, "scan", (self._draw_key(),),
+                scan_count=self.scan_count,
             )
         elif kind == "put":
-            key = draw_key()
-            stream.append(
-                Request(
-                    client, seq, "put", (key,),
-                    values=(value_for(key, client, seq, value_words),),
-                )
+            key = self._draw_key()
+            request = Request(
+                client, seq, "put", (key,),
+                values=(value_for(key, client, seq, self.value_words),),
             )
         else:  # txn
-            want = rng.randrange(2, max(txn_keys, 2) + 1)
+            want = rng.randrange(2, max(self.txn_keys, 2) + 1)
             keys: List[int] = []
-            while len(keys) < min(want, num_keys):
-                key = draw_key()
+            while len(keys) < min(want, self.num_keys):
+                key = self._draw_key()
                 if key not in keys:
                     keys.append(key)
-            stream.append(
-                Request(
-                    client, seq, "txn", tuple(keys),
-                    values=tuple(
-                        value_for(k, client, seq, value_words) for k in keys
-                    ),
-                )
+            request = Request(
+                client, seq, "txn", tuple(keys),
+                values=tuple(
+                    value_for(k, client, seq, self.value_words) for k in keys
+                ),
             )
-    return stream
+        self._requests.append(request)
+
+    def request(self, seq: int) -> Request:
+        """The request at stream position *seq* (drawn on first demand)."""
+        while len(self._requests) <= seq:
+            self._draw_next()
+        return self._requests[seq]
+
+    def prefix(self, num_requests: int) -> List[Request]:
+        """The first *num_requests* requests (a fresh list)."""
+        while len(self._requests) < num_requests:
+            self._draw_next()
+        return list(self._requests[:num_requests])
+
+    def __iter__(self):
+        """Iterate the requests drawn so far (after a run: exactly the
+        traffic the stream produced)."""
+        return iter(list(self._requests))
+
+
+def generate_stream(
+    client: int,
+    num_requests: int,
+    **kwargs,
+) -> List[Request]:
+    """One client's deterministic request stream (a
+    :class:`ClientStream` prefix; see there for the knobs and the
+    prefix-stability contract)."""
+    return ClientStream(client, **kwargs).prefix(num_requests)
 
 
 def generate_streams(
@@ -183,6 +221,33 @@ def generate_streams(
     ]
 
 
+class ArrivalStream:
+    """Open-loop interarrival gaps for one client, lazily extensible:
+    uniform on ``[1, 2*mean)`` so the mean is *mean_cycles* and every
+    gap is a positive integer (the event loop needs strictly advancing
+    times).  Prefix-stable like :class:`ClientStream`: the seed never
+    includes a request count."""
+
+    def __init__(self, client: int, *, mean_cycles: int, seed: int = 0) -> None:
+        if mean_cycles < 1:
+            raise ValueError("mean_cycles must be positive")
+        self.mean_cycles = mean_cycles
+        self._rng = random.Random(f"svc-arrival:{seed}:{client}:{mean_cycles}")
+        self._gaps: List[int] = []
+
+    def gap(self, i: int) -> int:
+        """The *i*-th interarrival gap (drawn on first demand)."""
+        while len(self._gaps) <= i:
+            self._gaps.append(self._rng.randrange(1, 2 * self.mean_cycles))
+        return self._gaps[i]
+
+    def prefix(self, num_requests: int) -> List[int]:
+        """The first *num_requests* gaps (a fresh list)."""
+        while len(self._gaps) < num_requests:
+            self.gap(len(self._gaps))
+        return list(self._gaps[:num_requests])
+
+
 def arrival_gaps(
     client: int,
     num_requests: int,
@@ -190,10 +255,7 @@ def arrival_gaps(
     mean_cycles: int,
     seed: int = 0,
 ) -> List[int]:
-    """Open-loop interarrival gaps for one client: uniform on
-    ``[1, 2*mean)`` so the mean is *mean_cycles* and every gap is a
-    positive integer (the event loop needs strictly advancing times)."""
-    if mean_cycles < 1:
-        raise ValueError("mean_cycles must be positive")
-    rng = random.Random(f"svc-arrival:{seed}:{client}:{mean_cycles}")
-    return [rng.randrange(1, 2 * mean_cycles) for _ in range(num_requests)]
+    """The first *num_requests* gaps of an :class:`ArrivalStream`."""
+    return ArrivalStream(client, mean_cycles=mean_cycles, seed=seed).prefix(
+        num_requests
+    )

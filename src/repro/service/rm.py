@@ -28,6 +28,64 @@ class ReadConsistencyError(AssertionError):
     """A service read diverged from the committed oracle."""
 
 
+class StructureManager:
+    """One named structure's committed-state facet.
+
+    The lock manager's unit of conflict: every write request names the
+    structures it touches (:meth:`ResourceManager.structures_of`) and
+    acquires them in canonical order.  Each facet keeps its own oracle
+    of the committed image so cross-structure invariants (queue length
+    == counter == insert events) can be checked independently of the
+    key→value map.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: Write requests committed through this structure.
+        self.commits = 0
+
+    def commit(self, request: Request) -> None:
+        self.commits += 1
+
+
+class MapStructure(StructureManager):
+    """The key→value map facet (mirror of the RM's committed dict)."""
+
+    def __init__(self, name: str = "map") -> None:
+        super().__init__(name)
+        self.committed: Dict[int, Tuple[int, ...]] = {}
+
+    def commit(self, request: Request) -> None:
+        super().commit(request)
+        for key, value in zip(request.keys, request.values):
+            self.committed[key] = tuple(value)
+
+
+class QueueStructure(StructureManager):
+    """The append-only queue facet: one entry per committed insert
+    event, duplicates included (keys may repeat)."""
+
+    def __init__(self, name: str = "queue") -> None:
+        super().__init__(name)
+        self.order: List[int] = []
+
+    def commit(self, request: Request) -> None:
+        super().commit(request)
+        self.order.extend(request.keys)
+
+
+class CounterStructure(StructureManager):
+    """The monotone event-counter facet."""
+
+    def __init__(self, name: str = "counter") -> None:
+        super().__init__(name)
+        self.count = 0
+
+    def commit(self, request: Request) -> None:
+        super().commit(request)
+        self.count += len(request.keys)
+
+
 class ResourceManager:
     """Typed-op adapter over one :class:`~repro.workloads.base.Workload`."""
 
@@ -41,6 +99,12 @@ class ResourceManager:
         self.track = track
         #: Committed oracle: key -> value tuple, updated at group commit.
         self.committed: Dict[int, Tuple[int, ...]] = {}
+
+    def structures_of(self, request: Request) -> Tuple[str, ...]:
+        """Named structures a write request locks (canonical set; the
+        lock manager sorts before acquiring).  Single-structure
+        workloads expose one name, ``"main"``."""
+        return getattr(self.subject, "lock_structures", ("main",))
 
     def _trace_read(self, ctx: "Optional[TraceContext]", results: int) -> None:
         if ctx is None or self.request_tracer is None:
@@ -128,3 +192,55 @@ class ResourceManager:
         self.subject.expected = {
             key: list(value) for key, value in self.committed.items()
         }
+
+
+class MultiStructResourceManager(ResourceManager):
+    """Per-structure resource managers over a composite workload.
+
+    Every write request fans out into one facet update per named
+    structure — map insert, queue push, counter bump — committed
+    together (the enclosing batch transaction is atomic), so the facets
+    must never disagree: ``counter.count == len(queue.order)`` equals
+    the total committed insert events at every commit point, which is
+    exactly the cross-structure invariant the service crash campaign
+    checks on the durable image.
+    """
+
+    def __init__(
+        self, subject: Workload, *, request_tracer=None, track: int = 0
+    ) -> None:
+        super().__init__(subject, request_tracer=request_tracer, track=track)
+        names = getattr(subject, "lock_structures", ("main",))
+        self.structures: Dict[str, StructureManager] = {}
+        for name in names:
+            if name == "map":
+                self.structures[name] = MapStructure(name)
+            elif name == "queue":
+                self.structures[name] = QueueStructure(name)
+            elif name == "counter":
+                self.structures[name] = CounterStructure(name)
+            else:
+                self.structures[name] = StructureManager(name)
+
+    def commit_write(self, request: Request) -> None:
+        super().commit_write(request)
+        for name in self.structures_of(request):
+            self.structures[name].commit(request)
+
+    @property
+    def committed_events(self) -> int:
+        """Total committed insert events (the counter facet's oracle)."""
+        counter = self.structures.get("counter")
+        return counter.count if counter is not None else 0
+
+
+def make_resource_manager(
+    subject: Workload, *, request_tracer=None, track: int = 0
+) -> ResourceManager:
+    """The RM matching the workload: per-structure facets when the
+    subject names more than one lock structure."""
+    if len(getattr(subject, "lock_structures", ("main",))) > 1:
+        return MultiStructResourceManager(
+            subject, request_tracer=request_tracer, track=track
+        )
+    return ResourceManager(subject, request_tracer=request_tracer, track=track)

@@ -49,13 +49,14 @@ from repro.runtime.ptx import PTx
 from repro.workloads import WORKLOADS
 
 from repro.service.admission import AdmissionPolicy, AdmissionQueue, QueuedRequest
+from repro.service.locks import LockManager
 from repro.service.model import (
+    ArrivalStream,
+    ClientStream,
     Request,
     Response,
-    arrival_gaps,
-    generate_streams,
 )
-from repro.service.rm import ResourceManager
+from repro.service.rm import make_resource_manager
 from repro.service.tm import GroupCommitPolicy, TransactionManager
 
 #: Client-loop modes.
@@ -90,6 +91,29 @@ class ServiceConfig:
     #: Python-side comparison only).
     check_reads: bool = True
     verify: bool = True
+    #: First global client id this service hosts.  A sharded population
+    #: run gives every worker's service the same seed but a disjoint
+    #: ``[client_base, client_base + num_clients)`` id slice, so the
+    #: per-client streams (seeded by global id) never collide and the
+    #: merged run equals one big service by construction.
+    client_base: int = 0
+    #: Duration mode: run until the simulated clock passes this horizon
+    #: (cycles from serve start) instead of until a fixed request count.
+    #: Arrivals due at or before the horizon are admitted; the queue
+    #: drains afterwards.  ``requests_per_client`` is ignored — streams
+    #: extend lazily and prefix-stably as far as the horizon demands.
+    duration_cycles: Optional[int] = None
+    #: Offered load in requests per 1000 cycles, spread over the
+    #: client population (open mode only); overrides ``arrival_cycles``.
+    target_load: Optional[float] = None
+    #: Route write batches through the wound-wait
+    #: :class:`~repro.service.locks.LockManager` (multi-structure
+    #: transactions acquire their named structures in canonical order).
+    locking: bool = False
+    #: Keep every :class:`~repro.service.model.Response` object on the
+    #: service (set False for campaign-scale runs: telemetry, stats and
+    #: the committed oracle still capture the run).
+    keep_responses: bool = True
 
     def __post_init__(self) -> None:
         if self.mode not in CLIENT_MODES:
@@ -98,6 +122,24 @@ class ServiceConfig:
             )
         if self.num_clients < 1:
             raise ValueError("num_clients must be at least 1")
+        if self.client_base < 0:
+            raise ValueError("client_base must be non-negative")
+        if self.duration_cycles is not None and self.duration_cycles < 1:
+            raise ValueError("duration_cycles must be positive")
+        if self.target_load is not None:
+            if self.target_load <= 0:
+                raise ValueError("target_load must be positive")
+            if self.mode != "open":
+                raise ValueError("target_load needs mode='open'")
+
+    @property
+    def effective_arrival_cycles(self) -> int:
+        """Mean interarrival gap per client: ``arrival_cycles``, or the
+        gap that spreads ``target_load`` requests/kcyc over the client
+        population when a target load is set."""
+        if self.target_load is not None:
+            return max(1, round(1000 * self.num_clients / self.target_load))
+        return self.arrival_cycles
 
 
 @dataclass
@@ -138,6 +180,14 @@ class ServiceResult:
     queue_depth: LogHistogram
     responses: List[Response]
     stats: SimStats
+    #: Duration-mode horizon (None for fixed request counts).
+    duration_cycles: Optional[int] = None
+    #: First global client id (population slice; 0 standalone).
+    client_base: int = 0
+    #: Wound-wait lock-manager counters (zero when locking is off).
+    lock_grants: int = 0
+    lock_wounds: int = 0
+    lock_waits: int = 0
 
     @property
     def commit_persist_per_write(self) -> float:
@@ -178,7 +228,7 @@ class TransactionService:
         self.subject = WORKLOADS[cfg.workload](
             self.rt, value_bytes=cfg.value_bytes
         )
-        self.rm = ResourceManager(
+        self.rm = make_resource_manager(
             self.subject, request_tracer=request_tracer, track=self._track
         )
         self.tm = TransactionManager(
@@ -189,18 +239,24 @@ class TransactionService:
             track=self._track,
         )
         self.queue = AdmissionQueue(cfg.admission)
+        self.locks = LockManager() if cfg.locking else None
         value_words = cfg.value_bytes // units.WORD_BYTES
-        self.streams = generate_streams(
-            cfg.num_clients,
-            cfg.requests_per_client,
-            mix=cfg.mix,
-            num_keys=cfg.num_keys,
-            theta=cfg.theta,
-            value_words=value_words,
-            txn_keys=cfg.txn_keys,
-            scan_count=cfg.scan_count,
-            seed=cfg.seed,
-        )
+        #: Per-client lazy streams, seeded by *global* client id
+        #: (``client_base + local``), so population slices of one seed
+        #: generate disjoint, collision-free traffic.
+        self.streams = [
+            ClientStream(
+                cfg.client_base + client,
+                mix=cfg.mix,
+                num_keys=cfg.num_keys,
+                theta=cfg.theta,
+                value_words=value_words,
+                txn_keys=cfg.txn_keys,
+                scan_count=cfg.scan_count,
+                seed=cfg.seed,
+            )
+            for client in range(cfg.num_clients)
+        ]
         self.responses: List[Response] = []
         #: The batch currently inside :meth:`~..tm.TransactionManager.
         #: commit_batch` — non-empty exactly while a group commit is in
@@ -208,7 +264,9 @@ class TransactionService:
         self.inflight: List[Request] = []
         self._cursor = [0] * cfg.num_clients
         self._due: List[Optional[int]] = [None] * cfg.num_clients
-        self._arrivals: List[List[int]] = [[] for _ in range(cfg.num_clients)]
+        self._done = [False] * cfg.num_clients
+        self._gaps: List[Optional[ArrivalStream]] = [None] * cfg.num_clients
+        self._horizon: Optional[int] = None
         self._committed_writes = 0
         self._served = False
         self._finished = False
@@ -219,42 +277,63 @@ class TransactionService:
     def _init_schedule(self) -> None:
         t0 = self.machine.now
         cfg = self.cfg
+        if cfg.duration_cycles is not None:
+            self._horizon = t0 + cfg.duration_cycles
         for client in range(cfg.num_clients):
-            if not self.streams[client]:
-                self._due[client] = None
+            if cfg.duration_cycles is None and cfg.requests_per_client == 0:
+                self._done[client] = True
                 continue
             if cfg.mode == "open":
-                gaps = arrival_gaps(
-                    client,
-                    cfg.requests_per_client,
-                    mean_cycles=cfg.arrival_cycles,
+                gaps = ArrivalStream(
+                    cfg.client_base + client,
+                    mean_cycles=cfg.effective_arrival_cycles,
                     seed=cfg.seed,
                 )
-                at = t0
-                times = []
-                for gap in gaps:
-                    at += gap
-                    times.append(at)
-                self._arrivals[client] = times
-                self._due[client] = times[0]
+                self._gaps[client] = gaps
+                self._set_due(client, t0 + gaps.gap(0))
             else:
                 # Closed loop: stagger the first submissions so clients
                 # never tie on the very first cycle.
-                self._due[client] = t0 + 1 + client
+                self._set_due(client, t0 + 1 + client)
+
+    def _set_due(self, client: int, at: int) -> None:
+        """Arm a client's next submission — or retire the client when
+        that submission falls past the duration horizon (the straddled
+        arrival is not admitted; the queue drains afterwards)."""
+        if self._horizon is not None and at > self._horizon:
+            self._done[client] = True
+            self._due[client] = None
+        else:
+            self._due[client] = at
 
     def _client_done(self, client: int) -> bool:
-        return self._cursor[client] >= len(self.streams[client])
+        return self._done[client]
 
-    def _advance_client(self, client: int, *, completed_at: int) -> None:
-        """Move a client past its current request (response recorded)."""
+    def _advance_client(
+        self, client: int, *, completed_at: "Optional[int]" = None
+    ) -> None:
+        """Move a client past its current request (admitted or shed).
+
+        ``completed_at`` re-arms a closed-loop client from a response;
+        ``None`` means the client is waiting (closed mode: its response
+        is pending and :meth:`_record` re-arms it)."""
         cfg = self.cfg
+        prev_at = self._due[client]
         self._cursor[client] += 1
-        if self._client_done(client):
+        if (
+            cfg.duration_cycles is None
+            and self._cursor[client] >= cfg.requests_per_client
+        ):
+            self._done[client] = True
             self._due[client] = None
         elif cfg.mode == "open":
-            self._due[client] = self._arrivals[client][self._cursor[client]]
+            self._set_due(
+                client, prev_at + self._gaps[client].gap(self._cursor[client])
+            )
+        elif completed_at is None:
+            self._due[client] = None
         else:
-            self._due[client] = completed_at + cfg.think_cycles
+            self._set_due(client, completed_at + cfg.think_cycles)
 
     # --- event-loop steps ------------------------------------------------
 
@@ -284,7 +363,8 @@ class TransactionService:
         )
 
     def _record(self, response: Response) -> None:
-        self.responses.append(response)
+        if self.cfg.keep_responses:
+            self.responses.append(response)
         if self.telemetry is not None:
             at = response.completed_at
             if response.status == "ok":
@@ -299,11 +379,13 @@ class TransactionService:
         if response.status == "ok":
             self.machine.stats.service_acked += 1
             self.profiler.record("req_latency", response.latency)
-        client = response.client
+        client = response.client - self.cfg.client_base
         if self.cfg.mode == "closed" and not self._client_done(client):
             # The client was waiting on this response; it thinks next.
             if self._due[client] is None:
-                self._due[client] = response.completed_at + self.cfg.think_cycles
+                self._set_due(
+                    client, response.completed_at + self.cfg.think_cycles
+                )
 
     def _admit_due(self) -> bool:
         """Admit (or shed) every due arrival, in (time, client) order."""
@@ -320,7 +402,7 @@ class TransactionService:
                 return progressed
             admitted_any = False
             for at, client in due:
-                request = self.streams[client][self._cursor[client]]
+                request = self.streams[client].request(self._cursor[client])
                 if self.queue.has_room:
                     self.machine.stats.service_requests += 1
                     self.queue.admit(
@@ -343,15 +425,7 @@ class TransactionService:
                     )
                     # In closed mode the client now waits for the
                     # response; _record() re-arms it.
-                    self._cursor[client] += 1
-                    if self._client_done(client):
-                        self._due[client] = None
-                    elif self.cfg.mode == "open":
-                        self._due[client] = self._arrivals[client][
-                            self._cursor[client]
-                        ]
-                    else:
-                        self._due[client] = None
+                    self._advance_client(client)
                     admitted_any = True
                     progressed = True
                 elif self.cfg.admission.mode == "shed":
@@ -362,7 +436,7 @@ class TransactionService:
                     self._emit_req("req_shed", ctx)
                     self._record(
                         Response(
-                            client=client,
+                            client=request.client,
                             seq=request.seq,
                             kind=request.kind,
                             status="shed",
@@ -428,6 +502,18 @@ class TransactionService:
         batch = self.queue.take_batch(self.cfg.batch.batch_size)
         if not batch:
             return False
+        if self.locks is not None:
+            # Wound-wait over named structures: granted requests ride
+            # this batch (locks implicitly released when its single
+            # durable transaction commits); deferred requests go back to
+            # the queue front and lead the next batch, oldest first.
+            batch, deferred = self.locks.resolve(
+                batch, self.rm.structures_of
+            )
+            if deferred:
+                self.queue.readmit_front(deferred)
+            if not batch:
+                return True
         requests = [item.request for item in batch]
         self.machine.stats.service_batches += 1
         batch_no = self.machine.stats.service_batches
@@ -575,6 +661,11 @@ class TransactionService:
             queue_depth=hist("queue_depth"),
             responses=list(self.responses),
             stats=stats,
+            duration_cycles=cfg.duration_cycles,
+            client_base=cfg.client_base,
+            lock_grants=0 if self.locks is None else self.locks.grants,
+            lock_wounds=0 if self.locks is None else self.locks.wounds,
+            lock_waits=0 if self.locks is None else self.locks.waits,
         )
 
     def run(self) -> ServiceResult:

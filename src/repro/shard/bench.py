@@ -58,7 +58,9 @@ DEFAULT_TWOPC_SEED = 2023
 #: The checked-in baseline for the 2PC bench.
 DEFAULT_TWOPC_BASELINE = "BENCH_twopc.json"
 
-SCHEMA_VERSION = 1
+#: Bumped to 2 with the sustained-load release (all BENCH_*.json
+#: artifacts regenerate together; see repro.obs.bench).
+SCHEMA_VERSION = 2
 
 
 def run_twopc_bench(

@@ -12,6 +12,7 @@ from repro.workloads.kv.btree import BTreeKV
 from repro.workloads.kv.ctree import CritBitKV
 from repro.workloads.kv.engine import KV_BACKENDS, make_kv
 from repro.workloads.kv.rtree import RadixKV
+from repro.workloads.multistruct import MultiStruct
 from repro.workloads.rbtree import RBTree
 from repro.workloads.shared import (
     SharedOp,
@@ -31,6 +32,7 @@ WORKLOADS: Dict[str, Type[Workload]] = {
     "kv-ctree": CritBitKV,
     "kv-rtree": RadixKV,
     "dlist": DoublyLinkedList,
+    "multistruct": MultiStruct,
 }
 
 #: The four STAMP-style kernel benchmarks (Figure 8, 10-13).
@@ -46,6 +48,7 @@ __all__ = [
     "HashTable",
     "DoublyLinkedList",
     "InPlaceTable",
+    "MultiStruct",
     "RBTree",
     "MaxHeap",
     "AVLTree",

@@ -1,10 +1,16 @@
-"""The deprecated ``max_retries`` aliases warn once and stay faithful."""
+"""The removed ``max_retries`` aliases are rejected outright.
+
+The 1.x releases carried ``max_retries`` as a deprecated alias for
+``max_attempts`` with a documented removal schedule: dropped together
+with the next schema-breaking release (schema_version 2).  That release
+is here — these tests pin the *rejection* behaviour so the alias cannot
+quietly come back with a different meaning.
+"""
 
 import warnings
 
 import pytest
 
-from repro.common.errors import TransactionError
 from repro.harness.runner import run_contention
 from repro.multicore.system import MultiCoreSystem, run_atomically
 
@@ -16,52 +22,22 @@ def counter_system(seed=7):
     return system, counter
 
 
-class TestRunAtomicallyAlias:
-    def test_max_retries_warns(self):
+class TestRunAtomicallyRejection:
+    def test_max_retries_rejected(self):
         system, counter = counter_system()
         rt = system.runtimes[0]
+        with pytest.raises(TypeError, match="max_retries"):
+            run_atomically(rt, lambda: None, max_retries=8)
 
-        def body():
-            rt.store(counter, rt.load(counter) + 1)
-
-        with pytest.warns(DeprecationWarning, match="max_retries"):
-            run_atomically(rt, body, max_retries=8)
-
-    def test_warning_names_the_replacement(self):
-        # The migration path must be in the message itself: the text
-        # names max_attempts and the removal milestone.
+    def test_rejected_even_alongside_max_attempts(self):
+        # The old "not both" TransactionError is gone with the alias:
+        # any appearance of max_retries is an unknown keyword now.
         system, counter = counter_system()
         rt = system.runtimes[0]
+        with pytest.raises(TypeError, match="max_retries"):
+            run_atomically(rt, lambda: None, max_attempts=4, max_retries=4)
 
-        def body():
-            rt.store(counter, rt.load(counter) + 1)
-
-        with pytest.warns(DeprecationWarning) as caught:
-            run_atomically(rt, body, max_retries=8)
-        message = str(caught[0].message)
-        assert "max_attempts" in message
-        assert "schema_version 2" in message
-
-    def test_alias_keeps_total_attempts_meaning(self):
-        system, counter = counter_system()
-        rt = system.runtimes[0]
-
-        def body():
-            rt.store(counter, rt.load(counter) + 1)
-
-        with pytest.warns(DeprecationWarning):
-            aborts = run_atomically(rt, body, max_retries=8)
-        assert aborts == 0
-
-    def test_both_kwargs_rejected(self):
-        system, counter = counter_system()
-        rt = system.runtimes[0]
-        with pytest.raises(TransactionError, match="not both"):
-            run_atomically(
-                rt, lambda: None, max_attempts=4, max_retries=4
-            )
-
-    def test_max_attempts_does_not_warn(self):
+    def test_max_attempts_still_works_and_does_not_warn(self):
         system, counter = counter_system()
         rt = system.runtimes[0]
 
@@ -70,62 +46,32 @@ class TestRunAtomicallyAlias:
 
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            run_atomically(rt, body, max_attempts=8)
+            assert run_atomically(rt, body, max_attempts=8) == 0
 
 
-class TestRunContentionAlias:
-    def test_max_retries_warns_once_per_call(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
+class TestRunContentionRejection:
+    def test_max_retries_rejected(self):
+        with pytest.raises(TypeError, match="max_retries"):
             run_contention(
                 "hashtable", "SLPMT",
-                cores=2, ops_per_core=4, num_keys=4, value_bytes=32,
+                cores=1, ops_per_core=1, num_keys=4, value_bytes=32,
                 max_retries=16,
             )
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        # One warning per call site, not one per retried transaction.
-        assert len(deprecations) == 1
-        assert "max_retries" in str(deprecations[0].message)
 
-    def test_warning_names_the_replacement(self):
-        with pytest.warns(DeprecationWarning) as caught:
-            run_contention(
-                "hashtable", "SLPMT",
-                cores=1, ops_per_core=2, num_keys=4, value_bytes=32,
-                max_retries=16,
-            )
-        message = str(caught[0].message)
-        assert "max_attempts" in message
-        assert "schema_version 2" in message
-
-    def test_alias_equivalent_to_max_attempts(self):
-        kwargs = dict(
-            cores=2, ops_per_core=4, num_keys=4, value_bytes=32, seed=9
-        )
-        direct = run_contention("hashtable", "SLPMT", max_attempts=16, **kwargs)
-        with pytest.warns(DeprecationWarning):
-            aliased = run_contention(
-                "hashtable", "SLPMT", max_retries=16, **kwargs
-            )
-        assert direct.cycles == aliased.cycles
-        assert direct.pm_bytes == aliased.pm_bytes
-        assert direct.commits == aliased.commits
-
-    def test_both_kwargs_rejected(self):
-        with pytest.raises(ValueError, match="not both"):
+    def test_rejected_even_alongside_max_attempts(self):
+        with pytest.raises(TypeError, match="max_retries"):
             run_contention(
                 "hashtable", "SLPMT",
                 cores=1, ops_per_core=1,
                 max_attempts=8, max_retries=8,
             )
 
-    def test_max_attempts_does_not_warn(self):
+    def test_max_attempts_still_works_and_does_not_warn(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            run_contention(
+            result = run_contention(
                 "hashtable", "SLPMT",
                 cores=1, ops_per_core=2, num_keys=4, value_bytes=32,
                 max_attempts=16,
             )
+        assert result.commits >= 2

@@ -245,17 +245,14 @@ class TestAttemptAccounting:
             run_atomically(rt, self.always_abort(calls), max_attempts=3)
         assert len(calls) == 3
 
-    def test_max_retries_alias_keeps_attempt_meaning(self):
-        # max_retries always *behaved* as an attempt budget (it passed
-        # retries=max_retries-1 down); the alias must not silently
-        # change existing callers' budgets.
+    def test_max_retries_alias_removed(self):
+        # The 1.x deprecation schedule executed with schema_version 2:
+        # the alias is gone, so passing it fails like any unknown
+        # keyword — no silent budget reinterpretation possible.
         system = MultiCoreSystem(1, seed=0)
         rt = system.runtimes[0]
-        calls = []
-        with pytest.warns(DeprecationWarning, match="max_retries"):
-            with pytest.raises(RetryExhausted, match="aborted 3 times"):
-                run_atomically(rt, self.always_abort(calls), max_retries=3)
-        assert len(calls) == 3
+        with pytest.raises(TypeError, match="max_retries"):
+            run_atomically(rt, lambda: None, max_retries=3)
 
     def test_single_attempt_budget(self):
         system = MultiCoreSystem(1, seed=0)
@@ -282,7 +279,7 @@ class TestAttemptAccounting:
     def test_both_kwargs_rejected(self):
         system = MultiCoreSystem(1, seed=0)
         rt = system.runtimes[0]
-        with pytest.raises(TransactionError, match="not both"):
+        with pytest.raises(TypeError, match="max_retries"):
             run_atomically(rt, lambda: None, max_attempts=2, max_retries=2)
 
     def test_nonpositive_budget_rejected(self):

@@ -72,11 +72,50 @@ class TestSteadySummary:
         assert s["latency"]["max"] == 100
         assert s["throughput_kcyc"] == pytest.approx(200.0)
 
-    def test_unsettled_run_falls_back_to_full_range_and_says_so(self):
+    def test_unsettled_run_falls_back_to_clipped_range_and_says_so(self):
+        # Regression: the fallback must not re-include the drop_tail
+        # windows detection was told to discard — an unsettled run is
+        # quoted over [0, len - drop_tail), not the raw full range.
         tel = self._telemetry([1, 40, 1, 40, 1, 40, 1, 40])
         s = steady_summary(tel)
         assert s["steady"] is False
-        assert (s["window_lo"], s["window_hi"]) == (0, 8)
+        assert (s["window_lo"], s["window_hi"]) == (0, 7)
+        assert s["tail_trimmed"] == 1
+
+    def test_fallback_clamps_to_min_windows_on_tiny_series(self):
+        # Boundary: a series shorter than min_windows + drop_tail must
+        # still quote at least min(min_windows, len) windows — the tail
+        # clip cannot shrink the quoted range below the credibility
+        # floor (and never below the series itself).
+        tel = self._telemetry([1, 40, 1])
+        s = steady_summary(tel)
+        assert s["steady"] is False
+        assert (s["window_lo"], s["window_hi"]) == (0, 3)
+        tiny = self._telemetry([1, 40])
+        s = steady_summary(tiny)
+        assert (s["window_lo"], s["window_hi"]) == (0, 2)
+
+    def test_horizon_clips_the_straddled_final_window(self):
+        # Duration mode: a horizon of 6.5 windows means only 6 full
+        # windows exist; the straddled 7th (and anything after — the
+        # post-horizon queue drain) must not enter detection or the
+        # quoted range.
+        tel = self._telemetry([20, 21, 19, 20, 21, 20, 9, 2])
+        s = steady_summary(tel, horizon_cycles=650)
+        assert s["windows_total"] == 6
+        assert s["window_hi"] <= 6
+        assert s["horizon_cycles"] == 650
+        assert s["steady"] is True
+
+    def test_horizon_on_exact_window_boundary_keeps_all_full_windows(self):
+        # Boundary: horizon exactly at a window edge — every window is
+        # full, nothing is clipped beyond the normal tail handling.
+        tel = self._telemetry([20, 21, 19, 20, 21, 20])
+        s = steady_summary(tel, horizon_cycles=600)
+        assert s["windows_total"] == 6
+        no_horizon = steady_summary(tel)
+        assert s["window_lo"] == no_horizon["window_lo"]
+        assert s["window_hi"] == no_horizon["window_hi"]
 
 
 class TestKnee:

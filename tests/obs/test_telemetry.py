@@ -95,6 +95,37 @@ class TestMergeAndSerialise:
             serial.to_dict(), sort_keys=True
         )
 
+    def test_three_way_merge_with_misaligned_final_windows(self):
+        # The sustained-campaign contract: three population registries
+        # whose runs end mid-window at three different cycles still
+        # fold, in submission order, to the registry of one serial run
+        # — the merge aligns on window index, not on run length.
+        parts = [TelemetryWindows(64) for _ in range(3)]
+        serial = TelemetryWindows(64)
+        spans = [(0, 23), (40, 31), (100, 17)]  # distinct partial tails
+        for tel, (base, n) in zip(parts, spans):
+            self._fill(tel, base, n)
+            self._fill(serial, base, n)
+        merged = merge_telemetry(parts)
+        assert json.dumps(merged.to_dict(), sort_keys=True) == json.dumps(
+            serial.to_dict(), sort_keys=True
+        )
+        # The partial final windows really are misaligned.
+        assert len({tel.num_windows for tel in parts}) == 3
+
+    def test_merge_then_rebin_equals_rebin_of_serial(self):
+        # The analysis pipeline rebins the merged registry; folding
+        # order must not matter there either.
+        parts = [TelemetryWindows(32) for _ in range(3)]
+        serial = TelemetryWindows(32)
+        for i, tel in enumerate(parts):
+            self._fill(tel, i * 95, 12 + i)
+            self._fill(serial, i * 95, 12 + i)
+        merged = merge_telemetry(parts).rebinned(4)
+        assert json.dumps(merged.to_dict(), sort_keys=True) == json.dumps(
+            serial.rebinned(4).to_dict(), sort_keys=True
+        )
+
     def test_merge_rejects_mismatched_widths(self):
         with pytest.raises(ValueError):
             TelemetryWindows(64).merge(TelemetryWindows(128))

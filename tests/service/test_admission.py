@@ -109,6 +109,55 @@ class TestBatchSelection:
                 ]
                 assert seqs == sorted(seqs)
 
+    def test_rotation_persists_across_batches(self):
+        # Regression: the rotation cursor must resume after the last
+        # client served, not restart each batch at the first-admitted
+        # client — restarting starves whoever sits past the batch
+        # boundary (here client 2 would never lead a batch).
+        queue = AdmissionQueue(AdmissionPolicy(fairness="round-robin"))
+        enqueue(
+            queue,
+            [put(0, 0), put(1, 0), put(2, 0), put(0, 1), put(1, 1), put(2, 1)],
+        )
+        batches = [
+            [(i.request.client, i.request.seq) for i in queue.take_batch(2)]
+            for _ in range(3)
+        ]
+        assert batches == [
+            [(0, 0), (1, 0)],
+            [(2, 0), (0, 1)],
+            [(1, 1), (2, 1)],
+        ]
+
+    def test_skipped_client_keeps_rotation_slot(self):
+        # A client whose head is a ready read is passed over in place:
+        # once the read is served, the next batch resumes at its slot
+        # instead of behind clients that were admitted later.
+        queue = AdmissionQueue(AdmissionPolicy(fairness="round-robin"))
+        enqueue(queue, [put(0, 0), get(1, 0), put(1, 1), put(2, 0), put(0, 1)])
+        first = queue.take_batch(1)
+        assert [(i.request.client, i.request.seq) for i in first] == [(0, 0)]
+        served = queue.pop_ready_reads()
+        assert [(i.request.client, i.request.seq) for i in served] == [(1, 0)]
+        nxt = queue.take_batch(2)
+        assert [(i.request.client, i.request.seq) for i in nxt] == [
+            (1, 1), (2, 0),
+        ]
+
+    def test_readmit_front_leads_next_batch(self):
+        # Lock-deferred requests go back at the queue front with their
+        # original provenance and lead the next FIFO selection.
+        queue = AdmissionQueue(AdmissionPolicy(fairness="fifo"))
+        enqueue(queue, [put(0, 0), put(1, 0), put(2, 0)])
+        batch = queue.take_batch(2)
+        deferred = [batch[1]]
+        queue.readmit_front(deferred)
+        nxt = queue.take_batch(2)
+        assert [(i.request.client, i.request.seq) for i in nxt] == [
+            (1, 0), (2, 0),
+        ]
+        assert nxt[0].admitted_at == deferred[0].admitted_at
+
     def test_read_blocks_later_writes_of_its_client(self):
         queue = AdmissionQueue(AdmissionPolicy())
         enqueue(queue, [get(0, 0), put(0, 1), put(1, 0)])

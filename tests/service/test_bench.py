@@ -4,7 +4,7 @@ import pytest
 
 from repro.obs.bench import check_bench, strip_host
 from repro.parallel import tasks as partasks
-from repro.service.bench import SERVICE_MIX, run_service_bench
+from repro.service.bench import SCHEMA_VERSION, SERVICE_MIX, run_service_bench
 
 CELL_KWARGS = dict(
     workload="hashtable",
@@ -65,7 +65,7 @@ class TestRunServiceBench:
         return run_service_bench(**GRID_KWARGS)
 
     def test_document_shape(self, doc):
-        assert doc["schema_version"] == 1
+        assert doc["schema_version"] == SCHEMA_VERSION
         assert doc["name"] == "service"
         assert set(doc["cells"]) == {
             "hashtable/FG/b1", "hashtable/FG/b4",

@@ -29,7 +29,9 @@ class TestCurveCell:
         assert a == b
 
     def test_cell_quotes_steady_trimmed_numbers(self):
-        cell = run_curve_cell("SLPMT", 2000, seed=2023)
+        # Arrival 1200 settles under seed 2023 (the knee cell at 2000
+        # no longer does since client streams became prefix-stable).
+        cell = run_curve_cell("SLPMT", 1200, seed=2023)
         assert cell["steady"] is True
         assert 0 <= cell["window_lo"] < cell["window_hi"]
         assert cell["window_hi"] <= cell["windows_total"]

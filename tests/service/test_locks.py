@@ -1,0 +1,162 @@
+"""Wound-wait lock manager: arbitration rules and determinism."""
+
+import random
+
+from repro.service.admission import QueuedRequest
+from repro.service.locks import LockManager, lock_mode, lock_timestamp
+from repro.service.model import Request
+from repro.workloads.shared import KEY_BASE
+
+
+def put(client, seq, key, *, at=None):
+    request = Request(
+        client, seq, "put", (key,), values=((client, seq),)
+    )
+    at = client * 100 + seq if at is None else at
+    return QueuedRequest(request=request, submitted_at=at, admitted_at=at)
+
+
+def txn(client, seq, keys, *, at=None):
+    request = Request(
+        client, seq, "txn", tuple(keys),
+        values=tuple((client, seq) for _ in keys),
+    )
+    at = client * 100 + seq if at is None else at
+    return QueuedRequest(request=request, submitted_at=at, admitted_at=at)
+
+
+def by_key(item_request):
+    """Each key lives in its own named structure."""
+    return tuple(f"s{key - KEY_BASE}" for key in item_request.keys)
+
+
+def single(_request):
+    return ("main",)
+
+
+class TestModesAndTimestamps:
+    def test_puts_are_shared_txns_exclusive(self):
+        assert lock_mode(put(0, 0, KEY_BASE).request) == "s"
+        assert lock_mode(txn(0, 0, (KEY_BASE, KEY_BASE + 1)).request) == "x"
+
+    def test_timestamp_is_submission_then_client_seq(self):
+        a = put(0, 3, KEY_BASE, at=50)
+        b = put(1, 0, KEY_BASE, at=50)
+        assert lock_timestamp(a) < lock_timestamp(b)
+        assert lock_timestamp(put(9, 9, KEY_BASE, at=10)) < lock_timestamp(a)
+
+
+class TestArbitration:
+    def test_shared_puts_coexist_on_one_structure(self):
+        # Group commit's batching win survives locking: single-structure
+        # puts all take the structure shared and the whole batch grants.
+        lm = LockManager()
+        batch = [put(c, 0, KEY_BASE) for c in range(4)]
+        granted, deferred = lm.resolve(batch, single)
+        assert granted == batch and deferred == []
+        assert lm.grants == 4 and lm.wounds == 0 and lm.waits == 0
+
+    def test_younger_txn_waits_behind_older_holder(self):
+        lm = LockManager()
+        old = txn(0, 0, (KEY_BASE, KEY_BASE + 1), at=10)
+        young = txn(1, 0, (KEY_BASE + 1, KEY_BASE + 2), at=20)
+        granted, deferred = lm.resolve([old, young], by_key)
+        assert granted == [old] and deferred == [young]
+        assert lm.waits == 1 and lm.wounds == 0
+
+    def test_older_txn_wounds_younger_holder(self):
+        # Selection order puts the younger txn first; the older one
+        # arriving later in the batch evicts it.
+        lm = LockManager()
+        young = txn(1, 0, (KEY_BASE,), at=20)
+        old = txn(0, 0, (KEY_BASE,), at=10)
+        granted, deferred = lm.resolve([young, old], by_key)
+        assert granted == [old] and deferred == [young]
+        assert lm.wounds == 1 and lm.waits == 0
+
+    def test_exclusive_blocks_shared_and_vice_versa(self):
+        lm = LockManager()
+        holder = txn(0, 0, (KEY_BASE,), at=10)
+        late_put = put(1, 0, KEY_BASE, at=20)
+        granted, deferred = lm.resolve([holder, late_put], by_key)
+        assert granted == [holder] and deferred == [late_put]
+
+        lm = LockManager()
+        shared = put(0, 0, KEY_BASE, at=10)
+        late_txn = txn(1, 0, (KEY_BASE,), at=20)
+        granted, deferred = lm.resolve([shared, late_txn], by_key)
+        assert granted == [shared] and deferred == [late_txn]
+
+    def test_first_candidate_always_granted(self):
+        lm = LockManager()
+        batch = [txn(2, 0, (KEY_BASE,), at=99), txn(0, 0, (KEY_BASE,), at=1)]
+        granted, _ = lm.resolve(batch, by_key)
+        # The older later arrival wounds it, but a non-empty batch never
+        # resolves to an empty grant set: the winner is granted instead.
+        assert granted == [batch[1]]
+
+
+class TestDeterminismProperties:
+    def _random_batch(self, rng, n):
+        batch = []
+        for i in range(n):
+            client = rng.randrange(4)
+            at = rng.randrange(1000)
+            if rng.random() < 0.5:
+                batch.append(put(client, i, KEY_BASE + rng.randrange(3), at=at))
+            else:
+                keys = rng.sample(range(KEY_BASE, KEY_BASE + 3), 2)
+                batch.append(txn(client, i, keys, at=at))
+        return batch
+
+    def test_resolution_is_a_pure_function_of_the_batch(self):
+        for seed in range(25):
+            rng = random.Random(seed)
+            batch = self._random_batch(rng, rng.randrange(1, 8))
+            a = LockManager().resolve(list(batch), by_key)
+            b = LockManager().resolve(list(batch), by_key)
+            assert a == b
+
+    def test_partition_and_oldest_always_granted(self):
+        for seed in range(25):
+            rng = random.Random(seed)
+            batch = self._random_batch(rng, rng.randrange(1, 10))
+            granted, deferred = LockManager().resolve(list(batch), by_key)
+            # granted + deferred partition the batch exactly.
+            assert sorted(
+                map(id, granted + deferred)
+            ) == sorted(map(id, batch))
+            assert granted  # never empty for a non-empty batch
+            oldest = min(batch, key=lock_timestamp)
+            assert oldest in granted
+
+    def test_granted_set_is_conflict_free(self):
+        for seed in range(25):
+            rng = random.Random(seed)
+            batch = self._random_batch(rng, rng.randrange(2, 10))
+            granted, _ = LockManager().resolve(list(batch), by_key)
+            for i, a in enumerate(granted):
+                for b in granted[i + 1:]:
+                    shared = set(by_key(a.request)) & set(by_key(b.request))
+                    if shared:
+                        assert (
+                            lock_mode(a.request) == "s"
+                            and lock_mode(b.request) == "s"
+                        )
+
+    def test_deferred_preserves_selection_order(self):
+        for seed in range(25):
+            rng = random.Random(seed)
+            batch = self._random_batch(rng, rng.randrange(2, 10))
+            _, deferred = LockManager().resolve(list(batch), by_key)
+            positions = [batch.index(item) for item in deferred]
+            assert positions == sorted(positions)
+
+    def test_counters_accumulate_across_batches(self):
+        lm = LockManager()
+        lm.resolve([put(0, 0, KEY_BASE)], single)
+        lm.resolve(
+            [txn(0, 1, (KEY_BASE,), at=10), txn(1, 0, (KEY_BASE,), at=20)],
+            by_key,
+        )
+        assert lm.grants == 2 and lm.waits == 1

@@ -96,6 +96,37 @@ class TestGenerateStream:
         assert [s[0].client for s in streams] == [0, 1, 2]
 
 
+class TestPrefixStability:
+    """Duration mode depends on streams whose seed never encodes a
+    request count: growing a run extends the traffic, never reshuffles
+    the prefix already served."""
+
+    def test_request_stream_prefix_stable(self):
+        short = generate_stream(3, 20, seed=11, theta=0.6, num_keys=32)
+        long = generate_stream(3, 200, seed=11, theta=0.6, num_keys=32)
+        assert long[:20] == short
+
+    def test_lazy_stream_matches_eager_prefix(self):
+        from repro.service.model import ClientStream
+
+        stream = ClientStream(5, seed=4, theta=0.9, num_keys=16)
+        # Out-of-order demand still yields the in-order draw.
+        late = stream.request(30)
+        early = stream.request(0)
+        eager = generate_stream(5, 31, seed=4, theta=0.9, num_keys=16)
+        assert early == eager[0] and late == eager[30]
+
+    def test_arrival_gaps_prefix_stable(self):
+        short = arrival_gaps(2, 15, mean_cycles=700, seed=9)
+        long = arrival_gaps(2, 150, mean_cycles=700, seed=9)
+        assert long[:15] == short
+
+    def test_stream_seed_varies_with_theta_and_population(self):
+        base = generate_stream(0, 30, seed=1, theta=0.6, num_keys=64)
+        assert generate_stream(0, 30, seed=1, theta=0.9, num_keys=64) != base
+        assert generate_stream(0, 30, seed=1, theta=0.6, num_keys=32) != base
+
+
 class TestValueFor:
     def test_writer_distinguishing(self):
         assert value_for(KEY_BASE, 0, 0, 4) != value_for(KEY_BASE, 1, 0, 4)

@@ -183,6 +183,91 @@ class TestLifecycle:
         assert svc.machine.now > served_cycles
 
 
+class TestDurationMode:
+    def test_horizon_retires_clients_and_drains(self):
+        res = run_service(config(duration_cycles=40_000))
+        assert res.duration_cycles == 40_000
+        assert res.requests > 0
+        # block admission: everything submitted before the horizon is
+        # served during the post-horizon drain.
+        assert res.acked == res.requests and res.shed == 0
+
+    def test_longer_horizon_extends_the_same_traffic(self):
+        # Prefix stability end-to-end: growing the horizon appends
+        # requests, it never reshuffles the prefix already served.
+        short = run_service(config(duration_cycles=20_000))
+        long = run_service(config(duration_cycles=60_000))
+        assert long.requests > short.requests
+        for client in range(3):
+            s = [(r.seq, r.kind) for r in short.responses if r.client == client]
+            l = [(r.seq, r.kind) for r in long.responses if r.client == client]
+            assert l[: len(s)] == s
+
+    def test_duration_validated(self):
+        with pytest.raises(ValueError, match="duration_cycles"):
+            config(duration_cycles=0)
+
+
+class TestTargetLoad:
+    def test_effective_arrival_spreads_load_over_clients(self):
+        cfg = config(target_load=0.05)
+        # 0.05 req/kcyc over 3 clients -> one request per 60k cycles.
+        assert cfg.effective_arrival_cycles == 60_000
+        assert config().effective_arrival_cycles == 600
+
+    def test_open_mode_only(self):
+        with pytest.raises(ValueError, match="open"):
+            config(mode="closed", think_cycles=100, target_load=1.0)
+        with pytest.raises(ValueError, match="target_load"):
+            config(target_load=0.0)
+
+
+class TestClientBase:
+    def test_identities_offset_by_base(self):
+        res = run_service(config(client_base=10))
+        assert {r.client for r in res.responses} == {10, 11, 12}
+        assert res.client_base == 10
+
+    def test_population_slices_draw_distinct_traffic(self):
+        # Global client ids seed the streams, so slice [3, 6) of one
+        # logical population is new traffic, not a copy of [0, 3).
+        a = run_service(config(client_base=0))
+        b = run_service(config(client_base=3))
+        assert {(r.client, r.seq, r.kind) for r in a.responses} != {
+            (r.client - 3, r.seq, r.kind) for r in b.responses
+        }
+
+
+class TestLocking:
+    def _locking_config(self, **overrides):
+        return config(
+            workload="multistruct",
+            locking=True,
+            admission=AdmissionPolicy(
+                max_depth=64, mode="block", fairness="round-robin"
+            ),
+            batch=GroupCommitPolicy(batch_size=8),
+            **overrides,
+        )
+
+    def test_locking_run_acks_everything(self):
+        res = run_service(self._locking_config())
+        assert res.acked == 3 * 8 and res.shed == 0
+        assert res.lock_grants >= res.committed_writes > 0
+
+    def test_locking_is_deterministic(self):
+        a = run_service(self._locking_config())
+        b = run_service(self._locking_config())
+        assert a.responses == b.responses
+        assert (a.lock_grants, a.lock_wounds, a.lock_waits) == (
+            b.lock_grants, b.lock_wounds, b.lock_waits,
+        )
+
+    def test_counters_zero_without_locking(self):
+        res = run_service(config())
+        assert (res.lock_grants, res.lock_wounds, res.lock_waits) == (0, 0, 0)
+
+
 @pytest.mark.parametrize("scheme", ["FG", "FG+LG", "SLPMT"])
 def test_schemes_smoke(scheme):
     res = run_service(config(scheme=scheme, requests_per_client=5))
@@ -190,7 +275,7 @@ def test_schemes_smoke(scheme):
     assert res.shed == 0
 
 
-@pytest.mark.parametrize("workload", ["hashtable", "rbtree"])
+@pytest.mark.parametrize("workload", ["hashtable", "rbtree", "multistruct"])
 def test_workloads_smoke(workload):
     res = run_service(config(workload=workload, requests_per_client=5))
     assert res.acked == 3 * 5

@@ -1,0 +1,114 @@
+"""Composite map + queue + counter workload: one insert, three
+structures, one durable transaction (the lock manager's subject)."""
+
+import pytest
+
+from repro.common.errors import RecoveryError
+from repro.workloads.multistruct import MS_HEADER, QNODE, MultiStruct
+
+from .conftest import (
+    crash_during_insert,
+    keys_for,
+    make_workload,
+    persists_in_insert,
+)
+
+
+class TestOperations:
+    def test_insert_and_verify(self, scheme_policy):
+        scheme, policy = scheme_policy
+        ms = make_workload(MultiStruct, scheme=scheme, policy=policy)
+        for k in keys_for(20):
+            ms.insert(k)
+        ms.verify()
+
+    def test_queue_preserves_push_order(self):
+        ms = make_workload(MultiStruct)
+        keys = keys_for(12)
+        for k in keys:
+            ms.insert(k)
+        assert ms.queue_keys(ms.reader()) == keys
+
+    def test_counter_tracks_insert_events(self):
+        ms = make_workload(MultiStruct)
+        keys = keys_for(7)
+        for k in keys:
+            ms.insert(k)
+        read = ms.reader()
+        assert ms.counter_value(read) == 7
+        # A repeated key is an update in the map but a fresh event for
+        # the queue and counter.
+        ms.insert(keys[0], [9] * ms.value_words)
+        read = ms.reader()
+        assert ms.counter_value(read) == 8
+        assert len(ms.queue_keys(read)) == 8
+        ms.check_integrity(read)
+
+    def test_lookup_delegates_to_map(self):
+        ms = make_workload(MultiStruct)
+        ms.insert(5, [3] * ms.value_words)
+        assert ms.lookup(5) == [3] * ms.value_words
+
+    def test_tail_write_is_redundant(self):
+        # The tail pointer is derivable from the next chain, so it must
+        # ride the lazy path rather than the log.
+        ms = make_workload(MultiStruct)
+        ms.insert(10)
+        machine = ms.rt.machine
+        before = machine.stats.lazy_lines_deferred
+        ms.insert(20)
+        assert machine.stats.lazy_lines_deferred > before
+
+
+class TestIntegrityChecker:
+    def _loaded(self, n=6):
+        ms = make_workload(MultiStruct)
+        for k in keys_for(n):
+            ms.insert(k)
+        return ms
+
+    def test_detects_counter_divergence(self):
+        ms = self._loaded()
+        ms.rt.machine.raw_write(MS_HEADER.addr(ms.header, "counter"), 99)
+        with pytest.raises(RecoveryError, match="counter"):
+            ms.check_integrity(ms.reader())
+
+    def test_detects_broken_tail(self):
+        ms = self._loaded()
+        read = ms.reader()
+        head = read(MS_HEADER.addr(ms.header, "head"))
+        ms.rt.machine.raw_write(MS_HEADER.addr(ms.header, "tail"), head)
+        with pytest.raises(RecoveryError, match="tail"):
+            ms.check_integrity(ms.reader())
+
+    def test_detects_queue_cycle(self):
+        ms = self._loaded()
+        read = ms.reader()
+        head = read(MS_HEADER.addr(ms.header, "head"))
+        ms.rt.machine.raw_write(QNODE.addr(head, "next"), head)
+        with pytest.raises(RecoveryError, match="cycle|length"):
+            ms.check_integrity(ms.reader())
+
+
+class TestCrashAtomicity:
+    def test_insert_never_splits_across_structures(self):
+        # Crash at every durability event of one composite insert: the
+        # recovered image must hold either all three structure updates
+        # or none — counter == queue length == map keyset throughout.
+        warm = keys_for(4)
+        new = keys_for(5)[-1]
+        total = persists_in_insert(MultiStruct, warm, new)
+        assert total > 0
+        for point in range(total):
+            ms = make_workload(MultiStruct)
+            for k in warm:
+                ms.insert(k)
+            assert crash_during_insert(ms, new, point)
+            read = ms.reader(durable=True)
+            ms.check_integrity(read)
+            chain = ms.queue_keys(read)
+            assert ms.counter_value(read) == len(chain)
+            assert chain in (warm, warm + [new])
+            # The structure keeps working after recovery.
+            ms.insert(keys_for(6)[-1])
+            ms.verify()
